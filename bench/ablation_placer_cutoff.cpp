@@ -1,0 +1,75 @@
+// End-to-end payoff of the Table III heuristic: the paper argues that
+// hard FM pass cutoffs are safe in the fixed-terminals regime "i.e., the
+// real-world placement context" and buy substantial runtime. This
+// ablation runs the full top-down placer — whose block instances are
+// dominated by fixed terminals at every level below the top — with pass
+// cutoffs 100% / 25% / 5%, and with exact end-case processing, reporting
+// final HPWL and wall-clock time.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "place/placer.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
+  bench::print_header(
+      "Ablation: FM pass cutoff inside a top-down placer (Table III "
+      "end-to-end)",
+      env);
+
+  const auto spec = gen::ibm_like_spec(1, env.scale);
+  const auto circuit = gen::generate_circuit(spec);
+  place::PlacementProblem problem;
+  problem.graph = &circuit.graph;
+  problem.width = circuit.placement.width;
+  problem.height = circuit.placement.height;
+  problem.pad_x = circuit.placement.x;
+  problem.pad_y = circuit.placement.y;
+  const place::TopDownPlacer placer(problem);
+
+  struct Variant {
+    const char* label;
+    double cutoff;
+    int exact;
+  };
+  const Variant variants[] = {
+      {"cutoff 100%", 1.0, 0},
+      {"cutoff 25%", 0.25, 0},
+      {"cutoff 5%", 0.05, 0},
+      {"cutoff 25% + exact end-cases", 0.25, 16},
+  };
+
+  util::Rng rng(cli.get_int("seed", 12));
+  util::Table table({"variant", "avg HPWL", "avg seconds", "HPWL vs 100%"});
+  const int trials = std::max(2, env.trials);
+  double baseline_hpwl = 0.0;
+  for (const Variant& variant : variants) {
+    place::PlacerConfig config;
+    config.max_levels = util::by_scale(env.scale, 5, 7, 9);
+    config.ml.refine.pass_cutoff = variant.cutoff;
+    config.exact_threshold = variant.exact;
+    util::RunningStat hpwl;
+    util::RunningStat seconds;
+    for (int t = 0; t < trials; ++t) {
+      const place::PlacementResult result = placer.run(config, rng);
+      hpwl.add(result.hpwl);
+      seconds.add(result.seconds);
+    }
+    if (baseline_hpwl == 0.0) baseline_hpwl = hpwl.mean();
+    table.add_row({variant.label, util::fmt(hpwl.mean(), 0),
+                   util::fmt(seconds.mean(), 3),
+                   util::fmt(100.0 * hpwl.mean() / baseline_hpwl, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): because nearly every block\n"
+               "instance in the placer has abundant fixed terminals,\n"
+               "aggressive pass cutoffs cut runtime with little or no\n"
+               "wirelength penalty — Table III carried into the\n"
+               "application that motivates it.\n";
+  return 0;
+}

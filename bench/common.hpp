@@ -1,0 +1,52 @@
+#pragma once
+// Shared plumbing for the table/figure regeneration binaries. Each binary
+// prints the same rows/series as the corresponding paper exhibit, at a
+// scale selected by REPRO_SCALE (smoke | default | paper) and overridable
+// with --trials=/--starts=/--circuit= flags.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/context.hpp"
+#include "gen/suite.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace fixedpart::bench {
+
+struct BenchEnv {
+  util::Scale scale;
+  int trials;      ///< trials (sweeps) or runs (flat-FM tables)
+  int ref_starts;  ///< multilevel starts used to find the good reference
+};
+
+inline BenchEnv bench_env(const util::Cli& cli) {
+  const util::Scale scale = util::scale_from_env();
+  BenchEnv env;
+  env.scale = scale;
+  env.trials = static_cast<int>(
+      cli.get_int("trials", util::by_scale(scale, 1, 3, 50)));
+  // The good regime fixes vertices "according to where they are assigned
+  // in the best min-cut solution we could find" — so invest real effort in
+  // the reference, or fixing to it would *hurt* instead of help.
+  env.ref_starts = static_cast<int>(
+      cli.get_int("ref-starts", util::by_scale(scale, 8, 16, 64)));
+  return env;
+}
+
+inline std::vector<double> sweep_percentages(util::Scale scale) {
+  if (scale == util::Scale::kSmoke) return {0.0, 10.0, 30.0};
+  return {0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0};
+}
+
+inline void print_header(const std::string& title, const BenchEnv& env) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale=" << util::to_string(env.scale)
+            << " trials=" << env.trials << " (REPRO_SCALE=paper for the "
+            << "full protocol)\n\n";
+}
+
+}  // namespace fixedpart::bench

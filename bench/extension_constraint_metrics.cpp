@@ -1,0 +1,84 @@
+// Extension experiment (paper Sec. V): candidate metrics for the "degree
+// of constraint" of a fixed-terminals instance, evaluated by how well they
+// track the observable that defines instance easiness in Figs. 1-2 — the
+// benefit of extra multistarts (the 1-start vs 8-start normalized gap).
+// All metrics except %fixed are invariant under terminal clustering,
+// which the paper identifies as the property a useful measure must have;
+// the bench verifies that invariance numerically.
+
+#include <iostream>
+#include <limits>
+
+#include "bench/common.hpp"
+#include "experiments/constraint_metrics.hpp"
+#include "gen/regimes.hpp"
+#include "hg/transform.hpp"
+#include "ml/multilevel.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
+  bench::print_header(
+      "Extension: measuring the degree of constraint (Sec. V)", env);
+
+  const auto spec = gen::ibm_like_spec(1, env.scale);
+  const auto circuit = gen::generate_circuit(spec);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  util::Rng rng(cli.get_int("seed", 10));
+  const gen::FixedVertexSeries series(circuit.graph, 2, rng);
+
+  util::Table table({"%fixed", "%mov adj", "avg incid", "anchored frac",
+                     "contested frac", "forced cut", "1v8 gap (%)",
+                     "invariant?"});
+  const int trials = env.trials;
+  for (const double pct : {0.0, 1.0, 5.0, 10.0, 20.0, 30.0, 50.0}) {
+    const hg::FixedAssignment fixed = series.rand_regime(pct);
+    const exp::ConstraintMetrics metrics =
+        exp::compute_constraint_metrics(circuit.graph, fixed);
+
+    // Clustering invariance: the metrics of the 2-terminal equivalent.
+    const hg::ClusteredTerminals clustered =
+        hg::cluster_terminals(circuit.graph, fixed);
+    const exp::ConstraintMetrics clustered_metrics =
+        exp::compute_constraint_metrics(clustered.graph, clustered.fixed);
+    const bool invariant =
+        std::abs(metrics.anchored_net_fraction -
+                 clustered_metrics.anchored_net_fraction) < 1e-9 &&
+        metrics.forced_cut_weight == clustered_metrics.forced_cut_weight;
+
+    // Observed multistart benefit.
+    const ml::MultilevelPartitioner partitioner(circuit.graph, fixed,
+                                                balance);
+    util::RunningStat one_start;
+    util::RunningStat eight_start;
+    for (int t = 0; t < trials; ++t) {
+      double best = std::numeric_limits<double>::max();
+      for (int s = 0; s < 8; ++s) {
+        const auto cut = static_cast<double>(
+            partitioner.run(rng, exp::default_ml_config()).cut);
+        best = std::min(best, cut);
+        if (s == 0) one_start.add(cut);
+      }
+      eight_start.add(best);
+    }
+    const double gap = 100.0 * (one_start.mean() - eight_start.mean()) /
+                       std::max(1.0, eight_start.mean());
+
+    table.add_row({util::fmt(pct, 0), util::fmt(metrics.pct_movable_adjacent, 1),
+                   util::fmt(metrics.avg_terminal_incidence, 3),
+                   util::fmt(metrics.anchored_net_fraction, 3),
+                   util::fmt(metrics.contested_net_fraction, 3),
+                   std::to_string(metrics.forced_cut_weight),
+                   util::fmt(gap, 1), invariant ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the multistart gap (last experiment column)\n"
+               "shrinks as the anchored/incidence metrics rise — these\n"
+               "clustering-invariant measures track instance easiness\n"
+               "where raw %fixed (not invariant) cannot.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension experiment (paper Sec. V open question 1): "determining
+// whether multiway partitioning is as affected by fixed terminals". Runs
+// flat 4-way FM with 1 and 4 starts across fixed-vertex percentages
+// (rand regime, sides drawn uniformly over the 4 partitions) and reports
+// raw and normalized average best cuts — the multiway analogue of the
+// Fig. 1/2 multistart study.
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "bench/common.hpp"
+#include "gen/regimes.hpp"
+#include "ml/recursive_bisection.hpp"
+#include "part/initial.hpp"
+#include "part/kway_fm.hpp"
+#include "part/partition.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
+  const auto k = static_cast<hg::PartitionId>(cli.get_int("k", 4));
+  bench::print_header("Extension: fixed terminals in multiway (k=" +
+                          std::to_string(k) + ") partitioning",
+                      env);
+
+  const auto spec = gen::ibm_like_spec(1, env.scale);
+  const auto circuit = gen::generate_circuit(spec);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, k, 5.0);
+
+  util::Rng rng(cli.get_int("seed", 5));
+  const gen::FixedVertexSeries series(circuit.graph, k, rng);
+
+  util::Table table({"%fixed", "cut@1", "cut@4", "RB cut", "norm@1",
+                     "norm@4", "gap 1-vs-4 (%)"});
+  const int trials = env.trials * 2;
+  const int max_starts = 4;
+  for (const double pct : {0.0, 5.0, 10.0, 20.0, 30.0, 50.0}) {
+    const hg::FixedAssignment fixed = series.rand_regime(pct);
+    part::KwayFmRefiner refiner(circuit.graph, fixed, balance);
+    util::RunningStat best1;
+    util::RunningStat best4;
+    util::RunningStat rb_cut;
+    double best_seen = std::numeric_limits<double>::max();
+    for (int t = 0; t < trials; ++t) {
+      double best_prefix = std::numeric_limits<double>::max();
+      for (int s = 0; s < max_starts; ++s) {
+        part::PartitionState state(circuit.graph, k);
+        part::random_feasible_assignment(state, fixed, balance, rng,
+                                         /*require_feasible=*/false);
+        refiner.refine(state, rng, part::KwayConfig{});
+        const auto cut = static_cast<double>(state.cut());
+        best_prefix = std::min(best_prefix, cut);
+        best_seen = std::min(best_seen, cut);
+        if (s == 0) best1.add(cut);
+      }
+      best4.add(best_prefix);
+      // Multilevel recursive bisection (one start) for comparison.
+      ml::RbConfig rb;
+      rb.tolerance_pct = 5.0;
+      const auto assignment =
+          ml::recursive_bisection(circuit.graph, fixed, k, rb, rng);
+      part::PartitionState rb_state(circuit.graph, k);
+      for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+        rb_state.assign(v, assignment[v]);
+      }
+      rb_cut.add(static_cast<double>(rb_state.cut()));
+      best_seen = std::min(best_seen, static_cast<double>(rb_state.cut()));
+    }
+    const double gap =
+        100.0 * (best1.mean() - best4.mean()) / std::max(1.0, best4.mean());
+    table.add_row({util::fmt(pct, 0), util::fmt(best1.mean(), 1),
+                   util::fmt(best4.mean(), 1), util::fmt(rb_cut.mean(), 1),
+                   util::fmt(best1.mean() / best_seen, 3),
+                   util::fmt(best4.mean() / best_seen, 3),
+                   util::fmt(gap, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: as in bipartitioning, the benefit of\n"
+               "extra starts (the 1-vs-4 gap) shrinks as the fixed\n"
+               "percentage grows — multiway is affected the same way.\n"
+               "Multilevel recursive bisection (RB) dominates flat k-way\n"
+               "FM on free instances; the gap narrows as terminals fix\n"
+               "more of the solution.\n";
+  return 0;
+}

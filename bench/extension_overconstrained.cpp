@@ -1,0 +1,70 @@
+// Extension experiment (paper Secs. II & V): "confirming the existence of
+// relatively overconstrained instances". The paper observes that with a
+// *small* share of good-regime terminals (5-10%), partitioners sometimes
+// do worse than with either 0% or 20% — even though every solution
+// feasible at 20% (or 0%) fixed is also feasible at 10%, so the true
+// optimum is monotone. A quality dip at intermediate percentages is
+// therefore a heuristic failure, not an instance property.
+//
+// This bench sweeps the good regime on a fine grid around the dip with
+// extra trials, reporting the average and the best cut per percentage.
+
+#include <iostream>
+#include <limits>
+
+#include "bench/common.hpp"
+#include "gen/regimes.hpp"
+#include "ml/multilevel.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
+  bench::print_header(
+      "Extension: relatively overconstrained instances (good regime)", env);
+
+  const auto spec = gen::ibm_like_spec(1, env.scale);
+  util::Rng rng(cli.get_int("seed", 11));
+  const exp::InstanceContext ctx =
+      exp::make_context(spec, env.ref_starts, 2.0, rng);
+  std::cout << "reference cut = " << ctx.good_cut << "\n\n";
+  const gen::FixedVertexSeries series(ctx.circuit.graph, 2, rng);
+
+  util::Table table({"%fixed(good)", "avg cut@1", "best cut", "avg/ref",
+                     "monotone-violations"});
+  const int trials = env.trials * 4;
+  double prev_avg = -1.0;
+  int violations = 0;
+  for (const double pct :
+       {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0}) {
+    const hg::FixedAssignment fixed =
+        series.good_regime(pct, ctx.good_reference);
+    const ml::MultilevelPartitioner partitioner(ctx.circuit.graph, fixed,
+                                                ctx.balance);
+    util::RunningStat cut;
+    double best = std::numeric_limits<double>::max();
+    for (int t = 0; t < trials; ++t) {
+      const auto result = partitioner.run(rng, exp::default_ml_config());
+      cut.add(static_cast<double>(result.cut));
+      best = std::min(best, static_cast<double>(result.cut));
+    }
+    // The optimum can only improve toward the reference as good terminals
+    // are added... it stays <= ref at all pct; a rising heuristic average
+    // between grid points marks the overconstrained effect.
+    if (prev_avg >= 0.0 && cut.mean() > prev_avg + 1e-9) ++violations;
+    prev_avg = cut.mean();
+    table.add_row({util::fmt(pct, 0), util::fmt(cut.mean(), 1),
+                   util::fmt(best, 1),
+                   util::fmt(cut.mean() / static_cast<double>(ctx.good_cut), 3),
+                   std::to_string(violations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: every instance here admits the reference\n"
+               "solution (cut " << ctx.good_cut << "), so a heuristic\n"
+               "average that *rises* with extra good terminals (counted in\n"
+               "the last column) confirms the paper's \"relatively\n"
+               "overconstrained\" failure mode around small percentages.\n";
+  return 0;
+}

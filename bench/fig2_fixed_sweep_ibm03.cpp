@@ -1,0 +1,7 @@
+// Regenerates Fig. 2: the fixed-vertex sweep on an IBM03-like circuit.
+
+#include "bench/fixed_sweep_common.hpp"
+
+int main(int argc, char** argv) {
+  return fixedpart::bench::run_fixed_sweep_bench("Fig. 2", 3, argc, argv);
+}

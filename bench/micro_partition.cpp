@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) of the partitioning primitives:
+// gain-bucket operations, flat FM passes (LIFO vs CLIP, with and without
+// the Table III pass cutoff), coarsening, and full multilevel starts.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/fixed.hpp"
+#include "ml/coarsen.hpp"
+#include "ml/matching.hpp"
+#include "ml/multilevel.hpp"
+#include "part/fm.hpp"
+#include "part/gain_buckets.hpp"
+#include "part/initial.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fixedpart;
+
+gen::GeneratedCircuit bench_circuit(int cells) {
+  gen::CircuitSpec spec;
+  spec.num_cells = cells;
+  spec.num_nets = cells + cells / 10;
+  spec.num_pads = cells / 50;
+  spec.seed = 42;
+  return gen::generate_circuit(spec);
+}
+
+void BM_GainBucketChurn(benchmark::State& state) {
+  const auto n = static_cast<hg::VertexId>(state.range(0));
+  part::GainBuckets buckets(n, 64);
+  util::Rng rng(1);
+  for (hg::VertexId v = 0; v < n; ++v) {
+    buckets.insert(v, static_cast<hg::Weight>(rng.next_in(-64, 64)));
+  }
+  for (auto _ : state) {
+    const auto v = static_cast<hg::VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto key = buckets.key_of(v);
+    const auto delta = static_cast<hg::Weight>(rng.next_in(-4, 4));
+    const auto clamped =
+        std::max<hg::Weight>(-64, std::min<hg::Weight>(64, key + delta));
+    buckets.adjust(v, clamped - key);
+    benchmark::DoNotOptimize(
+        buckets.find_best([](hg::VertexId) { return true; }));
+  }
+}
+BENCHMARK(BM_GainBucketChurn)->Arg(1000)->Arg(10000);
+
+void BM_FmRefine(benchmark::State& state) {
+  const auto circuit = bench_circuit(static_cast<int>(state.range(0)));
+  const bool clip = state.range(1) != 0;
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  part::FmBipartitioner fm(circuit.graph, fixed, balance);
+  part::FmConfig config;
+  config.policy =
+      clip ? part::SelectionPolicy::kClip : part::SelectionPolicy::kLifo;
+  util::Rng rng(2);
+  part::PartitionState partition(circuit.graph, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    part::random_feasible_assignment(partition, fixed, balance, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fm.refine(partition, rng, config));
+  }
+}
+BENCHMARK(BM_FmRefine)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1});
+
+void BM_FmRefineWithCutoff(benchmark::State& state) {
+  const auto circuit = bench_circuit(4000);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  part::FmBipartitioner fm(circuit.graph, fixed, balance);
+  part::FmConfig config;
+  config.pass_cutoff = static_cast<double>(state.range(0)) / 100.0;
+  util::Rng rng(3);
+  part::PartitionState partition(circuit.graph, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    part::random_feasible_assignment(partition, fixed, balance, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fm.refine(partition, rng, config));
+  }
+}
+BENCHMARK(BM_FmRefineWithCutoff)->Arg(100)->Arg(25)->Arg(5);
+
+void BM_Coarsen(benchmark::State& state) {
+  const auto circuit = bench_circuit(static_cast<int>(state.range(0)));
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const auto match = ml::heavy_edge_matching(circuit.graph, fixed,
+                                               ml::MatchingConfig{}, rng);
+    benchmark::DoNotOptimize(ml::contract(circuit.graph, fixed, match));
+  }
+}
+BENCHMARK(BM_Coarsen)->Arg(2000)->Arg(8000);
+
+void BM_MultilevelStart(benchmark::State& state) {
+  const auto circuit = bench_circuit(static_cast<int>(state.range(0)));
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.run(rng, ml::MultilevelConfig{}));
+  }
+}
+BENCHMARK(BM_MultilevelStart)->Arg(2000)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

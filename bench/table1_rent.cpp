@@ -1,0 +1,28 @@
+// Regenerates Table I: block sizes below which the expected number of
+// fixed vertices (propagated terminals, Rent's rule with k = 3.5) exceeds
+// 5%, 10% or 20% of the vertices in a top-down placement block.
+
+#include <iostream>
+
+#include "gen/rent.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using fixedpart::gen::threshold_block_size;
+  using fixedpart::util::Table;
+  using fixedpart::util::fmt;
+
+  std::cout << "=== Table I: block sizes for given fixed-vertex fractions "
+               "(k = 3.5 pins/cell) ===\n\n";
+  Table table({"Rent p", ">=5% fixed", ">=10% fixed", ">=20% fixed"});
+  for (const double p : {0.55, 0.60, 0.65, 0.68, 0.70, 0.75}) {
+    table.add_row({fmt(p, 2), fmt(threshold_block_size(p, 3.5, 0.05), 0),
+                   fmt(threshold_block_size(p, 3.5, 0.10), 0),
+                   fmt(threshold_block_size(p, 3.5, 0.20), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: in a design with Rent parameter p, every block\n"
+               "with at most the given number of cells is expected to have\n"
+               "at least that share of its vertices fixed.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Regenerates Table III: effect of cutting off all LIFO-FM passes (after
+// the first) at 50% / 25% / 10% / 5% of the moves, at 0/10/20/30% fixed
+// vertices (good regime). Cells are "avg cut (avg CPU seconds)".
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "experiments/pass_experiments.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
+  bench::print_header("Table III: LIFO-FM pass-cutoff effects", env);
+
+  util::Rng rng(cli.get_int("seed", 3));
+  const int last_circuit = static_cast<int>(
+      cli.get_int("circuits", env.scale == util::Scale::kSmoke ? 1 : 3));
+  for (int index = 1; index <= last_circuit; ++index) {
+    const auto spec = gen::ibm_like_spec(index, env.scale);
+    const exp::InstanceContext ctx =
+        exp::make_context(spec, env.ref_starts, 2.0, rng);
+    exp::CutoffConfig config;
+    config.runs = env.trials * 10;
+    const exp::CutoffResult result =
+        exp::run_cutoff_experiment(ctx, config, rng);
+
+    std::cout << "-- " << spec.name << "-like --\n";
+    std::vector<std::string> header = {"%fixed"};
+    for (const double c : config.cutoffs) {
+      header.push_back("cutoff " + util::fmt(100.0 * c, 0) + "%");
+    }
+    util::Table table(header);
+    for (std::size_t pi = 0; pi < result.percentages.size(); ++pi) {
+      std::vector<std::string> row = {util::fmt(result.percentages[pi], 0)};
+      for (const exp::CutoffCell& cell : result.cells[pi]) {
+        row.push_back(util::fmt_cut_time(cell.avg_cut, cell.avg_seconds));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape (paper): without terminals, aggressive\n"
+               "cutoffs degrade the cut; with >=20% fixed they do not, and\n"
+               "every cutoff level reduces CPU time.\n";
+  return 0;
+}

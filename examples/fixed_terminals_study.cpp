@@ -1,0 +1,71 @@
+// Interactive version of the paper's core experiment on one generated
+// circuit: how do cut quality and runtime change as a chosen percentage of
+// vertices is fixed, in the good and rand regimes?
+//
+//   $ ./build/examples/fixed_terminals_study --cells=2000 --pct=20
+//   $     --starts=4 --trials=5 --regime=both
+
+#include <iostream>
+#include <string>
+
+#include "experiments/context.hpp"
+#include "gen/netlist_gen.hpp"
+#include "gen/regimes.hpp"
+#include "ml/multilevel.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  cli.require_known({"cells", "pct", "starts", "trials", "regime", "seed",
+                     "tolerance"});
+
+  gen::CircuitSpec spec;
+  spec.name = "study";
+  spec.num_cells = static_cast<hg::VertexId>(cli.get_int("cells", 2000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 9;
+  spec.num_pads = std::max<hg::VertexId>(8, spec.num_cells / 50);
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const double pct = cli.get_double("pct", 20.0);
+  const int starts = static_cast<int>(cli.get_int("starts", 4));
+  const int trials = static_cast<int>(cli.get_int("trials", 5));
+  const double tolerance = cli.get_double("tolerance", 2.0);
+  const std::string regime = cli.get_or("regime", "both");
+
+  util::Rng rng(spec.seed ^ 0x57d7);
+  std::cout << "building " << spec.num_cells << "-cell circuit and a "
+            << "reference solution...\n";
+  const exp::InstanceContext ctx = exp::make_context(spec, 16, tolerance, rng);
+  std::cout << "free-instance reference cut = " << ctx.good_cut << "\n\n";
+
+  const gen::FixedVertexSeries series(ctx.circuit.graph, 2, rng);
+  util::Table table({"regime", "%fixed", "avg best cut", "norm vs free",
+                     "avg sec/trial"});
+  auto run_regime = [&](const std::string& name,
+                        const hg::FixedAssignment& fixed) {
+    const ml::MultilevelPartitioner partitioner(ctx.circuit.graph, fixed,
+                                                ctx.balance);
+    util::RunningStat cut;
+    util::RunningStat sec;
+    for (int t = 0; t < trials; ++t) {
+      const auto best =
+          partitioner.best_of(starts, rng, exp::default_ml_config());
+      cut.add(static_cast<double>(best.cut));
+      sec.add(best.seconds);
+    }
+    table.add_row({name, util::fmt(pct, 1), util::fmt(cut.mean(), 1),
+                   util::fmt(cut.mean() / static_cast<double>(ctx.good_cut), 3),
+                   util::fmt(sec.mean(), 3)});
+  };
+
+  if (regime == "good" || regime == "both") {
+    run_regime("good", series.good_regime(pct, ctx.good_reference));
+  }
+  if (regime == "rand" || regime == "both") {
+    run_regime("rand", series.rand_regime(pct));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Instance inspector: prints the Table IV-style statistics, the net-size
+// histogram, and (when fixed vertices are present) the Sec. V
+// degree-of-constraint metrics for an on-disk instance.
+//
+//   $ ./build/examples/instance_info instance.fpb
+//   $ ./build/examples/instance_info netlist.hgr --fix=netlist.fix --k=2
+//   $ ./build/examples/instance_info circuit.netD --are=circuit.are
+
+#include <iostream>
+#include <string>
+
+#include "experiments/constraint_metrics.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "hg/io_hmetis.hpp"
+#include "hg/io_netare.hpp"
+#include "hg/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  try {
+    cli.require_known({"fix", "are", "k"});
+    if (cli.positional().size() != 1) {
+      std::cerr << "usage: instance_info <file.fpb|file.hgr|file.netD> "
+                   "[--fix=f] [--are=f] [--k=2]\n";
+      return 2;
+    }
+    const std::string path = cli.positional()[0];
+    hg::Hypergraph graph;
+    hg::FixedAssignment fixed(0, 2);
+    auto k = static_cast<hg::PartitionId>(cli.get_int("k", 2));
+    if (ends_with(path, ".fpb")) {
+      hg::BenchmarkInstance instance = hg::read_fpb_file(path);
+      graph = std::move(instance.graph);
+      fixed = instance.fixed;
+      k = instance.num_parts;
+    } else if (ends_with(path, ".netD") || ends_with(path, ".net")) {
+      const auto are = cli.get("are");
+      if (!are) throw std::runtime_error("netD input needs --are=<file>");
+      graph = hg::read_netd_files(path, *are).graph;
+      fixed = hg::FixedAssignment(graph.num_vertices(), k);
+    } else {
+      graph = hg::read_hmetis_file(path);
+      if (const auto fix = cli.get("fix")) {
+        fixed = hg::read_fix_file(*fix, graph.num_vertices(), k);
+      } else {
+        fixed = hg::FixedAssignment(graph.num_vertices(), k);
+      }
+    }
+
+    const hg::InstanceStats stats = hg::compute_stats(graph);
+    util::Table table({"statistic", "value"});
+    table.add_row({"vertices", std::to_string(graph.num_vertices())});
+    table.add_row({"cells", std::to_string(stats.num_cells)});
+    table.add_row({"pads/terminals", std::to_string(stats.num_pads)});
+    table.add_row({"nets", std::to_string(stats.num_nets)});
+    table.add_row({"external nets", std::to_string(stats.num_external_nets)});
+    table.add_row({"pins", std::to_string(stats.num_pins)});
+    table.add_row({"avg net degree", util::fmt(stats.avg_net_degree, 2)});
+    table.add_row({"avg pins/cell", util::fmt(stats.avg_cell_degree, 2)});
+    table.add_row({"Max% (largest cell)", util::fmt(stats.max_cell_area_pct, 2)});
+    table.add_row({"fixed vertices", std::to_string(fixed.count_fixed())});
+    table.print(std::cout);
+
+    std::cout << "\nnet-size histogram (16+ = capped):\n";
+    const auto hist = hg::net_size_histogram(graph);
+    util::Table hist_table({"pins", "nets"});
+    for (std::size_t d = 1; d < hist.size(); ++d) {
+      if (hist[d] == 0) continue;
+      hist_table.add_row({d + 1 == hist.size() ? std::to_string(d) + "+"
+                                               : std::to_string(d),
+                          std::to_string(hist[d])});
+    }
+    hist_table.print(std::cout);
+
+    if (fixed.count_fixed() > 0) {
+      const exp::ConstraintMetrics m =
+          exp::compute_constraint_metrics(graph, fixed);
+      std::cout << "\ndegree-of-constraint metrics (Sec. V):\n";
+      util::Table metric_table({"metric", "value"});
+      metric_table.add_row({"% vertices fixed", util::fmt(m.pct_fixed, 2)});
+      metric_table.add_row(
+          {"% movable adjacent to terminals",
+           util::fmt(m.pct_movable_adjacent, 2)});
+      metric_table.add_row(
+          {"avg terminal incidence", util::fmt(m.avg_terminal_incidence, 3)});
+      metric_table.add_row(
+          {"anchored net fraction", util::fmt(m.anchored_net_fraction, 3)});
+      metric_table.add_row(
+          {"contested net fraction", util::fmt(m.contested_net_fraction, 3)});
+      metric_table.add_row(
+          {"forced cut (lower bound)", std::to_string(m.forced_cut_weight)});
+      metric_table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,170 @@
+// Command-line partitioner for on-disk instances — the entry point a
+// downstream user reaches for first. Reads either a self-contained .fpb
+// benchmark (which carries partitions, balance and fixed vertices) or an
+// hMETIS .hgr file (optionally with an hMETIS-style fix file), partitions
+// it, and reports the cut; optionally writes the assignment.
+//
+//   $ ./build/examples/partition_file instance.fpb
+//   $ ./build/examples/partition_file netlist.hgr --fix=netlist.fix
+//   $     --k=2 --tolerance=2 --starts=4 --policy=clip --cutoff=1.0
+//   $     --seed=1 --out=assignment.txt
+//
+// For k == 2 the multilevel engine is used; for k > 2 the flat k-way FM
+// refiner runs from multistart random solutions.
+
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "hg/io_bookshelf.hpp"
+#include "hg/io_hmetis.hpp"
+#include "hg/io_solution.hpp"
+#include "ml/multilevel.hpp"
+#include "part/initial.hpp"
+#include "part/kway_fm.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fixedpart;
+
+part::SelectionPolicy parse_policy(const std::string& name) {
+  if (name == "lifo") return part::SelectionPolicy::kLifo;
+  if (name == "fifo") return part::SelectionPolicy::kFifo;
+  if (name == "clip") return part::SelectionPolicy::kClip;
+  throw std::invalid_argument("unknown --policy (use lifo|fifo|clip): " +
+                              name);
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  try {
+    cli.require_known({"fix", "k", "tolerance", "starts", "policy", "cutoff",
+                       "seed", "out", "sol", "threads", "vcycles"});
+    if (cli.positional().size() != 1) {
+      std::cerr << "usage: partition_file <instance.fpb|netlist.hgr> "
+                   "[--fix=f] [--k=2] [--tolerance=2] [--starts=4]\n"
+                   "       [--policy=clip|lifo|fifo] [--cutoff=1.0] "
+                   "[--vcycles=0] [--seed=1] [--out=assignment.txt]\n";
+      return 2;
+    }
+    const std::string path = cli.positional()[0];
+
+    // --- Load the instance.
+    hg::BenchmarkInstance instance;
+    if (ends_with(path, ".fpb")) {
+      instance = hg::read_fpb_file(path);
+    } else {
+      instance.graph = hg::read_hmetis_file(path);
+      instance.num_parts = static_cast<hg::PartitionId>(cli.get_int("k", 2));
+      instance.balance.relative = true;
+      instance.balance.tolerance_pct = cli.get_double("tolerance", 2.0);
+      instance.names = hg::default_names(instance.graph.num_vertices());
+      if (const auto fix_path = cli.get("fix")) {
+        instance.fixed = hg::read_fix_file(
+            *fix_path, instance.graph.num_vertices(), instance.num_parts);
+      } else {
+        instance.fixed =
+            hg::FixedAssignment(instance.graph.num_vertices(),
+                                instance.num_parts);
+      }
+    }
+    const auto balance = part::BalanceConstraint::from_spec(
+        instance.graph, instance.num_parts, instance.balance);
+
+    const int starts = static_cast<int>(cli.get_int("starts", 4));
+    util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    std::cout << "instance: " << instance.graph.num_vertices()
+              << " vertices, " << instance.graph.num_nets() << " nets, "
+              << instance.fixed.count_fixed() << " fixed, k = "
+              << instance.num_parts << "\n";
+
+    // --- Partition.
+    util::Timer timer;
+    std::vector<hg::PartitionId> assignment;
+    hg::Weight cut = 0;
+    if (instance.num_parts == 2) {
+      ml::MultilevelConfig config;
+      config.refine.policy = parse_policy(cli.get_or("policy", "clip"));
+      config.refine.pass_cutoff = cli.get_double("cutoff", 1.0);
+      config.vcycles = static_cast<int>(cli.get_int("vcycles", 0));
+      const ml::MultilevelPartitioner partitioner(instance.graph,
+                                                  instance.fixed, balance);
+      const int threads = static_cast<int>(cli.get_int("threads", 1));
+      auto result =
+          threads > 1
+              ? partitioner.best_of_parallel(
+                    starts, threads,
+                    static_cast<std::uint64_t>(cli.get_int("seed", 1)),
+                    config)
+              : partitioner.best_of(starts, rng, config);
+      assignment = std::move(result.assignment);
+      cut = result.cut;
+    } else {
+      part::KwayFmRefiner refiner(instance.graph, instance.fixed, balance);
+      part::KwayConfig config;
+      config.pass_cutoff = cli.get_double("cutoff", 1.0);
+      hg::Weight best = std::numeric_limits<hg::Weight>::max();
+      for (int s = 0; s < starts; ++s) {
+        part::PartitionState state(instance.graph, instance.num_parts);
+        part::random_feasible_assignment(state, instance.fixed, balance, rng,
+                                         /*require_feasible=*/false);
+        refiner.refine(state, rng, config);
+        if (state.cut() < best) {
+          best = state.cut();
+          assignment.assign(state.assignment().begin(),
+                            state.assignment().end());
+        }
+      }
+      cut = best;
+    }
+    const double seconds = timer.seconds();
+
+    // --- Report and verify.
+    part::PartitionState state(instance.graph, instance.num_parts);
+    for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
+      state.assign(v, assignment[v]);
+    }
+    part::check_respects_fixed(state, instance.fixed);
+    std::cout << "cut = " << cut << "  (" << starts << " starts, "
+              << seconds << "s)\n";
+    for (hg::PartitionId p = 0; p < instance.num_parts; ++p) {
+      std::cout << "  part " << p << ": weight " << state.part_weight(p)
+                << " (cap " << balance.max_weight(p) << ")"
+                << (state.part_weight(p) > balance.max_weight(p)
+                        ? "  [over capacity: instance infeasible]"
+                        : "")
+                << "\n";
+    }
+
+    if (const auto sol = cli.get("sol")) {
+      hg::Solution solution;
+      solution.num_parts = instance.num_parts;
+      solution.cut = cut;
+      solution.assignment = assignment;
+      hg::write_solution_file(*sol, solution);
+      std::cout << "wrote solution to " << *sol << "\n";
+    }
+    if (const auto out = cli.get("out")) {
+      std::ofstream os(*out);
+      if (!os) throw std::runtime_error("cannot write " + *out);
+      for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
+        os << instance.names[v] << ' ' << assignment[v] << '\n';
+      }
+      std::cout << "wrote assignment to " << *out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,119 @@
+// Quadrisection with OR-set terminals — the Sec. IV scenario the paper
+// uses to motivate multi-partition fixing: "a propagated terminal can be
+// fixed in the two left-side quadrants of a quadrisection instance, so
+// that the partitioner is free to assign it to either left-side quadrant."
+//
+// This example quadrisects a generated circuit (quadrants = 2x2 grid of
+// the die) with the k-way FM engine. Terminals derived from pads are
+// restricted to the *pair* of quadrants adjacent to their die edge
+// (e.g. a left-edge pad may go to quadrant 0 or 2), demonstrating the
+// FixedAssignment OR semantics end-to-end. It then compares against
+// fixing each terminal to its single nearest quadrant, showing the cut
+// benefit of leaving the partitioner the choice.
+//
+//   $ ./build/examples/quadrisection [--cells=2000] [--starts=8]
+
+#include <iostream>
+#include <limits>
+
+#include "gen/netlist_gen.hpp"
+#include "part/initial.hpp"
+#include "part/kway_fm.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fixedpart;
+
+/// Quadrant numbering: 0 = lower-left, 1 = lower-right, 2 = upper-left,
+/// 3 = upper-right.
+hg::PartitionId quadrant_of(const gen::GeneratedCircuit& circuit,
+                            hg::VertexId v) {
+  const bool right = circuit.placement.x[v] >= circuit.placement.width / 2.0;
+  const bool upper = circuit.placement.y[v] >= circuit.placement.height / 2.0;
+  return static_cast<hg::PartitionId>((upper ? 2 : 0) + (right ? 1 : 0));
+}
+
+/// OR-mask of the two quadrants adjacent to the pad's die edge.
+std::uint64_t edge_pair_mask(const gen::GeneratedCircuit& circuit,
+                             hg::VertexId pad) {
+  const double x = circuit.placement.x[pad];
+  const double y = circuit.placement.y[pad];
+  const double w = circuit.placement.width;
+  const double h = circuit.placement.height;
+  if (x < 0.0) return 0b0101;      // left edge: quadrants 0 | 2
+  if (x > w) return 0b1010;        // right edge: 1 | 3
+  if (y < 0.0) return 0b0011;      // bottom edge: 0 | 1
+  (void)h;
+  return 0b1100;                   // top edge: 2 | 3
+}
+
+hg::Weight solve(const gen::GeneratedCircuit& circuit,
+                 const hg::FixedAssignment& fixed,
+                 const part::BalanceConstraint& balance, int starts,
+                 util::Rng& rng) {
+  part::KwayFmRefiner refiner(circuit.graph, fixed, balance);
+  hg::Weight best = std::numeric_limits<hg::Weight>::max();
+  for (int s = 0; s < starts; ++s) {
+    part::PartitionState state(circuit.graph, 4);
+    part::random_feasible_assignment(state, fixed, balance, rng,
+                                     /*require_feasible=*/false);
+    refiner.refine(state, rng, part::KwayConfig{});
+    part::check_respects_fixed(state, fixed);
+    best = std::min(best, state.cut());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  gen::CircuitSpec spec;
+  spec.name = "quad";
+  spec.num_cells = static_cast<hg::VertexId>(cli.get_int("cells", 2000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 10;
+  spec.num_pads = std::max<hg::VertexId>(24, spec.num_cells / 40);
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const int starts = static_cast<int>(cli.get_int("starts", 8));
+
+  const gen::GeneratedCircuit circuit = gen::generate_circuit(spec);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 4, 10.0);
+  util::Rng rng(spec.seed ^ 0x4d4d);
+
+  // Variant A: pads restricted to their edge's quadrant *pair* (OR set).
+  hg::FixedAssignment or_fixed(circuit.graph.num_vertices(), 4);
+  // Variant B: pads pinned to the single nearest quadrant.
+  hg::FixedAssignment pinned(circuit.graph.num_vertices(), 4);
+  int pads = 0;
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    if (!circuit.graph.is_pad(v)) continue;
+    ++pads;
+    or_fixed.restrict_to(v, edge_pair_mask(circuit, v));
+    pinned.fix(v, quadrant_of(circuit, v));
+  }
+
+  std::cout << "quadrisection of " << circuit.graph.num_vertices()
+            << " vertices (" << pads << " edge pads), " << starts
+            << " k-way FM starts\n\n";
+  const hg::Weight or_cut = solve(circuit, or_fixed, balance, starts, rng);
+  const hg::Weight pinned_cut = solve(circuit, pinned, balance, starts, rng);
+  const hg::Weight free_cut =
+      solve(circuit, hg::FixedAssignment(circuit.graph.num_vertices(), 4),
+            balance, starts, rng);
+
+  util::Table table({"terminal model", "best 4-way cut"});
+  table.add_row({"free (no terminals fixed)", std::to_string(free_cut)});
+  table.add_row({"OR-set: either quadrant on the pad's edge",
+                 std::to_string(or_cut)});
+  table.add_row({"pinned: single nearest quadrant", std::to_string(pinned_cut)});
+  table.print(std::cout);
+  std::cout << "\nThe OR-set model's solution space contains every pinned\n"
+               "solution, so its *optimum* is at least as good; heuristic\n"
+               "runs explore a larger space and may need more starts to\n"
+               "realize the advantage. This is the flexibility the paper\n"
+               "asks benchmark formats to express.\n";
+  return 0;
+}

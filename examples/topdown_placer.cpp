@@ -1,0 +1,101 @@
+// The paper's motivating application: top-down standard-cell placement by
+// recursive bisection with terminal propagation (Dunlop-Kernighan style),
+// using the place::TopDownPlacer library.
+//
+// Every partitioning call below the top level has fixed terminals — the
+// propagated projections of outside cells and pads onto the block being
+// split — which is exactly the regime the paper studies. The placer
+// prints per-level statistics (blocks, average fixed-vertex share,
+// average cut) and the final half-perimeter wirelength; watch the fixed
+// share climb level by level toward the Table I predictions.
+//
+//   $ ./build/examples/topdown_placer [--cells=3000] [--levels=6]
+//     [--cutoff=0.25] [--exact=0] [--seed=1]
+
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "place/hpwl.hpp"
+#include "place/placer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  gen::CircuitSpec spec;
+  spec.name = "placer-demo";
+  spec.num_cells = static_cast<hg::VertexId>(cli.get_int("cells", 3000));
+  spec.num_nets = spec.num_cells + spec.num_cells / 10;
+  spec.num_pads = std::max<hg::VertexId>(16, spec.num_cells / 50);
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const gen::GeneratedCircuit circuit = gen::generate_circuit(spec);
+  place::PlacementProblem problem;
+  problem.graph = &circuit.graph;
+  problem.width = circuit.placement.width;
+  problem.height = circuit.placement.height;
+  problem.pad_x = circuit.placement.x;
+  problem.pad_y = circuit.placement.y;
+
+  place::PlacerConfig config;
+  config.max_levels = static_cast<int>(cli.get_int("levels", 6));
+  config.ml.refine.pass_cutoff = cli.get_double("cutoff", 0.25);
+  config.exact_threshold = static_cast<int>(cli.get_int("exact", 0));
+
+  std::cout << "top-down placement of " << circuit.graph.num_vertices()
+            << " vertices / " << circuit.graph.num_nets() << " nets, "
+            << config.max_levels << " levels, FM pass cutoff "
+            << util::fmt(100.0 * config.ml.refine.pass_cutoff, 0) << "%"
+            << (config.exact_threshold > 0
+                    ? ", exact end-cases <= " +
+                          std::to_string(config.exact_threshold)
+                    : "")
+            << "\n\n";
+
+  const place::TopDownPlacer placer(problem);
+  util::Rng rng(spec.seed ^ 0xf00d);
+  const place::PlacementResult result = placer.run(config, rng);
+
+  util::Table table({"level", "blocks split", "avg %fixed in instance",
+                     "avg cut", "seconds"});
+  for (std::size_t level = 0; level < result.levels.size(); ++level) {
+    const place::LevelStats& stats = result.levels[level];
+    table.add_row({std::to_string(level),
+                   std::to_string(stats.blocks_split),
+                   stats.blocks_split ? util::fmt(stats.avg_fixed_pct, 1) : "-",
+                   stats.blocks_split ? util::fmt(stats.avg_cut, 1) : "-",
+                   util::fmt(stats.seconds, 3)});
+  }
+  table.print(std::cout);
+
+  // Baseline: the same cells scattered randomly over the final positions.
+  std::vector<hg::VertexId> cells;
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    if (!circuit.graph.is_pad(v)) cells.push_back(v);
+  }
+  std::vector<double> rand_x = result.x;
+  std::vector<double> rand_y = result.y;
+  std::vector<hg::VertexId> shuffled = cells;
+  rng.shuffle(std::span<hg::VertexId>(shuffled));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    rand_x[cells[i]] = result.x[shuffled[i]];
+    rand_y[cells[i]] = result.y[shuffled[i]];
+  }
+  const double random_hpwl =
+      place::half_perimeter_wirelength(circuit.graph, rand_x, rand_y);
+
+  std::cout << "\nHPWL: random placement " << util::fmt(random_hpwl, 0)
+            << "  ->  recursive-bisection placement "
+            << util::fmt(result.hpwl, 0) << "  ("
+            << util::fmt(100.0 * result.hpwl / random_hpwl, 1)
+            << "% of random)\n"
+            << "wall clock: " << util::fmt(result.seconds, 2) << "s\n"
+            << "\nNote how %fixed grows level by level (Table I of the\n"
+               "paper): deeper blocks are dominated by propagated\n"
+               "terminals, which is why the fixed-terminals regime is the\n"
+               "real-world placement workload.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "experiments/constraint_metrics.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace fixedpart::exp {
+
+ConstraintMetrics compute_constraint_metrics(
+    const hg::Hypergraph& graph, const hg::FixedAssignment& fixed) {
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("constraint_metrics: size mismatch");
+  }
+  ConstraintMetrics m;
+  const hg::VertexId n = graph.num_vertices();
+  if (n == 0) return m;
+
+  // Per-net: does it touch a fixed vertex, and do its fixed pins span
+  // more than one partition?
+  std::vector<std::uint8_t> net_anchored(
+      static_cast<std::size_t>(graph.num_nets()), 0);
+  hg::Weight total_net_weight = 0;
+  hg::Weight anchored_weight = 0;
+  hg::Weight contested_weight = 0;
+  for (hg::NetId e = 0; e < graph.num_nets(); ++e) {
+    const hg::Weight w = graph.net_weight(e);
+    total_net_weight += w;
+    hg::PartitionId first_side = hg::kNoPartition;
+    bool anchored = false;
+    bool contested = false;
+    for (const hg::VertexId v : graph.pins(e)) {
+      const hg::PartitionId p = fixed.fixed_part(v);
+      if (p == hg::kNoPartition) continue;
+      anchored = true;
+      if (first_side == hg::kNoPartition) {
+        first_side = p;
+      } else if (p != first_side) {
+        contested = true;
+      }
+    }
+    net_anchored[e] = anchored ? 1 : 0;
+    if (anchored) anchored_weight += w;
+    if (contested) {
+      contested_weight += w;
+      m.forced_cut_weight += w;
+    }
+  }
+
+  hg::VertexId fixed_count = 0;
+  hg::VertexId movable = 0;
+  hg::VertexId movable_adjacent = 0;
+  double incidence_sum = 0.0;
+  for (hg::VertexId v = 0; v < n; ++v) {
+    if (fixed.is_fixed(v)) {
+      ++fixed_count;
+      continue;
+    }
+    ++movable;
+    const auto nets = graph.nets_of(v);
+    if (nets.empty()) continue;
+    int anchored = 0;
+    for (const hg::NetId e : nets) anchored += net_anchored[e];
+    if (anchored > 0) ++movable_adjacent;
+    incidence_sum +=
+        static_cast<double>(anchored) / static_cast<double>(nets.size());
+  }
+
+  m.pct_fixed = 100.0 * static_cast<double>(fixed_count) /
+                static_cast<double>(n);
+  if (movable > 0) {
+    m.pct_movable_adjacent = 100.0 * static_cast<double>(movable_adjacent) /
+                             static_cast<double>(movable);
+    m.avg_terminal_incidence =
+        incidence_sum / static_cast<double>(movable);
+  }
+  if (total_net_weight > 0) {
+    m.anchored_net_fraction = static_cast<double>(anchored_weight) /
+                              static_cast<double>(total_net_weight);
+    m.contested_net_fraction = static_cast<double>(contested_weight) /
+                               static_cast<double>(total_net_weight);
+  }
+  return m;
+}
+
+}  // namespace fixedpart::exp

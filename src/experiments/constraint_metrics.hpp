@@ -1,0 +1,40 @@
+#pragma once
+// Candidate measures of the "strength of fixed terminals" — the paper's
+// Sec. V open problem: "it is not yet clear how to measure the strength of
+// fixed terminals, or alternatively the degree of constraint in particular
+// problem instances ... we need to quantify the degree of constraint in an
+// invariant way."
+//
+// The metrics below are invariant under the terminal-clustering transform
+// (they depend only on which nets touch terminals of which side), which is
+// exactly the invariance the paper asks for: an instance and its
+// two-terminal clustered equivalent score identically.
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::exp {
+
+struct ConstraintMetrics {
+  /// Share of vertices that are singleton-fixed (the x-axis of the
+  /// paper's plots). NOT clustering-invariant; kept for reference.
+  double pct_fixed = 0.0;
+  /// Share of *movable* vertices incident to >= 1 net that contains a
+  /// fixed vertex: how much of the free region feels terminal pull.
+  double pct_movable_adjacent = 0.0;
+  /// Mean over movable vertices of the fraction of their incident nets
+  /// containing a fixed vertex (0 = free instance, 1 = every net anchored).
+  double avg_terminal_incidence = 0.0;
+  /// Fraction of total net weight incident to >= 1 fixed vertex.
+  double anchored_net_fraction = 0.0;
+  /// Fraction of total net weight on nets whose *fixed* pins already span
+  /// two or more partitions — such nets are cut in every feasible
+  /// solution, so forced_cut_weight is a lower bound on the optimum.
+  double contested_net_fraction = 0.0;
+  hg::Weight forced_cut_weight = 0;
+};
+
+ConstraintMetrics compute_constraint_metrics(const hg::Hypergraph& graph,
+                                             const hg::FixedAssignment& fixed);
+
+}  // namespace fixedpart::exp

@@ -1,0 +1,33 @@
+#include "experiments/context.hpp"
+
+namespace fixedpart::exp {
+
+ml::MultilevelConfig default_ml_config() {
+  ml::MultilevelConfig config;
+  config.refine.policy = part::SelectionPolicy::kClip;
+  config.refine.pass_cutoff = 1.0;
+  return config;
+}
+
+InstanceContext make_context(const gen::CircuitSpec& spec,
+                             int reference_starts, double tolerance_pct,
+                             util::Rng& rng) {
+  gen::GeneratedCircuit circuit = gen::generate_circuit(spec);
+  part::BalanceConstraint balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, tolerance_pct);
+
+  const hg::FixedAssignment all_free(circuit.graph.num_vertices(), 2);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, all_free,
+                                              balance);
+  ml::MultilevelResult best =
+      partitioner.best_of(reference_starts, rng, default_ml_config());
+
+  return InstanceContext{
+      .circuit = std::move(circuit),
+      .balance = std::move(balance),
+      .good_reference = std::move(best.assignment),
+      .good_cut = best.cut,
+  };
+}
+
+}  // namespace fixedpart::exp

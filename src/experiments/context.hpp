@@ -1,0 +1,41 @@
+#pragma once
+// Per-instance experiment context: the generated circuit, the paper's
+// balance constraint (2-way, 2% tolerance, actual cell areas), and a
+// best-known "good" reference solution of the free (no fixed vertices)
+// instance, found by multistart multilevel partitioning. The good regime
+// of Figs. 1-2 fixes vertices consistently with this reference, and good-
+// regime costs are normalized against its cut.
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/fixed.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::exp {
+
+using hg::PartitionId;
+using hg::VertexId;
+using hg::Weight;
+
+struct InstanceContext {
+  gen::GeneratedCircuit circuit;
+  part::BalanceConstraint balance;
+  /// Free-hypergraph assignment with the best cut we found.
+  std::vector<PartitionId> good_reference;
+  Weight good_cut = 0;
+};
+
+/// Standard multilevel configuration used across all experiments (CLIP
+/// refinement, no pass cutoff) — the paper's engine defaults.
+ml::MultilevelConfig default_ml_config();
+
+/// Generates the circuit and solves the free instance with
+/// `reference_starts` multilevel starts to obtain the good reference.
+InstanceContext make_context(const gen::CircuitSpec& spec,
+                             int reference_starts, double tolerance_pct,
+                             util::Rng& rng);
+
+}  // namespace fixedpart::exp

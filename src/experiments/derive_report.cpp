@@ -1,0 +1,29 @@
+#include "experiments/derive_report.hpp"
+
+#include "gen/rent.hpp"
+#include "hg/stats.hpp"
+
+namespace fixedpart::exp {
+
+std::vector<DerivedRow> derive_report(const gen::GeneratedCircuit& circuit,
+                                      double tolerance_pct) {
+  std::vector<DerivedRow> rows;
+  for (const gen::DerivedInstance& derived :
+       gen::derive_family(circuit, tolerance_pct)) {
+    const hg::InstanceStats stats = hg::compute_stats(derived.instance.graph);
+    DerivedRow row;
+    row.name = derived.name;
+    row.cells = stats.num_cells;
+    row.pads = stats.num_pads;
+    row.nets = stats.num_nets;
+    row.external_nets = stats.num_external_nets;
+    row.max_pct = stats.max_cell_area_pct;
+    row.rent_expected_terminals = gen::rent_terminals(
+        static_cast<double>(stats.num_cells), /*rent_p=*/0.68,
+        /*pins_per_cell=*/3.5);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace fixedpart::exp

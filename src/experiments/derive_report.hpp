@@ -1,0 +1,31 @@
+#pragma once
+// Table IV reporting: parameters of the derived fixed-terminal benchmark
+// instances (cells, pads/terminals, nets, external nets, Max %), and the
+// Rent's-rule cross-check the paper performs ("we have verified that the
+// numbers of external nets in our benchmarks correspond reasonably to the
+// statistics in Table I").
+
+#include <string>
+#include <vector>
+
+#include "gen/derive.hpp"
+#include "gen/netlist_gen.hpp"
+
+namespace fixedpart::exp {
+
+struct DerivedRow {
+  std::string name;
+  hg::VertexId cells = 0;
+  hg::VertexId pads = 0;       ///< zero-area terminal vertices
+  hg::NetId nets = 0;
+  hg::NetId external_nets = 0; ///< nets incident to a terminal
+  double max_pct = 0.0;        ///< largest cell as % of total cell area
+  /// Rent's-rule expectation of terminal count for this block size
+  /// (k = 3.5, p = 0.68), for the Table I cross-check.
+  double rent_expected_terminals = 0.0;
+};
+
+std::vector<DerivedRow> derive_report(const gen::GeneratedCircuit& circuit,
+                                      double tolerance_pct);
+
+}  // namespace fixedpart::exp

@@ -1,0 +1,99 @@
+#include "experiments/fixed_sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fixedpart::exp {
+
+namespace {
+
+/// Runs one regime (a series of FixedAssignments indexed by percentage).
+SweepSeries run_series(const InstanceContext& context,
+                       const SweepConfig& config,
+                       const std::vector<hg::FixedAssignment>& instances,
+                       double normalizer_or_zero, util::Rng& rng) {
+  const int max_starts =
+      *std::max_element(config.starts.begin(), config.starts.end());
+
+  SweepSeries series;
+  series.cells.resize(instances.size());
+  series.best_seen.assign(instances.size(),
+                          std::numeric_limits<Weight>::max());
+
+  for (std::size_t pi = 0; pi < instances.size(); ++pi) {
+    const hg::FixedAssignment& fixed = instances[pi];
+    const ml::MultilevelPartitioner partitioner(context.circuit.graph, fixed,
+                                                context.balance);
+    // cuts[t][r], seconds[t][r]: r-th independent run of trial t.
+    std::vector<std::vector<Weight>> cuts(
+        static_cast<std::size_t>(config.trials));
+    std::vector<std::vector<double>> seconds(
+        static_cast<std::size_t>(config.trials));
+    for (int t = 0; t < config.trials; ++t) {
+      for (int r = 0; r < max_starts; ++r) {
+        const auto run = partitioner.run(rng, config.ml);
+        cuts[t].push_back(run.cut);
+        seconds[t].push_back(run.seconds);
+        series.best_seen[pi] = std::min(series.best_seen[pi], run.cut);
+      }
+    }
+    for (int s : config.starts) {
+      util::RunningStat best_cut;
+      util::RunningStat total_seconds;
+      for (int t = 0; t < config.trials; ++t) {
+        Weight best = std::numeric_limits<Weight>::max();
+        double secs = 0.0;
+        for (int r = 0; r < s; ++r) {
+          best = std::min(best, cuts[t][static_cast<std::size_t>(r)]);
+          secs += seconds[t][static_cast<std::size_t>(r)];
+        }
+        best_cut.add(static_cast<double>(best));
+        total_seconds.add(secs);
+      }
+      SweepCell cell;
+      cell.avg_best_cut = best_cut.mean();
+      cell.avg_seconds = total_seconds.mean();
+      const double norm = normalizer_or_zero > 0.0
+                              ? normalizer_or_zero
+                              : static_cast<double>(series.best_seen[pi]);
+      cell.normalized = norm > 0.0 ? cell.avg_best_cut / norm : 1.0;
+      series.cells[pi].push_back(cell);
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+SweepResult run_fixed_sweep(const InstanceContext& context,
+                            const SweepConfig& config, util::Rng& rng) {
+  if (config.trials < 1) throw std::invalid_argument("sweep: trials < 1");
+  if (config.starts.empty() || config.percentages.empty()) {
+    throw std::invalid_argument("sweep: empty starts/percentages");
+  }
+
+  SweepResult result;
+  result.percentages = config.percentages;
+  result.starts = config.starts;
+
+  // One nested random series defines both regimes (the paper fixes the
+  // same incrementally-chosen vertices; only the side assignment differs).
+  gen::FixedVertexSeries series(context.circuit.graph, 2, rng);
+  std::vector<hg::FixedAssignment> good_instances;
+  std::vector<hg::FixedAssignment> rand_instances;
+  for (double pct : config.percentages) {
+    good_instances.push_back(
+        series.good_regime(pct, context.good_reference));
+    rand_instances.push_back(series.rand_regime(pct));
+  }
+
+  result.good = run_series(context, config, good_instances,
+                           static_cast<double>(context.good_cut), rng);
+  result.rand = run_series(context, config, rand_instances, 0.0, rng);
+  return result;
+}
+
+}  // namespace fixedpart::exp

@@ -1,0 +1,58 @@
+#pragma once
+// The Section II experiment behind Figs. 1 and 2: for each percentage of
+// fixed vertices, for the "good" and "rand" regimes, run T independent
+// trials of the multilevel partitioner with 1/2/4/8 starts and report the
+// average best cut (raw), the normalized best cut, and the average CPU
+// time per trial.
+//
+// Multistart is realized as best-of-prefix: each trial performs
+// max(starts) independent runs, and the s-start result is the best of the
+// first s runs — its expectation is identical to s fresh runs, at a
+// quarter of the compute.
+//
+// Normalization follows the paper exactly: good-regime costs are divided
+// by the single good reference cut; rand-regime costs are divided by the
+// best cut seen across *all* starts of *all* trials for that percentage
+// (each rand percentage is a distinct instance).
+
+#include <vector>
+
+#include "experiments/context.hpp"
+#include "gen/regimes.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::exp {
+
+struct SweepConfig {
+  std::vector<double> percentages = {0.0, 0.1, 0.5, 1.0,  2.0,  5.0,
+                                     10.0, 15.0, 20.0, 30.0, 40.0, 50.0};
+  std::vector<int> starts = {1, 2, 4, 8};
+  int trials = 50;
+  ml::MultilevelConfig ml;
+};
+
+/// One (regime, percentage, starts) data point.
+struct SweepCell {
+  double avg_best_cut = 0.0;   ///< mean over trials of best-of-starts cut
+  double normalized = 0.0;     ///< avg_best_cut / regime normalizer
+  double avg_seconds = 0.0;    ///< mean total CPU per trial (all starts)
+};
+
+struct SweepSeries {
+  /// cells[pct_index][starts_index]
+  std::vector<std::vector<SweepCell>> cells;
+  /// Best cut seen over every run at each percentage (rand normalizer).
+  std::vector<Weight> best_seen;
+};
+
+struct SweepResult {
+  std::vector<double> percentages;
+  std::vector<int> starts;
+  SweepSeries good;
+  SweepSeries rand;
+};
+
+SweepResult run_fixed_sweep(const InstanceContext& context,
+                            const SweepConfig& config, util::Rng& rng);
+
+}  // namespace fixedpart::exp

@@ -1,0 +1,140 @@
+#include "gen/derive.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::gen {
+
+Block Block::half(bool vertical, bool low) const {
+  Block b = *this;
+  if (vertical) {
+    const double mid = (xlo + xhi) / 2.0;
+    (low ? b.xhi : b.xlo) = mid;
+  } else {
+    const double mid = (ylo + yhi) / 2.0;
+    (low ? b.yhi : b.ylo) = mid;
+  }
+  return b;
+}
+
+Block full_die(const GeneratedCircuit& circuit) {
+  // Cells sit on a jittered grid within (-0.5, width-0.5); pads are placed
+  // a full unit outside the die. A half-unit margin therefore covers every
+  // cell while excluding every pad.
+  return Block{-0.5, -0.5, circuit.placement.width,
+               circuit.placement.height};
+}
+
+DerivedInstance derive_block_instance(const GeneratedCircuit& circuit,
+                                      const Block& block, CutDirection cut,
+                                      double tolerance_pct,
+                                      const std::string& name) {
+  const hg::Hypergraph& g = circuit.graph;
+  if (static_cast<hg::VertexId>(circuit.placement.x.size()) !=
+      g.num_vertices()) {
+    throw std::invalid_argument("derive_block_instance: placement mismatch");
+  }
+
+  // Movable = non-pad cells placed inside the block.
+  std::vector<std::uint8_t> in_block(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_pad(v) &&
+        block.contains(circuit.placement.x[v], circuit.placement.y[v])) {
+      in_block[v] = 1;
+    }
+  }
+
+  // Terminals = outside vertices (cells or pads) adjacent to a block cell.
+  std::vector<std::uint8_t> is_terminal(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<hg::NetId> kept_nets;
+  for (hg::NetId e = 0; e < g.num_nets(); ++e) {
+    bool touches_block = false;
+    for (hg::VertexId v : g.pins(e)) {
+      if (in_block[v]) {
+        touches_block = true;
+        break;
+      }
+    }
+    if (!touches_block) continue;
+    kept_nets.push_back(e);
+    for (hg::VertexId v : g.pins(e)) {
+      if (!in_block[v]) is_terminal[v] = 1;
+    }
+  }
+
+  const bool vertical = (cut == CutDirection::kVertical);
+  const double cutline = vertical ? (block.xlo + block.xhi) / 2.0
+                                  : (block.ylo + block.yhi) / 2.0;
+  auto side_of = [&](hg::VertexId v) -> hg::PartitionId {
+    const double coord =
+        vertical ? circuit.placement.x[v] : circuit.placement.y[v];
+    return coord < cutline ? 0 : 1;
+  };
+
+  DerivedInstance out;
+  out.name = name;
+  hg::HypergraphBuilder builder;
+  std::vector<hg::VertexId> map(static_cast<std::size_t>(g.num_vertices()),
+                                hg::kNoVertex);
+  std::vector<hg::VertexId> terminal_ids;
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_block[v]) {
+      map[v] = builder.add_vertex(g.vertex_weight(v), /*is_pad=*/false);
+      out.instance.names.push_back("c" + std::to_string(v));
+      ++out.movable_cells;
+    } else if (is_terminal[v]) {
+      // Zero-area terminal, regardless of what the source vertex weighed.
+      map[v] = builder.add_vertex(hg::Weight{0}, /*is_pad=*/true);
+      out.instance.names.push_back("t" + std::to_string(v));
+      terminal_ids.push_back(v);
+    }
+  }
+  std::vector<hg::VertexId> pins;
+  for (hg::NetId e : kept_nets) {
+    pins.clear();
+    for (hg::VertexId v : g.pins(e)) {
+      if (map[v] != hg::kNoVertex) pins.push_back(map[v]);
+    }
+    builder.add_net(pins, g.net_weight(e));
+  }
+
+  out.instance.graph = builder.build();
+  out.instance.num_parts = 2;
+  out.instance.balance.relative = true;
+  out.instance.balance.tolerance_pct = tolerance_pct;
+  out.instance.fixed =
+      hg::FixedAssignment(out.instance.graph.num_vertices(), 2);
+  for (hg::VertexId v : terminal_ids) {
+    out.instance.fixed.fix(map[v], side_of(v));
+  }
+  return out;
+}
+
+std::vector<DerivedInstance> derive_family(const GeneratedCircuit& circuit,
+                                           double tolerance_pct) {
+  const Block a = full_die(circuit);
+  const Block b = a.half(/*vertical=*/true, /*low=*/true);      // L1_V0
+  const Block c = b.half(/*vertical=*/false, /*low=*/true);     // L2_V0H0
+  const Block d = c.half(/*vertical=*/true, /*low=*/true);      // L3_V0H0V0
+  const Block blocks[] = {a, b, c, d};
+  const char suffix[] = {'A', 'B', 'C', 'D'};
+
+  std::vector<DerivedInstance> out;
+  for (int i = 0; i < 4; ++i) {
+    for (CutDirection cut :
+         {CutDirection::kVertical, CutDirection::kHorizontal}) {
+      const std::string name =
+          circuit.name + suffix[i] +
+          (cut == CutDirection::kVertical ? "_V" : "_H");
+      out.push_back(derive_block_instance(circuit, blocks[i], cut,
+                                          tolerance_pct, name));
+    }
+  }
+  return out;
+}
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,62 @@
+#pragma once
+// Benchmark derivation from placements — Section IV of the paper:
+// "A block is defined by a rectangular axis-parallel bounding box. An
+// axis-parallel cutline bisects a given block. Each cell contained in the
+// block induces a movable vertex of the hypergraph. Each pad adjacent to
+// some cell in the block induces a zero-area terminal vertex, fixed in the
+// closest partition; adjacent cells not in the block similarly induce
+// terminal vertices."
+//
+// From each placed circuit we extract the four-block family IBMxxA-D the
+// paper describes (whole die; the left half L1_V0; the bottom-left
+// quadrant L2_V0H0; and its left half L3_V0H0V0), each with vertical and
+// horizontal cutline terminal assignments — Table IV's row set.
+
+#include <string>
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "hg/stats.hpp"
+
+namespace fixedpart::gen {
+
+struct Block {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  bool contains(double x, double y) const {
+    return x >= xlo && x < xhi && y >= ylo && y < yhi;
+  }
+  /// Left (vertical cut) or bottom (horizontal cut) half of the block.
+  Block half(bool vertical, bool low) const;
+};
+
+enum class CutDirection { kVertical, kHorizontal };
+
+struct DerivedInstance {
+  std::string name;
+  hg::BenchmarkInstance instance;
+  hg::VertexId movable_cells = 0;  ///< block cells (the terminals are the rest)
+};
+
+/// Derives one partitioning-with-fixed-terminals instance. The cutline
+/// bisects `block` in the given direction; every terminal is fixed into
+/// the side nearest its placed location.
+DerivedInstance derive_block_instance(const GeneratedCircuit& circuit,
+                                      const Block& block, CutDirection cut,
+                                      double tolerance_pct,
+                                      const std::string& name);
+
+/// Full-die bounding box of a circuit.
+Block full_die(const GeneratedCircuit& circuit);
+
+/// The A-D block family x {V, H} cutlines (8 instances), named e.g.
+/// "ibm01B_H". Blocks: A = L0 (whole die), B = L1_V0, C = L2_V0H0,
+/// D = L3_V0H0V0.
+std::vector<DerivedInstance> derive_family(const GeneratedCircuit& circuit,
+                                           double tolerance_pct);
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,222 @@
+#include "gen/netlist_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::gen {
+
+namespace {
+
+/// Skewed standard-cell area distribution (in abstract area units).
+Weight sample_cell_area(util::Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.55) return 1;
+  if (u < 0.75) return 2;
+  if (u < 0.87) return 3;
+  if (u < 0.94) return 4;
+  if (u < 0.98) return 6;
+  return 8 + static_cast<Weight>(rng.next_below(9));  // 8..16
+}
+
+/// Net degree distribution: dominated by 2-3 pin nets, geometric tail.
+/// Mean ~= 3.6, matching ISPD-98 pins-per-net.
+int sample_net_degree(util::Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.46) return 2;
+  if (u < 0.68) return 3;
+  if (u < 0.80) return 4;
+  if (u < 0.87) return 5;
+  if (u < 0.92) return 6;
+  int d = 7;
+  while (d < 40 && rng.next_bool(0.72)) ++d;
+  return d;
+}
+
+/// Laplace-distributed offset with the given scale.
+double sample_laplace(util::Rng& rng, double scale) {
+  const double u = rng.next_double() - 0.5;
+  const double mag = -scale * std::log(1.0 - 2.0 * std::abs(u) + 1e-12);
+  return u >= 0 ? mag : -mag;
+}
+
+}  // namespace
+
+GeneratedCircuit add_pin_resource(const GeneratedCircuit& circuit) {
+  const hg::Hypergraph& g = circuit.graph;
+  hg::HypergraphBuilder builder(2);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Weight weights[2] = {g.vertex_weight(v),
+                               static_cast<Weight>(g.degree(v))};
+    builder.add_vertex(std::span<const Weight>(weights, 2), g.is_pad(v));
+  }
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    builder.add_net(g.pins(e), g.net_weight(e));
+  }
+  GeneratedCircuit out;
+  out.name = circuit.name + "-mb";
+  out.graph = builder.build();
+  out.placement = circuit.placement;
+  return out;
+}
+
+GeneratedCircuit generate_circuit(const CircuitSpec& spec) {
+  if (spec.num_cells < 4) {
+    throw std::invalid_argument("generate_circuit: too few cells");
+  }
+  if (spec.num_pads < 0 || spec.num_nets < 1) {
+    throw std::invalid_argument("generate_circuit: bad counts");
+  }
+  util::Rng rng(spec.seed ^ 0x5eedf1c5u);
+
+  const auto side = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(spec.num_cells))));
+  GeneratedCircuit out;
+  out.name = spec.name;
+  out.placement.width = static_cast<double>(side);
+  out.placement.height =
+      std::ceil(static_cast<double>(spec.num_cells) / static_cast<double>(side));
+
+  hg::HypergraphBuilder builder;
+
+  // Cells on a jittered grid, row-major: cell c at (c % side, c / side).
+  for (VertexId c = 0; c < spec.num_cells; ++c) {
+    builder.add_vertex(sample_cell_area(rng), /*is_pad=*/false);
+    out.placement.x.push_back(static_cast<double>(c % side) +
+                              0.3 * (rng.next_double() - 0.5));
+    out.placement.y.push_back(static_cast<double>(c / side) +
+                              0.3 * (rng.next_double() - 0.5));
+  }
+
+  // Pads evenly spaced along the perimeter, zero area (the paper's
+  // derived benchmarks use zero-area terminals; pads never affect
+  // balance).
+  const double perimeter = 2.0 * (out.placement.width + out.placement.height);
+  for (VertexId i = 0; i < spec.num_pads; ++i) {
+    const double t = perimeter * static_cast<double>(i) /
+                     static_cast<double>(std::max<VertexId>(spec.num_pads, 1));
+    double px = 0.0;
+    double py = 0.0;
+    if (t < out.placement.width) {
+      px = t;
+      py = -1.0;
+    } else if (t < out.placement.width + out.placement.height) {
+      px = out.placement.width + 1.0;
+      py = t - out.placement.width;
+    } else if (t < 2.0 * out.placement.width + out.placement.height) {
+      px = t - out.placement.width - out.placement.height;
+      py = out.placement.height + 1.0;
+    } else {
+      px = -1.0;
+      py = t - 2.0 * out.placement.width - out.placement.height;
+    }
+    builder.add_vertex(Weight{0}, /*is_pad=*/true);
+    out.placement.x.push_back(px);
+    out.placement.y.push_back(py);
+  }
+
+  auto cell_at = [&](double x, double y) -> VertexId {
+    auto col = static_cast<std::int64_t>(std::llround(x));
+    auto row = static_cast<std::int64_t>(std::llround(y));
+    col = std::clamp<std::int64_t>(col, 0, side - 1);
+    const std::int64_t rows =
+        (spec.num_cells + side - 1) / side;
+    row = std::clamp<std::int64_t>(row, 0, rows - 1);
+    std::int64_t c = row * side + col;
+    if (c >= spec.num_cells) c = spec.num_cells - 1;
+    return static_cast<VertexId>(c);
+  };
+
+  const double external_fraction =
+      spec.external_net_fraction > 0.0
+          ? spec.external_net_fraction
+          : std::min(0.25, 1.3 * static_cast<double>(spec.num_pads) /
+                               static_cast<double>(spec.num_nets));
+
+  std::vector<VertexId> pins;
+  for (NetId e = 0; e < spec.num_nets; ++e) {
+    const int degree = sample_net_degree(rng);
+    const bool global = rng.next_bool(spec.global_net_fraction);
+    const bool external = spec.num_pads > 0 && rng.next_bool(external_fraction);
+
+    const auto source = static_cast<VertexId>(rng.next_below(
+        static_cast<std::uint64_t>(spec.num_cells)));
+    pins.clear();
+    pins.push_back(source);
+    const double sx = out.placement.x[source];
+    const double sy = out.placement.y[source];
+    int sinks = degree - 1;
+    if (external) --sinks;  // one pin is a pad
+    for (int s = 0; s < sinks; ++s) {
+      VertexId sink;
+      if (global) {
+        sink = static_cast<VertexId>(
+            rng.next_below(static_cast<std::uint64_t>(spec.num_cells)));
+      } else {
+        const double dx = sample_laplace(rng, spec.local_scale);
+        const double dy = sample_laplace(rng, spec.local_scale);
+        sink = cell_at(sx + dx, sy + dy);
+      }
+      pins.push_back(sink);
+    }
+    if (external) {
+      // Wire a pad on the source's side of the chip: I/O connects to
+      // nearby logic. Pads are perimeter-ordered, so map the source's
+      // angular position around the die centre to a pad index.
+      const double angle = std::atan2(sy - out.placement.height / 2.0,
+                                      sx - out.placement.width / 2.0);
+      const double unit = angle / (2.0 * std::numbers::pi) + 0.5;  // [0,1)
+      auto pad_index = static_cast<VertexId>(static_cast<std::int64_t>(
+          unit * static_cast<double>(spec.num_pads)));
+      pad_index = std::min(pad_index, spec.num_pads - 1);
+      pins.push_back(spec.num_cells + pad_index);
+    }
+    // Builder dedupes; retry degenerate (all-same) local nets once with a
+    // random extra sink so nearly every net has >= 2 distinct pins.
+    std::sort(pins.begin(), pins.end());
+    if (std::unique(pins.begin(), pins.end()) - pins.begin() < 2) {
+      pins.push_back(static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(spec.num_cells))));
+    }
+    builder.add_net(pins);
+  }
+
+  // Macro cells: bump a few random cells to several % of total area.
+  hg::Hypergraph staged = builder.build();
+  if (spec.num_macros > 0 && spec.macro_area_pct > 0.0) {
+    hg::HypergraphBuilder rebuilt;
+    const Weight total = staged.total_weight(0);
+    std::vector<Weight> area(static_cast<std::size_t>(staged.num_vertices()));
+    for (VertexId v = 0; v < staged.num_vertices(); ++v) {
+      area[v] = staged.vertex_weight(v);
+    }
+    for (int m = 0; m < spec.num_macros; ++m) {
+      const auto v = static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(spec.num_cells)));
+      // Scale so the macro ends at ~macro_area_pct of the *final* total:
+      // pct/100 * total / (1 - num_macros*pct/100) is close enough.
+      const double frac = spec.macro_area_pct / 100.0;
+      area[v] = std::max<Weight>(
+          area[v],
+          static_cast<Weight>(std::llround(
+              frac * static_cast<double>(total) /
+              std::max(0.5, 1.0 - spec.num_macros * frac))));
+    }
+    for (VertexId v = 0; v < staged.num_vertices(); ++v) {
+      rebuilt.add_vertex(area[v], staged.is_pad(v));
+    }
+    for (NetId e = 0; e < staged.num_nets(); ++e) {
+      rebuilt.add_net(staged.pins(e), staged.net_weight(e));
+    }
+    out.graph = rebuilt.build();
+  } else {
+    out.graph = std::move(staged);
+  }
+  return out;
+}
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,71 @@
+#pragma once
+// Synthetic placed-circuit generator: the repository's stand-in for the
+// ISPD-98 IBM benchmarks and their (IBM-internal) placements, which are
+// not redistributable. The generator *places first and wires second*:
+// cells are laid out on a jittered grid, pads on the perimeter, and nets
+// are sampled with distance-decaying sink selection, which yields the
+// Rentian wiring locality that makes min-cut partitioning (and terminal
+// propagation) behave like it does on real circuits. Knobs reproduce the
+// ISPD-98 instance characteristics the paper relies on:
+//
+//  * net-degree distribution dominated by 2-3 pin nets with a heavy tail,
+//    average pins-per-cell ~= 3.5-4;
+//  * actual cell areas with a skewed distribution including a few macro
+//    cells occupying several percent of total area (Table IV "Max %");
+//  * perimeter pads (< ~1-2% of vertices), each a zero-area terminal,
+//    wired into nearby nets so external-net counts track Rent's rule.
+
+#include <string>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::gen {
+
+using hg::NetId;
+using hg::VertexId;
+using hg::Weight;
+
+/// Locations for every vertex (cells and pads) of a generated circuit.
+struct Placement {
+  std::vector<double> x;
+  std::vector<double> y;
+  double width = 0.0;
+  double height = 0.0;
+};
+
+struct CircuitSpec {
+  std::string name = "synth";
+  VertexId num_cells = 10000;
+  NetId num_nets = 11000;
+  VertexId num_pads = 200;
+  /// Fraction of nets wired without locality (long/global nets).
+  double global_net_fraction = 0.03;
+  /// Laplace scale (in cell pitches) of local sink offsets.
+  double local_scale = 2.5;
+  /// Fraction of nets that include a pad terminal (external nets).
+  double external_net_fraction = 0.0;  ///< 0 -> derived from num_pads
+  /// Macro cells: count and per-macro area as % of total standard area.
+  int num_macros = 4;
+  double macro_area_pct = 2.0;
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedCircuit {
+  std::string name;
+  hg::Hypergraph graph;
+  Placement placement;
+};
+
+/// Deterministic for a given spec (seed included in the spec).
+GeneratedCircuit generate_circuit(const CircuitSpec& spec);
+
+/// Rebuilds the circuit's hypergraph with a second balance resource equal
+/// to each vertex's pin count — the multi-balanced ("multi-area")
+/// partitioning scenario of the paper's Sec. IV, where cell area and cell
+/// pin count must both be evenly distributed. Placement and topology are
+/// unchanged.
+GeneratedCircuit add_pin_resource(const GeneratedCircuit& circuit);
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,64 @@
+#include "gen/regimes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fixedpart::gen {
+
+FixedVertexSeries::FixedVertexSeries(const hg::Hypergraph& graph,
+                                     hg::PartitionId num_parts,
+                                     util::Rng& rng, SelectionOrder order)
+    : num_vertices_(graph.num_vertices()), num_parts_(num_parts) {
+  permutation_.resize(static_cast<std::size_t>(num_vertices_));
+  for (hg::VertexId v = 0; v < num_vertices_; ++v) permutation_[v] = v;
+  rng.shuffle(std::span<hg::VertexId>(permutation_));
+  if (order == SelectionOrder::kHighDegreeFirst) {
+    std::stable_sort(permutation_.begin(), permutation_.end(),
+                     [&](hg::VertexId a, hg::VertexId b) {
+                       return graph.degree(a) > graph.degree(b);
+                     });
+  }
+  random_side_.resize(static_cast<std::size_t>(num_vertices_));
+  for (auto& side : random_side_) {
+    side = static_cast<hg::PartitionId>(
+        rng.next_below(static_cast<std::uint64_t>(num_parts_)));
+  }
+}
+
+hg::VertexId FixedVertexSeries::count_at(double pct) const {
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument("FixedVertexSeries: pct out of range");
+  }
+  return static_cast<hg::VertexId>(
+      std::llround(pct / 100.0 * static_cast<double>(num_vertices_)));
+}
+
+hg::FixedAssignment FixedVertexSeries::rand_regime(double pct) const {
+  hg::FixedAssignment fixed(num_vertices_, num_parts_);
+  const hg::VertexId count = count_at(pct);
+  for (hg::VertexId i = 0; i < count; ++i) {
+    const hg::VertexId v = permutation_[i];
+    fixed.fix(v, random_side_[v]);
+  }
+  return fixed;
+}
+
+hg::FixedAssignment FixedVertexSeries::good_regime(
+    double pct, std::span<const hg::PartitionId> reference) const {
+  if (static_cast<hg::VertexId>(reference.size()) != num_vertices_) {
+    throw std::invalid_argument("good_regime: reference size mismatch");
+  }
+  hg::FixedAssignment fixed(num_vertices_, num_parts_);
+  const hg::VertexId count = count_at(pct);
+  for (hg::VertexId i = 0; i < count; ++i) {
+    const hg::VertexId v = permutation_[i];
+    if (reference[v] < 0 || reference[v] >= num_parts_) {
+      throw std::invalid_argument("good_regime: reference has bad side");
+    }
+    fixed.fix(v, reference[v]);
+  }
+  return fixed;
+}
+
+}  // namespace fixedpart::gen

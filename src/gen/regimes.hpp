@@ -1,0 +1,61 @@
+#pragma once
+// The paper's Section II experimental protocol for constructing fixed-
+// vertex instances from a free hypergraph:
+//
+//  * a random subset of vertices is chosen and fixed, *incrementally* —
+//    "all vertices fixed at 1.0% are also fixed at 2.0%" — so a single
+//    random permutation defines the whole percentage series;
+//  * "rand" regime: each chosen vertex is fixed into an independently
+//    random partition (the random side is also decided once per vertex, so
+//    the series is nested);
+//  * "good" regime: each chosen vertex is fixed into its side in the best
+//    known solution of the free instance.
+
+#include <span>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::gen {
+
+/// Which vertices are fixed first as the percentage grows.
+enum class SelectionOrder : std::uint8_t {
+  kRandom,          ///< the paper's main protocol
+  kHighDegreeFirst, ///< Sec. V: "it is always possible to fix vertices of
+                    ///< very high degree to yield qualitatively different
+                    ///< problem instances"
+};
+
+class FixedVertexSeries {
+ public:
+  /// Draws the permutation and the per-vertex random sides. Deterministic
+  /// given `rng` state. With kHighDegreeFirst the permutation is ordered
+  /// by descending vertex degree (ties randomly).
+  FixedVertexSeries(const hg::Hypergraph& graph, hg::PartitionId num_parts,
+                    util::Rng& rng,
+                    SelectionOrder order = SelectionOrder::kRandom);
+
+  /// Number of vertices fixed at `pct` percent (rounded).
+  hg::VertexId count_at(double pct) const;
+
+  /// "rand" regime instance at the given percentage of fixed vertices.
+  hg::FixedAssignment rand_regime(double pct) const;
+
+  /// "good" regime: sides taken from `reference` (a complete assignment
+  /// of the free instance, e.g. the best solution found).
+  hg::FixedAssignment good_regime(
+      double pct, std::span<const hg::PartitionId> reference) const;
+
+  /// The first `count_at(pct)` entries are the fixed subset.
+  std::span<const hg::VertexId> permutation() const { return permutation_; }
+
+ private:
+  hg::VertexId num_vertices_;
+  hg::PartitionId num_parts_;
+  std::vector<hg::VertexId> permutation_;
+  std::vector<hg::PartitionId> random_side_;
+};
+
+}  // namespace fixedpart::gen

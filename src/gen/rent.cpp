@@ -1,0 +1,31 @@
+#include "gen/rent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fixedpart::gen {
+
+double rent_terminals(double cells, double rent_p, double pins_per_cell) {
+  if (cells < 0) throw std::invalid_argument("rent_terminals: cells < 0");
+  return pins_per_cell * std::pow(cells, rent_p);
+}
+
+double fixed_fraction(double cells, double rent_p, double pins_per_cell) {
+  const double t = rent_terminals(cells, rent_p, pins_per_cell);
+  if (cells + t == 0.0) return 0.0;
+  return t / (cells + t);
+}
+
+double threshold_block_size(double rent_p, double pins_per_cell,
+                            double fraction) {
+  if (!(fraction > 0.0 && fraction < 1.0)) {
+    throw std::invalid_argument("threshold_block_size: fraction not in (0,1)");
+  }
+  if (!(rent_p > 0.0 && rent_p < 1.0)) {
+    throw std::invalid_argument("threshold_block_size: rent_p not in (0,1)");
+  }
+  const double base = pins_per_cell * (1.0 - fraction) / fraction;
+  return std::pow(base, 1.0 / (1.0 - rent_p));
+}
+
+}  // namespace fixedpart::gen

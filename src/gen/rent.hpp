@@ -1,0 +1,27 @@
+#pragma once
+// Rent's-rule analytics behind Table I of the paper. Rent's rule states
+// that a block of C cells exposes T = k * C^p external/propagated
+// terminals (k = average pins per cell, ~3.5 for the designs the paper
+// considers; p = Rent parameter, ~0.68 for modern designs). In a top-down
+// placement a block-partitioning instance therefore has C + T vertices of
+// which T are fixed; Table I reports the block sizes below which the fixed
+// fraction T/(C+T) exceeds 5%, 10% or 20%.
+
+namespace fixedpart::gen {
+
+/// Expected propagated/external terminals of a block of `cells` cells
+/// (Rent's rule, Region I).
+double rent_terminals(double cells, double rent_p, double pins_per_cell);
+
+/// Fraction of fixed vertices T/(C+T) in the induced partitioning
+/// instance.
+double fixed_fraction(double cells, double rent_p, double pins_per_cell);
+
+/// Largest block size C such that the fixed fraction is at least
+/// `fraction` (e.g. 0.05). Closed form:
+///   T/(C+T) >= a  <=>  C <= (k*(1-a)/a)^(1/(1-p)).
+/// Requires 0 < fraction < 1 and 0 < rent_p < 1.
+double threshold_block_size(double rent_p, double pins_per_cell,
+                            double fraction);
+
+}  // namespace fixedpart::gen

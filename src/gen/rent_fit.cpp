@@ -1,0 +1,103 @@
+#include "gen/rent_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fixedpart::gen {
+
+RentFit fit_rent_exponent(const GeneratedCircuit& circuit, int max_levels,
+                          int min_cells) {
+  if (max_levels < 1) throw std::invalid_argument("fit_rent: max_levels<1");
+  const hg::Hypergraph& g = circuit.graph;
+  const double width = circuit.placement.width;
+  const double height = circuit.placement.height;
+
+  RentFit fit;
+  std::vector<double> log_c;
+  std::vector<double> log_t;
+
+  for (int level = 0; level <= max_levels; ++level) {
+    const int grid = 1 << level;  // grid x grid blocks
+    // Block index of every cell (pads map to -1: outside every block).
+    std::vector<int> block_of(static_cast<std::size_t>(g.num_vertices()), -1);
+    std::vector<std::int64_t> cells(static_cast<std::size_t>(grid) * grid, 0);
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.is_pad(v)) continue;
+      auto bx = static_cast<int>(circuit.placement.x[v] / width *
+                                 static_cast<double>(grid));
+      auto by = static_cast<int>(circuit.placement.y[v] / height *
+                                 static_cast<double>(grid));
+      bx = std::min(std::max(bx, 0), grid - 1);
+      by = std::min(std::max(by, 0), grid - 1);
+      block_of[v] = by * grid + bx;
+      ++cells[static_cast<std::size_t>(block_of[v])];
+    }
+    // A net crossing a block boundary contributes one terminal to every
+    // block it touches.
+    std::vector<std::int64_t> terminals(static_cast<std::size_t>(grid) * grid,
+                                        0);
+    std::vector<int> touched;
+    for (hg::NetId e = 0; e < g.num_nets(); ++e) {
+      touched.clear();
+      bool has_pad = false;
+      for (hg::VertexId v : g.pins(e)) {
+        const int b = block_of[v];
+        if (b < 0) {
+          has_pad = true;
+          continue;
+        }
+        bool seen = false;
+        for (int t : touched) seen |= (t == b);
+        if (!seen) touched.push_back(b);
+      }
+      if (touched.size() > 1 || (has_pad && !touched.empty())) {
+        for (int b : touched) {
+          ++terminals[static_cast<std::size_t>(b)];
+        }
+      }
+    }
+    double avg_cells = 0.0;
+    double avg_terms = 0.0;
+    int populated = 0;
+    for (std::size_t b = 0; b < cells.size(); ++b) {
+      if (cells[b] < min_cells) continue;
+      avg_cells += static_cast<double>(cells[b]);
+      avg_terms += static_cast<double>(terminals[b]);
+      ++populated;
+    }
+    if (populated == 0) break;
+    avg_cells /= populated;
+    avg_terms /= populated;
+    fit.points.push_back({avg_cells, avg_terms, level});
+    if (level >= 1 && avg_terms > 0.0) {  // level 0 is Region II
+      log_c.push_back(std::log(avg_cells));
+      log_t.push_back(std::log(avg_terms));
+    }
+  }
+
+  if (log_c.size() < 2) {
+    throw std::runtime_error("fit_rent: not enough levels for a fit");
+  }
+  // Least squares on log T = log k + p log C.
+  double mean_c = 0.0;
+  double mean_t = 0.0;
+  for (std::size_t i = 0; i < log_c.size(); ++i) {
+    mean_c += log_c[i];
+    mean_t += log_t[i];
+  }
+  mean_c /= static_cast<double>(log_c.size());
+  mean_t /= static_cast<double>(log_t.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < log_c.size(); ++i) {
+    num += (log_c[i] - mean_c) * (log_t[i] - mean_t);
+    den += (log_c[i] - mean_c) * (log_c[i] - mean_c);
+  }
+  if (den == 0.0) throw std::runtime_error("fit_rent: degenerate fit");
+  fit.p = num / den;
+  fit.k = std::exp(mean_t - fit.p * mean_c);
+  return fit;
+}
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,33 @@
+#pragma once
+// Empirical Rent-exponent measurement of a placed circuit, used to
+// validate that the synthetic generator produces Rentian wiring locality
+// (p ~ 0.6-0.7 for ISPD-98-era designs). The classical geometric method:
+// recursively quadrisect the placement, and for each block record
+// (cells inside, nets crossing the block boundary); a least-squares fit of
+// log T = log k + p log C over all blocks gives k and p.
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+
+namespace fixedpart::gen {
+
+struct RentPoint {
+  double cells = 0.0;      ///< average cells per block at this level
+  double terminals = 0.0;  ///< average boundary-crossing nets per block
+  int level = 0;           ///< quadrisection depth (0 = whole die)
+};
+
+struct RentFit {
+  double p = 0.0;               ///< fitted Rent exponent
+  double k = 0.0;               ///< fitted pins-per-block constant
+  std::vector<RentPoint> points;
+};
+
+/// Fits Rent's rule over quadrisection levels 1..max_levels (level 0, the
+/// whole die, sits in Region II and is excluded from the fit, as are
+/// blocks with fewer than `min_cells` cells).
+RentFit fit_rent_exponent(const GeneratedCircuit& circuit, int max_levels = 5,
+                          int min_cells = 12);
+
+}  // namespace fixedpart::gen

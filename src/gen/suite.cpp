@@ -1,0 +1,58 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fixedpart::gen {
+
+namespace {
+
+struct SuiteRow {
+  const char* name;
+  VertexId cells;   // ISPD-98 module counts (cells excl. pads)
+  NetId nets;
+  VertexId pads;
+  int macros;
+  double macro_pct;
+};
+
+// Published ISPD-98 sizes (Alpert, ISPD-98): modules/nets; pad counts and
+// macro skew approximate the suite's reported characteristics ("individual
+// cells that occupy several percent of the total area").
+constexpr SuiteRow kRows[] = {
+    {"ibm01", 12506, 14111, 246, 3, 3.0},
+    {"ibm02", 19342, 19584, 259, 4, 2.0},
+    {"ibm03", 22853, 27401, 283, 4, 2.5},
+    {"ibm04", 27220, 31970, 287, 3, 2.0},
+    {"ibm05", 28146, 28446, 1201, 2, 1.5},
+};
+
+}  // namespace
+
+CircuitSpec ibm_like_spec(int index, util::Scale scale) {
+  if (index < 1 || index > 5) {
+    throw std::invalid_argument("ibm_like_spec: index must be 1..5");
+  }
+  const SuiteRow& row = kRows[index - 1];
+  const double shrink = util::by_scale(scale, 25.0, 4.0, 1.0);
+  CircuitSpec spec;
+  spec.name = row.name;
+  spec.num_cells = std::max<VertexId>(
+      64, static_cast<VertexId>(static_cast<double>(row.cells) / shrink));
+  spec.num_nets = std::max<NetId>(
+      72, static_cast<NetId>(static_cast<double>(row.nets) / shrink));
+  spec.num_pads = std::max<VertexId>(
+      8, static_cast<VertexId>(static_cast<double>(row.pads) / shrink));
+  spec.num_macros = row.macros;
+  spec.macro_area_pct = row.macro_pct;
+  spec.seed = 0x1b501000u + static_cast<std::uint64_t>(index);
+  return spec;
+}
+
+std::vector<CircuitSpec> ibm_suite(util::Scale scale) {
+  std::vector<CircuitSpec> specs;
+  for (int i = 1; i <= 5; ++i) specs.push_back(ibm_like_spec(i, scale));
+  return specs;
+}
+
+}  // namespace fixedpart::gen

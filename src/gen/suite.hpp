@@ -1,0 +1,21 @@
+#pragma once
+// Presets mirroring the ISPD-98 circuits the paper evaluates (IBM01-IBM05).
+// Vertex/net/pad counts at `paper` scale match the published suite sizes;
+// `default` scale shrinks instances ~4x (and `smoke` ~25x) so the full
+// benchmark sweep runs in minutes while preserving every qualitative
+// characteristic (degree distributions, area skew, locality, pad ratio).
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "util/env.hpp"
+
+namespace fixedpart::gen {
+
+/// ibm01 through ibm05 (index 1..5). Throws for other indices.
+CircuitSpec ibm_like_spec(int index, util::Scale scale);
+
+/// All five presets at the given scale.
+std::vector<CircuitSpec> ibm_suite(util::Scale scale);
+
+}  // namespace fixedpart::gen

@@ -1,0 +1,107 @@
+#include "hg/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fixedpart::hg {
+
+HypergraphBuilder::HypergraphBuilder(int num_resources)
+    : num_resources_(num_resources) {
+  if (num_resources < 1) {
+    throw std::invalid_argument("HypergraphBuilder: num_resources < 1");
+  }
+}
+
+VertexId HypergraphBuilder::add_vertex(std::span<const Weight> weights,
+                                       bool is_pad) {
+  if (static_cast<int>(weights.size()) != num_resources_) {
+    throw std::invalid_argument("add_vertex: wrong resource count");
+  }
+  for (Weight w : weights) {
+    if (w < 0) throw std::invalid_argument("add_vertex: negative weight");
+  }
+  weights_.insert(weights_.end(), weights.begin(), weights.end());
+  pad_flags_.push_back(is_pad ? 1 : 0);
+  return static_cast<VertexId>(pad_flags_.size()) - 1;
+}
+
+VertexId HypergraphBuilder::add_vertex(Weight area, bool is_pad) {
+  if (num_resources_ != 1) {
+    throw std::invalid_argument(
+        "add_vertex(area): builder has multiple resources");
+  }
+  return add_vertex(std::span<const Weight>{&area, 1}, is_pad);
+}
+
+NetId HypergraphBuilder::add_net(std::span<const VertexId> pins,
+                                 Weight weight) {
+  if (weight < 0) throw std::invalid_argument("add_net: negative weight");
+  const auto vertex_count = num_vertices();
+  std::vector<VertexId> unique(pins.begin(), pins.end());
+  for (VertexId v : unique) {
+    if (v < 0 || v >= vertex_count) {
+      throw std::out_of_range("add_net: pin out of range");
+    }
+  }
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  net_pins_.insert(net_pins_.end(), unique.begin(), unique.end());
+  net_offsets_.push_back(static_cast<std::int64_t>(net_pins_.size()));
+  net_weights_.push_back(weight);
+  return static_cast<NetId>(net_weights_.size()) - 1;
+}
+
+Hypergraph HypergraphBuilder::build() {
+  Hypergraph g;
+  g.num_vertices_ = num_vertices();
+  g.num_nets_ = num_nets();
+  g.num_resources_ = num_resources_;
+  g.net_offsets_ = std::move(net_offsets_);
+  g.net_pins_ = std::move(net_pins_);
+  g.net_weights_ = std::move(net_weights_);
+  g.weights_ = std::move(weights_);
+  g.pad_flags_ = std::move(pad_flags_);
+
+  g.num_pads_ = 0;
+  for (auto flag : g.pad_flags_) g.num_pads_ += flag;
+
+  g.total_weights_.assign(g.num_resources_, 0);
+  for (VertexId v = 0; v < g.num_vertices_; ++v) {
+    for (int r = 0; r < g.num_resources_; ++r) {
+      g.total_weights_[r] += g.vertex_weight(v, r);
+    }
+  }
+
+  // Transpose: nets-of-vertex CSR.
+  g.vtx_offsets_.assign(static_cast<std::size_t>(g.num_vertices_) + 1, 0);
+  for (NetId e = 0; e < g.num_nets_; ++e) {
+    for (VertexId v : g.pins(e)) ++g.vtx_offsets_[v + 1];
+  }
+  for (VertexId v = 0; v < g.num_vertices_; ++v) {
+    g.vtx_offsets_[v + 1] += g.vtx_offsets_[v];
+  }
+  g.vtx_nets_.resize(g.net_pins_.size());
+  std::vector<std::int64_t> cursor(g.vtx_offsets_.begin(),
+                                   g.vtx_offsets_.end() - 1);
+  for (NetId e = 0; e < g.num_nets_; ++e) {
+    for (VertexId v : g.pins(e)) g.vtx_nets_[cursor[v]++] = e;
+  }
+
+  g.max_weighted_degree_ = 0;
+  for (VertexId v = 0; v < g.num_vertices_; ++v) {
+    Weight wdeg = 0;
+    for (NetId e : g.nets_of(v)) wdeg += g.net_weight(e);
+    g.max_weighted_degree_ = std::max(g.max_weighted_degree_, wdeg);
+  }
+
+  // Reset the builder to a reusable empty state.
+  num_resources_ = g.num_resources_;
+  weights_.clear();
+  pad_flags_.clear();
+  net_offsets_ = {0};
+  net_pins_.clear();
+  net_weights_.clear();
+  return g;
+}
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,46 @@
+#pragma once
+// Mutable staging area that assembles a Hypergraph. Pins are deduplicated
+// per net; single-pin and empty nets are kept (they simply can never be
+// cut) so that instance statistics match the source netlist.
+
+#include <span>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::hg {
+
+class HypergraphBuilder {
+ public:
+  /// num_resources >= 1; resource 0 is cell area.
+  explicit HypergraphBuilder(int num_resources = 1);
+
+  /// Adds a vertex with the given per-resource weights (size must equal
+  /// num_resources). Returns its id.
+  VertexId add_vertex(std::span<const Weight> weights, bool is_pad = false);
+  /// Single-resource convenience overload.
+  VertexId add_vertex(Weight area, bool is_pad = false);
+
+  /// Adds a net over the given pins (vertex ids already returned by
+  /// add_vertex). Duplicate pins are merged. Returns the net id.
+  NetId add_net(std::span<const VertexId> pins, Weight weight = 1);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(pad_flags_.size());
+  }
+  NetId num_nets() const { return static_cast<NetId>(net_weights_.size()); }
+
+  /// Finalizes into an immutable Hypergraph. The builder is left empty.
+  Hypergraph build();
+
+ private:
+  int num_resources_;
+  std::vector<Weight> weights_;
+  std::vector<std::uint8_t> pad_flags_;
+  std::vector<std::int64_t> net_offsets_{0};
+  std::vector<VertexId> net_pins_;
+  std::vector<Weight> net_weights_;
+};
+
+}  // namespace fixedpart::hg

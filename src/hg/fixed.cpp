@@ -1,0 +1,70 @@
+#include "hg/fixed.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace fixedpart::hg {
+
+FixedAssignment::FixedAssignment(VertexId num_vertices, PartitionId num_parts)
+    : num_parts_(num_parts) {
+  if (num_parts < 1 || num_parts > kMaxParts) {
+    throw std::invalid_argument("FixedAssignment: bad partition count");
+  }
+  if (num_vertices < 0) {
+    throw std::invalid_argument("FixedAssignment: negative vertex count");
+  }
+  full_mask_ = (num_parts == kMaxParts)
+                   ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << num_parts) - 1);
+  allowed_.assign(static_cast<std::size_t>(num_vertices), full_mask_);
+}
+
+void FixedAssignment::check_vertex(VertexId v) const {
+  if (v < 0 || v >= num_vertices()) {
+    throw std::out_of_range("FixedAssignment: vertex out of range");
+  }
+}
+
+void FixedAssignment::fix(VertexId v, PartitionId p) {
+  check_vertex(v);
+  if (p < 0 || p >= num_parts_) {
+    throw std::out_of_range("FixedAssignment::fix: partition out of range");
+  }
+  allowed_[v] = std::uint64_t{1} << p;
+}
+
+void FixedAssignment::restrict_to(VertexId v, std::uint64_t mask) {
+  check_vertex(v);
+  if (mask == 0 || (mask & ~full_mask_) != 0) {
+    throw std::invalid_argument("FixedAssignment::restrict_to: bad mask");
+  }
+  allowed_[v] = mask;
+}
+
+void FixedAssignment::free(VertexId v) {
+  check_vertex(v);
+  allowed_[v] = full_mask_;
+}
+
+bool FixedAssignment::is_fixed(VertexId v) const {
+  return std::popcount(allowed_[v]) == 1;
+}
+
+PartitionId FixedAssignment::fixed_part(VertexId v) const {
+  if (!is_fixed(v)) return kNoPartition;
+  return static_cast<PartitionId>(std::countr_zero(allowed_[v]));
+}
+
+VertexId FixedAssignment::count_fixed() const {
+  VertexId n = 0;
+  for (std::uint64_t mask : allowed_) n += (std::popcount(mask) == 1);
+  return n;
+}
+
+VertexId FixedAssignment::count_free() const {
+  VertexId n = 0;
+  for (std::uint64_t mask : allowed_) n += (mask == full_mask_);
+  return n;
+}
+
+}  // namespace fixedpart::hg

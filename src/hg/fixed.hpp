@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-vertex assignments. Section IV of the paper proposes benchmarks in
+// which a terminal may be fixed into a *set* of partitions with OR
+// semantics (e.g. "either left-side quadrant"); a classic fixed vertex is
+// the singleton case and a free vertex allows every partition. We represent
+// the allowed set as a bitmask, supporting up to 64 partitions.
+
+#include <cstdint>
+#include <vector>
+
+#include "hg/types.hpp"
+
+namespace fixedpart::hg {
+
+class FixedAssignment {
+ public:
+  static constexpr int kMaxParts = 64;
+
+  /// All vertices initially free (every partition allowed).
+  FixedAssignment(VertexId num_vertices, PartitionId num_parts);
+
+  PartitionId num_parts() const { return num_parts_; }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(allowed_.size());
+  }
+
+  /// Fix v into exactly partition p.
+  void fix(VertexId v, PartitionId p);
+  /// Restrict v to the partitions named in mask (OR semantics). The mask
+  /// must be non-empty and within range.
+  void restrict_to(VertexId v, std::uint64_t mask);
+  /// Make v free again.
+  void free(VertexId v);
+
+  std::uint64_t allowed_mask(VertexId v) const { return allowed_[v]; }
+  bool is_allowed(VertexId v, PartitionId p) const {
+    return (allowed_[v] >> p) & 1U;
+  }
+  /// True if v cannot occupy every partition.
+  bool is_restricted(VertexId v) const { return allowed_[v] != full_mask_; }
+  /// True if v is pinned into a single partition.
+  bool is_fixed(VertexId v) const;
+  /// The single allowed partition, or kNoPartition if not singleton-fixed.
+  PartitionId fixed_part(VertexId v) const;
+
+  /// Number of singleton-fixed vertices.
+  VertexId count_fixed() const;
+  /// Number of vertices free to occupy every partition.
+  VertexId count_free() const;
+
+  std::uint64_t full_mask() const { return full_mask_; }
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  PartitionId num_parts_;
+  std::uint64_t full_mask_;
+  std::vector<std::uint64_t> allowed_;
+};
+
+}  // namespace fixedpart::hg

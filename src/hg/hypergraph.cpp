@@ -1,0 +1,58 @@
+#include "hg/hypergraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fixedpart::hg {
+
+void Hypergraph::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::logic_error("Hypergraph::validate: " + msg);
+  };
+  if (static_cast<NetId>(net_offsets_.size()) != num_nets_ + 1) {
+    fail("net offset array size");
+  }
+  if (static_cast<VertexId>(vtx_offsets_.size()) != num_vertices_ + 1) {
+    fail("vertex offset array size");
+  }
+  if (net_offsets_.front() != 0 ||
+      net_offsets_.back() != static_cast<std::int64_t>(net_pins_.size())) {
+    fail("net offsets do not span pin array");
+  }
+  if (vtx_offsets_.front() != 0 ||
+      vtx_offsets_.back() != static_cast<std::int64_t>(vtx_nets_.size())) {
+    fail("vertex offsets do not span net array");
+  }
+  if (net_pins_.size() != vtx_nets_.size()) fail("pin count mismatch");
+
+  for (NetId e = 0; e < num_nets_; ++e) {
+    if (net_offsets_[e] > net_offsets_[e + 1]) fail("net offsets not sorted");
+    if (net_weights_[e] < 0) fail("negative net weight");
+    const auto ps = pins(e);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if (ps[i] < 0 || ps[i] >= num_vertices_) fail("pin out of range");
+      if (i > 0 && ps[i - 1] >= ps[i]) fail("pins not sorted/unique");
+    }
+  }
+  std::int64_t cross_checked = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (vtx_offsets_[v] > vtx_offsets_[v + 1]) fail("vtx offsets not sorted");
+    for (int r = 0; r < num_resources_; ++r) {
+      if (vertex_weight(v, r) < 0) fail("negative vertex weight");
+    }
+    for (NetId e : nets_of(v)) {
+      if (e < 0 || e >= num_nets_) fail("incident net out of range");
+      const auto ps = pins(e);
+      if (!std::binary_search(ps.begin(), ps.end(), v)) {
+        fail("incidence not symmetric");
+      }
+      ++cross_checked;
+    }
+  }
+  if (cross_checked != static_cast<std::int64_t>(net_pins_.size())) {
+    fail("transpose pin count mismatch");
+  }
+}
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,98 @@
+#pragma once
+// Immutable weighted hypergraph in CSR form, the substrate of everything
+// else in this repository. Both incidence directions are materialized:
+// pins-of-net for cut evaluation and nets-of-vertex for gain updates.
+//
+// Vertices carry one or more resource weights (Sec. IV of the paper
+// proposes multi-balanced partitioning with k resource types; resource 0
+// is cell area). Vertices may be flagged as pads (zero-area I/O terminals),
+// which the benchmark-derivation and statistics code uses.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hg/types.hpp"
+
+namespace fixedpart::hg {
+
+class HypergraphBuilder;
+
+class Hypergraph {
+ public:
+  /// An empty hypergraph; populated instances come from HypergraphBuilder.
+  Hypergraph() = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  NetId num_nets() const { return num_nets_; }
+  std::int64_t num_pins() const {
+    return static_cast<std::int64_t>(net_pins_.size());
+  }
+  /// Number of balance resources per vertex (>= 1; resource 0 = area).
+  int num_resources() const { return num_resources_; }
+
+  /// Pins (member vertices) of net e.
+  std::span<const VertexId> pins(NetId e) const {
+    return {net_pins_.data() + net_offsets_[e],
+            net_pins_.data() + net_offsets_[e + 1]};
+  }
+  int net_size(NetId e) const {
+    return static_cast<int>(net_offsets_[e + 1] - net_offsets_[e]);
+  }
+  Weight net_weight(NetId e) const { return net_weights_[e]; }
+
+  /// Nets incident to vertex v.
+  std::span<const NetId> nets_of(VertexId v) const {
+    return {vtx_nets_.data() + vtx_offsets_[v],
+            vtx_nets_.data() + vtx_offsets_[v + 1]};
+  }
+  int degree(VertexId v) const {
+    return static_cast<int>(vtx_offsets_[v + 1] - vtx_offsets_[v]);
+  }
+
+  /// Resource-0 weight (cell area).
+  Weight vertex_weight(VertexId v) const {
+    return weights_[static_cast<std::size_t>(v) *
+                    static_cast<std::size_t>(num_resources_)];
+  }
+  /// Weight of vertex v in resource r.
+  Weight vertex_weight(VertexId v, int r) const {
+    return weights_[static_cast<std::size_t>(v) *
+                        static_cast<std::size_t>(num_resources_) +
+                    static_cast<std::size_t>(r)];
+  }
+  /// Total weight of all vertices in resource r.
+  Weight total_weight(int r = 0) const { return total_weights_[r]; }
+
+  bool is_pad(VertexId v) const { return pad_flags_[v] != 0; }
+  VertexId num_pads() const { return num_pads_; }
+
+  /// Sum over nets of weight * (pin count), an upper bound used to size
+  /// gain buckets: |gain(v)| <= weighted degree of v.
+  Weight max_weighted_vertex_degree() const { return max_weighted_degree_; }
+
+  /// Internal consistency check (CSR symmetry, sorted/unique pins,
+  /// non-negative weights). Throws std::logic_error with a description on
+  /// the first violation; cheap enough for tests, not called in hot paths.
+  void validate() const;
+
+ private:
+  friend class HypergraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  NetId num_nets_ = 0;
+  int num_resources_ = 1;
+  VertexId num_pads_ = 0;
+
+  std::vector<std::int64_t> net_offsets_;  // size num_nets_+1
+  std::vector<VertexId> net_pins_;
+  std::vector<std::int64_t> vtx_offsets_;  // size num_vertices_+1
+  std::vector<NetId> vtx_nets_;
+  std::vector<Weight> net_weights_;
+  std::vector<Weight> weights_;  // num_vertices_ * num_resources_
+  std::vector<Weight> total_weights_;
+  std::vector<std::uint8_t> pad_flags_;
+  Weight max_weighted_degree_ = 0;
+};
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,263 @@
+#include "hg/io_bookshelf.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("fpb: " + msg);
+}
+
+/// Next non-comment, non-blank line.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::istringstream expect_keyword(std::istream& in, const std::string& kw) {
+  std::string line;
+  if (!next_line(in, line)) fail("expected '" + kw + "', got EOF");
+  std::istringstream ls(line);
+  std::string word;
+  ls >> word;
+  if (word != kw) fail("expected '" + kw + "', got '" + word + "'");
+  return ls;
+}
+
+/// Parses "p0" or "p0|p3|p5" into a partition bitmask.
+std::uint64_t parse_part_set(const std::string& token, PartitionId num_parts) {
+  std::uint64_t mask = 0;
+  std::size_t pos = 0;
+  while (pos < token.size()) {
+    std::size_t bar = token.find('|', pos);
+    if (bar == std::string::npos) bar = token.size();
+    const std::string piece = token.substr(pos, bar - pos);
+    if (piece.empty() || piece[0] != 'p') fail("bad partition token: " + token);
+    std::int64_t p = 0;
+    try {
+      p = std::stoll(piece.substr(1));
+    } catch (const std::exception&) {
+      fail("bad partition token: " + token);
+    }
+    if (p < 0 || p >= num_parts) fail("partition out of range: " + piece);
+    mask |= std::uint64_t{1} << p;
+    pos = bar + 1;
+  }
+  if (mask == 0) fail("empty partition set");
+  return mask;
+}
+
+}  // namespace
+
+std::vector<std::string> default_names(VertexId num_vertices) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_vertices));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  return names;
+}
+
+BenchmarkInstance read_fpb(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) fail("empty input");
+  {
+    std::istringstream ls(line);
+    std::string magic, version;
+    ls >> magic >> version;
+    if (magic != "FPB") fail("missing FPB magic");
+    if (version != "1.0") fail("unsupported version " + version);
+  }
+
+  int resources = 0;
+  expect_keyword(in, "resources") >> resources;
+  if (resources < 1) fail("resources < 1");
+
+  std::int64_t num_vertices = 0;
+  expect_keyword(in, "vertices") >> num_vertices;
+  if (num_vertices < 0) fail("negative vertex count");
+
+  BenchmarkInstance inst;
+  HypergraphBuilder builder(resources);
+  std::unordered_map<std::string, VertexId> by_name;
+  inst.names.reserve(static_cast<std::size_t>(num_vertices));
+  for (std::int64_t i = 0; i < num_vertices; ++i) {
+    if (!next_line(in, line)) fail("missing vertex line");
+    std::istringstream ls(line);
+    std::string name;
+    ls >> name;
+    std::vector<Weight> weights(static_cast<std::size_t>(resources));
+    for (auto& w : weights) {
+      if (!(ls >> w)) fail("missing weight for vertex " + name);
+    }
+    std::string tag;
+    bool pad = false;
+    if (ls >> tag) {
+      if (tag == "pad") {
+        pad = true;
+      } else {
+        fail("unexpected trailing token on vertex line: " + tag);
+      }
+    }
+    if (!by_name.emplace(name, builder.num_vertices()).second) {
+      fail("duplicate vertex name " + name);
+    }
+    builder.add_vertex(weights, pad);
+    inst.names.push_back(name);
+  }
+
+  std::int64_t num_nets = 0;
+  expect_keyword(in, "nets") >> num_nets;
+  for (std::int64_t e = 0; e < num_nets; ++e) {
+    if (!next_line(in, line)) fail("missing net line");
+    std::istringstream ls(line);
+    Weight weight = 0;
+    int degree = 0;
+    if (!(ls >> weight >> degree)) fail("bad net header");
+    std::vector<VertexId> pins;
+    pins.reserve(static_cast<std::size_t>(degree));
+    for (int d = 0; d < degree; ++d) {
+      std::string name;
+      if (!(ls >> name)) fail("net pin count mismatch");
+      const auto it = by_name.find(name);
+      if (it == by_name.end()) fail("unknown vertex in net: " + name);
+      pins.push_back(it->second);
+    }
+    builder.add_net(pins, weight);
+  }
+
+  std::int64_t num_parts = 0;
+  expect_keyword(in, "partitions") >> num_parts;
+  if (num_parts < 1 || num_parts > FixedAssignment::kMaxParts) {
+    fail("bad partition count");
+  }
+  inst.num_parts = static_cast<PartitionId>(num_parts);
+  inst.graph = builder.build();
+  inst.fixed = FixedAssignment(inst.graph.num_vertices(), inst.num_parts);
+
+  // Balance section: either one `tolerance` line or >=1 `capacity` lines.
+  if (!next_line(in, line)) fail("missing balance section");
+  {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "tolerance") {
+      inst.balance.relative = true;
+      if (!(ls >> inst.balance.tolerance_pct)) fail("bad tolerance");
+      if (!next_line(in, line)) fail("missing fixed section");
+    } else if (word == "capacity") {
+      inst.balance.relative = false;
+      while (true) {
+        BalanceSpec::Capacity cap;
+        std::int64_t part = 0;
+        if (!(ls >> part >> cap.resource >> cap.min >> cap.max)) {
+          fail("bad capacity line");
+        }
+        if (part < 0 || part >= num_parts) fail("capacity part out of range");
+        if (cap.resource < 0 || cap.resource >= resources) {
+          fail("capacity resource out of range");
+        }
+        cap.part = static_cast<PartitionId>(part);
+        inst.balance.capacities.push_back(cap);
+        if (!next_line(in, line)) fail("missing fixed section");
+        ls = std::istringstream(line);
+        ls >> word;
+        if (word != "capacity") break;
+      }
+    } else {
+      fail("expected tolerance/capacity, got " + word);
+    }
+  }
+
+  // `line` currently holds the `fixed` header.
+  std::istringstream fixed_hdr(line);
+  std::string word;
+  std::int64_t num_fixed = 0;
+  fixed_hdr >> word >> num_fixed;
+  if (word != "fixed") fail("expected 'fixed', got " + word);
+  for (std::int64_t i = 0; i < num_fixed; ++i) {
+    if (!next_line(in, line)) fail("missing fixed line");
+    std::istringstream ls(line);
+    std::string name, parts;
+    if (!(ls >> name >> parts)) fail("bad fixed line");
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) fail("unknown fixed vertex " + name);
+    inst.fixed.restrict_to(it->second, parse_part_set(parts, inst.num_parts));
+  }
+  return inst;
+}
+
+BenchmarkInstance read_fpb_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_fpb(in);
+}
+
+void write_fpb(std::ostream& out, const BenchmarkInstance& inst) {
+  const Hypergraph& g = inst.graph;
+  if (static_cast<VertexId>(inst.names.size()) != g.num_vertices()) {
+    throw std::invalid_argument("write_fpb: name count mismatch");
+  }
+  out << "FPB 1.0\n";
+  out << "resources " << g.num_resources() << '\n';
+  out << "vertices " << g.num_vertices() << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << inst.names[v];
+    for (int r = 0; r < g.num_resources(); ++r) {
+      out << ' ' << g.vertex_weight(v, r);
+    }
+    if (g.is_pad(v)) out << " pad";
+    out << '\n';
+  }
+  out << "nets " << g.num_nets() << '\n';
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    out << g.net_weight(e) << ' ' << g.net_size(e);
+    for (VertexId v : g.pins(e)) out << ' ' << inst.names[v];
+    out << '\n';
+  }
+  out << "partitions " << inst.num_parts << '\n';
+  if (inst.balance.relative) {
+    out << "tolerance " << inst.balance.tolerance_pct << '\n';
+  } else {
+    for (const auto& cap : inst.balance.capacities) {
+      out << "capacity " << cap.part << ' ' << cap.resource << ' ' << cap.min
+          << ' ' << cap.max << '\n';
+    }
+  }
+  std::vector<VertexId> restricted;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (inst.fixed.is_restricted(v)) restricted.push_back(v);
+  }
+  out << "fixed " << restricted.size() << '\n';
+  for (VertexId v : restricted) {
+    out << inst.names[v] << ' ';
+    bool first = true;
+    for (PartitionId p = 0; p < inst.num_parts; ++p) {
+      if (!inst.fixed.is_allowed(v, p)) continue;
+      if (!first) out << '|';
+      out << 'p' << p;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+void write_fpb_file(const std::string& path, const BenchmarkInstance& inst) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_fpb(out, inst);
+}
+
+}  // namespace fixedpart::hg

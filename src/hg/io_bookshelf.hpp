@@ -1,0 +1,74 @@
+#pragma once
+// The self-contained benchmark format proposed in Sec. IV of the paper
+// ("Toward benchmarks for the fixed-terminals regime"), realized as one
+// text file (suffix .fpb). It provides every feature the paper requires:
+//
+//  * multiple partitions with per-partition, per-resource capacities
+//    (absolute semantics) or a global relative tolerance (percentage
+//    semantics) -- "flexible balance constraints represented using
+//    absolute or relative (percentage) semantics";
+//  * multi-balanced partitioning: each vertex carries k >= 1 resource
+//    weights ("multi-area" extension), each partition a matching set of
+//    capacities;
+//  * terminal (pad) marking and zero-area fixed vertices;
+//  * fixed vertices assigned to a *set* of partitions with OR semantics
+//    ("fixed in more than one partition while still retaining their atomic
+//    nature"), written as `p0|p2`.
+//
+// Grammar ('#' starts a comment; sections must appear in order):
+//
+//   FPB 1.0
+//   resources <k>
+//   vertices <N>
+//   <name> <w_0> ... <w_{k-1}> [pad]          (N lines)
+//   nets <M>
+//   <weight> <degree> <name_1> ... <name_d>   (M lines)
+//   partitions <P>
+//   tolerance <pct>                            -- relative balance, or:
+//   capacity <part> <resource> <min> <max>     -- any number of lines
+//   fixed <F>
+//   <name> <p>[|<p>...]                        (F lines)
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+/// Balance requirement as written in a benchmark file. Interpreted by
+/// part::BalanceConstraint::from_spec.
+struct BalanceSpec {
+  struct Capacity {
+    PartitionId part = 0;
+    int resource = 0;
+    Weight min = 0;
+    Weight max = 0;
+  };
+  bool relative = true;
+  /// Deviation from perfect balance allowed, in percent (relative mode).
+  double tolerance_pct = 2.0;
+  /// Absolute per-partition, per-resource capacity windows (absolute mode).
+  std::vector<Capacity> capacities;
+};
+
+struct BenchmarkInstance {
+  Hypergraph graph;
+  FixedAssignment fixed{0, 2};
+  PartitionId num_parts = 2;
+  BalanceSpec balance;
+  std::vector<std::string> names;  ///< per-vertex, unique
+};
+
+BenchmarkInstance read_fpb(std::istream& in);
+BenchmarkInstance read_fpb_file(const std::string& path);
+void write_fpb(std::ostream& out, const BenchmarkInstance& instance);
+void write_fpb_file(const std::string& path,
+                    const BenchmarkInstance& instance);
+
+/// Default names v0, v1, ... used when an instance was built in memory.
+std::vector<std::string> default_names(VertexId num_vertices);
+
+}  // namespace fixedpart::hg

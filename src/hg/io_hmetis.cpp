@@ -1,0 +1,159 @@
+#include "hg/io_hmetis.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+
+namespace {
+
+/// Reads the next non-comment, non-blank line; returns false at EOF.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+Hypergraph read_hmetis(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) throw std::runtime_error("hgr: empty input");
+  std::istringstream header(line);
+  std::int64_t num_nets = 0;
+  std::int64_t num_vertices = 0;
+  int fmt = 0;
+  header >> num_nets >> num_vertices;
+  if (!header) throw std::runtime_error("hgr: bad header");
+  header >> fmt;  // optional
+  const bool has_net_weights = (fmt == 1 || fmt == 11);
+  const bool has_vertex_weights = (fmt == 10 || fmt == 11);
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
+    throw std::runtime_error("hgr: unsupported fmt code");
+  }
+  if (num_nets < 0 || num_vertices < 0) {
+    throw std::runtime_error("hgr: negative counts");
+  }
+
+  // Nets are read before vertex weights exist, so stage them.
+  std::vector<std::vector<VertexId>> nets;
+  std::vector<Weight> net_weights;
+  nets.reserve(static_cast<std::size_t>(num_nets));
+  for (std::int64_t e = 0; e < num_nets; ++e) {
+    if (!next_line(in, line)) throw std::runtime_error("hgr: missing net line");
+    std::istringstream ls(line);
+    Weight w = 1;
+    if (has_net_weights) {
+      if (!(ls >> w)) throw std::runtime_error("hgr: missing net weight");
+    }
+    std::vector<VertexId> pins;
+    std::int64_t pin = 0;
+    while (ls >> pin) {
+      if (pin < 1 || pin > num_vertices) {
+        throw std::runtime_error("hgr: pin out of range");
+      }
+      pins.push_back(static_cast<VertexId>(pin - 1));
+    }
+    if (pins.empty()) throw std::runtime_error("hgr: empty net");
+    nets.push_back(std::move(pins));
+    net_weights.push_back(w);
+  }
+
+  HypergraphBuilder builder;
+  for (std::int64_t v = 0; v < num_vertices; ++v) {
+    Weight w = 1;
+    if (has_vertex_weights) {
+      if (!next_line(in, line)) {
+        throw std::runtime_error("hgr: missing vertex weight");
+      }
+      std::istringstream ls(line);
+      if (!(ls >> w)) throw std::runtime_error("hgr: bad vertex weight");
+    }
+    builder.add_vertex(w);
+  }
+  for (std::size_t e = 0; e < nets.size(); ++e) {
+    builder.add_net(nets[e], net_weights[e]);
+  }
+  return builder.build();
+}
+
+Hypergraph read_hmetis_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_hmetis(in);
+}
+
+void write_hmetis(std::ostream& out, const Hypergraph& g) {
+  out << g.num_nets() << ' ' << g.num_vertices() << " 11\n";
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    out << g.net_weight(e);
+    for (VertexId v : g.pins(e)) out << ' ' << (v + 1);
+    out << '\n';
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << g.vertex_weight(v) << '\n';
+  }
+}
+
+void write_hmetis_file(const std::string& path, const Hypergraph& g) {
+  auto out = open_out(path);
+  write_hmetis(out, g);
+}
+
+FixedAssignment read_fix(std::istream& in, VertexId num_vertices,
+                         PartitionId num_parts) {
+  FixedAssignment fixed(num_vertices, num_parts);
+  std::string line;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (!next_line(in, line)) {
+      throw std::runtime_error("fix: fewer lines than vertices");
+    }
+    std::istringstream ls(line);
+    std::int64_t p = 0;
+    if (!(ls >> p)) throw std::runtime_error("fix: bad line");
+    if (p == -1) continue;
+    if (p < 0 || p >= num_parts) {
+      throw std::runtime_error("fix: partition out of range");
+    }
+    fixed.fix(v, static_cast<PartitionId>(p));
+  }
+  return fixed;
+}
+
+FixedAssignment read_fix_file(const std::string& path, VertexId num_vertices,
+                              PartitionId num_parts) {
+  auto in = open_in(path);
+  return read_fix(in, num_vertices, num_parts);
+}
+
+void write_fix(std::ostream& out, const FixedAssignment& fixed) {
+  for (VertexId v = 0; v < fixed.num_vertices(); ++v) {
+    out << fixed.fixed_part(v) << '\n';
+  }
+}
+
+void write_fix_file(const std::string& path, const FixedAssignment& fixed) {
+  auto out = open_out(path);
+  write_fix(out, fixed);
+}
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,33 @@
+#pragma once
+// hMETIS-compatible I/O.
+//
+// .hgr format: first line "num_nets num_vertices [fmt]" where fmt is
+//   omitted/0 (unweighted), 1 (net weights), 10 (vertex weights) or
+//   11 (both). One line per net follows (optionally starting with the net
+//   weight), with 1-indexed vertex ids; then, if vertex weights are
+//   present, one weight per line. '%' starts a comment line.
+//
+// Fix file (hMETIS -fixed file): one line per vertex containing the
+// partition the vertex is fixed into, or -1 for a free vertex.
+
+#include <iosfwd>
+#include <string>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+Hypergraph read_hmetis(std::istream& in);
+Hypergraph read_hmetis_file(const std::string& path);
+void write_hmetis(std::ostream& out, const Hypergraph& g);
+void write_hmetis_file(const std::string& path, const Hypergraph& g);
+
+FixedAssignment read_fix(std::istream& in, VertexId num_vertices,
+                         PartitionId num_parts);
+FixedAssignment read_fix_file(const std::string& path, VertexId num_vertices,
+                              PartitionId num_parts);
+void write_fix(std::ostream& out, const FixedAssignment& fixed);
+void write_fix_file(const std::string& path, const FixedAssignment& fixed);
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,184 @@
+#include "hg/io_netare.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("netD: " + msg);
+}
+
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+std::int64_t read_count(std::istream& in, const std::string& what) {
+  std::string line;
+  if (!next_line(in, line)) fail("missing " + what);
+  std::istringstream ls(line);
+  std::int64_t value = 0;
+  if (!(ls >> value)) fail("bad " + what);
+  return value;
+}
+
+/// Module name -> dense vertex id: cells a0..aC first, then pads p1..pP.
+struct NameSpace {
+  std::int64_t num_cells = 0;
+  std::int64_t num_pads = 0;
+
+  VertexId resolve(const std::string& name) const {
+    if (name.size() < 2) fail("bad module name: " + name);
+    std::int64_t index = 0;
+    try {
+      index = std::stoll(name.substr(1));
+    } catch (const std::exception&) {
+      fail("bad module name: " + name);
+    }
+    if (name[0] == 'a') {
+      if (index < 0 || index >= num_cells) fail("cell out of range: " + name);
+      return static_cast<VertexId>(index);
+    }
+    if (name[0] == 'p') {
+      if (index < 1 || index > num_pads) fail("pad out of range: " + name);
+      return static_cast<VertexId>(num_cells + index - 1);
+    }
+    fail("bad module prefix: " + name);
+  }
+};
+
+}  // namespace
+
+NetDInstance read_netd(std::istream& net, std::istream& are) {
+  (void)read_count(net, "header zero");
+  const std::int64_t num_pins = read_count(net, "pin count");
+  const std::int64_t num_nets = read_count(net, "net count");
+  const std::int64_t num_modules = read_count(net, "module count");
+  const std::int64_t pad_offset = read_count(net, "pad offset");
+  if (num_modules < 0 || pad_offset < -1 || pad_offset >= num_modules) {
+    fail("inconsistent module/pad counts");
+  }
+  NameSpace ns;
+  ns.num_cells = pad_offset + 1;
+  ns.num_pads = num_modules - ns.num_cells;
+
+  // Areas (default 1 for cells, 0 for pads when absent).
+  std::vector<Weight> areas(static_cast<std::size_t>(num_modules), 0);
+  for (std::int64_t c = 0; c < ns.num_cells; ++c) areas[c] = 1;
+  std::string line;
+  while (next_line(are, line)) {
+    std::istringstream ls(line);
+    std::string name;
+    Weight area = 0;
+    if (!(ls >> name >> area)) fail("bad .are line: " + line);
+    areas[static_cast<std::size_t>(ns.resolve(name))] = area;
+  }
+
+  NetDInstance out;
+  HypergraphBuilder builder;
+  for (std::int64_t c = 0; c < ns.num_cells; ++c) {
+    builder.add_vertex(areas[static_cast<std::size_t>(c)], /*is_pad=*/false);
+    out.names.push_back("a" + std::to_string(c));
+  }
+  for (std::int64_t p = 1; p <= ns.num_pads; ++p) {
+    builder.add_vertex(areas[static_cast<std::size_t>(ns.num_cells + p - 1)],
+                       /*is_pad=*/true);
+    out.names.push_back("p" + std::to_string(p));
+  }
+
+  std::vector<VertexId> current;
+  std::int64_t pins_read = 0;
+  std::int64_t nets_read = 0;
+  auto flush = [&] {
+    if (!current.empty()) {
+      builder.add_net(current);
+      ++nets_read;
+      current.clear();
+    }
+  };
+  while (next_line(net, line)) {
+    std::istringstream ls(line);
+    std::string name;
+    std::string marker;
+    if (!(ls >> name >> marker)) fail("bad pin line: " + line);
+    if (marker != "s" && marker != "l") fail("bad pin marker: " + marker);
+    if (marker == "s") flush();
+    if (marker == "l" && current.empty()) fail("'l' pin before any 's'");
+    current.push_back(ns.resolve(name));
+    ++pins_read;
+    std::string direction;
+    if (ls >> direction) {
+      if (direction != "I" && direction != "O" && direction != "B") {
+        fail("bad pin direction: " + direction);
+      }
+    }
+  }
+  flush();
+  if (pins_read != num_pins) fail("pin count mismatch");
+  if (nets_read != num_nets) fail("net count mismatch");
+
+  out.graph = builder.build();
+  return out;
+}
+
+NetDInstance read_netd_files(const std::string& net_path,
+                             const std::string& are_path) {
+  std::ifstream net(net_path);
+  if (!net) throw std::runtime_error("cannot open " + net_path);
+  std::ifstream are(are_path);
+  if (!are) throw std::runtime_error("cannot open " + are_path);
+  return read_netd(net, are);
+}
+
+void write_netd(std::ostream& net, std::ostream& are, const Hypergraph& g) {
+  // Map vertices to the canonical cells-then-pads order.
+  std::vector<std::string> name(static_cast<std::size_t>(g.num_vertices()));
+  std::int64_t cells = 0;
+  std::int64_t pads = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_pad(v)) {
+      name[v] = "p" + std::to_string(++pads);
+    } else {
+      name[v] = "a" + std::to_string(cells++);
+    }
+  }
+  net << "0\n"
+      << g.num_pins() << '\n'
+      << g.num_nets() << '\n'
+      << g.num_vertices() << '\n'
+      << (cells - 1) << '\n';
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    bool first = true;
+    for (VertexId v : g.pins(e)) {
+      net << name[v] << ' ' << (first ? 's' : 'l') << " B\n";
+      first = false;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    are << name[v] << ' ' << g.vertex_weight(v) << '\n';
+  }
+}
+
+void write_netd_files(const std::string& net_path,
+                      const std::string& are_path, const Hypergraph& g) {
+  std::ofstream net(net_path);
+  if (!net) throw std::runtime_error("cannot write " + net_path);
+  std::ofstream are(are_path);
+  if (!are) throw std::runtime_error("cannot write " + are_path);
+  write_netd(net, are, g);
+}
+
+}  // namespace fixedpart::hg

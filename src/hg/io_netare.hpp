@@ -1,0 +1,49 @@
+#pragma once
+// Legacy ACM/SIGDA .netD/.are benchmark I/O — the format of the original
+// partitioning benchmarks the paper's Section I discusses (and whose lack
+// of fixed-vertex information motivated Section IV).
+//
+// .netD grammar (as used by the ISPD-98 suite):
+//
+//   0                       -- ignored legacy field
+//   <num_pins>
+//   <num_nets>
+//   <num_modules>
+//   <pad_offset>            -- cells are a0..a<pad_offset>,
+//                              pads are p1..p<num_modules-pad_offset-1>
+//   <module> <s|l> [I|O|B]  -- one line per pin; 's' starts a new net,
+//                              'l' continues it; the direction is parsed
+//                              and ignored (cut does not depend on it)
+//
+// .are: one "<module> <area>" line per module, any order.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+struct NetDInstance {
+  Hypergraph graph;
+  /// Canonical module names (aN for cells, pN for pads), index-aligned
+  /// with graph vertices: cells first, then pads.
+  std::vector<std::string> names;
+};
+
+/// Reads a .netD netlist plus its .are area file.
+NetDInstance read_netd(std::istream& net, std::istream& are);
+NetDInstance read_netd_files(const std::string& net_path,
+                             const std::string& are_path);
+
+/// Writes a hypergraph in .netD/.are form. Vertices flagged as pads are
+/// emitted as pN modules; others as aN. Single-pin nets cannot be
+/// represented (a net needs an 's' and at least one 'l' line is not
+/// required, but a 1-pin net is written as a single 's' line, which the
+/// reader accepts).
+void write_netd(std::ostream& net, std::ostream& are, const Hypergraph& g);
+void write_netd_files(const std::string& net_path,
+                      const std::string& are_path, const Hypergraph& g);
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,119 @@
+#include "hg/io_solution.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fixedpart::hg {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("fpsol: " + msg);
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+Weight solution_cut(const Hypergraph& graph,
+                    const std::vector<PartitionId>& assignment,
+                    PartitionId num_parts) {
+  if (static_cast<VertexId>(assignment.size()) != graph.num_vertices()) {
+    throw std::invalid_argument("solution_cut: size mismatch");
+  }
+  Weight cut = 0;
+  for (NetId e = 0; e < graph.num_nets(); ++e) {
+    PartitionId first = kNoPartition;
+    for (const VertexId v : graph.pins(e)) {
+      const PartitionId p = assignment[v];
+      if (p < 0 || p >= num_parts) {
+        throw std::invalid_argument("solution_cut: part out of range");
+      }
+      if (first == kNoPartition) {
+        first = p;
+      } else if (p != first) {
+        cut += graph.net_weight(e);
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+void write_solution(std::ostream& out, const Solution& solution) {
+  out << "FPSOL 1.0\n";
+  out << "vertices " << solution.assignment.size() << " parts "
+      << solution.num_parts << " cut " << solution.cut << '\n';
+  for (const PartitionId p : solution.assignment) out << p << '\n';
+}
+
+void write_solution_file(const std::string& path, const Solution& solution) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_solution(out, solution);
+}
+
+Solution read_solution(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version)) fail("empty input");
+  if (magic != "FPSOL") fail("missing FPSOL magic");
+  if (version != "1.0") fail("unsupported version " + version);
+
+  std::string kw_vertices;
+  std::string kw_parts;
+  std::string kw_cut;
+  std::int64_t vertices = 0;
+  std::int64_t parts = 0;
+  Weight cut = 0;
+  if (!(in >> kw_vertices >> vertices >> kw_parts >> parts >> kw_cut >> cut) ||
+      kw_vertices != "vertices" || kw_parts != "parts" || kw_cut != "cut") {
+    fail("bad header line");
+  }
+  if (vertices < 0 || parts < 1) fail("bad counts");
+
+  Solution solution;
+  solution.num_parts = static_cast<PartitionId>(parts);
+  solution.cut = cut;
+  solution.assignment.reserve(static_cast<std::size_t>(vertices));
+  for (std::int64_t i = 0; i < vertices; ++i) {
+    std::int64_t p = 0;
+    if (!(in >> p)) fail("fewer part ids than vertices");
+    if (p < 0 || p >= parts) fail("part id out of range");
+    solution.assignment.push_back(static_cast<PartitionId>(p));
+  }
+  return solution;
+}
+
+Solution read_solution_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_solution(in);
+}
+
+Solution read_solution_checked(std::istream& in, const Hypergraph& graph) {
+  Solution solution = read_solution(in);
+  if (static_cast<VertexId>(solution.assignment.size()) !=
+      graph.num_vertices()) {
+    fail("solution vertex count does not match the hypergraph");
+  }
+  const Weight actual =
+      solution_cut(graph, solution.assignment, solution.num_parts);
+  if (actual != solution.cut) {
+    fail("recorded cut " + std::to_string(solution.cut) +
+         " does not match actual cut " + std::to_string(actual));
+  }
+  return solution;
+}
+
+Solution read_solution_file_checked(const std::string& path,
+                                    const Hypergraph& graph) {
+  auto in = open_in(path);
+  return read_solution_checked(in, graph);
+}
+
+}  // namespace fixedpart::hg

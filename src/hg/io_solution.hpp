@@ -1,0 +1,48 @@
+#pragma once
+// Partition-solution files. The GSRC bookshelf the paper points to stores
+// "best known solutions" alongside each benchmark; this is the matching
+// artifact for this repository's instances.
+//
+// Format:
+//   FPSOL 1.0
+//   vertices <N> parts <K> cut <C>
+//   <part-id per vertex, one per line>
+//
+// The recorded cut is verified against the hypergraph on load so a stale
+// or mismatched solution file is rejected instead of silently trusted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::hg {
+
+struct Solution {
+  PartitionId num_parts = 2;
+  Weight cut = 0;
+  std::vector<PartitionId> assignment;
+};
+
+void write_solution(std::ostream& out, const Solution& solution);
+void write_solution_file(const std::string& path, const Solution& solution);
+
+/// Parses a solution file; no graph check.
+Solution read_solution(std::istream& in);
+Solution read_solution_file(const std::string& path);
+
+/// Parses and verifies against `graph`: vertex count must match and the
+/// recorded cut must equal the assignment's actual cut. Throws
+/// std::runtime_error otherwise.
+Solution read_solution_checked(std::istream& in, const Hypergraph& graph);
+Solution read_solution_file_checked(const std::string& path,
+                                    const Hypergraph& graph);
+
+/// Convenience: evaluates an assignment's cut on a graph.
+Weight solution_cut(const Hypergraph& graph,
+                    const std::vector<PartitionId>& assignment,
+                    PartitionId num_parts);
+
+}  // namespace fixedpart::hg

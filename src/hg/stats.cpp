@@ -1,0 +1,56 @@
+#include "hg/stats.hpp"
+
+#include <algorithm>
+
+namespace fixedpart::hg {
+
+InstanceStats compute_stats(const Hypergraph& g) {
+  InstanceStats s;
+  s.num_pads = g.num_pads();
+  s.num_cells = g.num_vertices() - g.num_pads();
+  s.num_nets = g.num_nets();
+  s.num_pins = g.num_pins();
+
+  std::int64_t cell_pin_count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_pad(v)) continue;
+    const Weight area = g.vertex_weight(v);
+    s.total_cell_area += area;
+    s.max_cell_area = std::max(s.max_cell_area, area);
+    cell_pin_count += g.degree(v);
+  }
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    bool external = false;
+    for (VertexId v : g.pins(e)) {
+      if (g.is_pad(v)) {
+        external = true;
+        break;
+      }
+    }
+    if (external) ++s.num_external_nets;
+  }
+  if (s.total_cell_area > 0) {
+    s.max_cell_area_pct = 100.0 * static_cast<double>(s.max_cell_area) /
+                          static_cast<double>(s.total_cell_area);
+  }
+  if (s.num_nets > 0) {
+    s.avg_net_degree =
+        static_cast<double>(s.num_pins) / static_cast<double>(s.num_nets);
+  }
+  if (s.num_cells > 0) {
+    s.avg_cell_degree =
+        static_cast<double>(cell_pin_count) / static_cast<double>(s.num_cells);
+  }
+  return s;
+}
+
+std::vector<NetId> net_size_histogram(const Hypergraph& g, int cap) {
+  std::vector<NetId> hist(static_cast<std::size_t>(cap) + 1, 0);
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    const int d = std::min(g.net_size(e), cap);
+    ++hist[static_cast<std::size_t>(d)];
+  }
+  return hist;
+}
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,32 @@
+#pragma once
+// Instance statistics: the columns of Table IV (cells, pads, nets, external
+// nets, Max %) plus degree-distribution summaries used to validate the
+// synthetic generator against ISPD-98 characteristics.
+
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+struct InstanceStats {
+  VertexId num_cells = 0;      ///< non-pad vertices
+  VertexId num_pads = 0;       ///< zero-area terminal vertices
+  NetId num_nets = 0;
+  NetId num_external_nets = 0; ///< nets incident to at least one pad
+  std::int64_t num_pins = 0;
+  Weight total_cell_area = 0;
+  Weight max_cell_area = 0;
+  /// Largest cell as a percentage of total cell area ("Max %" of Table IV).
+  double max_cell_area_pct = 0.0;
+  double avg_net_degree = 0.0;
+  double avg_cell_degree = 0.0;  ///< pins per cell (paper's k, ~3.5)
+};
+
+InstanceStats compute_stats(const Hypergraph& g);
+
+/// Net-size histogram: result[d] = number of nets with exactly d pins
+/// (sizes above `cap` are accumulated into result[cap]).
+std::vector<NetId> net_size_histogram(const Hypergraph& g, int cap = 16);
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,63 @@
+#include "hg/subgraph.hpp"
+
+#include <stdexcept>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+
+Subgraph induce_subgraph(const Hypergraph& graph,
+                         std::span<const VertexId> subset,
+                         const SubgraphOptions& options) {
+  Subgraph out;
+  out.local_of.assign(static_cast<std::size_t>(graph.num_vertices()),
+                      kNoVertex);
+
+  HypergraphBuilder builder(graph.num_resources());
+  std::vector<Weight> weights(static_cast<std::size_t>(graph.num_resources()));
+  for (const VertexId v : subset) {
+    if (v < 0 || v >= graph.num_vertices()) {
+      throw std::out_of_range("induce_subgraph: subset vertex out of range");
+    }
+    if (out.local_of[v] != kNoVertex) {
+      throw std::invalid_argument("induce_subgraph: duplicate subset vertex");
+    }
+    for (int r = 0; r < graph.num_resources(); ++r) {
+      weights[static_cast<std::size_t>(r)] = graph.vertex_weight(v, r);
+    }
+    out.local_of[v] = builder.add_vertex(weights, graph.is_pad(v));
+    out.original_of.push_back(v);
+  }
+  out.num_movable = static_cast<VertexId>(out.original_of.size());
+
+  const std::vector<Weight> zero_weights(
+      static_cast<std::size_t>(graph.num_resources()), 0);
+  std::vector<std::uint8_t> net_seen(
+      static_cast<std::size_t>(graph.num_nets()), 0);
+  std::vector<VertexId> pins;
+  for (const VertexId v : subset) {
+    for (const NetId e : graph.nets_of(v)) {
+      if (net_seen[e]) continue;
+      net_seen[e] = 1;
+      pins.clear();
+      for (const VertexId u : graph.pins(e)) {
+        if (out.local_of[u] != kNoVertex) {
+          pins.push_back(out.local_of[u]);
+          continue;
+        }
+        if (options.outside == SubgraphOptions::OutsidePins::kDrop) continue;
+        // First encounter of this outside vertex: materialize a terminal.
+        out.local_of[u] = builder.add_vertex(zero_weights, /*is_pad=*/true);
+        out.original_of.push_back(u);
+        pins.push_back(out.local_of[u]);
+      }
+      if (pins.size() >= 2 || options.keep_degenerate_nets) {
+        builder.add_net(pins, graph.net_weight(e));
+      }
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,43 @@
+#pragma once
+// Induced sub-hypergraphs: the building block of top-down partitioning.
+// Given a vertex subset, nets are re-pinned to the subset; pins outside
+// it are either dropped (classic recursive-bisection truncation) or
+// materialized as zero-area terminal vertices, one per outside vertex —
+// the paper's Sec. IV block-instance construction ("adjacent cells not in
+// the block similarly induce terminal vertices").
+
+#include <span>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+struct SubgraphOptions {
+  enum class OutsidePins {
+    kDrop,               ///< truncate nets to the subset
+    kTerminalPerVertex,  ///< one zero-area pad-flagged terminal per
+                         ///< outside vertex touching a kept net
+  };
+  OutsidePins outside = OutsidePins::kDrop;
+  /// Keep nets that end up with fewer than 2 pins (they can never be cut
+  /// but preserve pin statistics).
+  bool keep_degenerate_nets = false;
+};
+
+struct Subgraph {
+  Hypergraph graph;
+  /// original vertex id -> local id (kNoVertex when not in the subgraph).
+  std::vector<VertexId> local_of;
+  /// local id -> original vertex id (subset first, then terminals).
+  std::vector<VertexId> original_of;
+  /// Local ids [0, num_movable) are the subset; the rest are terminals.
+  VertexId num_movable = 0;
+};
+
+/// Subset entries must be valid, distinct vertex ids.
+Subgraph induce_subgraph(const Hypergraph& graph,
+                         std::span<const VertexId> subset,
+                         const SubgraphOptions& options = {});
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,83 @@
+#include "hg/transform.hpp"
+
+#include <stdexcept>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+
+ClusteredTerminals cluster_terminals(const Hypergraph& g,
+                                     const FixedAssignment& fixed) {
+  if (fixed.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("cluster_terminals: size mismatch");
+  }
+  const PartitionId k = fixed.num_parts();
+
+  // Pass 1: aggregate per-part terminal weights.
+  std::vector<std::vector<Weight>> term_weights(
+      static_cast<std::size_t>(k),
+      std::vector<Weight>(static_cast<std::size_t>(g.num_resources()), 0));
+  std::vector<bool> term_has_pad(static_cast<std::size_t>(k), false);
+  std::vector<bool> part_has_terminal(static_cast<std::size_t>(k), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartitionId p = fixed.fixed_part(v);
+    if (p == kNoPartition) continue;
+    part_has_terminal[p] = true;
+    for (int r = 0; r < g.num_resources(); ++r) {
+      term_weights[p][static_cast<std::size_t>(r)] += g.vertex_weight(v, r);
+    }
+    if (g.is_pad(v)) term_has_pad[p] = true;
+  }
+
+  HypergraphBuilder builder(g.num_resources());
+  ClusteredTerminals out{
+      .graph = {},
+      .fixed = FixedAssignment(0, k),
+      .map = std::vector<VertexId>(static_cast<std::size_t>(g.num_vertices()),
+                                   kNoVertex),
+      .terminal_of_part =
+          std::vector<VertexId>(static_cast<std::size_t>(k), kNoVertex)};
+
+  // Cluster terminals first so their ids are stable and documented.
+  for (PartitionId p = 0; p < k; ++p) {
+    if (!part_has_terminal[p]) continue;
+    out.terminal_of_part[p] =
+        builder.add_vertex(term_weights[p], term_has_pad[p]);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartitionId p = fixed.fixed_part(v);
+    if (p != kNoPartition) {
+      out.map[v] = out.terminal_of_part[p];
+      continue;
+    }
+    std::vector<Weight> w(static_cast<std::size_t>(g.num_resources()));
+    for (int r = 0; r < g.num_resources(); ++r) {
+      w[static_cast<std::size_t>(r)] = g.vertex_weight(v, r);
+    }
+    out.map[v] = builder.add_vertex(w, g.is_pad(v));
+  }
+
+  std::vector<VertexId> pins;
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    pins.clear();
+    for (VertexId v : g.pins(e)) pins.push_back(out.map[v]);
+    builder.add_net(pins, g.net_weight(e));  // builder dedupes merged pins
+  }
+
+  out.graph = builder.build();
+  out.fixed = FixedAssignment(out.graph.num_vertices(), k);
+  for (PartitionId p = 0; p < k; ++p) {
+    if (out.terminal_of_part[p] != kNoVertex) {
+      out.fixed.fix(out.terminal_of_part[p], p);
+    }
+  }
+  // Non-singleton restrictions (OR-sets) survive on their mapped images.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (fixed.fixed_part(v) == kNoPartition && fixed.is_restricted(v)) {
+      out.fixed.restrict_to(out.map[v], fixed.allowed_mask(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace fixedpart::hg

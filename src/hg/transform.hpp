@@ -1,0 +1,38 @@
+#pragma once
+// Instance transformations discussed in Sec. V of the paper:
+//
+// * terminal clustering — "a bipartitioning instance with an arbitrary
+//   number/percent of fixed terminals can be represented by an equivalent
+//   instance with only two terminals, by clustering all terminals fixed in
+//   a given partition into one single terminal". The transform preserves
+//   the min-cut value over movable vertices; we use it in experiments to
+//   confirm the paper's claim that heuristic difficulty is essentially
+//   unchanged by the representation.
+
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::hg {
+
+struct ClusteredTerminals {
+  Hypergraph graph;
+  FixedAssignment fixed;
+  /// original vertex -> new vertex (fixed vertices of part p map to the
+  /// cluster terminal of part p; untouched vertices keep distinct images).
+  std::vector<VertexId> map;
+  /// new cluster-terminal vertex per partition, kNoVertex if that side had
+  /// no fixed vertices.
+  std::vector<VertexId> terminal_of_part;
+};
+
+/// Collapse all singleton-fixed vertices of each partition into a single
+/// zero-degree-preserving terminal vertex (area = sum of member areas; the
+/// pad flag is kept if any member was a pad). Nets are re-pinned through
+/// the map; nets whose pins all collapse into one vertex become single-pin
+/// nets (uncuttable), preserving cut equivalence.
+ClusteredTerminals cluster_terminals(const Hypergraph& g,
+                                     const FixedAssignment& fixed);
+
+}  // namespace fixedpart::hg

@@ -1,0 +1,23 @@
+#pragma once
+// Fundamental identifier and weight types of the hypergraph libraries.
+
+#include <cstdint>
+
+namespace fixedpart::hg {
+
+/// Vertex index, dense in [0, num_vertices).
+using VertexId = std::int32_t;
+/// Net (hyperedge) index, dense in [0, num_nets).
+using NetId = std::int32_t;
+/// Partition (block) index, dense in [0, num_parts).
+using PartitionId = std::int32_t;
+/// Vertex/net weight. Integral: the ISPD-98 benchmarks carry integer cell
+/// areas, and integral arithmetic keeps incremental gain updates exact.
+using Weight = std::int64_t;
+
+/// Sentinel for "no partition assigned".
+inline constexpr PartitionId kNoPartition = -1;
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNoVertex = -1;
+
+}  // namespace fixedpart::hg

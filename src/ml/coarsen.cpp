@@ -1,0 +1,108 @@
+#include "ml/coarsen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::ml {
+
+namespace {
+
+/// FNV-1a over the sorted pin list, used to bucket identical coarse nets.
+std::uint64_t hash_pins(const std::vector<VertexId>& pins) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (VertexId v : pins) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+                     const std::vector<VertexId>& match) {
+  if (static_cast<VertexId>(match.size()) != g.num_vertices()) {
+    throw std::invalid_argument("contract: match size mismatch");
+  }
+  CoarseLevel level;
+  level.map.assign(static_cast<std::size_t>(g.num_vertices()), hg::kNoVertex);
+
+  hg::HypergraphBuilder builder(g.num_resources());
+  std::vector<std::uint64_t> coarse_masks;
+  std::vector<Weight> weights(static_cast<std::size_t>(g.num_resources()));
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId partner = match[v];
+    if (partner < v) continue;  // cluster created when `partner` was visited
+    if (partner != v && match[partner] != v) {
+      throw std::invalid_argument("contract: match not symmetric");
+    }
+    std::uint64_t mask = fixed.allowed_mask(v);
+    bool pad = g.is_pad(v);
+    for (int r = 0; r < g.num_resources(); ++r) {
+      weights[static_cast<std::size_t>(r)] = g.vertex_weight(v, r);
+    }
+    if (partner != v) {
+      mask &= fixed.allowed_mask(partner);
+      pad = pad || g.is_pad(partner);
+      for (int r = 0; r < g.num_resources(); ++r) {
+        weights[static_cast<std::size_t>(r)] += g.vertex_weight(partner, r);
+      }
+    }
+    if (mask == 0) {
+      throw std::invalid_argument(
+          "contract: matched vertices with disjoint allowed sets");
+    }
+    const VertexId c = builder.add_vertex(weights, pad);
+    level.map[v] = c;
+    if (partner != v) level.map[partner] = c;
+    coarse_masks.push_back(mask);
+  }
+
+  // Re-pin nets; drop those collapsing below two pins; merge duplicates.
+  struct StagedNet {
+    std::vector<VertexId> pins;
+    Weight weight;
+  };
+  std::vector<StagedNet> staged;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  staged.reserve(static_cast<std::size_t>(g.num_nets()));
+
+  std::vector<VertexId> pins;
+  for (hg::NetId e = 0; e < g.num_nets(); ++e) {
+    pins.clear();
+    for (VertexId v : g.pins(e)) pins.push_back(level.map[v]);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() < 2) continue;
+    const std::uint64_t h = hash_pins(pins);
+    bool merged = false;
+    for (std::size_t idx : by_hash[h]) {
+      if (staged[idx].pins == pins) {
+        staged[idx].weight += g.net_weight(e);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      by_hash[h].push_back(staged.size());
+      staged.push_back({pins, g.net_weight(e)});
+    }
+  }
+  for (const StagedNet& net : staged) builder.add_net(net.pins, net.weight);
+
+  level.graph = builder.build();
+  level.fixed = hg::FixedAssignment(level.graph.num_vertices(),
+                                    fixed.num_parts());
+  for (VertexId c = 0; c < level.graph.num_vertices(); ++c) {
+    if (coarse_masks[static_cast<std::size_t>(c)] != level.fixed.full_mask()) {
+      level.fixed.restrict_to(c, coarse_masks[static_cast<std::size_t>(c)]);
+    }
+  }
+  return level;
+}
+
+}  // namespace fixedpart::ml

@@ -1,0 +1,29 @@
+#pragma once
+// Contraction of a matching into a coarser hypergraph. Coarse nets are
+// re-pinned through the cluster map; pins collapsing together are merged,
+// nets shrinking below two pins are dropped, and identical coarse nets are
+// combined with summed weights (standard multilevel hygiene — it is what
+// makes FM gains on coarse levels reflect many fine nets at once).
+
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "ml/matching.hpp"
+
+namespace fixedpart::ml {
+
+struct CoarseLevel {
+  hg::Hypergraph graph;
+  hg::FixedAssignment fixed{0, 2};
+  /// fine vertex -> coarse vertex
+  std::vector<VertexId> map;
+};
+
+/// Contracts `match` (as produced by heavy_edge_matching). The coarse
+/// fixed assignment of a cluster is the intersection of its members'
+/// allowed masks (guaranteed non-empty by the matching constraints).
+CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+                     const std::vector<VertexId>& match);
+
+}  // namespace fixedpart::ml

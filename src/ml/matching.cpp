@@ -1,0 +1,91 @@
+#include "ml/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fixedpart::ml {
+
+std::vector<VertexId> heavy_edge_matching(
+    const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+    const MatchingConfig& config, util::Rng& rng,
+    const std::vector<hg::PartitionId>* same_part) {
+  if (same_part != nullptr &&
+      static_cast<VertexId>(same_part->size()) != g.num_vertices()) {
+    throw std::invalid_argument("heavy_edge_matching: same_part size");
+  }
+  if (fixed.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("heavy_edge_matching: fixed size mismatch");
+  }
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) match[v] = v;
+
+  std::vector<Weight> caps(static_cast<std::size_t>(g.num_resources()));
+  for (int r = 0; r < g.num_resources(); ++r) {
+    const auto fraction_cap = static_cast<Weight>(std::floor(
+        config.max_cluster_fraction * static_cast<double>(g.total_weight(r))));
+    // Never cap below twice the average vertex weight, or small/uniform
+    // graphs could not match at all.
+    const auto pair_cap = static_cast<Weight>(
+        std::ceil(2.0 * static_cast<double>(g.total_weight(r)) /
+                  std::max<double>(1.0, static_cast<double>(n))));
+    caps[r] = std::max<Weight>({1, fraction_cap, pair_cap});
+  }
+
+  auto weight_ok = [&](VertexId a, VertexId b) {
+    for (int r = 0; r < g.num_resources(); ++r) {
+      if (g.vertex_weight(a, r) + g.vertex_weight(b, r) > caps[r]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  rng.shuffle(std::span<VertexId>(order));
+
+  // Sparse accumulation of connectivity scores: score[u] for neighbours u
+  // of the current vertex, reset via the touched list.
+  std::vector<double> score(static_cast<std::size_t>(n), 0.0);
+  std::vector<VertexId> touched;
+
+  for (VertexId v : order) {
+    if (match[v] != v) continue;
+    touched.clear();
+    for (hg::NetId e : g.nets_of(v)) {
+      const int size = g.net_size(e);
+      if (size < 2 || size > config.large_net_threshold) continue;
+      const double contribution =
+          static_cast<double>(g.net_weight(e)) / static_cast<double>(size - 1);
+      for (VertexId u : g.pins(e)) {
+        if (u == v || match[u] != u) continue;
+        if (score[u] == 0.0) touched.push_back(u);
+        score[u] += contribution;
+      }
+    }
+    VertexId best = hg::kNoVertex;
+    double best_score = 0.0;
+    for (VertexId u : touched) {
+      const double s = score[u];
+      score[u] = 0.0;
+      if ((fixed.allowed_mask(v) & fixed.allowed_mask(u)) == 0) continue;
+      if (same_part != nullptr && (*same_part)[v] != (*same_part)[u]) continue;
+      if (!weight_ok(v, u)) continue;
+      if (s > best_score) {
+        best_score = s;
+        best = u;
+      }
+    }
+    if (best != hg::kNoVertex) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+  return match;
+}
+
+}  // namespace fixedpart::ml

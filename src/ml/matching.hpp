@@ -1,0 +1,45 @@
+#pragma once
+// Heavy-edge matching for hypergraph coarsening, following the multilevel
+// recipe of Alpert/Huang/Kahng (MLC) and Karypis et al. (hMETIS) that the
+// paper's engine implements. Each vertex is matched with the unmatched
+// neighbour of highest connectivity  sum over shared nets of
+// w(e)/(|e|-1), subject to:
+//
+//  * fixed-vertex compatibility: the intersection of the two allowed-
+//    partition masks must be non-empty (a free vertex may be absorbed into
+//    a fixed cluster; vertices fixed to different sides never merge);
+//  * a cluster weight cap per resource, so coarse vertices stay small
+//    enough for balanced initial solutions.
+
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::ml {
+
+using hg::VertexId;
+using hg::Weight;
+
+struct MatchingConfig {
+  /// Per-resource cluster weight cap as a fraction of the total weight.
+  double max_cluster_fraction = 0.05;
+  /// Nets with more pins than this do not drive matching (their
+  /// connectivity contribution is negligible and scanning them is costly).
+  int large_net_threshold = 64;
+};
+
+/// match[v] = partner vertex, or v itself when unmatched. Symmetric:
+/// match[match[v]] == v.
+///
+/// `same_part`, when non-null, restricts matching to vertices currently in
+/// the same partition — the solution-preserving coarsening used by
+/// V-cycling (Karypis et al.), where the hierarchy must be able to
+/// represent the incumbent solution exactly.
+std::vector<VertexId> heavy_edge_matching(
+    const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+    const MatchingConfig& config, util::Rng& rng,
+    const std::vector<hg::PartitionId>* same_part = nullptr);
+
+}  // namespace fixedpart::ml

@@ -1,0 +1,212 @@
+#include "ml/multilevel.hpp"
+
+#include <stdexcept>
+#include <atomic>
+#include <thread>
+#include <tuple>
+
+#include "part/initial.hpp"
+#include "util/timer.hpp"
+
+namespace fixedpart::ml {
+
+namespace {
+
+VertexId movable_count(const hg::Hypergraph& g,
+                       const hg::FixedAssignment& fixed) {
+  VertexId n = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    n += (fixed.allowed_mask(v) == fixed.full_mask());
+  }
+  return n;
+}
+
+}  // namespace
+
+MultilevelPartitioner::MultilevelPartitioner(
+    const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
+    const part::BalanceConstraint& balance)
+    : graph_(&graph), fixed_(&fixed), balance_(&balance) {
+  if (fixed.num_parts() != 2 || balance.num_parts() != 2) {
+    throw std::invalid_argument("MultilevelPartitioner: needs 2 parts");
+  }
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("MultilevelPartitioner: fixed size mismatch");
+  }
+}
+
+MultilevelResult MultilevelPartitioner::run(
+    util::Rng& rng, const MultilevelConfig& config) const {
+  util::Timer timer;
+  MultilevelResult result;
+
+  // Builds the coarsening hierarchy; when `incumbent` is non-null the
+  // matching is solution-preserving (V-cycle restriction).
+  auto build_hierarchy = [&](const std::vector<PartitionId>* incumbent) {
+    std::vector<CoarseLevel> levels;
+    const hg::Hypergraph* g = graph_;
+    const hg::FixedAssignment* f = fixed_;
+    // Projections of the incumbent per level (index 0 = input graph's).
+    std::vector<PartitionId> projected;
+    if (incumbent != nullptr) projected = *incumbent;
+    while (movable_count(*g, *f) > config.coarsest_size) {
+      const auto match = heavy_edge_matching(
+          *g, *f, config.matching, rng,
+          incumbent != nullptr ? &projected : nullptr);
+      CoarseLevel level = contract(*g, *f, match);
+      if (static_cast<double>(level.graph.num_vertices()) >
+          config.stagnation_ratio * static_cast<double>(g->num_vertices())) {
+        break;  // matching stagnated; stop coarsening
+      }
+      if (incumbent != nullptr) {
+        std::vector<PartitionId> coarse(
+            static_cast<std::size_t>(level.graph.num_vertices()),
+            hg::kNoPartition);
+        for (VertexId v = 0; v < g->num_vertices(); ++v) {
+          coarse[level.map[v]] = projected[v];
+        }
+        projected = std::move(coarse);
+      }
+      levels.push_back(std::move(level));
+      g = &levels.back().graph;
+      f = &levels.back().fixed;
+    }
+    return std::make_tuple(std::move(levels), g, f, std::move(projected));
+  };
+
+  // Refines `assignment` (on the coarsest graph of `levels`) back up to
+  // the input graph, returning the final assignment and recording the cut.
+  auto uncoarsen = [&](const std::vector<CoarseLevel>& levels,
+                       std::vector<PartitionId> assignment) {
+    for (std::size_t i = levels.size(); i-- > 0;) {
+      const hg::Hypergraph& fine_graph =
+          (i == 0) ? *graph_ : levels[i - 1].graph;
+      const hg::FixedAssignment& fine_fixed =
+          (i == 0) ? *fixed_ : levels[i - 1].fixed;
+      part::PartitionState fine_state(fine_graph, 2);
+      for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
+        fine_state.assign(v, assignment[levels[i].map[v]]);
+      }
+      part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_);
+      const auto fm_result = fm.refine(fine_state, rng, config.refine);
+      result.total_moves += fm_result.total_moves;
+      result.total_passes += fm_result.passes;
+      assignment.assign(fine_state.assignment().begin(),
+                        fine_state.assignment().end());
+      if (i == 0) result.cut = fine_state.cut();
+    }
+    return assignment;
+  };
+
+  // --- Initial descent: coarsen, random coarse starts, uncoarsen.
+  auto [levels, coarsest_graph, coarsest_fixed, unused] =
+      build_hierarchy(nullptr);
+  result.levels = static_cast<int>(levels.size()) + 1;
+
+  part::PartitionState state(*coarsest_graph, 2);
+  part::FmBipartitioner coarse_fm(*coarsest_graph, *coarsest_fixed,
+                                  *balance_);
+  std::vector<PartitionId> best_assignment;
+  Weight best_cut = 0;
+  const int starts = std::max(1, config.coarse_starts);
+  for (int s = 0; s < starts; ++s) {
+    // Best-effort: rand-regime instances can be inherently over capacity
+    // (see random_feasible_assignment); refinement drains what it can.
+    part::random_feasible_assignment(state, *coarsest_fixed, *balance_, rng,
+                                     /*require_feasible=*/false);
+    const auto fm = coarse_fm.refine(state, rng, config.refine);
+    result.total_moves += fm.total_moves;
+    result.total_passes += fm.passes;
+    if (best_assignment.empty() || state.cut() < best_cut) {
+      best_cut = state.cut();
+      best_assignment.assign(state.assignment().begin(),
+                             state.assignment().end());
+    }
+  }
+
+  std::vector<PartitionId> assignment;
+  if (levels.empty()) {
+    result.cut = best_cut;
+    assignment = std::move(best_assignment);
+  } else {
+    assignment = uncoarsen(levels, std::move(best_assignment));
+  }
+
+  // --- Optional V-cycles: re-coarsen around the incumbent solution and
+  // refine back up. Projection preserves the cut and FM is monotone, so a
+  // V-cycle never worsens the solution (it spends time, which is exactly
+  // the trade-off the paper rejects).
+  for (int cycle = 0; cycle < config.vcycles; ++cycle) {
+    auto [vlevels, vgraph, vfixed, projected] = build_hierarchy(&assignment);
+    if (vlevels.empty()) break;  // nothing to re-coarsen
+    part::PartitionState coarse_state(*vgraph, 2);
+    for (VertexId v = 0; v < vgraph->num_vertices(); ++v) {
+      coarse_state.assign(v, projected[v]);
+    }
+    part::FmBipartitioner vfm(*vgraph, *vfixed, *balance_);
+    const auto fm = vfm.refine(coarse_state, rng, config.refine);
+    result.total_moves += fm.total_moves;
+    result.total_passes += fm.passes;
+    assignment = uncoarsen(
+        vlevels, std::vector<PartitionId>(coarse_state.assignment().begin(),
+                                          coarse_state.assignment().end()));
+  }
+
+  result.assignment = std::move(assignment);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+MultilevelResult MultilevelPartitioner::best_of_parallel(
+    int starts, int threads, std::uint64_t seed,
+    const MultilevelConfig& config) const {
+  if (starts < 1) throw std::invalid_argument("best_of_parallel: starts<1");
+  if (threads < 1) throw std::invalid_argument("best_of_parallel: threads<1");
+  util::Timer timer;
+  // Fork every start's stream up front: the work split across threads
+  // cannot change any stream, so results are thread-count independent.
+  util::Rng root(seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(starts));
+  for (int s = 0; s < starts; ++s) streams.push_back(root.fork());
+
+  std::vector<MultilevelResult> results(static_cast<std::size_t>(starts));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    while (true) {
+      const int s = next.fetch_add(1);
+      if (s >= starts) return;
+      results[static_cast<std::size_t>(s)] =
+          run(streams[static_cast<std::size_t>(s)], config);
+    }
+  };
+  std::vector<std::thread> pool;
+  const int used = std::min(threads, starts);
+  pool.reserve(static_cast<std::size_t>(used));
+  for (int t = 0; t < used; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < results.size(); ++s) {
+    if (results[s].cut < results[best].cut) best = s;
+  }
+  MultilevelResult out = std::move(results[best]);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+MultilevelResult MultilevelPartitioner::best_of(
+    int starts, util::Rng& rng, const MultilevelConfig& config) const {
+  if (starts < 1) throw std::invalid_argument("best_of: starts < 1");
+  MultilevelResult best;
+  double total_seconds = 0.0;
+  for (int s = 0; s < starts; ++s) {
+    MultilevelResult r = run(rng, config);
+    total_seconds += r.seconds;
+    if (s == 0 || r.cut < best.cut) best = std::move(r);
+  }
+  best.seconds = total_seconds;
+  return best;
+}
+
+}  // namespace fixedpart::ml

@@ -1,0 +1,119 @@
+#include "ml/recursive_bisection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "hg/subgraph.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "part/balance.hpp"
+
+namespace fixedpart::ml {
+
+namespace {
+
+std::uint64_t range_mask(hg::PartitionId lo, hg::PartitionId hi) {
+  std::uint64_t mask = 0;
+  for (hg::PartitionId p = lo; p < hi; ++p) mask |= std::uint64_t{1} << p;
+  return mask;
+}
+
+struct Splitter {
+  const hg::Hypergraph* graph;
+  const hg::FixedAssignment* fixed;
+  const RbConfig* config;
+  util::Rng* rng;
+  std::vector<hg::PartitionId>* result;
+
+  /// Assigns `subset` into parts [lo, hi).
+  void split(const std::vector<VertexId>& subset, hg::PartitionId lo,
+             hg::PartitionId hi) {
+    if (hi - lo == 1) {
+      for (const VertexId v : subset) (*result)[v] = lo;
+      return;
+    }
+    const hg::PartitionId mid = lo + (hi - lo) / 2;
+    const std::uint64_t low_mask = range_mask(lo, mid);
+    const std::uint64_t high_mask = range_mask(mid, hi);
+
+    // Induced sub-hypergraph (nets truncated to the subset) with a 2-way
+    // fixed assignment derived from each vertex's allowed range halves.
+    const hg::Subgraph induced = hg::induce_subgraph(*graph, subset);
+    const hg::Hypergraph& sub = induced.graph;
+
+    hg::FixedAssignment sub_fixed(sub.num_vertices(), 2);
+    for (const VertexId v : subset) {
+      const std::uint64_t mask = fixed->allowed_mask(v);
+      const bool low_ok = (mask & low_mask) != 0;
+      const bool high_ok = (mask & high_mask) != 0;
+      if (!low_ok && !high_ok) {
+        throw std::invalid_argument(
+            "recursive_bisection: vertex with empty allowed set in range");
+      }
+      if (low_ok != high_ok) sub_fixed.fix(induced.local_of[v], low_ok ? 0 : 1);
+    }
+
+    // Proportional capacities: side 0 targets (mid-lo)/(hi-lo) of the
+    // subset weight in every resource.
+    const double low_share = static_cast<double>(mid - lo) /
+                             static_cast<double>(hi - lo);
+    hg::BalanceSpec spec;
+    spec.relative = false;
+    for (int r = 0; r < sub.num_resources(); ++r) {
+      const auto total = static_cast<double>(sub.total_weight(r));
+      const double slack = config->tolerance_pct / 100.0;
+      hg::BalanceSpec::Capacity low_cap;
+      low_cap.part = 0;
+      low_cap.resource = r;
+      low_cap.min = 0;
+      low_cap.max = static_cast<Weight>(
+          std::ceil(total * low_share * (1.0 + slack)));
+      hg::BalanceSpec::Capacity high_cap;
+      high_cap.part = 1;
+      high_cap.resource = r;
+      high_cap.min = 0;
+      high_cap.max = static_cast<Weight>(
+          std::ceil(total * (1.0 - low_share) * (1.0 + slack)));
+      spec.capacities.push_back(low_cap);
+      spec.capacities.push_back(high_cap);
+    }
+    const auto balance = part::BalanceConstraint::from_spec(sub, 2, spec);
+
+    const MultilevelPartitioner partitioner(sub, sub_fixed, balance);
+    const MultilevelResult solved = partitioner.run(*rng, config->ml);
+
+    std::vector<VertexId> low_subset;
+    std::vector<VertexId> high_subset;
+    for (const VertexId v : subset) {
+      (solved.assignment[induced.local_of[v]] == 0 ? low_subset : high_subset)
+          .push_back(v);
+    }
+    split(low_subset, lo, mid);
+    split(high_subset, mid, hi);
+  }
+};
+
+}  // namespace
+
+std::vector<hg::PartitionId> recursive_bisection(
+    const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
+    hg::PartitionId k, const RbConfig& config, util::Rng& rng) {
+  if (k < 1 || k > hg::FixedAssignment::kMaxParts) {
+    throw std::invalid_argument("recursive_bisection: bad k");
+  }
+  if (fixed.num_parts() != k) {
+    throw std::invalid_argument("recursive_bisection: fixed num_parts != k");
+  }
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("recursive_bisection: fixed size mismatch");
+  }
+  std::vector<hg::PartitionId> result(
+      static_cast<std::size_t>(graph.num_vertices()), hg::kNoPartition);
+  std::vector<VertexId> all(static_cast<std::size_t>(graph.num_vertices()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) all[v] = v;
+  Splitter splitter{&graph, &fixed, &config, &rng, &result};
+  splitter.split(all, 0, k);
+  return result;
+}
+
+}  // namespace fixedpart::ml

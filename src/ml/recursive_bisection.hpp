@@ -1,0 +1,39 @@
+#pragma once
+// k-way partitioning by recursive bisection with the multilevel engine —
+// the construction used by top-down placement (and by hMETIS-style k-way
+// drivers). The part-id range [0,k) is split in half recursively; each
+// bisection runs on the sub-hypergraph induced by the vertices currently
+// assigned to the range, with
+//
+//  * OR-restricted vertices honoured throughout: a vertex whose allowed
+//    set intersects only one half is fixed into that half; if it
+//    intersects both it stays movable at this level (Sec. IV semantics);
+//  * proportional balance for uneven splits (k not a power of two):
+//    absolute capacity windows sized to each half's share of the range.
+//
+// Nets are truncated to the subset (classic naive RB; no terminal
+// propagation across sibling groups).
+
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "ml/multilevel.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::ml {
+
+struct RbConfig {
+  MultilevelConfig ml;
+  /// Relative tolerance applied at every bisection level.
+  double tolerance_pct = 2.0;
+};
+
+/// Returns a complete k-way assignment honouring `fixed` (whose
+/// num_parts() must equal k). Throws if some vertex's allowed set is
+/// empty over [0,k).
+std::vector<hg::PartitionId> recursive_bisection(
+    const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
+    hg::PartitionId k, const RbConfig& config, util::Rng& rng);
+
+}  // namespace fixedpart::ml

@@ -1,0 +1,95 @@
+#include "part/balance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fixedpart::part {
+
+BalanceConstraint::BalanceConstraint(PartitionId num_parts, int num_resources)
+    : num_parts_(num_parts), num_resources_(num_resources) {
+  if (num_parts < 1) throw std::invalid_argument("BalanceConstraint: parts<1");
+  if (num_resources < 1) {
+    throw std::invalid_argument("BalanceConstraint: resources<1");
+  }
+  const auto n = static_cast<std::size_t>(num_parts) *
+                 static_cast<std::size_t>(num_resources);
+  max_.assign(n, 0);
+  min_.assign(n, 0);
+}
+
+BalanceConstraint BalanceConstraint::relative(const hg::Hypergraph& g,
+                                              PartitionId num_parts,
+                                              double tolerance_pct) {
+  if (tolerance_pct < 0.0) {
+    throw std::invalid_argument("BalanceConstraint: negative tolerance");
+  }
+  BalanceConstraint c(num_parts, g.num_resources());
+  for (int r = 0; r < g.num_resources(); ++r) {
+    const double perfect = static_cast<double>(g.total_weight(r)) /
+                           static_cast<double>(num_parts);
+    const double slack = perfect * tolerance_pct / 100.0;
+    for (PartitionId p = 0; p < num_parts; ++p) {
+      c.max_[c.index(p, r)] = static_cast<Weight>(std::floor(perfect + slack));
+      c.min_[c.index(p, r)] = static_cast<Weight>(std::ceil(perfect - slack));
+    }
+  }
+  return c;
+}
+
+BalanceConstraint BalanceConstraint::from_spec(const hg::Hypergraph& g,
+                                               PartitionId num_parts,
+                                               const hg::BalanceSpec& spec) {
+  if (spec.relative) {
+    return relative(g, num_parts, spec.tolerance_pct);
+  }
+  BalanceConstraint c = relative(g, num_parts, 2.0);
+  for (const auto& cap : spec.capacities) {
+    if (cap.part < 0 || cap.part >= num_parts) {
+      throw std::invalid_argument("BalanceConstraint: capacity part range");
+    }
+    if (cap.resource < 0 || cap.resource >= g.num_resources()) {
+      throw std::invalid_argument("BalanceConstraint: capacity resource range");
+    }
+    if (cap.min > cap.max) {
+      throw std::invalid_argument("BalanceConstraint: capacity min > max");
+    }
+    c.max_[c.index(cap.part, cap.resource)] = cap.max;
+    c.min_[c.index(cap.part, cap.resource)] = cap.min;
+  }
+  return c;
+}
+
+bool BalanceConstraint::fits(std::span<const Weight> part_weights_of_p,
+                             std::span<const Weight> add,
+                             PartitionId p) const {
+  for (int r = 0; r < num_resources_; ++r) {
+    if (part_weights_of_p[static_cast<std::size_t>(r)] +
+            add[static_cast<std::size_t>(r)] >
+        max_[index(p, r)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BalanceConstraint::satisfied(std::span<const Weight> part_weights) const {
+  for (PartitionId p = 0; p < num_parts_; ++p) {
+    for (int r = 0; r < num_resources_; ++r) {
+      if (part_weights[index(p, r)] > max_[index(p, r)]) return false;
+    }
+  }
+  return true;
+}
+
+bool BalanceConstraint::strictly_satisfied(
+    std::span<const Weight> part_weights) const {
+  if (!satisfied(part_weights)) return false;
+  for (PartitionId p = 0; p < num_parts_; ++p) {
+    for (int r = 0; r < num_resources_; ++r) {
+      if (part_weights[index(p, r)] < min_[index(p, r)]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fixedpart::part

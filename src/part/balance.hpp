@@ -1,0 +1,77 @@
+#pragma once
+// Balance constraints for k-way multi-resource partitioning.
+//
+// The paper's experiments use a 2% relative balance tolerance with actual
+// cell areas; Sec. IV additionally proposes absolute per-partition
+// capacities and multi-resource ("multi-area") balance. Both semantics are
+// supported here. Following standard FM practice only the *upper* capacity
+// is enforced on moves; for bipartitioning the lower bound is implied
+// (side 0 <= max forces side 1 >= total - max).
+
+#include <span>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::part {
+
+using hg::PartitionId;
+using hg::VertexId;
+using hg::Weight;
+
+class BalanceConstraint {
+ public:
+  /// Relative semantics: each partition's weight in every resource must be
+  /// at most (1 + tolerance_pct/100) * total/num_parts. The paper's
+  /// "deviate from exact bisection by 2%" is tolerance_pct = 2 with
+  /// num_parts = 2.
+  static BalanceConstraint relative(const hg::Hypergraph& g,
+                                    PartitionId num_parts,
+                                    double tolerance_pct);
+
+  /// Absolute semantics: explicit capacity windows; resources/partitions
+  /// with no explicit capacity default to the relative-2% window.
+  static BalanceConstraint from_spec(const hg::Hypergraph& g,
+                                     PartitionId num_parts,
+                                     const hg::BalanceSpec& spec);
+
+  PartitionId num_parts() const { return num_parts_; }
+  int num_resources() const { return num_resources_; }
+
+  Weight max_weight(PartitionId p, int r = 0) const {
+    return max_[index(p, r)];
+  }
+  Weight min_weight(PartitionId p, int r = 0) const {
+    return min_[index(p, r)];
+  }
+
+  /// Would partition p stay within capacity in every resource after adding
+  /// the given per-resource weights (size num_resources)?
+  bool fits(std::span<const Weight> part_weights_of_p,
+            std::span<const Weight> add, PartitionId p) const;
+
+  /// Are the given per-partition weights within all upper capacities?
+  /// `part_weights` is laid out [p * num_resources + r].
+  bool satisfied(std::span<const Weight> part_weights) const;
+
+  /// As `satisfied`, but also checks lower bounds (used to grade final
+  /// solutions, not to filter moves).
+  bool strictly_satisfied(std::span<const Weight> part_weights) const;
+
+ private:
+  BalanceConstraint(PartitionId num_parts, int num_resources);
+  std::size_t index(PartitionId p, int r) const {
+    return static_cast<std::size_t>(p) *
+               static_cast<std::size_t>(num_resources_) +
+           static_cast<std::size_t>(r);
+  }
+
+  PartitionId num_parts_;
+  int num_resources_;
+  std::vector<Weight> max_;
+  std::vector<Weight> min_;
+};
+
+}  // namespace fixedpart::part

@@ -1,0 +1,45 @@
+#pragma once
+// Exact (branch-and-bound) bipartitioning for small instances. Top-down
+// placers process their end cases — blocks of a few dozen cells — with
+// optimal partitioners (Caldwell-Kahng-Markov, "Optimal end-case
+// partitioners and placers"); this module provides that substrate, and
+// doubles as the oracle the test suite validates the heuristics against.
+//
+// Bounding uses a monotonicity property of the incremental PartitionState:
+// assigning additional vertices can only populate more sides of a net, so
+// the cut of a partial assignment is a valid lower bound for all of its
+// completions.
+
+#include <cstdint>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "part/balance.hpp"
+#include "part/partition.hpp"
+
+namespace fixedpart::part {
+
+struct ExactConfig {
+  /// Search-node budget; when exhausted the best incumbent is returned
+  /// with proven_optimal = false.
+  std::int64_t max_nodes = 4'000'000;
+};
+
+struct ExactResult {
+  Weight cut = 0;
+  std::vector<PartitionId> assignment;
+  bool proven_optimal = false;
+  bool feasible = false;  ///< false if no balanced completion exists
+  std::int64_t nodes = 0;
+};
+
+/// Optimal bipartition under `fixed` and `balance` (upper capacities, as
+/// enforced by the heuristics). Practical up to roughly 30-40 movable
+/// vertices; intended for end cases and for validating heuristics.
+ExactResult exact_bipartition(const hg::Hypergraph& graph,
+                              const hg::FixedAssignment& fixed,
+                              const BalanceConstraint& balance,
+                              const ExactConfig& config = {});
+
+}  // namespace fixedpart::part

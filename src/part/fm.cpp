@@ -1,0 +1,270 @@
+#include "part/fm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace fixedpart::part {
+
+namespace {
+
+/// CLIP keys accumulate deltas on top of a zero seed, so they can drift to
+/// (initial gain distance) beyond the true gain range; 2x covers it.
+Weight key_range(const hg::Hypergraph& g) {
+  return 2 * g.max_weighted_vertex_degree() + 1;
+}
+
+}  // namespace
+
+FmBipartitioner::FmBipartitioner(const hg::Hypergraph& graph,
+                                 const hg::FixedAssignment& fixed,
+                                 const BalanceConstraint& balance)
+    : graph_(&graph),
+      fixed_(&fixed),
+      balance_(&balance),
+      locked_(static_cast<std::size_t>(graph.num_vertices()), 0),
+      buckets_{GainBuckets(graph.num_vertices(), key_range(graph)),
+               GainBuckets(graph.num_vertices(), key_range(graph))} {
+  if (fixed.num_parts() != 2 || balance.num_parts() != 2) {
+    throw std::invalid_argument("FmBipartitioner: needs exactly 2 parts");
+  }
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("FmBipartitioner: fixed size mismatch");
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (fixed.is_allowed(v, 0) && fixed.is_allowed(v, 1)) {
+      movable_.push_back(v);
+    }
+  }
+  move_log_.reserve(movable_.size());
+}
+
+Weight FmBipartitioner::true_gain(const PartitionState& state,
+                                  VertexId v) const {
+  const PartitionId from = state.part_of(v);
+  const PartitionId to = 1 - from;
+  Weight gain = 0;
+  for (hg::NetId e : graph_->nets_of(v)) {
+    const Weight w = graph_->net_weight(e);
+    if (state.pin_count(e, from) == 1) gain += w;  // move uncuts e
+    if (state.pin_count(e, to) == 0) gain -= w;    // move newly cuts e
+  }
+  return gain;
+}
+
+void FmBipartitioner::bucket_adjust(PartitionId side, VertexId u, Weight delta) {
+  if (policy_ == SelectionPolicy::kFifo) {
+    buckets_[side].adjust_back(u, delta);
+  } else {
+    buckets_[side].adjust(u, delta);
+  }
+}
+
+void FmBipartitioner::apply_gain_updates(PartitionState& state, VertexId v,
+                                         PartitionId from, PartitionId to) {
+  // Standard FM delta rules, evaluated on the pre-move pin counts. The
+  // bucket keys of unlocked pins shift by the change in their true gain;
+  // under CLIP the same deltas are applied to the zero-seeded keys.
+  for (hg::NetId e : graph_->nets_of(v)) {
+    const Weight w = graph_->net_weight(e);
+    if (w == 0) continue;
+    const int cnt_to = state.pin_count(e, to);
+    const int cnt_from_after = state.pin_count(e, from) - 1;
+    const bool all_updates_trivial = cnt_to > 1 && cnt_from_after > 1;
+    if (all_updates_trivial) continue;
+
+    const auto pins = graph_->pins(e);
+    if (cnt_to == 0) {
+      // Net was uncut on `from`; every other pin gains w.
+      for (VertexId u : pins) {
+        if (u != v && buckets_[from].contains(u)) {
+          bucket_adjust(from, u, +w);
+        }
+      }
+    } else if (cnt_to == 1) {
+      // The single `to`-side pin loses its uncut-by-moving gain.
+      for (VertexId u : pins) {
+        if (u != v && state.part_of(u) == to) {
+          if (buckets_[to].contains(u)) bucket_adjust(to, u, -w);
+          break;
+        }
+      }
+    }
+    if (cnt_from_after == 0) {
+      // Net becomes uncut on `to`; every other pin now cuts by moving.
+      for (VertexId u : pins) {
+        if (u != v && buckets_[to].contains(u)) {
+          bucket_adjust(to, u, -w);
+        }
+      }
+    } else if (cnt_from_after == 1) {
+      // The single remaining `from`-side pin can now uncut the net.
+      for (VertexId u : pins) {
+        if (u != v && u != hg::kNoVertex && state.part_of(u) == from) {
+          if (buckets_[from].contains(u)) bucket_adjust(from, u, +w);
+          break;
+        }
+      }
+    }
+  }
+}
+
+Weight FmBipartitioner::run_pass(PartitionState& state, util::Rng& rng,
+                                 const FmConfig& config, bool first_pass,
+                                 PassRecord& record) {
+  const auto movable_count = static_cast<std::int32_t>(movable_.size());
+  record.movable = movable_count;
+  record.cut_before = state.cut();
+  record.cut_best = state.cut();
+  if (movable_count == 0) return 0;
+
+  // Random insertion order diversifies LIFO tie-breaking between passes.
+  order_ = movable_;
+  rng.shuffle(std::span<VertexId>(order_));
+  if (config.policy == SelectionPolicy::kClip) {
+    // CLIP seeds every key at zero, so bucket order IS the tie-break for
+    // the first selection: insert in ascending actual gain (head insertion
+    // reverses it) so the pass starts from the highest-actual-gain vertex
+    // and then follows update gains — the cluster signal (Dutt-Deng).
+    gain_scratch_.resize(static_cast<std::size_t>(graph_->num_vertices()));
+    for (VertexId v : order_) gain_scratch_[v] = true_gain(state, v);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](VertexId a, VertexId b) {
+                       return gain_scratch_[a] < gain_scratch_[b];
+                     });
+  }
+  policy_ = config.policy;
+  buckets_[0].clear();
+  buckets_[1].clear();
+  for (VertexId v : order_) {
+    locked_[v] = 0;
+    const Weight key =
+        config.policy == SelectionPolicy::kClip ? 0 : true_gain(state, v);
+    if (config.policy == SelectionPolicy::kFifo) {
+      buckets_[state.part_of(v)].insert_back(v, key);
+    } else {
+      buckets_[state.part_of(v)].insert(v, key);
+    }
+  }
+
+  std::int32_t move_limit = movable_count;
+  if (!first_pass || config.cutoff_first_pass) {
+    if (config.pass_cutoff < 1.0) {
+      move_limit = std::max<std::int32_t>(
+          1, static_cast<std::int32_t>(
+                 std::llround(config.pass_cutoff * movable_count)));
+    }
+  }
+
+  move_log_.clear();
+  const Weight cut_start = state.cut();
+  Weight best_cut = cut_start;
+  std::int32_t best_prefix = 0;
+
+  while (static_cast<std::int32_t>(move_log_.size()) < move_limit) {
+    // Best feasible candidate from each side; feasibility = target side
+    // stays under its capacity in every resource.
+    VertexId candidate[2] = {hg::kNoVertex, hg::kNoVertex};
+    for (PartitionId side = 0; side < 2; ++side) {
+      const PartitionId target = 1 - side;
+      candidate[side] = buckets_[side].find_best([&](VertexId u) {
+        Weight add[8];
+        const int nr = graph_->num_resources();
+        for (int r = 0; r < nr; ++r) add[r] = graph_->vertex_weight(u, r);
+        return balance_->fits(state.part_weight_vector(target),
+                              std::span<const Weight>(add, nr), target);
+      });
+    }
+    PartitionId side;
+    if (candidate[0] == hg::kNoVertex && candidate[1] == hg::kNoVertex) break;
+    if (candidate[0] == hg::kNoVertex) {
+      side = 1;
+    } else if (candidate[1] == hg::kNoVertex) {
+      side = 0;
+    } else {
+      const Weight k0 = buckets_[0].key_of(candidate[0]);
+      const Weight k1 = buckets_[1].key_of(candidate[1]);
+      if (k0 != k1) {
+        side = k0 > k1 ? 0 : 1;
+      } else {
+        // Tie: move from the heavier side (improves balance slack).
+        side = state.part_weight(0) >= state.part_weight(1) ? 0 : 1;
+      }
+    }
+    const VertexId v = candidate[side];
+    const PartitionId from = side;
+    const PartitionId to = 1 - side;
+
+    buckets_[from].remove(v);
+    locked_[v] = 1;
+    apply_gain_updates(state, v, from, to);
+    state.move(v, to);
+    move_log_.push_back({v, from});
+
+    if (config.check_invariants) {
+      // Every unlocked vertex's key must track its true gain: exactly for
+      // LIFO/FIFO, and up to the constant CLIP zero-seed offset otherwise.
+      for (VertexId u : order_) {
+        for (PartitionId side = 0; side < 2; ++side) {
+          if (!buckets_[side].contains(u)) continue;
+          const Weight expected =
+              config.policy == SelectionPolicy::kClip
+                  ? true_gain(state, u) - gain_scratch_[u]
+                  : true_gain(state, u);
+          if (buckets_[side].key_of(u) != expected) {
+            throw std::logic_error(
+                "FmBipartitioner: bucket key diverged from true gain");
+          }
+        }
+      }
+    }
+
+    if (state.cut() < best_cut) {
+      best_cut = state.cut();
+      best_prefix = static_cast<std::int32_t>(move_log_.size());
+    }
+  }
+
+  // Roll back to the best prefix; the undone tail is the "wasted" work of
+  // Sec. III.
+  for (std::size_t i = move_log_.size(); i > static_cast<std::size_t>(best_prefix);
+       --i) {
+    const MoveLog& entry = move_log_[i - 1];
+    state.move(entry.vertex, entry.from);
+  }
+
+  record.moves_performed = static_cast<std::int32_t>(move_log_.size());
+  record.best_prefix = best_prefix;
+  record.cut_best = best_cut;
+  return cut_start - best_cut;
+}
+
+FmResult FmBipartitioner::refine(PartitionState& state, util::Rng& rng,
+                                 const FmConfig& config) {
+  if (state.num_parts() != 2) {
+    throw std::invalid_argument("FmBipartitioner::refine: needs 2 parts");
+  }
+  if (state.num_assigned() != graph_->num_vertices()) {
+    throw std::invalid_argument("FmBipartitioner::refine: incomplete state");
+  }
+  if (graph_->num_resources() > 8) {
+    throw std::invalid_argument("FmBipartitioner: more than 8 resources");
+  }
+  for (VertexId v : movable_) locked_[v] = 0;
+
+  FmResult result;
+  result.initial_cut = state.cut();
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    PassRecord record;
+    const Weight gain = run_pass(state, rng, config, pass == 0, record);
+    ++result.passes;
+    result.total_moves += record.moves_performed;
+    if (config.collect_pass_records) result.pass_records.push_back(record);
+    if (gain <= 0) break;
+  }
+  result.final_cut = state.cut();
+  return result;
+}
+
+}  // namespace fixedpart::part

@@ -1,0 +1,127 @@
+#pragma once
+// Flat Fiduccia-Mattheyses bipartitioning refinement with fixed vertices,
+// the engine behind the paper's Section III studies:
+//
+//  * LIFO FM: bucket keys are true move gains, head insertion (classic).
+//  * CLIP FM (Dutt-Deng cluster-oriented selection, used by the paper's
+//    multilevel engine): all bucket keys start at zero and only gain
+//    *updates* reorder the buckets, so vertices adjacent to just-moved
+//    vertices float to the top and clusters are peeled off together.
+//  * Pass-length cutoff (Table III): after the first pass, a pass may be
+//    cut off after a fraction of the movable vertices has been moved,
+//    which the paper shows is safe once enough terminals are fixed.
+//  * Per-pass statistics (Table II): moves performed, best-prefix length
+//    (moves actually kept — the rest are "wasted"), cut trajectory.
+//
+// A pass moves each movable vertex at most once (highest-feasible-gain
+// first), then rolls back to the best prefix of the move sequence. Passes
+// repeat until one fails to improve the cut.
+
+#include <cstdint>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "part/balance.hpp"
+#include "part/gain_buckets.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+
+enum class SelectionPolicy : std::uint8_t {
+  kLifo,  ///< classic FM: buckets keyed by true gain, ties last-in first-out
+  kFifo,  ///< buckets keyed by true gain, ties first-in first-out
+  kClip,  ///< CLIP: keys seeded at zero; only deltas order the buckets
+};
+
+struct FmConfig {
+  SelectionPolicy policy = SelectionPolicy::kLifo;
+  /// Fraction of movable vertices a pass may move before it is cut off
+  /// (1.0 = full pass). Applied starting from the second pass unless
+  /// cutoff_first_pass is set, mirroring the paper's Table III protocol
+  /// ("cutting off all passes (after the first) at the given move limit").
+  double pass_cutoff = 1.0;
+  bool cutoff_first_pass = false;
+  /// Hard cap on passes; refinement normally stops earlier, at the first
+  /// non-improving pass.
+  int max_passes = 64;
+  /// Record per-pass statistics (cheap; on by default).
+  bool collect_pass_records = true;
+  /// Debug mode: after every move, verify that each bucketed vertex's key
+  /// equals its true gain (LIFO/FIFO; CLIP keys are deltas and are checked
+  /// against gain change instead). O(movable * degree) per move — tests
+  /// only. Throws std::logic_error on the first violation.
+  bool check_invariants = false;
+};
+
+struct PassRecord {
+  std::int32_t moves_performed = 0;  ///< moves made before pass end/cutoff
+  std::int32_t best_prefix = 0;      ///< moves kept after rollback
+  std::int32_t movable = 0;          ///< movable (non-fixed) vertex count
+  Weight cut_before = 0;
+  Weight cut_best = 0;
+  /// Fraction of performed moves that were undone ("wasted", Sec. III).
+  double wasted_fraction() const {
+    return moves_performed == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(best_prefix) /
+                           static_cast<double>(moves_performed);
+  }
+};
+
+struct FmResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  std::int32_t passes = 0;
+  std::int64_t total_moves = 0;
+  std::vector<PassRecord> pass_records;
+};
+
+class FmBipartitioner {
+ public:
+  /// All references must outlive the partitioner. num_parts must be 2 in
+  /// `fixed` and `balance`.
+  FmBipartitioner(const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
+                  const BalanceConstraint& balance);
+
+  /// Iteratively improves `state` (which must be a complete assignment
+  /// consistent with the fixed vertices). Deterministic given `rng` state.
+  FmResult refine(PartitionState& state, util::Rng& rng,
+                  const FmConfig& config);
+
+  /// Vertices free to move between both sides.
+  VertexId num_movable() const {
+    return static_cast<VertexId>(movable_.size());
+  }
+
+ private:
+  struct MoveLog {
+    VertexId vertex;
+    PartitionId from;
+  };
+
+  /// One FM pass; returns the improvement (>= 0) kept after rollback.
+  Weight run_pass(PartitionState& state, util::Rng& rng,
+                  const FmConfig& config, bool first_pass, PassRecord& record);
+
+  Weight true_gain(const PartitionState& state, VertexId v) const;
+  /// Policy-aware re-keying: LIFO/CLIP move updated vertices to the bucket
+  /// head, FIFO to the tail.
+  void bucket_adjust(PartitionId side, VertexId u, Weight delta);
+  void apply_gain_updates(PartitionState& state, VertexId v, PartitionId from,
+                          PartitionId to);
+
+  const hg::Hypergraph* graph_;
+  const hg::FixedAssignment* fixed_;
+  const BalanceConstraint* balance_;
+  std::vector<VertexId> movable_;
+  std::vector<std::uint8_t> locked_;
+  SelectionPolicy policy_ = SelectionPolicy::kLifo;  ///< of the active pass
+  GainBuckets buckets_[2];
+  std::vector<VertexId> order_;     // per-pass random insertion order
+  std::vector<Weight> gain_scratch_;  // CLIP: cached actual gains for sorting
+  std::vector<MoveLog> move_log_;
+};
+
+}  // namespace fixedpart::part

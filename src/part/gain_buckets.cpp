@@ -1,0 +1,125 @@
+#include "part/gain_buckets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fixedpart::part {
+
+GainBuckets::GainBuckets(VertexId capacity, Weight max_key)
+    : max_key_bound_(max_key) {
+  if (capacity < 0) throw std::invalid_argument("GainBuckets: capacity<0");
+  if (max_key < 0) throw std::invalid_argument("GainBuckets: max_key<0");
+  head_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
+  tail_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
+  next_.assign(static_cast<std::size_t>(capacity), hg::kNoVertex);
+  prev_.assign(static_cast<std::size_t>(capacity), hg::kNoVertex);
+  key_.assign(static_cast<std::size_t>(capacity), 0);
+  in_.assign(static_cast<std::size_t>(capacity), 0);
+}
+
+std::size_t GainBuckets::bucket_of_key(Weight key) const {
+  if (key < -max_key_bound_ || key > max_key_bound_) {
+    throw std::out_of_range("GainBuckets: key outside declared range");
+  }
+  return static_cast<std::size_t>(key + max_key_bound_);
+}
+
+void GainBuckets::clear() {
+  std::fill(head_.begin(), head_.end(), hg::kNoVertex);
+  std::fill(tail_.begin(), tail_.end(), hg::kNoVertex);
+  std::fill(in_.begin(), in_.end(), 0);
+  max_bucket_ = -1;
+  size_ = 0;
+}
+
+void GainBuckets::link_front(VertexId v, Weight key) {
+  const std::size_t b = bucket_of_key(key);
+  key_[v] = key;
+  prev_[v] = hg::kNoVertex;
+  next_[v] = head_[b];
+  if (head_[b] != hg::kNoVertex) {
+    prev_[head_[b]] = v;
+  } else {
+    tail_[b] = v;
+  }
+  head_[b] = v;
+  max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(b));
+}
+
+void GainBuckets::link_back(VertexId v, Weight key) {
+  const std::size_t b = bucket_of_key(key);
+  key_[v] = key;
+  next_[v] = hg::kNoVertex;
+  prev_[v] = tail_[b];
+  if (tail_[b] != hg::kNoVertex) {
+    next_[tail_[b]] = v;
+  } else {
+    head_[b] = v;
+  }
+  tail_[b] = v;
+  max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(b));
+}
+
+void GainBuckets::insert(VertexId v, Weight key) {
+  if (in_[v]) throw std::logic_error("GainBuckets::insert: already present");
+  link_front(v, key);
+  in_[v] = 1;
+  ++size_;
+}
+
+void GainBuckets::insert_back(VertexId v, Weight key) {
+  if (in_[v]) throw std::logic_error("GainBuckets::insert: already present");
+  link_back(v, key);
+  in_[v] = 1;
+  ++size_;
+}
+
+void GainBuckets::unlink(VertexId v) {
+  const std::size_t b = bucket_of_key(key_[v]);
+  if (prev_[v] != hg::kNoVertex) {
+    next_[prev_[v]] = next_[v];
+  } else {
+    head_[b] = next_[v];
+  }
+  if (next_[v] != hg::kNoVertex) {
+    prev_[next_[v]] = prev_[v];
+  } else {
+    tail_[b] = prev_[v];
+  }
+}
+
+void GainBuckets::remove(VertexId v) {
+  if (!in_[v]) throw std::logic_error("GainBuckets::remove: not present");
+  unlink(v);
+  in_[v] = 0;
+  --size_;
+}
+
+void GainBuckets::adjust(VertexId v, Weight delta) {
+  if (!in_[v]) throw std::logic_error("GainBuckets::adjust: not present");
+  if (delta == 0) return;
+  unlink(v);
+  link_front(v, key_[v] + delta);
+}
+
+void GainBuckets::adjust_back(VertexId v, Weight delta) {
+  if (!in_[v]) throw std::logic_error("GainBuckets::adjust: not present");
+  if (delta == 0) return;
+  unlink(v);
+  link_back(v, key_[v] + delta);
+}
+
+void GainBuckets::settle_max() const {
+  while (max_bucket_ >= 0 &&
+         head_[static_cast<std::size_t>(max_bucket_)] == hg::kNoVertex) {
+    --max_bucket_;
+  }
+}
+
+Weight GainBuckets::max_key() const {
+  if (size_ == 0) throw std::logic_error("GainBuckets::max_key: empty");
+  settle_max();
+  return static_cast<Weight>(max_bucket_) - max_key_bound_;
+}
+
+}  // namespace fixedpart::part

@@ -1,0 +1,79 @@
+#pragma once
+// The classic Fiduccia-Mattheyses bucket-list priority structure: an array
+// of doubly-linked lists indexed by gain, with O(1) insert / remove /
+// adjust and amortized-O(1) max tracking. Insertion is at the list head,
+// which yields LIFO tie-breaking among equal gains — the "LIFO FM" of the
+// paper; CLIP is realized by the caller seeding all keys at zero so that
+// only *deltas* (cluster signals) order the bucket.
+
+#include <vector>
+
+#include "hg/types.hpp"
+
+namespace fixedpart::part {
+
+using hg::VertexId;
+using hg::Weight;
+
+class GainBuckets {
+ public:
+  /// capacity: vertex id space; keys must stay within [-max_key, +max_key].
+  GainBuckets(VertexId capacity, Weight max_key);
+
+  /// Remove all vertices (O(buckets + contents)).
+  void clear();
+
+  bool empty() const { return size_ == 0; }
+  VertexId size() const { return size_; }
+  bool contains(VertexId v) const { return in_[v] != 0; }
+  Weight key_of(VertexId v) const { return key_[v]; }
+
+  /// Insert v with the given key at the head of its bucket.
+  void insert(VertexId v, Weight key);
+  /// Insert v at the tail of its bucket (FIFO tie-breaking).
+  void insert_back(VertexId v, Weight key);
+  void remove(VertexId v);
+  /// Add delta to v's key and move it to the head of the new bucket (FM
+  /// convention: freshly-updated vertices are preferred among equals).
+  void adjust(VertexId v, Weight delta);
+  /// As adjust, but re-inserts at the tail (FIFO: updated vertices queue
+  /// behind equals).
+  void adjust_back(VertexId v, Weight delta);
+
+  /// Highest key present; requires !empty().
+  Weight max_key() const;
+
+  /// Highest-key vertex satisfying `feasible`, scanning buckets downward
+  /// and each bucket front-to-back. Returns kNoVertex if none qualifies.
+  template <typename Pred>
+  VertexId find_best(Pred&& feasible) const {
+    if (size_ == 0) return hg::kNoVertex;
+    settle_max();
+    for (std::ptrdiff_t b = max_bucket_; b >= 0; --b) {
+      for (VertexId v = head_[static_cast<std::size_t>(b)];
+           v != hg::kNoVertex; v = next_[v]) {
+        if (feasible(v)) return v;
+      }
+    }
+    return hg::kNoVertex;
+  }
+
+ private:
+  std::size_t bucket_of_key(Weight key) const;
+  void settle_max() const;
+  void unlink(VertexId v);
+  void link_front(VertexId v, Weight key);
+  void link_back(VertexId v, Weight key);
+
+  Weight max_key_bound_;
+  std::vector<VertexId> head_;
+  std::vector<VertexId> tail_;
+  std::vector<VertexId> next_;
+  std::vector<VertexId> prev_;
+  std::vector<Weight> key_;
+  std::vector<std::uint8_t> in_;
+  mutable std::ptrdiff_t max_bucket_ = -1;  // lazy upper bound
+  VertexId size_ = 0;
+};
+
+}  // namespace fixedpart::part

@@ -1,0 +1,39 @@
+#pragma once
+// Feasible initial solutions. FM passes only ever *keep* balance, so the
+// start must already satisfy the capacity constraints; the classic "random
+// initial partitioning" (Sec. III: "the first FM pass traditionally begins
+// with a random partitioning") is realized as a randomized first-fit-
+// decreasing assignment: random for the many near-unit-area cells, greedy
+// for the few huge ISPD-98 macros that would otherwise overflow a side.
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "part/balance.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+
+/// Assigns every vertex of `state` (which is cleared first): restricted
+/// vertices go to an allowed side, free vertices to a random side that
+/// still fits its capacity. Returns whether the result satisfies every
+/// upper capacity.
+///
+/// With require_feasible (the default) an unsatisfiable outcome throws
+/// std::runtime_error. Passing false gives best-effort semantics for
+/// instances that are *inherently* over capacity — e.g. the paper's rand
+/// regime can fix a large macro plus binomially-imbalanced cell weight
+/// into one side of a 2% bisection; FM refinement then drains the
+/// overflow as far as the constraint allows (its moves never overfill the
+/// other side).
+bool random_feasible_assignment(PartitionState& state,
+                                const hg::FixedAssignment& fixed,
+                                const BalanceConstraint& balance,
+                                util::Rng& rng, bool require_feasible = true);
+
+/// Verifies that `state` honours every restriction in `fixed`; throws
+/// std::logic_error otherwise. Used by tests and multilevel projections.
+void check_respects_fixed(const PartitionState& state,
+                          const hg::FixedAssignment& fixed);
+
+}  // namespace fixedpart::part

@@ -1,0 +1,62 @@
+#include "part/pairwise.hpp"
+
+#include <stdexcept>
+
+namespace fixedpart::part {
+
+PairwiseRefiner::PairwiseRefiner(const hg::Hypergraph& graph,
+                                 const hg::FixedAssignment& fixed,
+                                 const BalanceConstraint& balance)
+    : graph_(&graph), fixed_(&fixed), balance_(&balance) {
+  if (fixed.num_parts() != balance.num_parts()) {
+    throw std::invalid_argument("PairwiseRefiner: part count mismatch");
+  }
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("PairwiseRefiner: fixed size mismatch");
+  }
+}
+
+PairwiseResult PairwiseRefiner::refine(PartitionState& state, util::Rng& rng,
+                                       const PairwiseConfig& config) {
+  if (state.num_assigned() != graph_->num_vertices()) {
+    throw std::invalid_argument("PairwiseRefiner::refine: incomplete state");
+  }
+  const PartitionId k = state.num_parts();
+  PairwiseResult result;
+  result.initial_cut = state.cut();
+
+  KwayConfig inner;
+  inner.pass_cutoff = config.pass_cutoff;
+
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    const Weight sweep_start = state.cut();
+    ++result.sweeps;
+    for (PartitionId a = 0; a < k; ++a) {
+      for (PartitionId b = a + 1; b < k; ++b) {
+        // Restrict movement to the (a,b) pair: everyone else is pinned to
+        // their current part; pair members keep their own allowed sets
+        // intersected with {a,b}.
+        const std::uint64_t pair_mask =
+            (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+        hg::FixedAssignment restricted(graph_->num_vertices(), k);
+        for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+          const PartitionId p = state.part_of(v);
+          if (p != a && p != b) {
+            restricted.fix(v, p);
+            continue;
+          }
+          const std::uint64_t mask = fixed_->allowed_mask(v) & pair_mask;
+          // The current part is always allowed, so mask is never empty.
+          restricted.restrict_to(v, mask);
+        }
+        KwayFmRefiner engine(*graph_, restricted, *balance_);
+        engine.refine(state, rng, inner);
+      }
+    }
+    if (state.cut() >= sweep_start) break;
+  }
+  result.final_cut = state.cut();
+  return result;
+}
+
+}  // namespace fixedpart::part

@@ -1,0 +1,124 @@
+#include "part/partition.hpp"
+
+#include <stdexcept>
+
+namespace fixedpart::part {
+
+PartitionState::PartitionState(const hg::Hypergraph& g, PartitionId num_parts)
+    : graph_(&g), num_parts_(num_parts), num_resources_(g.num_resources()) {
+  if (num_parts < 1) throw std::invalid_argument("PartitionState: parts<1");
+  part_.assign(static_cast<std::size_t>(g.num_vertices()), hg::kNoPartition);
+  pin_counts_.assign(static_cast<std::size_t>(g.num_nets()) *
+                         static_cast<std::size_t>(num_parts),
+                     0);
+  populated_parts_.assign(static_cast<std::size_t>(g.num_nets()), 0);
+  part_weights_.assign(static_cast<std::size_t>(num_parts) *
+                           static_cast<std::size_t>(num_resources_),
+                       0);
+}
+
+void PartitionState::add_to_part(VertexId v, PartitionId p) {
+  part_[v] = p;
+  for (int r = 0; r < num_resources_; ++r) {
+    part_weights_[static_cast<std::size_t>(p) *
+                      static_cast<std::size_t>(num_resources_) +
+                  static_cast<std::size_t>(r)] += graph_->vertex_weight(v, r);
+  }
+  for (NetId e : graph_->nets_of(v)) {
+    auto& count = pin_counts_[static_cast<std::size_t>(e) *
+                                  static_cast<std::size_t>(num_parts_) +
+                              static_cast<std::size_t>(p)];
+    if (count == 0) {
+      ++populated_parts_[e];
+      if (populated_parts_[e] == 2) cut_ += graph_->net_weight(e);
+    }
+    ++count;
+  }
+}
+
+void PartitionState::remove_from_part(VertexId v, PartitionId p) {
+  part_[v] = hg::kNoPartition;
+  for (int r = 0; r < num_resources_; ++r) {
+    part_weights_[static_cast<std::size_t>(p) *
+                      static_cast<std::size_t>(num_resources_) +
+                  static_cast<std::size_t>(r)] -= graph_->vertex_weight(v, r);
+  }
+  for (NetId e : graph_->nets_of(v)) {
+    auto& count = pin_counts_[static_cast<std::size_t>(e) *
+                                  static_cast<std::size_t>(num_parts_) +
+                              static_cast<std::size_t>(p)];
+    --count;
+    if (count == 0) {
+      --populated_parts_[e];
+      if (populated_parts_[e] == 1) cut_ -= graph_->net_weight(e);
+    }
+  }
+}
+
+void PartitionState::assign(VertexId v, PartitionId p) {
+  if (v < 0 || v >= graph_->num_vertices()) {
+    throw std::out_of_range("PartitionState::assign: vertex");
+  }
+  if (p < 0 || p >= num_parts_) {
+    throw std::out_of_range("PartitionState::assign: partition");
+  }
+  if (part_[v] != hg::kNoPartition) {
+    throw std::logic_error("PartitionState::assign: already assigned");
+  }
+  add_to_part(v, p);
+  ++num_assigned_;
+}
+
+void PartitionState::move(VertexId v, PartitionId to) {
+  if (to < 0 || to >= num_parts_) {
+    throw std::out_of_range("PartitionState::move: partition");
+  }
+  const PartitionId from = part_[v];
+  if (from == hg::kNoPartition) {
+    throw std::logic_error("PartitionState::move: vertex unassigned");
+  }
+  if (from == to) return;
+  remove_from_part(v, from);
+  add_to_part(v, to);
+}
+
+void PartitionState::unassign(VertexId v) {
+  if (v < 0 || v >= graph_->num_vertices()) {
+    throw std::out_of_range("PartitionState::unassign: vertex");
+  }
+  const PartitionId p = part_[v];
+  if (p == hg::kNoPartition) {
+    throw std::logic_error("PartitionState::unassign: not assigned");
+  }
+  remove_from_part(v, p);
+  --num_assigned_;
+}
+
+Weight PartitionState::recompute_cut() const {
+  Weight cut = 0;
+  for (NetId e = 0; e < graph_->num_nets(); ++e) {
+    PartitionId first = hg::kNoPartition;
+    for (VertexId v : graph_->pins(e)) {
+      const PartitionId p = part_[v];
+      if (p == hg::kNoPartition) continue;
+      if (first == hg::kNoPartition) {
+        first = p;
+      } else if (p != first) {
+        cut += graph_->net_weight(e);
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+void PartitionState::clear() {
+  std::fill(part_.begin(), part_.end(), hg::kNoPartition);
+  std::fill(pin_counts_.begin(), pin_counts_.end(), 0);
+  std::fill(populated_parts_.begin(), populated_parts_.end(), 0);
+  std::fill(part_weights_.begin(), part_weights_.end(), 0);
+  cut_ = 0;
+  num_assigned_ = 0;
+}
+
+}  // namespace fixedpart::part

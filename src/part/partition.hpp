@@ -1,0 +1,94 @@
+#pragma once
+// Mutable k-way partition of a hypergraph with O(pins-of-vertex)
+// incremental maintenance of: per-net pin counts by partition, per-part
+// resource weights, and the weighted hyperedge cut. This is the state
+// object that every refiner (flat FM, CLIP-FM, k-way FM) mutates.
+
+#include <span>
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::part {
+
+using hg::NetId;
+using hg::PartitionId;
+using hg::VertexId;
+using hg::Weight;
+
+class PartitionState {
+ public:
+  /// All vertices start unassigned (kNoPartition).
+  PartitionState(const hg::Hypergraph& g, PartitionId num_parts);
+
+  const hg::Hypergraph& graph() const { return *graph_; }
+  PartitionId num_parts() const { return num_parts_; }
+
+  PartitionId part_of(VertexId v) const { return part_[v]; }
+  bool is_assigned(VertexId v) const { return part_[v] != hg::kNoPartition; }
+  VertexId num_assigned() const { return num_assigned_; }
+
+  /// First-time assignment of an unassigned vertex.
+  void assign(VertexId v, PartitionId p);
+  /// Move an assigned vertex to a different partition.
+  void move(VertexId v, PartitionId to);
+  /// Return an assigned vertex to the unassigned state (used by
+  /// backtracking solvers).
+  void unassign(VertexId v);
+
+  /// Pins of net e currently in partition p.
+  int pin_count(NetId e, PartitionId p) const {
+    return pin_counts_[static_cast<std::size_t>(e) *
+                           static_cast<std::size_t>(num_parts_) +
+                       static_cast<std::size_t>(p)];
+  }
+  /// Number of distinct partitions populated on net e.
+  int connectivity(NetId e) const { return populated_parts_[e]; }
+  bool is_cut(NetId e) const { return populated_parts_[e] > 1; }
+
+  /// Weighted hyperedge cut (sum of weights of nets spanning >1 part).
+  /// Valid once every vertex is assigned; maintained incrementally.
+  Weight cut() const { return cut_; }
+
+  /// Weight of partition p in resource r.
+  Weight part_weight(PartitionId p, int r = 0) const {
+    return part_weights_[static_cast<std::size_t>(p) *
+                             static_cast<std::size_t>(num_resources_) +
+                         static_cast<std::size_t>(r)];
+  }
+  /// All per-part weights, laid out [p * num_resources + r].
+  std::span<const Weight> part_weights() const { return part_weights_; }
+  /// The weight vector of partition p over all resources.
+  std::span<const Weight> part_weight_vector(PartitionId p) const {
+    return {part_weights_.data() + static_cast<std::size_t>(p) *
+                                       static_cast<std::size_t>(num_resources_),
+            static_cast<std::size_t>(num_resources_)};
+  }
+
+  /// O(pins) recomputation of the cut; used by tests/asserts to check the
+  /// incremental bookkeeping.
+  Weight recompute_cut() const;
+
+  /// Reset every vertex to unassigned.
+  void clear();
+
+  /// Raw assignment vector (for snapshots / projections).
+  std::span<const PartitionId> assignment() const { return part_; }
+
+ private:
+  void add_to_part(VertexId v, PartitionId p);
+  void remove_from_part(VertexId v, PartitionId p);
+
+  const hg::Hypergraph* graph_;
+  PartitionId num_parts_;
+  int num_resources_;
+  std::vector<PartitionId> part_;
+  std::vector<std::int32_t> pin_counts_;       // [e * num_parts + p]
+  std::vector<std::int16_t> populated_parts_;  // per net
+  std::vector<Weight> part_weights_;           // [p * num_resources + r]
+  Weight cut_ = 0;
+  VertexId num_assigned_ = 0;
+};
+
+}  // namespace fixedpart::part

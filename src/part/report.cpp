@@ -1,0 +1,57 @@
+#include "part/report.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "part/partition.hpp"
+
+namespace fixedpart::part {
+
+SolutionReport evaluate_solution(
+    const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
+    const BalanceConstraint& balance,
+    std::span<const hg::PartitionId> assignment) {
+  if (static_cast<VertexId>(assignment.size()) != graph.num_vertices()) {
+    throw std::invalid_argument("evaluate_solution: assignment size");
+  }
+  if (fixed.num_vertices() != graph.num_vertices() ||
+      fixed.num_parts() != balance.num_parts()) {
+    throw std::invalid_argument("evaluate_solution: shape mismatch");
+  }
+  const PartitionId k = balance.num_parts();
+
+  PartitionState state(graph, k);
+  SolutionReport report;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const PartitionId p = assignment[v];
+    if (p < 0 || p >= k) {
+      throw std::invalid_argument("evaluate_solution: part out of range");
+    }
+    state.assign(v, p);
+    if (!fixed.is_allowed(v, p)) ++report.fixed_violations;
+  }
+  report.cut = state.cut();
+  report.part_weights.assign(state.part_weights().begin(),
+                             state.part_weights().end());
+  report.balanced = balance.satisfied(state.part_weights());
+  report.strictly_balanced = balance.strictly_satisfied(state.part_weights());
+
+  report.imbalance_pct.assign(
+      static_cast<std::size_t>(graph.num_resources()), 0.0);
+  for (int r = 0; r < graph.num_resources(); ++r) {
+    const double perfect = static_cast<double>(graph.total_weight(r)) /
+                           static_cast<double>(k);
+    if (perfect <= 0.0) continue;
+    double worst = 0.0;
+    for (PartitionId p = 0; p < k; ++p) {
+      worst = std::max(
+          worst, std::abs(static_cast<double>(state.part_weight(p, r)) -
+                          perfect) /
+                     perfect);
+    }
+    report.imbalance_pct[static_cast<std::size_t>(r)] = 100.0 * worst;
+  }
+  return report;
+}
+
+}  // namespace fixedpart::part

@@ -1,0 +1,39 @@
+#pragma once
+// Solution grading: everything a caller needs to judge a finished
+// partition in one call — cut, per-resource imbalance, capacity and
+// fixed-vertex violations. Used by the CLI tools and as the single
+// source of truth in integration tests.
+
+#include <span>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "part/balance.hpp"
+
+namespace fixedpart::part {
+
+struct SolutionReport {
+  Weight cut = 0;
+  /// Per-resource worst relative deviation from perfect balance across
+  /// partitions, in percent: max_p |w(p,r) - total(r)/k| / (total(r)/k).
+  std::vector<double> imbalance_pct;
+  /// All upper capacities respected.
+  bool balanced = false;
+  /// Upper and lower capacities respected.
+  bool strictly_balanced = false;
+  /// Vertices placed outside their allowed set.
+  VertexId fixed_violations = 0;
+  /// Per-partition weights, [p * num_resources + r].
+  std::vector<Weight> part_weights;
+
+  bool valid() const { return balanced && fixed_violations == 0; }
+};
+
+/// `assignment` must be a complete assignment into [0, balance.num_parts()).
+SolutionReport evaluate_solution(const hg::Hypergraph& graph,
+                                 const hg::FixedAssignment& fixed,
+                                 const BalanceConstraint& balance,
+                                 std::span<const hg::PartitionId> assignment);
+
+}  // namespace fixedpart::part

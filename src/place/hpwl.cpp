@@ -1,0 +1,39 @@
+#include "place/hpwl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fixedpart::place {
+
+double net_hpwl(const hg::Hypergraph& graph, hg::NetId e,
+                std::span<const double> x, std::span<const double> y) {
+  const auto pins = graph.pins(e);
+  if (pins.size() < 2) return 0.0;
+  double xlo = x[pins[0]];
+  double xhi = xlo;
+  double ylo = y[pins[0]];
+  double yhi = ylo;
+  for (std::size_t i = 1; i < pins.size(); ++i) {
+    xlo = std::min(xlo, x[pins[i]]);
+    xhi = std::max(xhi, x[pins[i]]);
+    ylo = std::min(ylo, y[pins[i]]);
+    yhi = std::max(yhi, y[pins[i]]);
+  }
+  return (xhi - xlo) + (yhi - ylo);
+}
+
+double half_perimeter_wirelength(const hg::Hypergraph& graph,
+                                 std::span<const double> x,
+                                 std::span<const double> y) {
+  if (static_cast<hg::VertexId>(x.size()) != graph.num_vertices() ||
+      static_cast<hg::VertexId>(y.size()) != graph.num_vertices()) {
+    throw std::invalid_argument("half_perimeter_wirelength: size mismatch");
+  }
+  double total = 0.0;
+  for (hg::NetId e = 0; e < graph.num_nets(); ++e) {
+    total += net_hpwl(graph, e, x, y);
+  }
+  return total;
+}
+
+}  // namespace fixedpart::place

@@ -1,0 +1,21 @@
+#pragma once
+// Half-perimeter wirelength — the placement cost metric of the top-down
+// placement literature the paper's experiments serve.
+
+#include <span>
+
+#include "hg/hypergraph.hpp"
+
+namespace fixedpart::place {
+
+/// Sum over nets (>= 2 pins) of the half perimeter of the pin bounding
+/// box. x/y are per-vertex coordinates (size num_vertices).
+double half_perimeter_wirelength(const hg::Hypergraph& graph,
+                                 std::span<const double> x,
+                                 std::span<const double> y);
+
+/// HPWL of a single net (returns 0 for nets below 2 pins).
+double net_hpwl(const hg::Hypergraph& graph, hg::NetId e,
+                std::span<const double> x, std::span<const double> y);
+
+}  // namespace fixedpart::place

@@ -1,0 +1,166 @@
+#include "place/placer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hg/subgraph.hpp"
+#include "place/hpwl.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace fixedpart::place {
+
+namespace {
+
+struct Region {
+  double xlo, ylo, xhi, yhi;
+  std::vector<hg::VertexId> cells;
+
+  double cx() const { return (xlo + xhi) / 2.0; }
+  double cy() const { return (ylo + yhi) / 2.0; }
+};
+
+/// Builds the block partitioning instance of `region` (movable cells plus
+/// propagated zero-area terminals) and solves it; returns the two child
+/// cell lists. Positions in pos_x/pos_y give every vertex's current
+/// location (block centres for unplaced cells, true locations for pads).
+struct BlockSplitter {
+  const hg::Hypergraph& graph;
+  const PlacerConfig& config;
+  const std::vector<double>& pos_x;
+  const std::vector<double>& pos_y;
+  util::Rng& rng;
+
+  std::pair<Region, Region> split(const Region& region,
+                                  util::RunningStat& fixed_pct,
+                                  util::RunningStat& cut_stat) const {
+    const bool vertical = (region.xhi - region.xlo) >= (region.yhi - region.ylo);
+    const double cutline = vertical ? region.cx() : region.cy();
+
+    // The Sec. IV block construction: movable cells plus one zero-area
+    // propagated terminal per outside vertex, fixed to the cutline side
+    // of its current position.
+    hg::SubgraphOptions options;
+    options.outside = hg::SubgraphOptions::OutsidePins::kTerminalPerVertex;
+    const hg::Subgraph induced =
+        hg::induce_subgraph(graph, region.cells, options);
+    const hg::Hypergraph& block = induced.graph;
+    const hg::VertexId num_movable = induced.num_movable;
+
+    hg::FixedAssignment fixed(block.num_vertices(), 2);
+    for (hg::VertexId t = num_movable; t < block.num_vertices(); ++t) {
+      const hg::VertexId u = induced.original_of[t];
+      const double coord = vertical ? pos_x[u] : pos_y[u];
+      fixed.fix(t, coord < cutline ? 0 : 1);
+    }
+    fixed_pct.add(100.0 *
+                  static_cast<double>(block.num_vertices() - num_movable) /
+                  static_cast<double>(block.num_vertices()));
+
+    const auto balance =
+        part::BalanceConstraint::relative(block, 2, config.tolerance_pct);
+    std::vector<hg::PartitionId> assignment;
+    if (config.exact_threshold > 0 &&
+        num_movable <= config.exact_threshold) {
+      const part::ExactResult exact =
+          part::exact_bipartition(block, fixed, balance);
+      if (exact.feasible) {
+        assignment = exact.assignment;
+        cut_stat.add(static_cast<double>(exact.cut));
+      }
+    }
+    if (assignment.empty()) {
+      const ml::MultilevelPartitioner partitioner(block, fixed, balance);
+      ml::MultilevelResult solved = partitioner.run(rng, config.ml);
+      cut_stat.add(static_cast<double>(solved.cut));
+      assignment = std::move(solved.assignment);
+    }
+
+    Region low = region;
+    Region high = region;
+    (vertical ? low.xhi : low.yhi) = cutline;
+    (vertical ? high.xlo : high.ylo) = cutline;
+    low.cells.clear();
+    high.cells.clear();
+    for (hg::VertexId local = 0; local < num_movable; ++local) {
+      const hg::VertexId v = region.cells[local];
+      (assignment[local] == 0 ? low : high).cells.push_back(v);
+    }
+    return {std::move(low), std::move(high)};
+  }
+};
+
+}  // namespace
+
+TopDownPlacer::TopDownPlacer(const PlacementProblem& problem)
+    : problem_(problem) {
+  if (problem.graph == nullptr) {
+    throw std::invalid_argument("TopDownPlacer: null graph");
+  }
+  if (problem.width <= 0.0 || problem.height <= 0.0) {
+    throw std::invalid_argument("TopDownPlacer: empty die");
+  }
+  const auto n = static_cast<std::size_t>(problem.graph->num_vertices());
+  if (problem.pad_x.size() != n || problem.pad_y.size() != n) {
+    throw std::invalid_argument("TopDownPlacer: pad coordinate size");
+  }
+}
+
+PlacementResult TopDownPlacer::run(const PlacerConfig& config,
+                                   util::Rng& rng) const {
+  const hg::Hypergraph& graph = *problem_.graph;
+  util::Timer total_timer;
+  PlacementResult result;
+  result.x = problem_.pad_x;
+  result.y = problem_.pad_y;
+
+  Region top{0.0, 0.0, problem_.width, problem_.height, {}};
+  for (hg::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (!graph.is_pad(v)) {
+      top.cells.push_back(v);
+      result.x[v] = top.cx();
+      result.y[v] = top.cy();
+    }
+  }
+
+  std::vector<Region> current;
+  current.push_back(std::move(top));
+  for (int level = 0; level < config.max_levels; ++level) {
+    util::Timer level_timer;
+    util::RunningStat fixed_pct;
+    util::RunningStat cut_stat;
+    const BlockSplitter splitter{graph, config, result.x, result.y, rng};
+    std::vector<Region> next;
+    bool any_split = false;
+    for (Region& region : current) {
+      if (static_cast<int>(region.cells.size()) < config.min_block_cells) {
+        next.push_back(std::move(region));
+        continue;
+      }
+      auto [low, high] = splitter.split(region, fixed_pct, cut_stat);
+      for (Region* child : {&low, &high}) {
+        for (const hg::VertexId v : child->cells) {
+          result.x[v] = child->cx();
+          result.y[v] = child->cy();
+        }
+      }
+      next.push_back(std::move(low));
+      next.push_back(std::move(high));
+      any_split = true;
+    }
+    current = std::move(next);
+    LevelStats stats;
+    stats.blocks_split = static_cast<int>(fixed_pct.count());
+    stats.avg_fixed_pct = fixed_pct.empty() ? 0.0 : fixed_pct.mean();
+    stats.avg_cut = cut_stat.empty() ? 0.0 : cut_stat.mean();
+    stats.seconds = level_timer.seconds();
+    result.levels.push_back(stats);
+    if (!any_split) break;
+  }
+
+  result.hpwl = half_perimeter_wirelength(graph, result.x, result.y);
+  result.seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace fixedpart::place

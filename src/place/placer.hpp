@@ -1,0 +1,74 @@
+#pragma once
+// Top-down recursive-bisection placement with terminal propagation
+// (Dunlop-Kernighan; the paper's motivating application). Every block
+// split below the top level is a partitioning instance *with fixed
+// vertices*: the projections of outside cells and pads onto the block —
+// exactly the regime the paper studies. The placer therefore exposes the
+// engine knobs the paper evaluates (refinement policy, the Table III pass
+// cutoff) plus an optimal end-case solver for tiny blocks
+// (Caldwell-Kahng-Markov end-case processing).
+
+#include <vector>
+
+#include "hg/hypergraph.hpp"
+#include "ml/multilevel.hpp"
+#include "part/exact.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::place {
+
+/// Input: a netlist plus immovable terminal locations. Cells (non-pad
+/// vertices) are placed by the placer; pad coordinates are honoured as
+/// given.
+struct PlacementProblem {
+  const hg::Hypergraph* graph = nullptr;
+  double width = 0.0;
+  double height = 0.0;
+  /// Per-vertex coordinates; only pad entries are read.
+  std::vector<double> pad_x;
+  std::vector<double> pad_y;
+};
+
+struct PlacerConfig {
+  /// Bisection levels (each level doubles the block count).
+  int max_levels = 8;
+  /// Blocks with fewer cells than this are not split further.
+  int min_block_cells = 8;
+  /// Blocks with at most this many movable cells are solved with the
+  /// exact branch-and-bound end-case partitioner instead of the
+  /// multilevel heuristic (0 disables end-case processing).
+  int exact_threshold = 0;
+  /// Balance tolerance of each bisection.
+  double tolerance_pct = 10.0;
+  /// Multilevel engine settings (refinement policy, pass cutoff, ...).
+  ml::MultilevelConfig ml;
+};
+
+struct LevelStats {
+  int blocks_split = 0;
+  /// Mean percentage of fixed (terminal) vertices in the block instances
+  /// of this level — watch it climb with depth, per Table I.
+  double avg_fixed_pct = 0.0;
+  double avg_cut = 0.0;
+  double seconds = 0.0;
+};
+
+struct PlacementResult {
+  std::vector<double> x;  ///< final per-vertex positions (pads unchanged)
+  std::vector<double> y;
+  std::vector<LevelStats> levels;
+  double hpwl = 0.0;
+  double seconds = 0.0;
+};
+
+class TopDownPlacer {
+ public:
+  explicit TopDownPlacer(const PlacementProblem& problem);
+
+  PlacementResult run(const PlacerConfig& config, util::Rng& rng) const;
+
+ private:
+  PlacementProblem problem_;
+};
+
+}  // namespace fixedpart::place

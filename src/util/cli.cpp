@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fixedpart::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "true";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key, std::string def) const {
+  const auto v = get(key);
+  return v ? *v : std::move(def);
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::stoll(*v);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::stod(*v);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("Cli: bad boolean for --" + key + ": " + *v);
+}
+
+void Cli::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument("Cli: unknown flag --" + key);
+    }
+  }
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal --key=value command-line parsing shared by examples and benches.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fixedpart::util {
+
+/// Parses "--key=value" and bare "--flag" (value "true") arguments.
+/// Positional (non ``--``) arguments are collected in order. Unknown keys
+/// are kept; callers may query everything they understand and ignore the
+/// rest, or call require_known() to reject typos.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws std::invalid_argument if any parsed key is not in `known`.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fixedpart::util

@@ -1,0 +1,25 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace fixedpart::util {
+
+Scale scale_from_env() {
+  const char* raw = std::getenv("REPRO_SCALE");
+  if (raw == nullptr) return Scale::kDefault;
+  const std::string value = raw;
+  if (value == "smoke") return Scale::kSmoke;
+  if (value == "paper") return Scale::kPaper;
+  return Scale::kDefault;
+}
+
+std::string to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kPaper: return "paper";
+    case Scale::kDefault: break;
+  }
+  return "default";
+}
+
+}  // namespace fixedpart::util

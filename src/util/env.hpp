@@ -1,0 +1,35 @@
+#pragma once
+// Experiment-scale selection. The paper's protocol (50 trials x 8 starts x
+// 12 fixed-percentages x 2 regimes on >12k-vertex circuits) takes hours;
+// every bench binary honours REPRO_SCALE so the default full-suite run
+// finishes in minutes while `REPRO_SCALE=paper` reproduces the full
+// protocol.
+
+#include <cstdint>
+#include <string>
+
+namespace fixedpart::util {
+
+enum class Scale : std::uint8_t {
+  kSmoke,    ///< tiny instances, 1-2 trials; CI smoke runs
+  kDefault,  ///< reduced instances/trials; minutes for the whole suite
+  kPaper,    ///< paper-scale instances, trials and start counts
+};
+
+/// Reads REPRO_SCALE (smoke|default|paper); unset/unknown -> kDefault.
+Scale scale_from_env();
+
+std::string to_string(Scale scale);
+
+/// Scale-dependent pick helper.
+template <typename T>
+T by_scale(Scale s, T smoke, T def, T paper) {
+  switch (s) {
+    case Scale::kSmoke: return smoke;
+    case Scale::kPaper: return paper;
+    case Scale::kDefault: break;
+  }
+  return def;
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomized components in the library (initial partitions, tie breaking,
+// synthetic netlist generation, fixed-vertex selection) draw from Rng so that
+// a (seed, code path) pair fully determines the outcome on every platform.
+// std::mt19937 + distribution objects are deliberately avoided: the standard
+// distributions are implementation-defined and would make experiment results
+// differ across standard libraries.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace fixedpart::util {
+
+/// xoshiro256** by Blackman/Vigna, seeded via SplitMix64. Fast, 256-bit
+/// state, passes BigCrush; sufficient for all experiment randomization.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Reset the state from a 64-bit seed (expanded by SplitMix64).
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (for std::shuffle-style use).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// true with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// deterministic).
+  double next_gaussian();
+
+  /// Fork an independent child stream; children of distinct calls are
+  /// decorrelated. Used to give each trial/start its own stream.
+  Rng fork();
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) in uniformly random order.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n, std::uint32_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace fixedpart::util

@@ -1,0 +1,63 @@
+#pragma once
+// Small statistics helpers used by the experiment harnesses to aggregate
+// per-trial results (cut sizes, CPU times, pass statistics).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fixedpart::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics). q in [0,1]. Throws on an empty sample.
+double percentile(std::span<const double> values, double q);
+
+double mean_of(std::span<const double> values);
+double min_of(std::span<const double> values);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are
+/// clamped into the edge bins. Used for per-pass move-position statistics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Fraction of mass at or below bin i (inclusive CDF).
+  double cdf(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fixedpart::util

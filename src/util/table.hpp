@@ -1,0 +1,42 @@
+#pragma once
+// Plain-text table rendering for the benchmark harnesses. Every table and
+// figure of the paper is regenerated as an aligned ASCII table (plus an
+// optional CSV dump) so runs are directly diffable against EXPERIMENTS.md.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fixedpart::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34"); trims to integer-looking
+/// output when decimals == 0.
+std::string fmt(double value, int decimals = 2);
+
+/// "cut (time)" cell format used by Table III of the paper.
+std::string fmt_cut_time(double cut, double seconds);
+
+}  // namespace fixedpart::util

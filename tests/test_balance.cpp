@@ -1,0 +1,112 @@
+#include "part/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph graph_with_total(Weight total) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(total);
+  return b.build();
+}
+
+TEST(BalanceConstraint, RelativeTwoPercentBisection) {
+  const hg::Hypergraph g = graph_with_total(1000);
+  const auto c = BalanceConstraint::relative(g, 2, 2.0);
+  // perfect = 500, slack = 10.
+  EXPECT_EQ(c.max_weight(0), 510);
+  EXPECT_EQ(c.min_weight(0), 490);
+  EXPECT_EQ(c.max_weight(1), 510);
+}
+
+TEST(BalanceConstraint, ZeroToleranceExactBisection) {
+  const hg::Hypergraph g = graph_with_total(1000);
+  const auto c = BalanceConstraint::relative(g, 2, 0.0);
+  EXPECT_EQ(c.max_weight(0), 500);
+  EXPECT_EQ(c.min_weight(0), 500);
+}
+
+TEST(BalanceConstraint, FourWay) {
+  const hg::Hypergraph g = graph_with_total(400);
+  const auto c = BalanceConstraint::relative(g, 4, 10.0);
+  EXPECT_EQ(c.max_weight(3), 110);
+  EXPECT_EQ(c.min_weight(3), 90);
+}
+
+TEST(BalanceConstraint, NegativeToleranceThrows) {
+  const hg::Hypergraph g = graph_with_total(10);
+  EXPECT_THROW(BalanceConstraint::relative(g, 2, -1.0),
+               std::invalid_argument);
+}
+
+TEST(BalanceConstraint, FitsChecksEveryResource) {
+  hg::HypergraphBuilder b(2);
+  const Weight w[] = {100, 10};
+  b.add_vertex(std::span<const Weight>(w, 2));
+  const hg::Hypergraph g = b.build();
+  const auto c = BalanceConstraint::relative(g, 2, 0.0);  // caps: 50, 5
+  const std::vector<Weight> current = {40, 0};
+  const std::vector<Weight> small = {10, 5};
+  const std::vector<Weight> too_heavy_r1 = {10, 6};
+  EXPECT_TRUE(c.fits(current, small, 0));
+  EXPECT_FALSE(c.fits(current, too_heavy_r1, 0));
+}
+
+TEST(BalanceConstraint, SatisfiedAndStrict) {
+  const hg::Hypergraph g = graph_with_total(100);
+  const auto c = BalanceConstraint::relative(g, 2, 10.0);  // [45, 55]
+  const std::vector<Weight> balanced = {50, 50};
+  const std::vector<Weight> max_ok = {55, 45};
+  const std::vector<Weight> overflow = {60, 40};
+  const std::vector<Weight> underflow_only = {55, 30};
+  EXPECT_TRUE(c.satisfied(balanced));
+  EXPECT_TRUE(c.strictly_satisfied(balanced));
+  EXPECT_TRUE(c.strictly_satisfied(max_ok));
+  EXPECT_FALSE(c.satisfied(overflow));
+  EXPECT_TRUE(c.satisfied(underflow_only));           // max-only view
+  EXPECT_FALSE(c.strictly_satisfied(underflow_only)); // min violated
+}
+
+TEST(BalanceConstraint, FromSpecRelative) {
+  const hg::Hypergraph g = graph_with_total(1000);
+  hg::BalanceSpec spec;
+  spec.relative = true;
+  spec.tolerance_pct = 4.0;
+  const auto c = BalanceConstraint::from_spec(g, 2, spec);
+  EXPECT_EQ(c.max_weight(0), 520);
+}
+
+TEST(BalanceConstraint, FromSpecAbsoluteOverrides) {
+  const hg::Hypergraph g = graph_with_total(1000);
+  hg::BalanceSpec spec;
+  spec.relative = false;
+  spec.capacities.push_back({.part = 0, .resource = 0, .min = 100, .max = 700});
+  const auto c = BalanceConstraint::from_spec(g, 2, spec);
+  EXPECT_EQ(c.max_weight(0), 700);
+  EXPECT_EQ(c.min_weight(0), 100);
+  // Part 1 keeps the default 2% window.
+  EXPECT_EQ(c.max_weight(1), 510);
+}
+
+TEST(BalanceConstraint, FromSpecValidation) {
+  const hg::Hypergraph g = graph_with_total(10);
+  hg::BalanceSpec spec;
+  spec.relative = false;
+  spec.capacities.push_back({.part = 5, .resource = 0, .min = 0, .max = 1});
+  EXPECT_THROW(BalanceConstraint::from_spec(g, 2, spec),
+               std::invalid_argument);
+  spec.capacities = {{.part = 0, .resource = 3, .min = 0, .max = 1}};
+  EXPECT_THROW(BalanceConstraint::from_spec(g, 2, spec),
+               std::invalid_argument);
+  spec.capacities = {{.part = 0, .resource = 0, .min = 5, .max = 1}};
+  EXPECT_THROW(BalanceConstraint::from_spec(g, 2, spec),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fixedpart::part

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fixedpart::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValue) {
+  const Cli cli = make({"--trials=5", "--name=ibm01"});
+  EXPECT_EQ(cli.get_int("trials", 0), 5);
+  EXPECT_EQ(cli.get_or("name", ""), "ibm01");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("trials", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 2.0), 2.0);
+  EXPECT_FALSE(cli.get("missing").has_value());
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make({"input.hgr", "--k=2", "out.txt"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.hgr");
+  EXPECT_EQ(cli.positional()[1], "out.txt");
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", true), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(make({"--t=2.5"}).get_double("t", 0.0), 2.5);
+}
+
+TEST(Cli, RequireKnownAcceptsKnown) {
+  const Cli cli = make({"--a=1", "--b=2"});
+  EXPECT_NO_THROW(cli.require_known({"a", "b", "c"}));
+}
+
+TEST(Cli, RequireKnownRejectsUnknown) {
+  const Cli cli = make({"--typo=1"});
+  EXPECT_THROW(cli.require_known({"trials"}), std::invalid_argument);
+}
+
+TEST(Cli, LastDuplicateWins) {
+  const Cli cli = make({"--x=1", "--x=2"});
+  EXPECT_EQ(cli.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace fixedpart::util

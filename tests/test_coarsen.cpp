@@ -1,0 +1,195 @@
+#include "ml/coarsen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "ml/matching.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::ml {
+namespace {
+
+hg::Hypergraph random_graph(util::Rng& rng, int n, int nets) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.add_vertex(1 + static_cast<Weight>(rng.next_below(3)));
+  }
+  for (int e = 0; e < nets; ++e) {
+    std::vector<hg::VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(4));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    b.add_net(pins);
+  }
+  return b.build();
+}
+
+TEST(Matching, SymmetricAndCompatible) {
+  util::Rng rng(1);
+  const hg::Hypergraph g = random_graph(rng, 50, 100);
+  hg::FixedAssignment fixed(50, 2);
+  for (hg::VertexId v = 0; v < 10; ++v) fixed.fix(v, v % 2);
+  const auto match = heavy_edge_matching(g, fixed, MatchingConfig{}, rng);
+  ASSERT_EQ(match.size(), 50u);
+  for (hg::VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(match[match[v]], v);
+    if (match[v] != v) {
+      EXPECT_NE(fixed.allowed_mask(v) & fixed.allowed_mask(match[v]), 0u);
+    }
+  }
+}
+
+TEST(Matching, NeverMergesOppositeFixed) {
+  // Two vertices fixed to opposite sides, heavily connected: must not match.
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(1);
+  for (int i = 0; i < 5; ++i) b.add_net(std::vector<hg::VertexId>{0, 1});
+  const hg::Hypergraph g = b.build();
+  hg::FixedAssignment fixed(2, 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 1);
+  util::Rng rng(2);
+  const auto match = heavy_edge_matching(g, fixed, MatchingConfig{}, rng);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(Matching, RespectsWeightCap) {
+  // Two heavy, strongly-connected vertices among unit filler: with a 40%
+  // cluster cap the heavy pair (120 of a 178 total) must never merge.
+  hg::HypergraphBuilder b;
+  b.add_vertex(60);
+  b.add_vertex(60);
+  for (int i = 0; i < 58; ++i) b.add_vertex(1);
+  for (int k = 0; k < 4; ++k) b.add_net(std::vector<hg::VertexId>{0, 1});
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  MatchingConfig config;
+  config.max_cluster_fraction = 0.4;  // cap 71 < 120
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(seed);
+    const auto match = heavy_edge_matching(g, fixed, config, rng);
+    EXPECT_NE(match[0], 1);
+    EXPECT_NE(match[1], 0);
+  }
+}
+
+TEST(Matching, PrefersHeavierConnection) {
+  // Every vertex's heaviest neighbour is its designated partner, so the
+  // greedy matching must pair {0,1} and {2,3} regardless of visit order.
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{2, 3});
+  b.add_net(std::vector<hg::VertexId>{2, 3});
+  b.add_net(std::vector<hg::VertexId>{0, 2});
+  b.add_net(std::vector<hg::VertexId>{1, 3});
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(4, 2);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed);
+    const auto match = heavy_edge_matching(g, fixed, MatchingConfig{}, rng);
+    EXPECT_EQ(match[0], 1);
+    EXPECT_EQ(match[2], 3);
+  }
+}
+
+TEST(Contract, WeightAndMaskAggregation) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_vertex(i + 1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{2, 3});
+  b.add_net(std::vector<hg::VertexId>{1, 2});
+  const hg::Hypergraph g = b.build();
+  hg::FixedAssignment fixed(4, 2);
+  fixed.fix(0, 0);  // cluster {0,1} becomes fixed to 0
+  const std::vector<hg::VertexId> match = {1, 0, 3, 2};
+  const CoarseLevel level = contract(g, fixed, match);
+  EXPECT_EQ(level.graph.num_vertices(), 2);
+  EXPECT_EQ(level.graph.vertex_weight(level.map[0]), 3);   // 1+2
+  EXPECT_EQ(level.graph.vertex_weight(level.map[2]), 7);   // 3+4
+  EXPECT_EQ(level.fixed.fixed_part(level.map[0]), 0);
+  EXPECT_EQ(level.fixed.fixed_part(level.map[2]), hg::kNoPartition);
+  // Nets {0,1} and {2,3} collapse to single-pin and are dropped; {1,2}
+  // becomes the only coarse net.
+  EXPECT_EQ(level.graph.num_nets(), 1);
+  level.graph.validate();
+}
+
+TEST(Contract, MergesIdenticalNetsWithSummedWeight) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 2}, 2);
+  b.add_net(std::vector<hg::VertexId>{1, 3}, 5);  // same coarse net
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(4, 2);
+  const std::vector<hg::VertexId> match = {1, 0, 3, 2};
+  const CoarseLevel level = contract(g, fixed, match);
+  ASSERT_EQ(level.graph.num_nets(), 1);
+  EXPECT_EQ(level.graph.net_weight(0), 7);
+}
+
+TEST(Contract, RejectsAsymmetricMatch) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(3, 2);
+  const std::vector<hg::VertexId> match = {1, 2, 0};  // a 3-cycle, not pairs
+  EXPECT_THROW(contract(g, fixed, match), std::invalid_argument);
+}
+
+TEST(Contract, RejectsWrongSize) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(1, 2);
+  EXPECT_THROW(contract(g, fixed, {0, 1}), std::invalid_argument);
+}
+
+/// Property: for any coarse assignment, the projected fine assignment has
+/// exactly the same cut (contraction preserves the cut function).
+class ContractProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContractProperty, ProjectionPreservesCut) {
+  util::Rng rng(GetParam());
+  const hg::Hypergraph g = random_graph(rng, 40, 80);
+  hg::FixedAssignment fixed(40, 2);
+  for (hg::VertexId v = 0; v < 8; ++v) {
+    fixed.fix(v, static_cast<hg::PartitionId>(rng.next_below(2)));
+  }
+  const auto match = heavy_edge_matching(g, fixed, MatchingConfig{}, rng);
+  const CoarseLevel level = contract(g, fixed, match);
+  EXPECT_LE(level.graph.num_vertices(), g.num_vertices());
+  // Total weight conserved.
+  EXPECT_EQ(level.graph.total_weight(), g.total_weight());
+  level.graph.validate();
+
+  for (int trial = 0; trial < 8; ++trial) {
+    part::PartitionState coarse(level.graph, 2);
+    for (hg::VertexId c = 0; c < level.graph.num_vertices(); ++c) {
+      hg::PartitionId p = level.fixed.fixed_part(c);
+      if (p == hg::kNoPartition) {
+        p = static_cast<hg::PartitionId>(rng.next_below(2));
+      }
+      coarse.assign(c, p);
+    }
+    part::PartitionState fine(g, 2);
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      fine.assign(v, coarse.part_of(level.map[v]));
+    }
+    EXPECT_EQ(fine.cut(), coarse.cut());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ContractProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace fixedpart::ml

@@ -1,0 +1,149 @@
+#include "experiments/constraint_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "gen/regimes.hpp"
+#include "hg/builder.hpp"
+#include "hg/transform.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::exp {
+namespace part = fixedpart::part;
+namespace {
+
+TEST(ConstraintMetrics, FreeInstanceIsAllZero) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1, 2, 3});
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(4, 2);
+  const ConstraintMetrics m = compute_constraint_metrics(g, fixed);
+  EXPECT_DOUBLE_EQ(m.pct_fixed, 0.0);
+  EXPECT_DOUBLE_EQ(m.pct_movable_adjacent, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_terminal_incidence, 0.0);
+  EXPECT_DOUBLE_EQ(m.anchored_net_fraction, 0.0);
+  EXPECT_EQ(m.forced_cut_weight, 0);
+}
+
+TEST(ConstraintMetrics, HandComputedExample) {
+  // Nets: {0,1} (anchored by fixed 0), {2,3} (free), {0,4} where 0->p0 and
+  // 4->p1 (contested, weight 5).
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1}, 1);
+  b.add_net(std::vector<hg::VertexId>{2, 3}, 1);
+  b.add_net(std::vector<hg::VertexId>{0, 4}, 5);
+  const hg::Hypergraph g = b.build();
+  hg::FixedAssignment fixed(5, 2);
+  fixed.fix(0, 0);
+  fixed.fix(4, 1);
+  const ConstraintMetrics m = compute_constraint_metrics(g, fixed);
+  EXPECT_DOUBLE_EQ(m.pct_fixed, 40.0);
+  // Movable: 1 (adjacent via net 0), 2, 3 (free nets only).
+  EXPECT_NEAR(m.pct_movable_adjacent, 100.0 / 3.0, 1e-9);
+  // Incidence: vertex 1 -> 1/1; vertices 2,3 -> 0.
+  EXPECT_NEAR(m.avg_terminal_incidence, 1.0 / 3.0, 1e-9);
+  // Anchored weight: nets 0 and 2 = 1 + 5 of total 7.
+  EXPECT_NEAR(m.anchored_net_fraction, 6.0 / 7.0, 1e-9);
+  EXPECT_NEAR(m.contested_net_fraction, 5.0 / 7.0, 1e-9);
+  EXPECT_EQ(m.forced_cut_weight, 5);
+}
+
+TEST(ConstraintMetrics, ForcedCutIsLowerBoundOnAnySolution) {
+  util::Rng rng(1);
+  gen::CircuitSpec spec;
+  spec.num_cells = 200;
+  spec.num_nets = 240;
+  spec.num_pads = 8;
+  spec.seed = 11;
+  const auto circuit = gen::generate_circuit(spec);
+  const gen::FixedVertexSeries series(circuit.graph, 2, rng);
+  const hg::FixedAssignment fixed = series.rand_regime(30.0);
+  const ConstraintMetrics m =
+      compute_constraint_metrics(circuit.graph, fixed);
+  ASSERT_GT(m.forced_cut_weight, 0);
+  // Any assignment extending the fixed vertices cuts at least that much.
+  for (int trial = 0; trial < 5; ++trial) {
+    part::PartitionState state(circuit.graph, 2);
+    for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+      hg::PartitionId p = fixed.fixed_part(v);
+      if (p == hg::kNoPartition) {
+        p = static_cast<hg::PartitionId>(rng.next_below(2));
+      }
+      state.assign(v, p);
+    }
+    EXPECT_GE(state.cut(), m.forced_cut_weight);
+  }
+}
+
+TEST(ConstraintMetrics, InvariantUnderTerminalClustering) {
+  util::Rng rng(2);
+  gen::CircuitSpec spec;
+  spec.num_cells = 300;
+  spec.num_nets = 330;
+  spec.num_pads = 12;
+  spec.seed = 12;
+  const auto circuit = gen::generate_circuit(spec);
+  const gen::FixedVertexSeries series(circuit.graph, 2, rng);
+  for (const double pct : {5.0, 20.0, 40.0}) {
+    const hg::FixedAssignment fixed = series.rand_regime(pct);
+    const ConstraintMetrics original =
+        compute_constraint_metrics(circuit.graph, fixed);
+    const hg::ClusteredTerminals clustered =
+        hg::cluster_terminals(circuit.graph, fixed);
+    const ConstraintMetrics reduced =
+        compute_constraint_metrics(clustered.graph, clustered.fixed);
+    EXPECT_NEAR(original.anchored_net_fraction, reduced.anchored_net_fraction,
+                1e-12);
+    EXPECT_NEAR(original.contested_net_fraction,
+                reduced.contested_net_fraction, 1e-12);
+    EXPECT_EQ(original.forced_cut_weight, reduced.forced_cut_weight);
+    // And %fixed is NOT invariant (the paper's point): it collapses to
+    // two terminals.
+    EXPECT_GT(original.pct_fixed, reduced.pct_fixed);
+  }
+}
+
+TEST(ConstraintMetrics, MonotoneInFixedPercentage) {
+  util::Rng rng(3);
+  gen::CircuitSpec spec;
+  spec.num_cells = 400;
+  spec.num_nets = 440;
+  spec.num_pads = 0;
+  spec.seed = 13;
+  const auto circuit = gen::generate_circuit(spec);
+  const gen::FixedVertexSeries series(circuit.graph, 2, rng);
+  double last_adjacent = -1.0;
+  double last_anchored = -1.0;
+  for (const double pct : {0.0, 10.0, 25.0, 50.0}) {
+    const ConstraintMetrics m = compute_constraint_metrics(
+        circuit.graph, series.rand_regime(pct));
+    EXPECT_GE(m.pct_movable_adjacent, last_adjacent);
+    EXPECT_GE(m.anchored_net_fraction, last_anchored);
+    last_adjacent = m.pct_movable_adjacent;
+    last_anchored = m.anchored_net_fraction;
+  }
+}
+
+TEST(ConstraintMetrics, SizeMismatchThrows) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(5, 2);
+  EXPECT_THROW(compute_constraint_metrics(g, fixed), std::invalid_argument);
+}
+
+TEST(ConstraintMetrics, EmptyGraph) {
+  hg::HypergraphBuilder b;
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(0, 2);
+  const ConstraintMetrics m = compute_constraint_metrics(g, fixed);
+  EXPECT_DOUBLE_EQ(m.pct_fixed, 0.0);
+}
+
+}  // namespace
+}  // namespace fixedpart::exp

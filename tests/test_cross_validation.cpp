@@ -1,0 +1,169 @@
+// Cross-validation tests: the heuristics against exhaustive enumeration on
+// tiny instances, and the three I/O formats against each other.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "hg/io_hmetis.hpp"
+#include "hg/io_netare.hpp"
+#include "ml/multilevel.hpp"
+#include "part/initial.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart {
+namespace {
+
+hg::Hypergraph random_graph(util::Rng& rng, int n, int nets,
+                            bool with_pads = false) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) {
+    const bool pad = with_pads && i >= n - 2;
+    b.add_vertex(pad ? 0 : 1 + static_cast<hg::Weight>(rng.next_below(3)),
+                 pad);
+  }
+  for (int e = 0; e < nets; ++e) {
+    std::vector<hg::VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(3));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    // Unit net weights: the legacy netD format cannot express weighted
+    // nets, and the cross-format comparison must be exact.
+    b.add_net(pins);
+  }
+  return b.build();
+}
+
+/// Exhaustive optimal bipartition cut under the balance constraint and
+/// fixed assignment (2^movable enumeration; keep instances tiny).
+hg::Weight brute_force_optimum(const hg::Hypergraph& g,
+                               const hg::FixedAssignment& fixed,
+                               const part::BalanceConstraint& balance) {
+  std::vector<hg::VertexId> movable;
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!fixed.is_fixed(v)) movable.push_back(v);
+  }
+  hg::Weight best = std::numeric_limits<hg::Weight>::max();
+  const std::uint64_t combos = std::uint64_t{1} << movable.size();
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    part::PartitionState state(g, 2);
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      const hg::PartitionId p = fixed.fixed_part(v);
+      if (p != hg::kNoPartition) state.assign(v, p);
+    }
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      state.assign(movable[i],
+                   static_cast<hg::PartitionId>((mask >> i) & 1U));
+    }
+    if (!balance.satisfied(state.part_weights())) continue;
+    best = std::min(best, state.cut());
+  }
+  return best;
+}
+
+class BruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForce, MultilevelMultistartMatchesOptimum) {
+  util::Rng gen(GetParam());
+  const hg::Hypergraph g = random_graph(gen, 12, 20);
+  hg::FixedAssignment fixed(g.num_vertices(), 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 1);
+  const auto balance = part::BalanceConstraint::relative(g, 2, 30.0);
+  const hg::Weight optimum = brute_force_optimum(g, fixed, balance);
+  ASSERT_NE(optimum, std::numeric_limits<hg::Weight>::max())
+      << "instance must be feasible";
+
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(GetParam() ^ 0xbf);
+  ml::MultilevelConfig config;
+  config.coarsest_size = 32;  // tiny graph: effectively flat multistart
+  const auto result = partitioner.best_of(30, rng, config);
+  // The heuristic can never beat the optimum; on 12-vertex instances with
+  // 30 starts it reliably attains it.
+  EXPECT_GE(result.cut, optimum);
+  EXPECT_EQ(result.cut, optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyInstances, BruteForce,
+                         ::testing::Values(201, 202, 203, 204, 205, 206, 207,
+                                           208));
+
+class FormatRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatRoundTrip, AllFormatsPreserveCutStructure) {
+  util::Rng gen(GetParam());
+  const hg::Hypergraph g = random_graph(gen, 30, 50, /*with_pads=*/true);
+
+  // Reference random assignment; its cut must survive every format.
+  // Formats reorder/rename vertices but all preserve identity ordering
+  // except netD (cells-first); track the permutation by construction.
+  std::vector<hg::PartitionId> sides(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (auto& side : sides) {
+    side = static_cast<hg::PartitionId>(gen.next_below(2));
+  }
+  auto cut_under = [&](const hg::Hypergraph& graph,
+                       const std::vector<hg::PartitionId>& assignment) {
+    part::PartitionState state(graph, 2);
+    for (hg::VertexId v = 0; v < graph.num_vertices(); ++v) {
+      state.assign(v, assignment[v]);
+    }
+    return state.cut();
+  };
+  const hg::Weight reference_cut = cut_under(g, sides);
+
+  {  // hMETIS: identity vertex order.
+    std::ostringstream out;
+    hg::write_hmetis(out, g);
+    std::istringstream in(out.str());
+    const hg::Hypergraph g2 = hg::read_hmetis(in);
+    EXPECT_EQ(cut_under(g2, sides), reference_cut);
+  }
+  {  // fpb: identity vertex order via names.
+    hg::BenchmarkInstance instance;
+    instance.graph = g;
+    instance.fixed = hg::FixedAssignment(g.num_vertices(), 2);
+    instance.names = hg::default_names(g.num_vertices());
+    std::ostringstream out;
+    hg::write_fpb(out, instance);
+    std::istringstream in(out.str());
+    const hg::BenchmarkInstance got = hg::read_fpb(in);
+    EXPECT_EQ(cut_under(got.graph, sides), reference_cut);
+    EXPECT_EQ(got.graph.num_pads(), g.num_pads());
+  }
+  {  // netD: cells first, then pads — permute the assignment accordingly.
+    std::ostringstream net_out;
+    std::ostringstream are_out;
+    hg::write_netd(net_out, are_out, g);
+    std::istringstream net_in(net_out.str());
+    std::istringstream are_in(are_out.str());
+    const hg::NetDInstance inst = hg::read_netd(net_in, are_in);
+    std::vector<hg::PartitionId> permuted(
+        static_cast<std::size_t>(g.num_vertices()));
+    hg::VertexId cell = 0;
+    hg::VertexId pad = 0;
+    const hg::VertexId num_cells = g.num_vertices() - g.num_pads();
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.is_pad(v)) {
+        permuted[num_cells + pad++] = sides[v];
+      } else {
+        permuted[cell++] = sides[v];
+      }
+    }
+    EXPECT_EQ(cut_under(inst.graph, permuted), reference_cut);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, FormatRoundTrip,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+}  // namespace
+}  // namespace fixedpart

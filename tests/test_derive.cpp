@@ -1,0 +1,136 @@
+#include "gen/derive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/stats.hpp"
+
+namespace fixedpart::gen {
+namespace {
+
+GeneratedCircuit circuit() {
+  CircuitSpec spec;
+  spec.name = "tst";
+  spec.num_cells = 900;
+  spec.num_nets = 1000;
+  spec.num_pads = 36;
+  spec.seed = 13;
+  return generate_circuit(spec);
+}
+
+TEST(Block, ContainsAndHalving) {
+  const Block b{0.0, 0.0, 10.0, 8.0};
+  EXPECT_TRUE(b.contains(0.0, 0.0));
+  EXPECT_TRUE(b.contains(9.99, 7.99));
+  EXPECT_FALSE(b.contains(10.0, 4.0));
+  EXPECT_FALSE(b.contains(-0.1, 4.0));
+  const Block left = b.half(/*vertical=*/true, /*low=*/true);
+  EXPECT_DOUBLE_EQ(left.xhi, 5.0);
+  EXPECT_DOUBLE_EQ(left.yhi, 8.0);
+  const Block top = b.half(/*vertical=*/false, /*low=*/false);
+  EXPECT_DOUBLE_EQ(top.ylo, 4.0);
+}
+
+TEST(Derive, FullDieKeepsAllCellsMovable) {
+  const auto c = circuit();
+  const auto derived = derive_block_instance(c, full_die(c),
+                                             CutDirection::kVertical, 2.0,
+                                             "tstA_V");
+  // All cells are inside the die; only pads become terminals.
+  EXPECT_EQ(derived.movable_cells, 900);
+  const hg::InstanceStats stats = hg::compute_stats(derived.instance.graph);
+  EXPECT_EQ(stats.num_cells, 900);
+  EXPECT_GT(stats.num_pads, 0);
+  EXPECT_LE(stats.num_pads, 36);
+}
+
+TEST(Derive, TerminalsAreZeroAreaAndFixedToNearestSide) {
+  const auto c = circuit();
+  const Block left_half = full_die(c).half(true, true);
+  const auto derived = derive_block_instance(c, left_half,
+                                             CutDirection::kHorizontal, 2.0,
+                                             "tstB_H");
+  const auto& g = derived.instance.graph;
+  const auto& fixed = derived.instance.fixed;
+  int terminals = 0;
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.is_pad(v)) {
+      ++terminals;
+      EXPECT_EQ(g.vertex_weight(v), 0);
+      EXPECT_TRUE(fixed.is_fixed(v));
+    } else {
+      EXPECT_FALSE(fixed.is_restricted(v));
+    }
+  }
+  EXPECT_GT(terminals, 0);
+  // Movable cells + terminals account for every vertex.
+  EXPECT_EQ(derived.movable_cells + terminals, g.num_vertices());
+  g.validate();
+}
+
+TEST(Derive, CutlineSidesBothPopulated) {
+  const auto c = circuit();
+  const auto derived = derive_block_instance(c, full_die(c),
+                                             CutDirection::kVertical, 2.0,
+                                             "tstA_V");
+  const auto& fixed = derived.instance.fixed;
+  int side[2] = {0, 0};
+  for (hg::VertexId v = 0; v < derived.instance.graph.num_vertices(); ++v) {
+    const hg::PartitionId p = fixed.fixed_part(v);
+    if (p != hg::kNoPartition) ++side[p];
+  }
+  EXPECT_GT(side[0], 0);
+  EXPECT_GT(side[1], 0);
+}
+
+TEST(Derive, SubBlockHasPropagatedCellTerminals) {
+  const auto c = circuit();
+  const Block quadrant = full_die(c).half(true, true).half(false, true);
+  const auto derived = derive_block_instance(c, quadrant,
+                                             CutDirection::kVertical, 2.0,
+                                             "tstC_V");
+  // A quadrant has roughly a quarter of the cells...
+  EXPECT_GT(derived.movable_cells, 900 / 8);
+  EXPECT_LT(derived.movable_cells, 900 / 2);
+  // ...and many propagated terminals (outside cells), more than pads alone.
+  const hg::InstanceStats stats = hg::compute_stats(derived.instance.graph);
+  EXPECT_GT(stats.num_pads, 36 / 4);
+  // "More pad vertices than external nets" is possible per the paper; at
+  // minimum every external net touches a terminal.
+  EXPECT_GT(stats.num_external_nets, 0);
+}
+
+TEST(Derive, FamilyProducesEightNamedInstances) {
+  const auto c = circuit();
+  const auto family = derive_family(c, 2.0);
+  ASSERT_EQ(family.size(), 8u);
+  EXPECT_EQ(family[0].name, "tstA_V");
+  EXPECT_EQ(family[1].name, "tstA_H");
+  EXPECT_EQ(family[6].name, "tstD_V");
+  // Block sizes shrink A -> D.
+  EXPECT_GT(family[0].movable_cells, family[2].movable_cells);
+  EXPECT_GT(family[2].movable_cells, family[4].movable_cells);
+  EXPECT_GT(family[4].movable_cells, family[6].movable_cells);
+  // V/H variants of the same block share the movable cell set size.
+  EXPECT_EQ(family[0].movable_cells, family[1].movable_cells);
+}
+
+TEST(Derive, NamesAlignWithGraph) {
+  const auto c = circuit();
+  const auto derived = derive_block_instance(
+      c, full_die(c).half(true, true), CutDirection::kVertical, 2.0, "x");
+  EXPECT_EQ(static_cast<hg::VertexId>(derived.instance.names.size()),
+            derived.instance.graph.num_vertices());
+  // Cell names start with 'c', terminal names with 't'.
+  for (hg::VertexId v = 0; v < derived.instance.graph.num_vertices(); ++v) {
+    const char head = derived.instance.names[v][0];
+    if (derived.instance.graph.is_pad(v)) {
+      EXPECT_EQ(head, 't');
+    } else {
+      EXPECT_EQ(head, 'c');
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fixedpart::gen

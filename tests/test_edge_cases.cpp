@@ -1,0 +1,199 @@
+// Edge-case sweep across the engines: degenerate graphs, zero-weight
+// vertices, extreme configurations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "ml/multilevel.hpp"
+#include "part/fm.hpp"
+#include "part/initial.hpp"
+#include "part/kway_fm.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart {
+namespace {
+
+using part::BalanceConstraint;
+using part::FmBipartitioner;
+using part::FmConfig;
+using part::PartitionState;
+
+TEST(EdgeCases, FmOnEmptyGraph) {
+  hg::HypergraphBuilder b;
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(0, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(1);
+  const auto result = fm.refine(state, rng, FmConfig{});
+  EXPECT_EQ(result.final_cut, 0);
+  EXPECT_EQ(result.total_moves, 0);
+}
+
+TEST(EdgeCases, FmOnSingleVertex) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(5);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(1, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 100.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  state.assign(0, 0);
+  util::Rng rng(2);
+  EXPECT_NO_THROW(fm.refine(state, rng, FmConfig{}));
+}
+
+TEST(EdgeCases, ZeroWeightVerticesMoveFreely) {
+  // Pads have zero area; FM must be able to move them across any balance.
+  hg::HypergraphBuilder b;
+  b.add_vertex(10);
+  b.add_vertex(10);
+  const hg::VertexId pad = b.add_vertex(0, /*is_pad=*/true);
+  b.add_net(std::vector<hg::VertexId>{0, pad});
+  b.add_net(std::vector<hg::VertexId>{1, pad});
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(3, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 0.0);  // caps 10/10
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  state.assign(0, 0);
+  state.assign(1, 1);
+  state.assign(pad, 1);  // cut: net {0,pad}
+  util::Rng rng(3);
+  const auto result = fm.refine(state, rng, FmConfig{});
+  // The heavy cells are frozen by the exact bisection but the pad always
+  // fits; one of the two nets must always stay cut.
+  EXPECT_EQ(result.final_cut, 1);
+}
+
+TEST(EdgeCases, ZeroWeightNetContributesNothing) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1}, 0);
+  const hg::Hypergraph g = b.build();
+  PartitionState state(g, 2);
+  state.assign(0, 0);
+  state.assign(1, 1);
+  EXPECT_EQ(state.cut(), 0);
+  const hg::FixedAssignment fixed(2, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 100.0);
+  FmBipartitioner fm(g, fixed, balance);
+  util::Rng rng(4);
+  EXPECT_NO_THROW(fm.refine(state, rng, FmConfig{}));
+}
+
+TEST(EdgeCases, MaxPassesOneStopsAfterOnePass) {
+  util::Rng gen(5);
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 40; ++i) b.add_vertex(1);
+  for (int e = 0; e < 80; ++e) {
+    std::vector<hg::VertexId> pins;
+    for (int d = 0; d < 3; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(gen.next_below(40)));
+    }
+    b.add_net(pins);
+  }
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(40, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(6);
+  part::random_feasible_assignment(state, fixed, balance, rng);
+  FmConfig config;
+  config.max_passes = 1;
+  const auto result = fm.refine(state, rng, config);
+  EXPECT_EQ(result.passes, 1);
+}
+
+TEST(EdgeCases, KwayDeterministicForSeed) {
+  util::Rng gen(7);
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 50; ++i) b.add_vertex(1);
+  for (int e = 0; e < 100; ++e) {
+    std::vector<hg::VertexId> pins;
+    for (int d = 0; d < 3; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(gen.next_below(50)));
+    }
+    b.add_net(pins);
+  }
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(50, 3);
+  const auto balance = BalanceConstraint::relative(g, 3, 20.0);
+  part::KwayFmRefiner refiner(g, fixed, balance);
+  auto run_once = [&](std::uint64_t seed) {
+    PartitionState state(g, 3);
+    util::Rng rng(seed);
+    part::random_feasible_assignment(state, fixed, balance, rng);
+    refiner.refine(state, rng, part::KwayConfig{});
+    return std::vector<hg::PartitionId>(state.assignment().begin(),
+                                        state.assignment().end());
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+}
+
+TEST(EdgeCases, MultilevelOnDisconnectedGraph) {
+  // Two components with no nets between them: optimal cut 0 under a
+  // loose balance.
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 200; ++i) b.add_vertex(1);
+  for (int c = 0; c < 2; ++c) {
+    const int base = 100 * c;
+    for (int e = 0; e < 150; ++e) {
+      util::Rng pick(static_cast<std::uint64_t>(c * 1000 + e));
+      std::vector<hg::VertexId> pins;
+      for (int d = 0; d < 3; ++d) {
+        pins.push_back(base + static_cast<hg::VertexId>(pick.next_below(100)));
+      }
+      b.add_net(pins);
+    }
+  }
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(200, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(8);
+  const auto result = partitioner.best_of(4, rng, ml::MultilevelConfig{});
+  EXPECT_EQ(result.cut, 0);
+}
+
+TEST(EdgeCases, AllVerticesInOneGiantNet) {
+  hg::HypergraphBuilder b;
+  std::vector<hg::VertexId> pins;
+  for (int i = 0; i < 64; ++i) pins.push_back(b.add_vertex(1));
+  b.add_net(pins);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(64, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 5.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(9);
+  const auto result = partitioner.run(rng, ml::MultilevelConfig{});
+  // A single spanning net is always cut by any balanced bipartition.
+  EXPECT_EQ(result.cut, 1);
+}
+
+TEST(EdgeCases, ParallelNetsAccumulateWeightInCoarsening) {
+  // Many duplicate 2-pin nets between two hubs: multilevel must still
+  // find the obvious split (hubs apart would cut everything).
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 32; ++i) b.add_vertex(1);
+  for (int d = 0; d < 20; ++d) b.add_net(std::vector<hg::VertexId>{0, 1});
+  for (int i = 2; i < 32; ++i) {
+    b.add_net(std::vector<hg::VertexId>{i % 2, i});
+  }
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(32, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 20.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(10);
+  const auto result = partitioner.best_of(4, rng, ml::MultilevelConfig{});
+  // Hubs 0 and 1 must land together (splitting them costs 20).
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+}
+
+}  // namespace
+}  // namespace fixedpart

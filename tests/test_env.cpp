@@ -1,0 +1,48 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fixedpart::util {
+namespace {
+
+class ScaleEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("REPRO_SCALE"); }
+};
+
+TEST_F(ScaleEnv, DefaultsWhenUnset) {
+  unsetenv("REPRO_SCALE");
+  EXPECT_EQ(scale_from_env(), Scale::kDefault);
+}
+
+TEST_F(ScaleEnv, ParsesKnownValues) {
+  setenv("REPRO_SCALE", "smoke", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kSmoke);
+  setenv("REPRO_SCALE", "paper", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kPaper);
+  setenv("REPRO_SCALE", "default", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kDefault);
+}
+
+TEST_F(ScaleEnv, UnknownFallsBackToDefault) {
+  setenv("REPRO_SCALE", "galactic", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kDefault);
+}
+
+TEST(Scale, ToString) {
+  EXPECT_EQ(to_string(Scale::kSmoke), "smoke");
+  EXPECT_EQ(to_string(Scale::kDefault), "default");
+  EXPECT_EQ(to_string(Scale::kPaper), "paper");
+}
+
+TEST(Scale, BySscalePicksCorrectArm) {
+  EXPECT_EQ(by_scale(Scale::kSmoke, 1, 2, 3), 1);
+  EXPECT_EQ(by_scale(Scale::kDefault, 1, 2, 3), 2);
+  EXPECT_EQ(by_scale(Scale::kPaper, 1, 2, 3), 3);
+  EXPECT_DOUBLE_EQ(by_scale(Scale::kPaper, 0.1, 0.2, 0.3), 0.3);
+}
+
+}  // namespace
+}  // namespace fixedpart::util

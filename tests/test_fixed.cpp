@@ -1,0 +1,84 @@
+#include "hg/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fixedpart::hg {
+namespace {
+
+TEST(FixedAssignment, StartsAllFree) {
+  const FixedAssignment f(5, 2);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_FALSE(f.is_restricted(v));
+    EXPECT_FALSE(f.is_fixed(v));
+    EXPECT_EQ(f.fixed_part(v), kNoPartition);
+    EXPECT_TRUE(f.is_allowed(v, 0));
+    EXPECT_TRUE(f.is_allowed(v, 1));
+  }
+  EXPECT_EQ(f.count_fixed(), 0);
+  EXPECT_EQ(f.count_free(), 5);
+}
+
+TEST(FixedAssignment, FixPinsToSinglePart) {
+  FixedAssignment f(3, 2);
+  f.fix(1, 0);
+  EXPECT_TRUE(f.is_fixed(1));
+  EXPECT_EQ(f.fixed_part(1), 0);
+  EXPECT_TRUE(f.is_allowed(1, 0));
+  EXPECT_FALSE(f.is_allowed(1, 1));
+  EXPECT_EQ(f.count_fixed(), 1);
+  EXPECT_EQ(f.count_free(), 2);
+}
+
+TEST(FixedAssignment, OrSetSemantics) {
+  FixedAssignment f(2, 4);
+  f.restrict_to(0, 0b0101);  // partitions 0 and 2 ("either left quadrant")
+  EXPECT_TRUE(f.is_restricted(0));
+  EXPECT_FALSE(f.is_fixed(0));
+  EXPECT_TRUE(f.is_allowed(0, 0));
+  EXPECT_FALSE(f.is_allowed(0, 1));
+  EXPECT_TRUE(f.is_allowed(0, 2));
+  EXPECT_FALSE(f.is_allowed(0, 3));
+  EXPECT_EQ(f.fixed_part(0), kNoPartition);
+}
+
+TEST(FixedAssignment, FreeUndoesFix) {
+  FixedAssignment f(2, 2);
+  f.fix(0, 1);
+  f.free(0);
+  EXPECT_FALSE(f.is_restricted(0));
+  EXPECT_EQ(f.count_fixed(), 0);
+}
+
+TEST(FixedAssignment, RangeChecks) {
+  FixedAssignment f(2, 2);
+  EXPECT_THROW(f.fix(5, 0), std::out_of_range);
+  EXPECT_THROW(f.fix(0, 2), std::out_of_range);
+  EXPECT_THROW(f.fix(0, -1), std::out_of_range);
+  EXPECT_THROW(f.restrict_to(0, 0), std::invalid_argument);
+  EXPECT_THROW(f.restrict_to(0, 0b100), std::invalid_argument);  // part 2
+}
+
+TEST(FixedAssignment, ConstructionLimits) {
+  EXPECT_THROW(FixedAssignment(3, 0), std::invalid_argument);
+  EXPECT_THROW(FixedAssignment(3, 65), std::invalid_argument);
+  EXPECT_THROW(FixedAssignment(-1, 2), std::invalid_argument);
+  EXPECT_NO_THROW(FixedAssignment(0, 64));
+}
+
+TEST(FixedAssignment, SixtyFourPartitionsFullMask) {
+  FixedAssignment f(1, 64);
+  EXPECT_EQ(f.full_mask(), ~std::uint64_t{0});
+  f.fix(0, 63);
+  EXPECT_EQ(f.fixed_part(0), 63);
+}
+
+TEST(FixedAssignment, CountsMixed) {
+  FixedAssignment f(4, 4);
+  f.fix(0, 1);
+  f.restrict_to(1, 0b0011);
+  EXPECT_EQ(f.count_fixed(), 1);
+  EXPECT_EQ(f.count_free(), 2);  // vertices 2 and 3
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

@@ -1,0 +1,189 @@
+#include "part/gain_buckets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fixedpart::part {
+namespace {
+
+TEST(GainBuckets, InsertRemoveContains) {
+  GainBuckets b(10, 5);
+  EXPECT_TRUE(b.empty());
+  b.insert(3, 2);
+  EXPECT_TRUE(b.contains(3));
+  EXPECT_EQ(b.size(), 1);
+  EXPECT_EQ(b.key_of(3), 2);
+  b.remove(3);
+  EXPECT_FALSE(b.contains(3));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(GainBuckets, MaxKeyTracksInsertAndRemove) {
+  GainBuckets b(10, 5);
+  b.insert(0, -3);
+  b.insert(1, 4);
+  b.insert(2, 0);
+  EXPECT_EQ(b.max_key(), 4);
+  b.remove(1);
+  EXPECT_EQ(b.max_key(), 0);
+  b.remove(2);
+  EXPECT_EQ(b.max_key(), -3);
+}
+
+TEST(GainBuckets, MaxKeyOnEmptyThrows) {
+  GainBuckets b(4, 2);
+  EXPECT_THROW(b.max_key(), std::logic_error);
+}
+
+TEST(GainBuckets, LifoOrderWithinBucket) {
+  GainBuckets b(10, 5);
+  b.insert(0, 1);
+  b.insert(1, 1);
+  b.insert(2, 1);
+  // Last inserted is found first among equal keys.
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 2);
+}
+
+TEST(GainBuckets, AdjustMovesToNewBucketHead) {
+  GainBuckets b(10, 5);
+  b.insert(0, 1);
+  b.insert(1, 3);
+  b.adjust(0, 2);  // 0 now key 3, at the head of the bucket
+  EXPECT_EQ(b.key_of(0), 3);
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 0);
+  b.adjust(0, -4);
+  EXPECT_EQ(b.key_of(0), -1);
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 1);
+}
+
+TEST(GainBuckets, AdjustZeroDeltaKeepsPosition) {
+  GainBuckets b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);
+  b.adjust(0, 0);  // no reordering: 1 is still at the head
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 1);
+}
+
+TEST(GainBuckets, FindBestSkipsInfeasible) {
+  GainBuckets b(10, 5);
+  b.insert(0, 5);
+  b.insert(1, 3);
+  b.insert(2, 1);
+  const VertexId got =
+      b.find_best([](VertexId v) { return v != 0; });
+  EXPECT_EQ(got, 1);
+  const VertexId none =
+      b.find_best([](VertexId) { return false; });
+  EXPECT_EQ(none, hg::kNoVertex);
+}
+
+TEST(GainBuckets, FindBestScansWithinBucketFrontToBack) {
+  GainBuckets b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);  // head of bucket 2
+  EXPECT_EQ(b.find_best([](VertexId v) { return v == 0; }), 0);
+}
+
+TEST(GainBuckets, KeyRangeEnforced) {
+  GainBuckets b(4, 3);
+  EXPECT_THROW(b.insert(0, 4), std::out_of_range);
+  EXPECT_THROW(b.insert(1, -4), std::out_of_range);
+  b.insert(2, 3);
+  EXPECT_THROW(b.adjust(2, 1), std::out_of_range);
+}
+
+TEST(GainBuckets, MisuseThrows) {
+  GainBuckets b(4, 3);
+  b.insert(0, 0);
+  EXPECT_THROW(b.insert(0, 1), std::logic_error);
+  EXPECT_THROW(b.remove(1), std::logic_error);
+  EXPECT_THROW(b.adjust(1, 1), std::logic_error);
+}
+
+TEST(GainBuckets, ClearEmptiesEverything) {
+  GainBuckets b(6, 3);
+  for (VertexId v = 0; v < 6; ++v) b.insert(v, v % 3);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  for (VertexId v = 0; v < 6; ++v) EXPECT_FALSE(b.contains(v));
+  b.insert(0, -3);  // reusable
+  EXPECT_EQ(b.max_key(), -3);
+}
+
+TEST(GainBuckets, FifoOrderWithInsertBack) {
+  GainBuckets b(10, 5);
+  b.insert_back(0, 1);
+  b.insert_back(1, 1);
+  b.insert_back(2, 1);
+  // First inserted is found first among equal keys.
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 0);
+  b.remove(0);
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 1);
+}
+
+TEST(GainBuckets, AdjustBackQueuesBehindEquals) {
+  GainBuckets b(10, 5);
+  b.insert_back(0, 1);
+  b.insert_back(1, 2);
+  b.adjust_back(0, 1);  // joins bucket 2 at the tail, behind vertex 1
+  EXPECT_EQ(b.find_best([](VertexId) { return true; }), 1);
+  EXPECT_EQ(b.key_of(0), 2);
+}
+
+TEST(GainBuckets, MixedFrontBackLinksStayConsistent) {
+  GainBuckets b(8, 4);
+  b.insert(0, 0);
+  b.insert_back(1, 0);   // order in bucket 0: [0, 1]
+  b.insert(2, 0);        // [2, 0, 1]
+  b.insert_back(3, 0);   // [2, 0, 1, 3]
+  std::vector<VertexId> popped;
+  while (!b.empty()) {
+    const VertexId v = b.find_best([](VertexId) { return true; });
+    popped.push_back(v);
+    b.remove(v);
+  }
+  EXPECT_EQ(popped, (std::vector<VertexId>{2, 0, 1, 3}));
+}
+
+TEST(GainBuckets, RemoveTailThenInsertBack) {
+  GainBuckets b(4, 2);
+  b.insert_back(0, 0);
+  b.insert_back(1, 0);
+  b.remove(1);  // tail removal must fix the tail pointer
+  b.insert_back(2, 0);
+  std::vector<VertexId> popped;
+  while (!b.empty()) {
+    const VertexId v = b.find_best([](VertexId) { return true; });
+    popped.push_back(v);
+    b.remove(v);
+  }
+  EXPECT_EQ(popped, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(GainBuckets, ManyAdjustmentsStayConsistent) {
+  GainBuckets b(100, 50);
+  for (VertexId v = 0; v < 100; ++v) b.insert(v, 0);
+  // Push vertex v to key (v % 41) - 20 via repeated small adjustments.
+  for (VertexId v = 0; v < 100; ++v) {
+    const Weight target = (v % 41) - 20;
+    Weight current = 0;
+    while (current != target) {
+      const Weight step = target > current ? 1 : -1;
+      b.adjust(v, step);
+      current += step;
+    }
+    EXPECT_EQ(b.key_of(v), target);
+  }
+  EXPECT_EQ(b.max_key(), 20);
+  EXPECT_EQ(b.size(), 100);
+  // Remove everything in max order; keys must be non-increasing.
+  Weight last = 50;
+  while (!b.empty()) {
+    const VertexId v = b.find_best([](VertexId) { return true; });
+    EXPECT_LE(b.key_of(v), last);
+    last = b.key_of(v);
+    b.remove(v);
+  }
+}
+
+}  // namespace
+}  // namespace fixedpart::part

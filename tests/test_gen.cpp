@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "gen/netlist_gen.hpp"
+#include "gen/rent.hpp"
+#include "gen/rent_fit.hpp"
+#include "gen/suite.hpp"
+#include "hg/stats.hpp"
+
+namespace fixedpart::gen {
+namespace {
+
+TEST(Rent, TerminalsClosedForm) {
+  // T = 3.5 * 1000^0.68.
+  EXPECT_NEAR(rent_terminals(1000, 0.68, 3.5), 3.5 * std::pow(1000.0, 0.68),
+              1e-9);
+  EXPECT_DOUBLE_EQ(rent_terminals(0, 0.68, 3.5), 0.0);
+  EXPECT_THROW(rent_terminals(-1, 0.68, 3.5), std::invalid_argument);
+}
+
+TEST(Rent, FixedFractionDecreasesWithBlockSize) {
+  const double small = fixed_fraction(100, 0.68, 3.5);
+  const double large = fixed_fraction(100000, 0.68, 3.5);
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LT(small, 1.0);
+}
+
+TEST(Rent, ThresholdInvertsFixedFraction) {
+  // At the threshold block size, the fixed fraction equals the target.
+  for (const double p : {0.55, 0.68, 0.75}) {
+    for (const double a : {0.05, 0.10, 0.20}) {
+      const double c = threshold_block_size(p, 3.5, a);
+      EXPECT_NEAR(fixed_fraction(c, p, 3.5), a, 1e-9)
+          << "p=" << p << " a=" << a;
+    }
+  }
+}
+
+TEST(Rent, ThresholdGrowsWithRentParameter) {
+  EXPECT_LT(threshold_block_size(0.55, 3.5, 0.10),
+            threshold_block_size(0.75, 3.5, 0.10));
+}
+
+TEST(Rent, ThresholdShrinksWithLargerFraction) {
+  EXPECT_GT(threshold_block_size(0.68, 3.5, 0.05),
+            threshold_block_size(0.68, 3.5, 0.20));
+}
+
+TEST(Rent, ThresholdValidation) {
+  EXPECT_THROW(threshold_block_size(0.68, 3.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(threshold_block_size(0.68, 3.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(threshold_block_size(1.0, 3.5, 0.1), std::invalid_argument);
+}
+
+TEST(Generator, MatchesRequestedCounts) {
+  CircuitSpec spec;
+  spec.num_cells = 1000;
+  spec.num_nets = 1100;
+  spec.num_pads = 40;
+  spec.seed = 5;
+  const GeneratedCircuit c = generate_circuit(spec);
+  EXPECT_EQ(c.graph.num_vertices(), 1040);
+  EXPECT_EQ(c.graph.num_nets(), 1100);
+  EXPECT_EQ(c.graph.num_pads(), 40);
+  EXPECT_EQ(c.placement.x.size(), 1040u);
+  c.graph.validate();
+}
+
+TEST(Generator, DeterministicForSeed) {
+  CircuitSpec spec;
+  spec.num_cells = 500;
+  spec.num_nets = 550;
+  spec.num_pads = 20;
+  spec.seed = 9;
+  const GeneratedCircuit a = generate_circuit(spec);
+  const GeneratedCircuit b = generate_circuit(spec);
+  ASSERT_EQ(a.graph.num_pins(), b.graph.num_pins());
+  for (hg::NetId e = 0; e < a.graph.num_nets(); ++e) {
+    ASSERT_EQ(a.graph.net_size(e), b.graph.net_size(e));
+  }
+  for (hg::VertexId v = 0; v < a.graph.num_vertices(); ++v) {
+    EXPECT_EQ(a.graph.vertex_weight(v), b.graph.vertex_weight(v));
+    EXPECT_DOUBLE_EQ(a.placement.x[v], b.placement.x[v]);
+  }
+}
+
+TEST(Generator, IspdLikeCharacteristics) {
+  CircuitSpec spec;
+  spec.num_cells = 3000;
+  spec.num_nets = 3300;
+  spec.num_pads = 80;
+  spec.num_macros = 3;
+  spec.macro_area_pct = 2.5;
+  spec.seed = 17;
+  const GeneratedCircuit c = generate_circuit(spec);
+  const hg::InstanceStats s = hg::compute_stats(c.graph);
+  // Net degree distribution: average in the ISPD-98 ballpark.
+  EXPECT_GT(s.avg_net_degree, 3.0);
+  EXPECT_LT(s.avg_net_degree, 4.5);
+  // Pins per cell ~ 3.5-4.5.
+  EXPECT_GT(s.avg_cell_degree, 2.5);
+  EXPECT_LT(s.avg_cell_degree, 5.0);
+  // Macros occupy several percent of the area.
+  EXPECT_GT(s.max_cell_area_pct, 1.5);
+  EXPECT_LT(s.max_cell_area_pct, 8.0);
+  // External nets exist and are a small fraction.
+  EXPECT_GT(s.num_external_nets, 0);
+  EXPECT_LT(s.num_external_nets, c.graph.num_nets() / 4);
+  // Pads carry zero area.
+  for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
+    if (c.graph.is_pad(v)) {
+      EXPECT_EQ(c.graph.vertex_weight(v), 0);
+    }
+  }
+}
+
+TEST(Generator, WiringIsLocal) {
+  // With strong locality, average net bounding-box span is much smaller
+  // than the die span.
+  CircuitSpec spec;
+  spec.num_cells = 2500;
+  spec.num_nets = 2500;
+  spec.num_pads = 0;
+  spec.num_macros = 0;
+  spec.seed = 23;
+  const GeneratedCircuit c = generate_circuit(spec);
+  double total_span = 0.0;
+  for (hg::NetId e = 0; e < c.graph.num_nets(); ++e) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (hg::VertexId v : c.graph.pins(e)) {
+      lo = std::min(lo, c.placement.x[v]);
+      hi = std::max(hi, c.placement.x[v]);
+    }
+    total_span += hi - lo;
+  }
+  const double avg_span = total_span / c.graph.num_nets();
+  EXPECT_LT(avg_span, c.placement.width / 4.0);
+}
+
+TEST(Generator, AddPinResource) {
+  CircuitSpec spec;
+  spec.num_cells = 200;
+  spec.num_nets = 220;
+  spec.num_pads = 8;
+  spec.seed = 29;
+  const GeneratedCircuit base = generate_circuit(spec);
+  const GeneratedCircuit mb = add_pin_resource(base);
+  EXPECT_EQ(mb.graph.num_resources(), 2);
+  EXPECT_EQ(mb.graph.num_vertices(), base.graph.num_vertices());
+  EXPECT_EQ(mb.graph.num_nets(), base.graph.num_nets());
+  for (hg::VertexId v = 0; v < base.graph.num_vertices(); ++v) {
+    EXPECT_EQ(mb.graph.vertex_weight(v, 0), base.graph.vertex_weight(v));
+    EXPECT_EQ(mb.graph.vertex_weight(v, 1), base.graph.degree(v));
+    EXPECT_EQ(mb.graph.is_pad(v), base.graph.is_pad(v));
+  }
+  EXPECT_EQ(mb.graph.total_weight(1), base.graph.num_pins());
+  mb.graph.validate();
+}
+
+TEST(RentFit, GeneratedCircuitsAreRentian) {
+  CircuitSpec spec;
+  spec.num_cells = 4000;
+  spec.num_nets = 4400;
+  spec.num_pads = 100;
+  spec.num_macros = 0;
+  spec.seed = 31;
+  const GeneratedCircuit c = generate_circuit(spec);
+  const RentFit fit = fit_rent_exponent(c);
+  // Rentian locality: exponent well inside (0, 1), ideally near the
+  // 0.55-0.8 band of real designs.
+  EXPECT_GT(fit.p, 0.35);
+  EXPECT_LT(fit.p, 0.9);
+  EXPECT_GT(fit.k, 0.0);
+  ASSERT_GE(fit.points.size(), 3u);
+  // Deeper levels have smaller blocks with fewer terminals each.
+  for (std::size_t i = 1; i < fit.points.size(); ++i) {
+    EXPECT_LT(fit.points[i].cells, fit.points[i - 1].cells);
+  }
+}
+
+TEST(RentFit, GlobalWiringRaisesExponent) {
+  CircuitSpec local;
+  local.num_cells = 3000;
+  local.num_nets = 3300;
+  local.num_pads = 0;
+  local.num_macros = 0;
+  local.global_net_fraction = 0.0;
+  local.seed = 32;
+  CircuitSpec global = local;
+  global.global_net_fraction = 0.9;  // almost all nets wired randomly
+  const RentFit fit_local = fit_rent_exponent(generate_circuit(local));
+  const RentFit fit_global = fit_rent_exponent(generate_circuit(global));
+  EXPECT_LT(fit_local.p, fit_global.p);
+}
+
+TEST(RentFit, Validation) {
+  CircuitSpec spec;
+  spec.num_cells = 100;
+  spec.num_nets = 120;
+  spec.num_pads = 0;
+  spec.seed = 33;
+  const GeneratedCircuit c = generate_circuit(spec);
+  EXPECT_THROW(fit_rent_exponent(c, 0), std::invalid_argument);
+}
+
+TEST(Generator, Validation) {
+  CircuitSpec spec;
+  spec.num_cells = 2;
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+  spec.num_cells = 100;
+  spec.num_nets = 0;
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+}
+
+TEST(Suite, FiveCircuitsAtEveryScale) {
+  for (const util::Scale scale :
+       {util::Scale::kSmoke, util::Scale::kDefault, util::Scale::kPaper}) {
+    const auto specs = ibm_suite(scale);
+    ASSERT_EQ(specs.size(), 5u);
+    EXPECT_EQ(specs[0].name, "ibm01");
+    EXPECT_EQ(specs[4].name, "ibm05");
+  }
+}
+
+TEST(Suite, PaperScaleMatchesPublishedSizes) {
+  const auto spec = ibm_like_spec(1, util::Scale::kPaper);
+  EXPECT_EQ(spec.num_cells, 12506);
+  EXPECT_EQ(spec.num_nets, 14111);
+  const auto spec3 = ibm_like_spec(3, util::Scale::kPaper);
+  EXPECT_EQ(spec3.num_cells, 22853);
+  EXPECT_EQ(spec3.num_nets, 27401);
+}
+
+TEST(Suite, ScalesShrinkMonotonically) {
+  const auto paper = ibm_like_spec(2, util::Scale::kPaper);
+  const auto def = ibm_like_spec(2, util::Scale::kDefault);
+  const auto smoke = ibm_like_spec(2, util::Scale::kSmoke);
+  EXPECT_GT(paper.num_cells, def.num_cells);
+  EXPECT_GT(def.num_cells, smoke.num_cells);
+}
+
+TEST(Suite, BadIndexThrows) {
+  EXPECT_THROW(ibm_like_spec(0, util::Scale::kDefault),
+               std::invalid_argument);
+  EXPECT_THROW(ibm_like_spec(6, util::Scale::kDefault),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fixedpart::gen

@@ -1,0 +1,187 @@
+#include "hg/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "hg/stats.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+Hypergraph triangle() {
+  // Three vertices, three 2-pin nets forming a triangle.
+  HypergraphBuilder b;
+  const VertexId v0 = b.add_vertex(1);
+  const VertexId v1 = b.add_vertex(2);
+  const VertexId v2 = b.add_vertex(3);
+  b.add_net(std::vector<VertexId>{v0, v1});
+  b.add_net(std::vector<VertexId>{v1, v2});
+  b.add_net(std::vector<VertexId>{v2, v0});
+  return b.build();
+}
+
+TEST(Builder, CountsAndWeights) {
+  const Hypergraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_nets(), 3);
+  EXPECT_EQ(g.num_pins(), 6);
+  EXPECT_EQ(g.vertex_weight(0), 1);
+  EXPECT_EQ(g.vertex_weight(2), 3);
+  EXPECT_EQ(g.total_weight(), 6);
+  g.validate();
+}
+
+TEST(Builder, EmptyGraph) {
+  HypergraphBuilder b;
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_nets(), 0);
+  g.validate();
+}
+
+TEST(Builder, DedupesPinsWithinNet) {
+  HypergraphBuilder b;
+  const VertexId v0 = b.add_vertex(1);
+  const VertexId v1 = b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{v0, v1, v0, v1, v0});
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.net_size(0), 2);
+  g.validate();
+}
+
+TEST(Builder, KeepsSinglePinNets) {
+  HypergraphBuilder b;
+  const VertexId v0 = b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{v0});
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.num_nets(), 1);
+  EXPECT_EQ(g.net_size(0), 1);
+  g.validate();
+}
+
+TEST(Builder, RejectsOutOfRangePin) {
+  HypergraphBuilder b;
+  b.add_vertex(1);
+  EXPECT_THROW(b.add_net(std::vector<VertexId>{0, 5}), std::out_of_range);
+  EXPECT_THROW(b.add_net(std::vector<VertexId>{-1}), std::out_of_range);
+}
+
+TEST(Builder, RejectsNegativeWeights) {
+  HypergraphBuilder b;
+  EXPECT_THROW(b.add_vertex(-1), std::invalid_argument);
+  const VertexId v = b.add_vertex(1);
+  EXPECT_THROW(b.add_net(std::vector<VertexId>{v}, -2), std::invalid_argument);
+}
+
+TEST(Builder, TransposeIsConsistent) {
+  const Hypergraph g = triangle();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 2);
+    for (NetId e : g.nets_of(v)) {
+      bool found = false;
+      for (VertexId u : g.pins(e)) found |= (u == v);
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Builder, MultiResourceVertices) {
+  HypergraphBuilder b(3);
+  const Weight w0[] = {10, 1, 5};
+  const Weight w1[] = {20, 2, 0};
+  b.add_vertex(std::span<const Weight>(w0, 3));
+  b.add_vertex(std::span<const Weight>(w1, 3));
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.num_resources(), 3);
+  EXPECT_EQ(g.vertex_weight(0, 0), 10);
+  EXPECT_EQ(g.vertex_weight(0, 2), 5);
+  EXPECT_EQ(g.vertex_weight(1, 1), 2);
+  EXPECT_EQ(g.total_weight(0), 30);
+  EXPECT_EQ(g.total_weight(1), 3);
+  EXPECT_EQ(g.total_weight(2), 5);
+  g.validate();
+}
+
+TEST(Builder, WrongResourceCountThrows) {
+  HypergraphBuilder b(2);
+  const Weight w[] = {1};
+  EXPECT_THROW(b.add_vertex(std::span<const Weight>(w, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(b.add_vertex(Weight{5}), std::invalid_argument);
+}
+
+TEST(Builder, ZeroResourcesThrows) {
+  EXPECT_THROW(HypergraphBuilder(0), std::invalid_argument);
+}
+
+TEST(Builder, PadFlags) {
+  HypergraphBuilder b;
+  b.add_vertex(1, /*is_pad=*/false);
+  b.add_vertex(0, /*is_pad=*/true);
+  const Hypergraph g = b.build();
+  EXPECT_FALSE(g.is_pad(0));
+  EXPECT_TRUE(g.is_pad(1));
+  EXPECT_EQ(g.num_pads(), 1);
+}
+
+TEST(Builder, ReusableAfterBuild) {
+  HypergraphBuilder b;
+  b.add_vertex(1);
+  const Hypergraph g1 = b.build();
+  EXPECT_EQ(g1.num_vertices(), 1);
+  b.add_vertex(2);
+  b.add_vertex(3);
+  const Hypergraph g2 = b.build();
+  EXPECT_EQ(g2.num_vertices(), 2);
+  EXPECT_EQ(g2.vertex_weight(0), 2);
+}
+
+TEST(Builder, MaxWeightedDegree) {
+  HypergraphBuilder b;
+  const VertexId v0 = b.add_vertex(1);
+  const VertexId v1 = b.add_vertex(1);
+  const VertexId v2 = b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{v0, v1}, 3);
+  b.add_net(std::vector<VertexId>{v0, v2}, 4);
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.max_weighted_vertex_degree(), 7);  // vertex 0: nets 3 + 4
+}
+
+TEST(Stats, ComputesInstanceStatistics) {
+  HypergraphBuilder b;
+  const VertexId c0 = b.add_vertex(10);
+  const VertexId c1 = b.add_vertex(90);
+  const VertexId pad = b.add_vertex(0, /*is_pad=*/true);
+  b.add_net(std::vector<VertexId>{c0, c1});
+  b.add_net(std::vector<VertexId>{c1, pad});
+  const Hypergraph g = b.build();
+  const InstanceStats s = compute_stats(g);
+  EXPECT_EQ(s.num_cells, 2);
+  EXPECT_EQ(s.num_pads, 1);
+  EXPECT_EQ(s.num_nets, 2);
+  EXPECT_EQ(s.num_external_nets, 1);
+  EXPECT_EQ(s.total_cell_area, 100);
+  EXPECT_EQ(s.max_cell_area, 90);
+  EXPECT_DOUBLE_EQ(s.max_cell_area_pct, 90.0);
+  EXPECT_DOUBLE_EQ(s.avg_net_degree, 2.0);
+  EXPECT_DOUBLE_EQ(s.avg_cell_degree, 1.5);
+}
+
+TEST(Stats, NetSizeHistogramCapsLargeNets) {
+  HypergraphBuilder b;
+  std::vector<VertexId> pins;
+  for (int i = 0; i < 20; ++i) pins.push_back(b.add_vertex(1));
+  b.add_net(std::span<const VertexId>(pins.data(), 2));
+  b.add_net(std::span<const VertexId>(pins.data(), 2));
+  b.add_net(std::span<const VertexId>(pins.data(), 20));
+  const Hypergraph g = b.build();
+  const auto hist = net_size_histogram(g, 16);
+  EXPECT_EQ(hist[2], 2);
+  EXPECT_EQ(hist[16], 1);  // the 20-pin net lands in the cap bin
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

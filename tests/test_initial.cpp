@@ -1,0 +1,124 @@
+#include "part/initial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph unit_graph(int n) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) b.add_vertex(1);
+  return b.build();
+}
+
+TEST(Initial, AssignsEveryVertexFeasibly) {
+  const hg::Hypergraph g = unit_graph(100);
+  const hg::FixedAssignment fixed(100, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 2.0);
+  PartitionState state(g, 2);
+  util::Rng rng(1);
+  random_feasible_assignment(state, fixed, balance, rng);
+  EXPECT_EQ(state.num_assigned(), 100);
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+  check_respects_fixed(state, fixed);
+}
+
+TEST(Initial, HonoursFixedVertices) {
+  const hg::Hypergraph g = unit_graph(50);
+  hg::FixedAssignment fixed(50, 2);
+  for (hg::VertexId v = 0; v < 10; ++v) fixed.fix(v, 1);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  PartitionState state(g, 2);
+  util::Rng rng(2);
+  random_feasible_assignment(state, fixed, balance, rng);
+  for (hg::VertexId v = 0; v < 10; ++v) EXPECT_EQ(state.part_of(v), 1);
+}
+
+TEST(Initial, HonoursOrSets) {
+  const hg::Hypergraph g = unit_graph(40);
+  hg::FixedAssignment fixed(40, 4);
+  fixed.restrict_to(0, 0b1010);  // parts 1 or 3 only
+  const auto balance = BalanceConstraint::relative(g, 4, 20.0);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    PartitionState state(g, 4);
+    random_feasible_assignment(state, fixed, balance, rng);
+    EXPECT_TRUE(state.part_of(0) == 1 || state.part_of(0) == 3);
+  }
+}
+
+TEST(Initial, PlacesMacrosFirstFit) {
+  // One 40% macro + unit cells at a 2% tolerance: feasible only if the
+  // macro goes first and the filler is spread around it.
+  hg::HypergraphBuilder b;
+  b.add_vertex(40);
+  for (int i = 0; i < 60; ++i) b.add_vertex(1);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 2.0);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    PartitionState state(g, 2);
+    random_feasible_assignment(state, fixed, balance, rng);
+    EXPECT_TRUE(balance.satisfied(state.part_weights()));
+  }
+}
+
+TEST(Initial, InfeasibleMacroThrows) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(100);  // exceeds any 2% bisection capacity alone
+  b.add_vertex(100);
+  b.add_vertex(100);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(3, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 2.0);
+  PartitionState state(g, 2);
+  util::Rng rng(5);
+  EXPECT_THROW(random_feasible_assignment(state, fixed, balance, rng),
+               std::runtime_error);
+}
+
+TEST(Initial, RandomAcrossSeeds) {
+  const hg::Hypergraph g = unit_graph(30);
+  const hg::FixedAssignment fixed(30, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  PartitionState a(g, 2);
+  PartitionState b2(g, 2);
+  util::Rng rng_a(6);
+  util::Rng rng_b(7);
+  random_feasible_assignment(a, fixed, balance, rng_a);
+  random_feasible_assignment(b2, fixed, balance, rng_b);
+  int diff = 0;
+  for (hg::VertexId v = 0; v < 30; ++v) {
+    diff += (a.part_of(v) != b2.part_of(v));
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(CheckRespectsFixed, DetectsViolations) {
+  const hg::Hypergraph g = unit_graph(4);
+  hg::FixedAssignment fixed(4, 2);
+  fixed.fix(0, 1);
+  PartitionState state(g, 2);
+  state.assign(0, 0);  // violates the fix
+  state.assign(1, 0);
+  state.assign(2, 1);
+  state.assign(3, 1);
+  EXPECT_THROW(check_respects_fixed(state, fixed), std::logic_error);
+}
+
+TEST(CheckRespectsFixed, DetectsUnassigned) {
+  const hg::Hypergraph g = unit_graph(2);
+  const hg::FixedAssignment fixed(2, 2);
+  PartitionState state(g, 2);
+  state.assign(0, 0);
+  EXPECT_THROW(check_respects_fixed(state, fixed), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fixedpart::part

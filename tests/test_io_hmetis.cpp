@@ -1,0 +1,140 @@
+#include "hg/io_hmetis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+TEST(IoHmetis, ReadsUnweighted) {
+  std::istringstream in("2 4\n1 2\n3 4 2\n");
+  const Hypergraph g = read_hmetis(in);
+  EXPECT_EQ(g.num_nets(), 2);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.net_size(1), 3);
+  EXPECT_EQ(g.vertex_weight(0), 1);
+  EXPECT_EQ(g.net_weight(0), 1);
+  g.validate();
+}
+
+TEST(IoHmetis, ReadsCommentsAndBlankLines) {
+  std::istringstream in("% comment\n\n2 2\n% another\n1 2\n\n2 1\n");
+  const Hypergraph g = read_hmetis(in);
+  EXPECT_EQ(g.num_nets(), 2);
+}
+
+TEST(IoHmetis, ReadsNetWeights) {
+  std::istringstream in("1 2 1\n9 1 2\n");
+  const Hypergraph g = read_hmetis(in);
+  EXPECT_EQ(g.net_weight(0), 9);
+}
+
+TEST(IoHmetis, ReadsVertexWeights) {
+  std::istringstream in("1 2 10\n1 2\n5\n7\n");
+  const Hypergraph g = read_hmetis(in);
+  EXPECT_EQ(g.vertex_weight(0), 5);
+  EXPECT_EQ(g.vertex_weight(1), 7);
+}
+
+TEST(IoHmetis, ReadsBothWeights) {
+  std::istringstream in("1 2 11\n3 1 2\n5\n7\n");
+  const Hypergraph g = read_hmetis(in);
+  EXPECT_EQ(g.net_weight(0), 3);
+  EXPECT_EQ(g.vertex_weight(1), 7);
+}
+
+TEST(IoHmetis, RoundTrip) {
+  HypergraphBuilder b;
+  const VertexId v0 = b.add_vertex(3);
+  const VertexId v1 = b.add_vertex(1);
+  const VertexId v2 = b.add_vertex(4);
+  b.add_net(std::vector<VertexId>{v0, v1}, 2);
+  b.add_net(std::vector<VertexId>{v0, v1, v2}, 1);
+  const Hypergraph g = b.build();
+
+  std::ostringstream out;
+  write_hmetis(out, g);
+  std::istringstream in(out.str());
+  const Hypergraph g2 = read_hmetis(in);
+
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_nets(), g.num_nets());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g2.vertex_weight(v), g.vertex_weight(v));
+  }
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    EXPECT_EQ(g2.net_weight(e), g.net_weight(e));
+    ASSERT_EQ(g2.net_size(e), g.net_size(e));
+    for (int i = 0; i < g.net_size(e); ++i) {
+      EXPECT_EQ(g2.pins(e)[i], g.pins(e)[i]);
+    }
+  }
+}
+
+TEST(IoHmetis, Errors) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_hmetis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("2 2\n1 2\n");  // missing second net
+    EXPECT_THROW(read_hmetis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2\n1 5\n");  // pin out of range
+    EXPECT_THROW(read_hmetis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2 99\n1 2\n");  // bad fmt
+    EXPECT_THROW(read_hmetis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2 10\n1 2\n");  // missing vertex weights
+    EXPECT_THROW(read_hmetis(in), std::runtime_error);
+  }
+}
+
+TEST(IoHmetis, FixFileRoundTrip) {
+  FixedAssignment fixed(4, 2);
+  fixed.fix(1, 0);
+  fixed.fix(3, 1);
+  std::ostringstream out;
+  write_fix(out, fixed);
+  EXPECT_EQ(out.str(), "-1\n0\n-1\n1\n");
+  std::istringstream in(out.str());
+  const FixedAssignment read = read_fix(in, 4, 2);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(read.fixed_part(v), fixed.fixed_part(v));
+  }
+}
+
+TEST(IoHmetis, FixFileErrors) {
+  {
+    std::istringstream in("0\n");  // too few lines
+    EXPECT_THROW(read_fix(in, 2, 2), std::runtime_error);
+  }
+  {
+    std::istringstream in("5\n0\n");  // part out of range
+    EXPECT_THROW(read_fix(in, 2, 2), std::runtime_error);
+  }
+}
+
+TEST(IoHmetis, FileRoundTrip) {
+  HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(2);
+  b.add_net(std::vector<VertexId>{0, 1});
+  const Hypergraph g = b.build();
+  const std::string path = ::testing::TempDir() + "/io_test.hgr";
+  write_hmetis_file(path, g);
+  const Hypergraph g2 = read_hmetis_file(path);
+  EXPECT_EQ(g2.num_vertices(), 2);
+  EXPECT_THROW(read_hmetis_file("/nonexistent/dir/x.hgr"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

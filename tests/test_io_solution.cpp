@@ -1,0 +1,96 @@
+#include "hg/io_solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+Hypergraph path3() {
+  HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{0, 1});
+  b.add_net(std::vector<VertexId>{1, 2}, 3);
+  return b.build();
+}
+
+TEST(IoSolution, RoundTrip) {
+  Solution solution;
+  solution.num_parts = 2;
+  solution.assignment = {0, 0, 1};
+  solution.cut = 3;
+  std::ostringstream out;
+  write_solution(out, solution);
+  std::istringstream in(out.str());
+  const Solution got = read_solution(in);
+  EXPECT_EQ(got.num_parts, 2);
+  EXPECT_EQ(got.cut, 3);
+  EXPECT_EQ(got.assignment, solution.assignment);
+}
+
+TEST(IoSolution, SolutionCutMatchesPartitionSemantics) {
+  const Hypergraph g = path3();
+  EXPECT_EQ(solution_cut(g, {0, 0, 1}, 2), 3);
+  EXPECT_EQ(solution_cut(g, {0, 1, 0}, 2), 4);
+  EXPECT_EQ(solution_cut(g, {1, 1, 1}, 2), 0);
+  EXPECT_THROW(solution_cut(g, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(solution_cut(g, {0, 1, 5}, 2), std::invalid_argument);
+}
+
+TEST(IoSolution, CheckedLoadVerifiesCut) {
+  const Hypergraph g = path3();
+  Solution solution;
+  solution.num_parts = 2;
+  solution.assignment = {0, 0, 1};
+  solution.cut = 3;
+  std::ostringstream out;
+  write_solution(out, solution);
+  {
+    std::istringstream in(out.str());
+    EXPECT_NO_THROW(read_solution_checked(in, g));
+  }
+  solution.cut = 99;  // stale/corrupt cut
+  std::ostringstream bad;
+  write_solution(bad, solution);
+  {
+    std::istringstream in(bad.str());
+    EXPECT_THROW(read_solution_checked(in, g), std::runtime_error);
+  }
+}
+
+TEST(IoSolution, CheckedLoadVerifiesSize) {
+  const Hypergraph g = path3();
+  std::istringstream in("FPSOL 1.0\nvertices 2 parts 2 cut 0\n0\n0\n");
+  EXPECT_THROW(read_solution_checked(in, g), std::runtime_error);
+}
+
+TEST(IoSolution, GrammarErrors) {
+  for (const char* text :
+       {"", "XSOL 1.0\nvertices 1 parts 2 cut 0\n0\n",
+        "FPSOL 2.0\nvertices 1 parts 2 cut 0\n0\n",
+        "FPSOL 1.0\nvertices 2 parts 2 cut 0\n0\n",      // missing line
+        "FPSOL 1.0\nvertices 1 parts 2 cut 0\n7\n",      // part range
+        "FPSOL 1.0\nvertices -1 parts 2 cut 0\n",        // bad counts
+        "FPSOL 1.0\nnodes 1 parts 2 cut 0\n0\n"}) {      // bad keyword
+    std::istringstream in(text);
+    EXPECT_THROW(read_solution(in), std::runtime_error) << text;
+  }
+}
+
+TEST(IoSolution, FileRoundTrip) {
+  Solution solution;
+  solution.num_parts = 4;
+  solution.assignment = {3, 1, 0, 2};
+  solution.cut = 0;
+  const std::string path = ::testing::TempDir() + "/x.fpsol";
+  write_solution_file(path, solution);
+  const Solution got = read_solution_file(path);
+  EXPECT_EQ(got.assignment, solution.assignment);
+  EXPECT_THROW(read_solution_file("/nope.fpsol"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

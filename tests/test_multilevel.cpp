@@ -1,0 +1,244 @@
+#include "ml/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/netlist_gen.hpp"
+#include "part/initial.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::ml {
+namespace {
+
+gen::GeneratedCircuit small_circuit(std::uint64_t seed = 7) {
+  gen::CircuitSpec spec;
+  spec.name = "test";
+  spec.num_cells = 600;
+  spec.num_nets = 700;
+  spec.num_pads = 24;
+  spec.num_macros = 1;
+  spec.macro_area_pct = 2.0;
+  spec.seed = seed;
+  return gen::generate_circuit(spec);
+}
+
+TEST(Multilevel, ProducesFeasibleBipartition) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(1);
+  const auto result = partitioner.run(rng, MultilevelConfig{});
+
+  ASSERT_EQ(result.assignment.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+  EXPECT_GT(result.levels, 1);
+  // Re-play the assignment and confirm the reported cut and balance.
+  part::PartitionState state(circuit.graph, 2);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    state.assign(v, result.assignment[v]);
+  }
+  EXPECT_EQ(state.cut(), result.cut);
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+}
+
+TEST(Multilevel, BeatsFlatRandomByALot) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(2);
+  const auto result = partitioner.run(rng, MultilevelConfig{});
+
+  part::PartitionState random_state(circuit.graph, 2);
+  part::random_feasible_assignment(random_state, fixed, balance, rng);
+  EXPECT_LT(result.cut, random_state.cut() / 2);
+}
+
+TEST(Multilevel, RespectsFixedVertices) {
+  const auto circuit = small_circuit();
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng pick(3);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); v += 5) {
+    fixed.fix(v, static_cast<hg::PartitionId>(pick.next_below(2)));
+  }
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(4);
+  const auto result = partitioner.run(rng, MultilevelConfig{});
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    const hg::PartitionId p = fixed.fixed_part(v);
+    if (p != hg::kNoPartition) {
+      EXPECT_EQ(result.assignment[v], p);
+    }
+  }
+}
+
+TEST(Multilevel, MultistartNeverWorseThanItsOwnRuns) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  // best_of(4) with the same seed must equal the min over the same 4 runs.
+  util::Rng rng_a(5);
+  const auto best = partitioner.best_of(4, rng_a, MultilevelConfig{});
+  util::Rng rng_b(5);
+  Weight manual_best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 4; ++s) {
+    manual_best =
+        std::min(manual_best, partitioner.run(rng_b, MultilevelConfig{}).cut);
+  }
+  EXPECT_EQ(best.cut, manual_best);
+}
+
+TEST(Multilevel, DeterministicForSeed) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
+  const auto a = partitioner.run(rng_a, MultilevelConfig{});
+  const auto b = partitioner.run(rng_b, MultilevelConfig{});
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Multilevel, TinyInputSkipsCoarsening) {
+  gen::CircuitSpec spec;
+  spec.num_cells = 64;
+  spec.num_nets = 80;
+  spec.num_pads = 0;
+  spec.num_macros = 0;
+  spec.seed = 11;
+  const auto circuit = gen::generate_circuit(spec);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(7);
+  MultilevelConfig config;
+  config.coarsest_size = 200;  // larger than the instance
+  const auto result = partitioner.run(rng, config);
+  EXPECT_EQ(result.levels, 1);
+  ASSERT_EQ(result.assignment.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+}
+
+TEST(Multilevel, MostlyFixedInstanceStillSolves) {
+  const auto circuit = small_circuit(12);
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng pick(8);
+  // Fix 50% of vertices randomly (the paper's extreme regime).
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); v += 2) {
+    fixed.fix(v, static_cast<hg::PartitionId>(pick.next_below(2)));
+  }
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(9);
+  const auto result = partitioner.run(rng, MultilevelConfig{});
+  part::PartitionState state(circuit.graph, 2);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    state.assign(v, result.assignment[v]);
+  }
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+  part::check_respects_fixed(state, fixed);
+}
+
+TEST(Multilevel, VcycleNeverWorseThanPlainRun) {
+  const auto circuit = small_circuit(21);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    util::Rng rng_plain(seed);
+    util::Rng rng_vcycle(seed);
+    MultilevelConfig plain;
+    MultilevelConfig with_vcycle;
+    with_vcycle.vcycles = 2;
+    const auto base = partitioner.run(rng_plain, plain);
+    const auto refined = partitioner.run(rng_vcycle, with_vcycle);
+    // Identical RNG stream up to the first V-cycle, and a V-cycle is
+    // monotone (projection preserves the cut, FM only improves).
+    EXPECT_LE(refined.cut, base.cut);
+  }
+}
+
+TEST(Multilevel, VcycleRespectsFixedAndBalance) {
+  const auto circuit = small_circuit(22);
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng pick(23);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); v += 4) {
+    fixed.fix(v, static_cast<hg::PartitionId>(pick.next_below(2)));
+  }
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(24);
+  MultilevelConfig config;
+  config.vcycles = 1;
+  const auto result = partitioner.run(rng, config);
+  part::PartitionState state(circuit.graph, 2);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    state.assign(v, result.assignment[v]);
+  }
+  EXPECT_EQ(state.cut(), result.cut);
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+  part::check_respects_fixed(state, fixed);
+}
+
+TEST(Multilevel, ParallelMultistartDeterministicAcrossThreadCounts) {
+  const auto circuit = small_circuit(25);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  const auto one = partitioner.best_of_parallel(6, 1, 42, MultilevelConfig{});
+  const auto four = partitioner.best_of_parallel(6, 4, 42, MultilevelConfig{});
+  const auto many =
+      partitioner.best_of_parallel(6, 16, 42, MultilevelConfig{});
+  EXPECT_EQ(one.cut, four.cut);
+  EXPECT_EQ(one.cut, many.cut);
+  EXPECT_EQ(one.assignment, four.assignment);
+  EXPECT_EQ(one.assignment, many.assignment);
+}
+
+TEST(Multilevel, ParallelMultistartValidation) {
+  const auto circuit = small_circuit(26);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  EXPECT_THROW(partitioner.best_of_parallel(0, 2, 1, MultilevelConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(partitioner.best_of_parallel(2, 0, 1, MultilevelConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Multilevel, RejectsBadArguments) {
+  const auto circuit = small_circuit(13);
+  const hg::FixedAssignment fixed4(circuit.graph.num_vertices(), 4);
+  const auto balance4 =
+      part::BalanceConstraint::relative(circuit.graph, 4, 2.0);
+  EXPECT_THROW(MultilevelPartitioner(circuit.graph, fixed4, balance4),
+               std::invalid_argument);
+
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+  util::Rng rng(10);
+  EXPECT_THROW(partitioner.best_of(0, rng, MultilevelConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fixedpart::ml

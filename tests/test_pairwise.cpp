@@ -1,0 +1,111 @@
+#include "part/pairwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "part/initial.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph random_graph(util::Rng& rng, int n, int nets) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.add_vertex(1 + static_cast<Weight>(rng.next_below(3)));
+  }
+  for (int e = 0; e < nets; ++e) {
+    std::vector<hg::VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(4));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    b.add_net(pins);
+  }
+  return b.build();
+}
+
+TEST(Pairwise, ImprovesFourWayCut) {
+  util::Rng gen(1);
+  const hg::Hypergraph g = random_graph(gen, 80, 160);
+  const hg::FixedAssignment fixed(g.num_vertices(), 4);
+  const auto balance = BalanceConstraint::relative(g, 4, 20.0);
+  PairwiseRefiner refiner(g, fixed, balance);
+  PartitionState state(g, 4);
+  util::Rng rng(2);
+  random_feasible_assignment(state, fixed, balance, rng);
+  const Weight initial = state.cut();
+  const auto result = refiner.refine(state, rng, PairwiseConfig{});
+  EXPECT_EQ(result.initial_cut, initial);
+  EXPECT_LT(result.final_cut, initial);
+  EXPECT_EQ(result.final_cut, state.cut());
+  EXPECT_EQ(state.cut(), state.recompute_cut());
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+}
+
+TEST(Pairwise, RespectsFixedAndOrSets) {
+  util::Rng gen(3);
+  const hg::Hypergraph g = random_graph(gen, 60, 120);
+  hg::FixedAssignment fixed(g.num_vertices(), 4);
+  fixed.fix(0, 2);
+  fixed.restrict_to(1, 0b0011);  // parts 0 or 1 only
+  const auto balance = BalanceConstraint::relative(g, 4, 30.0);
+  PairwiseRefiner refiner(g, fixed, balance);
+  PartitionState state(g, 4);
+  util::Rng rng(4);
+  random_feasible_assignment(state, fixed, balance, rng);
+  refiner.refine(state, rng, PairwiseConfig{});
+  EXPECT_EQ(state.part_of(0), 2);
+  EXPECT_TRUE(state.part_of(1) == 0 || state.part_of(1) == 1);
+  check_respects_fixed(state, fixed);
+}
+
+TEST(Pairwise, StopsAfterNonImprovingSweep) {
+  util::Rng gen(5);
+  const hg::Hypergraph g = random_graph(gen, 40, 80);
+  const hg::FixedAssignment fixed(g.num_vertices(), 3);
+  const auto balance = BalanceConstraint::relative(g, 3, 30.0);
+  PairwiseRefiner refiner(g, fixed, balance);
+  PartitionState state(g, 3);
+  util::Rng rng(6);
+  random_feasible_assignment(state, fixed, balance, rng);
+  PairwiseConfig config;
+  config.max_sweeps = 20;
+  const auto result = refiner.refine(state, rng, config);
+  EXPECT_LT(result.sweeps, 20);  // converged before the cap
+}
+
+TEST(Pairwise, TwoPartsEquivalentToBipartitionRefinement) {
+  util::Rng gen(7);
+  const hg::Hypergraph g = random_graph(gen, 50, 100);
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  PairwiseRefiner refiner(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(8);
+  random_feasible_assignment(state, fixed, balance, rng);
+  const Weight initial = state.cut();
+  refiner.refine(state, rng, PairwiseConfig{});
+  EXPECT_LT(state.cut(), initial);
+}
+
+TEST(Pairwise, Validation) {
+  util::Rng gen(9);
+  const hg::Hypergraph g = random_graph(gen, 10, 15);
+  const hg::FixedAssignment fixed(g.num_vertices(), 3);
+  const auto balance2 = BalanceConstraint::relative(g, 2, 10.0);
+  EXPECT_THROW(PairwiseRefiner(g, fixed, balance2), std::invalid_argument);
+
+  const auto balance3 = BalanceConstraint::relative(g, 3, 10.0);
+  PairwiseRefiner refiner(g, fixed, balance3);
+  PartitionState incomplete(g, 3);
+  util::Rng rng(10);
+  EXPECT_THROW(refiner.refine(incomplete, rng, PairwiseConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fixedpart::part

@@ -1,0 +1,239 @@
+#include "part/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph chain(int n) {
+  // n vertices in a path of 2-pin nets.
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) b.add_vertex(1);
+  for (int i = 0; i + 1 < n; ++i) {
+    b.add_net(std::vector<hg::VertexId>{i, i + 1});
+  }
+  return b.build();
+}
+
+TEST(PartitionState, AssignTracksWeightAndCut) {
+  const hg::Hypergraph g = chain(4);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 0);
+  s.assign(2, 1);
+  s.assign(3, 1);
+  EXPECT_EQ(s.cut(), 1);  // only net {1,2} is cut
+  EXPECT_EQ(s.part_weight(0), 2);
+  EXPECT_EQ(s.part_weight(1), 2);
+  EXPECT_EQ(s.num_assigned(), 4);
+  EXPECT_EQ(s.recompute_cut(), s.cut());
+}
+
+TEST(PartitionState, MoveUpdatesCutBothWays) {
+  const hg::Hypergraph g = chain(3);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 0);
+  s.assign(2, 0);
+  EXPECT_EQ(s.cut(), 0);
+  s.move(1, 1);
+  EXPECT_EQ(s.cut(), 2);  // both incident nets cut
+  s.move(1, 0);
+  EXPECT_EQ(s.cut(), 0);
+}
+
+TEST(PartitionState, MoveToSamePartIsNoop) {
+  const hg::Hypergraph g = chain(2);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  const Weight before = s.cut();
+  s.move(0, 0);
+  EXPECT_EQ(s.cut(), before);
+  EXPECT_EQ(s.part_weight(0), 1);
+}
+
+TEST(PartitionState, PinCountsAndConnectivity) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1, 2});
+  const hg::Hypergraph g = b.build();
+  PartitionState s(g, 3);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  s.assign(2, 2);
+  EXPECT_EQ(s.pin_count(0, 0), 1);
+  EXPECT_EQ(s.pin_count(0, 1), 1);
+  EXPECT_EQ(s.pin_count(0, 2), 1);
+  EXPECT_EQ(s.connectivity(0), 3);
+  EXPECT_TRUE(s.is_cut(0));
+  s.move(2, 0);
+  EXPECT_EQ(s.connectivity(0), 2);
+  s.move(1, 0);
+  EXPECT_EQ(s.connectivity(0), 1);
+  EXPECT_FALSE(s.is_cut(0));
+}
+
+TEST(PartitionState, WeightedNetsWeightedCut) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1}, 7);
+  const hg::Hypergraph g = b.build();
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  EXPECT_EQ(s.cut(), 7);
+}
+
+TEST(PartitionState, SinglePinNetNeverCut) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0});
+  const hg::Hypergraph g = b.build();
+  PartitionState s(g, 2);
+  s.assign(0, 1);
+  EXPECT_EQ(s.cut(), 0);
+}
+
+TEST(PartitionState, MultiResourceWeights) {
+  hg::HypergraphBuilder b(2);
+  const Weight w0[] = {3, 1};
+  const Weight w1[] = {5, 9};
+  b.add_vertex(std::span<const Weight>(w0, 2));
+  b.add_vertex(std::span<const Weight>(w1, 2));
+  const hg::Hypergraph g = b.build();
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 0);
+  EXPECT_EQ(s.part_weight(0, 0), 8);
+  EXPECT_EQ(s.part_weight(0, 1), 10);
+  s.move(1, 1);
+  EXPECT_EQ(s.part_weight(0, 1), 1);
+  EXPECT_EQ(s.part_weight(1, 1), 9);
+}
+
+TEST(PartitionState, ErrorsOnMisuse) {
+  const hg::Hypergraph g = chain(2);
+  PartitionState s(g, 2);
+  EXPECT_THROW(s.assign(9, 0), std::out_of_range);
+  EXPECT_THROW(s.assign(0, 5), std::out_of_range);
+  EXPECT_THROW(s.move(0, 1), std::logic_error);  // unassigned
+  s.assign(0, 0);
+  EXPECT_THROW(s.assign(0, 1), std::logic_error);  // double assign
+  EXPECT_THROW(s.move(0, 9), std::out_of_range);
+}
+
+TEST(PartitionState, UnassignRestoresState) {
+  const hg::Hypergraph g = chain(3);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  const Weight cut_before = s.cut();
+  const Weight weight_before = s.part_weight(0);
+  s.assign(1, 1);
+  s.unassign(1);
+  EXPECT_EQ(s.cut(), cut_before);
+  EXPECT_EQ(s.part_weight(0), weight_before);
+  EXPECT_EQ(s.part_weight(1), 0);
+  EXPECT_FALSE(s.is_assigned(1));
+  EXPECT_EQ(s.num_assigned(), 1);
+  s.assign(1, 0);  // reusable after unassign
+  EXPECT_EQ(s.num_assigned(), 2);
+}
+
+TEST(PartitionState, UnassignErrors) {
+  const hg::Hypergraph g = chain(2);
+  PartitionState s(g, 2);
+  EXPECT_THROW(s.unassign(0), std::logic_error);   // not assigned
+  EXPECT_THROW(s.unassign(9), std::out_of_range);  // bad vertex
+}
+
+TEST(PartitionState, ClearResets) {
+  const hg::Hypergraph g = chain(3);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  s.assign(2, 0);
+  s.clear();
+  EXPECT_EQ(s.num_assigned(), 0);
+  EXPECT_EQ(s.cut(), 0);
+  EXPECT_EQ(s.part_weight(0), 0);
+  EXPECT_FALSE(s.is_assigned(1));
+  s.assign(1, 1);  // usable again
+  EXPECT_EQ(s.num_assigned(), 1);
+}
+
+// Property test: incremental cut bookkeeping matches recomputation under
+// long random move sequences, across several random hypergraphs and
+// partition counts.
+struct RandomMoveParam {
+  std::uint64_t seed;
+  int vertices;
+  int nets;
+  int parts;
+};
+
+class PartitionStateProperty : public ::testing::TestWithParam<RandomMoveParam> {};
+
+TEST_P(PartitionStateProperty, IncrementalCutMatchesRecompute) {
+  const auto param = GetParam();
+  util::Rng rng(param.seed);
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < param.vertices; ++i) {
+    b.add_vertex(1 + static_cast<Weight>(rng.next_below(5)));
+  }
+  for (int e = 0; e < param.nets; ++e) {
+    std::vector<hg::VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(5));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(param.vertices))));
+    }
+    b.add_net(pins, 1 + static_cast<Weight>(rng.next_below(3)));
+  }
+  const hg::Hypergraph g = b.build();
+  g.validate();
+
+  PartitionState s(g, param.parts);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.assign(v, static_cast<hg::PartitionId>(
+                    rng.next_below(static_cast<std::uint64_t>(param.parts))));
+  }
+  EXPECT_EQ(s.cut(), s.recompute_cut());
+
+  std::vector<Weight> expected_weight(static_cast<std::size_t>(param.parts), 0);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    expected_weight[s.part_of(v)] += g.vertex_weight(v);
+  }
+  for (int step = 0; step < 300; ++step) {
+    const auto v = static_cast<hg::VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(param.vertices)));
+    const auto to = static_cast<hg::PartitionId>(
+        rng.next_below(static_cast<std::uint64_t>(param.parts)));
+    expected_weight[s.part_of(v)] -= g.vertex_weight(v);
+    expected_weight[to] += g.vertex_weight(v);
+    s.move(v, to);
+    ASSERT_EQ(s.cut(), s.recompute_cut()) << "step " << step;
+  }
+  for (int p = 0; p < param.parts; ++p) {
+    EXPECT_EQ(s.part_weight(p), expected_weight[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMoves, PartitionStateProperty,
+    ::testing::Values(RandomMoveParam{1, 10, 20, 2},
+                      RandomMoveParam{2, 30, 60, 2},
+                      RandomMoveParam{3, 25, 50, 3},
+                      RandomMoveParam{4, 40, 100, 4},
+                      RandomMoveParam{5, 8, 40, 5},
+                      RandomMoveParam{6, 60, 30, 2},
+                      RandomMoveParam{7, 15, 80, 8}));
+
+}  // namespace
+}  // namespace fixedpart::part

@@ -1,0 +1,175 @@
+#include "place/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/builder.hpp"
+#include "place/hpwl.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::place {
+namespace {
+
+TEST(Hpwl, HandComputed) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});     // span (3,4)
+  b.add_net(std::vector<hg::VertexId>{0, 1, 2});  // span (5,4)
+  b.add_net(std::vector<hg::VertexId>{2});        // single pin: 0
+  const hg::Hypergraph g = b.build();
+  const std::vector<double> x = {0.0, 3.0, 5.0};
+  const std::vector<double> y = {0.0, 4.0, 1.0};
+  EXPECT_DOUBLE_EQ(net_hpwl(g, 0, x, y), 7.0);
+  EXPECT_DOUBLE_EQ(net_hpwl(g, 1, x, y), 9.0);
+  EXPECT_DOUBLE_EQ(net_hpwl(g, 2, x, y), 0.0);
+  EXPECT_DOUBLE_EQ(half_perimeter_wirelength(g, x, y), 16.0);
+}
+
+TEST(Hpwl, SizeMismatchThrows) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  const hg::Hypergraph g = b.build();
+  const std::vector<double> x = {0.0};
+  const std::vector<double> wrong = {0.0, 1.0};
+  EXPECT_THROW(half_perimeter_wirelength(g, wrong, x),
+               std::invalid_argument);
+}
+
+PlacementProblem problem_of(const gen::GeneratedCircuit& circuit) {
+  PlacementProblem problem;
+  problem.graph = &circuit.graph;
+  problem.width = circuit.placement.width;
+  problem.height = circuit.placement.height;
+  problem.pad_x = circuit.placement.x;
+  problem.pad_y = circuit.placement.y;
+  return problem;
+}
+
+gen::GeneratedCircuit test_circuit(int cells = 600, std::uint64_t seed = 9) {
+  gen::CircuitSpec spec;
+  spec.num_cells = cells;
+  spec.num_nets = cells + cells / 10;
+  spec.num_pads = std::max(8, cells / 50);
+  spec.seed = seed;
+  return gen::generate_circuit(spec);
+}
+
+TEST(Placer, PlacesEveryCellInsideDie) {
+  const auto circuit = test_circuit();
+  const TopDownPlacer placer(problem_of(circuit));
+  PlacerConfig config;
+  config.max_levels = 5;
+  util::Rng rng(1);
+  const PlacementResult result = placer.run(config, rng);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    if (circuit.graph.is_pad(v)) {
+      // Pads keep their original perimeter coordinates.
+      EXPECT_DOUBLE_EQ(result.x[v], circuit.placement.x[v]);
+      EXPECT_DOUBLE_EQ(result.y[v], circuit.placement.y[v]);
+    } else {
+      EXPECT_GE(result.x[v], 0.0);
+      EXPECT_LE(result.x[v], circuit.placement.width);
+      EXPECT_GE(result.y[v], 0.0);
+      EXPECT_LE(result.y[v], circuit.placement.height);
+    }
+  }
+  EXPECT_GT(result.hpwl, 0.0);
+}
+
+TEST(Placer, BeatsRandomScatterByAWideMargin) {
+  const auto circuit = test_circuit();
+  const TopDownPlacer placer(problem_of(circuit));
+  PlacerConfig config;
+  config.max_levels = 6;
+  util::Rng rng(2);
+  const PlacementResult result = placer.run(config, rng);
+
+  // Random scatter over the die.
+  std::vector<double> rx = result.x;
+  std::vector<double> ry = result.y;
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    if (circuit.graph.is_pad(v)) continue;
+    rx[v] = rng.next_double() * circuit.placement.width;
+    ry[v] = rng.next_double() * circuit.placement.height;
+  }
+  const double random_hpwl =
+      half_perimeter_wirelength(circuit.graph, rx, ry);
+  EXPECT_LT(result.hpwl, 0.6 * random_hpwl);
+}
+
+TEST(Placer, FixedShareGrowsWithDepth) {
+  const auto circuit = test_circuit(800, 10);
+  const TopDownPlacer placer(problem_of(circuit));
+  PlacerConfig config;
+  config.max_levels = 5;
+  util::Rng rng(3);
+  const PlacementResult result = placer.run(config, rng);
+  ASSERT_GE(result.levels.size(), 3u);
+  // Level 0 has almost no terminals; deeper levels are dominated by them
+  // (the paper's Table I in action).
+  EXPECT_LT(result.levels[0].avg_fixed_pct, 15.0);
+  EXPECT_GT(result.levels.back().avg_fixed_pct,
+            result.levels[0].avg_fixed_pct);
+}
+
+TEST(Placer, ExactEndCasesMatchHeuristicQuality) {
+  const auto circuit = test_circuit(300, 11);
+  const TopDownPlacer placer(problem_of(circuit));
+  util::Rng rng_heuristic(4);
+  util::Rng rng_exact(4);
+  PlacerConfig heuristic;
+  heuristic.max_levels = 6;
+  PlacerConfig with_exact = heuristic;
+  with_exact.exact_threshold = 16;
+  const PlacementResult base = placer.run(heuristic, rng_heuristic);
+  const PlacementResult exact = placer.run(with_exact, rng_exact);
+  // Both are valid placements of comparable quality; exact end cases
+  // should not degrade wirelength materially.
+  EXPECT_LT(exact.hpwl, 1.15 * base.hpwl);
+  EXPECT_GT(exact.hpwl, 0.5 * base.hpwl);
+}
+
+TEST(Placer, MinBlockSizeRespected) {
+  const auto circuit = test_circuit(200, 12);
+  const TopDownPlacer placer(problem_of(circuit));
+  PlacerConfig config;
+  config.max_levels = 20;       // more levels than the instance supports
+  config.min_block_cells = 50;  // stop early instead
+  util::Rng rng(5);
+  const PlacementResult result = placer.run(config, rng);
+  // Splitting stops once all blocks are below 50 cells: 200 -> at most 3
+  // levels of splitting (200/2/2 = 50) plus one non-splitting level.
+  EXPECT_LE(result.levels.size(), 4u);
+}
+
+TEST(Placer, Validation) {
+  const auto circuit = test_circuit(100, 13);
+  PlacementProblem problem = problem_of(circuit);
+  problem.graph = nullptr;
+  EXPECT_THROW(TopDownPlacer{problem}, std::invalid_argument);
+  problem = problem_of(circuit);
+  problem.width = 0.0;
+  EXPECT_THROW(TopDownPlacer{problem}, std::invalid_argument);
+  problem = problem_of(circuit);
+  problem.pad_x.pop_back();
+  EXPECT_THROW(TopDownPlacer{problem}, std::invalid_argument);
+}
+
+TEST(Placer, DeterministicForSeed) {
+  const auto circuit = test_circuit(300, 14);
+  const TopDownPlacer placer(problem_of(circuit));
+  PlacerConfig config;
+  config.max_levels = 4;
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
+  const PlacementResult a = placer.run(config, rng_a);
+  const PlacementResult b = placer.run(config, rng_b);
+  EXPECT_DOUBLE_EQ(a.hpwl, b.hpwl);
+  EXPECT_EQ(a.x, b.x);
+}
+
+}  // namespace
+}  // namespace fixedpart::place

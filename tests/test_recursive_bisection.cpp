@@ -1,0 +1,156 @@
+#include "ml/recursive_bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/builder.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::ml {
+namespace {
+
+hg::Hypergraph four_clusters() {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 16; ++i) b.add_vertex(1);
+  for (int c = 0; c < 4; ++c) {
+    const int base = 4 * c;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        b.add_net(std::vector<hg::VertexId>{base + i, base + j});
+      }
+    }
+  }
+  b.add_net(std::vector<hg::VertexId>{0, 4});
+  b.add_net(std::vector<hg::VertexId>{8, 12});
+  return b.build();
+}
+
+Weight cut_of(const hg::Hypergraph& g,
+              const std::vector<hg::PartitionId>& assignment,
+              hg::PartitionId k) {
+  part::PartitionState state(g, k);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    state.assign(v, assignment[v]);
+  }
+  return state.cut();
+}
+
+TEST(RecursiveBisection, SolvesSeparableFourWay) {
+  const hg::Hypergraph g = four_clusters();
+  const hg::FixedAssignment fixed(g.num_vertices(), 4);
+  RbConfig config;
+  config.tolerance_pct = 30.0;
+  Weight best = std::numeric_limits<Weight>::max();
+  util::Rng rng(1);
+  for (int s = 0; s < 8; ++s) {
+    const auto assignment = recursive_bisection(g, fixed, 4, config, rng);
+    best = std::min(best, cut_of(g, assignment, 4));
+  }
+  EXPECT_EQ(best, 2);
+}
+
+TEST(RecursiveBisection, KOneAssignsEverythingToZero) {
+  const hg::Hypergraph g = four_clusters();
+  const hg::FixedAssignment fixed(g.num_vertices(), 1);
+  util::Rng rng(2);
+  const auto assignment = recursive_bisection(g, fixed, 1, RbConfig{}, rng);
+  for (const hg::PartitionId p : assignment) EXPECT_EQ(p, 0);
+}
+
+TEST(RecursiveBisection, UnevenKHasProportionalSides) {
+  // k = 3: the first split targets 1/3 vs 2/3 of the weight.
+  gen::CircuitSpec spec;
+  spec.num_cells = 600;
+  spec.num_nets = 660;
+  spec.num_pads = 0;
+  spec.num_macros = 0;
+  spec.seed = 3;
+  const auto circuit = gen::generate_circuit(spec);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 3);
+  RbConfig config;
+  config.tolerance_pct = 10.0;
+  util::Rng rng(4);
+  const auto assignment =
+      recursive_bisection(circuit.graph, fixed, 3, config, rng);
+  Weight part_weight[3] = {0, 0, 0};
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    ASSERT_GE(assignment[v], 0);
+    ASSERT_LT(assignment[v], 3);
+    part_weight[assignment[v]] += circuit.graph.vertex_weight(v);
+  }
+  const double total = static_cast<double>(circuit.graph.total_weight());
+  for (int p = 0; p < 3; ++p) {
+    const double share = static_cast<double>(part_weight[p]) / total;
+    EXPECT_GT(share, 0.33 / 1.35) << "part " << p;
+    EXPECT_LT(share, 0.34 * 1.35) << "part " << p;
+  }
+}
+
+TEST(RecursiveBisection, HonoursFixedAndOrSets) {
+  gen::CircuitSpec spec;
+  spec.num_cells = 300;
+  spec.num_nets = 330;
+  spec.num_pads = 0;
+  spec.seed = 5;
+  const auto circuit = gen::generate_circuit(spec);
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 4);
+  fixed.fix(0, 3);
+  fixed.fix(1, 0);
+  fixed.restrict_to(2, 0b0101);  // parts 0 or 2
+  fixed.restrict_to(3, 0b1100);  // parts 2 or 3
+  RbConfig config;
+  config.tolerance_pct = 10.0;
+  util::Rng rng(6);
+  const auto assignment =
+      recursive_bisection(circuit.graph, fixed, 4, config, rng);
+  EXPECT_EQ(assignment[0], 3);
+  EXPECT_EQ(assignment[1], 0);
+  EXPECT_TRUE(assignment[2] == 0 || assignment[2] == 2);
+  EXPECT_TRUE(assignment[3] == 2 || assignment[3] == 3);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    EXPECT_TRUE(fixed.is_allowed(v, assignment[v]));
+  }
+}
+
+TEST(RecursiveBisection, Validation) {
+  const hg::Hypergraph g = four_clusters();
+  util::Rng rng(7);
+  const hg::FixedAssignment fixed4(g.num_vertices(), 4);
+  EXPECT_THROW(recursive_bisection(g, fixed4, 0, RbConfig{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(recursive_bisection(g, fixed4, 8, RbConfig{}, rng),
+               std::invalid_argument);  // num_parts mismatch
+  const hg::FixedAssignment wrong_size(4, 4);
+  EXPECT_THROW(recursive_bisection(g, wrong_size, 4, RbConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(RecursiveBisection, FourWayQualityComparableToClusters) {
+  // On a realistic circuit the RB cut should beat random by a wide margin.
+  gen::CircuitSpec spec;
+  spec.num_cells = 800;
+  spec.num_nets = 880;
+  spec.num_pads = 16;
+  spec.seed = 8;
+  const auto circuit = gen::generate_circuit(spec);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 4);
+  RbConfig config;
+  config.tolerance_pct = 10.0;
+  util::Rng rng(9);
+  const auto assignment =
+      recursive_bisection(circuit.graph, fixed, 4, config, rng);
+  const Weight rb_cut = cut_of(circuit.graph, assignment, 4);
+
+  part::PartitionState random_state(circuit.graph, 4);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    random_state.assign(
+        v, static_cast<hg::PartitionId>(rng.next_below(4)));
+  }
+  EXPECT_LT(rb_cut, random_state.cut() / 2);
+}
+
+}  // namespace
+}  // namespace fixedpart::ml

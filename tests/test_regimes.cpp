@@ -1,0 +1,142 @@
+#include "gen/regimes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::gen {
+namespace {
+
+GeneratedCircuit circuit() {
+  CircuitSpec spec;
+  spec.num_cells = 400;
+  spec.num_nets = 450;
+  spec.num_pads = 16;
+  spec.seed = 3;
+  return generate_circuit(spec);
+}
+
+TEST(FixedVertexSeries, CountMatchesPercentage) {
+  const auto c = circuit();
+  util::Rng rng(1);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  EXPECT_EQ(series.count_at(0.0), 0);
+  EXPECT_EQ(series.count_at(100.0), c.graph.num_vertices());
+  EXPECT_EQ(series.count_at(50.0), c.graph.num_vertices() / 2);
+  EXPECT_THROW(series.count_at(-1.0), std::invalid_argument);
+  EXPECT_THROW(series.count_at(101.0), std::invalid_argument);
+}
+
+TEST(FixedVertexSeries, RandRegimeFixesExactlyThatMany) {
+  const auto c = circuit();
+  util::Rng rng(2);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  for (const double pct : {0.0, 1.0, 10.0, 50.0}) {
+    const auto fixed = series.rand_regime(pct);
+    EXPECT_EQ(fixed.count_fixed(), series.count_at(pct)) << pct;
+  }
+}
+
+TEST(FixedVertexSeries, SeriesIsNested) {
+  // "All vertices fixed at 1.0% are also fixed at 2.0%" — and to the same
+  // side.
+  const auto c = circuit();
+  util::Rng rng(3);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  const auto small = series.rand_regime(5.0);
+  const auto large = series.rand_regime(20.0);
+  for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
+    if (small.is_fixed(v)) {
+      ASSERT_TRUE(large.is_fixed(v));
+      EXPECT_EQ(small.fixed_part(v), large.fixed_part(v));
+    }
+  }
+}
+
+TEST(FixedVertexSeries, GoodRegimeFollowsReference) {
+  const auto c = circuit();
+  util::Rng rng(4);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  std::vector<hg::PartitionId> reference(
+      static_cast<std::size_t>(c.graph.num_vertices()));
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference[i] = static_cast<hg::PartitionId>(i % 2);
+  }
+  const auto fixed = series.good_regime(30.0, reference);
+  for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
+    if (fixed.is_fixed(v)) {
+      EXPECT_EQ(fixed.fixed_part(v), reference[v]);
+    }
+  }
+}
+
+TEST(FixedVertexSeries, GoodRegimeValidatesReference) {
+  const auto c = circuit();
+  util::Rng rng(5);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  const std::vector<hg::PartitionId> too_short(10, 0);
+  EXPECT_THROW(series.good_regime(10.0, too_short), std::invalid_argument);
+  std::vector<hg::PartitionId> bad_side(
+      static_cast<std::size_t>(c.graph.num_vertices()), 0);
+  bad_side[0] = 7;
+  // Only throws if vertex 0 lands in the fixed prefix; use 100%.
+  EXPECT_THROW(series.good_regime(100.0, bad_side), std::invalid_argument);
+}
+
+TEST(FixedVertexSeries, RandSidesRoughlyBalanced) {
+  const auto c = circuit();
+  util::Rng rng(6);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  const auto fixed = series.rand_regime(100.0);
+  int side0 = 0;
+  for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
+    side0 += (fixed.fixed_part(v) == 0);
+  }
+  const double frac =
+      static_cast<double>(side0) / static_cast<double>(c.graph.num_vertices());
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(FixedVertexSeries, HighDegreeFirstOrdering) {
+  const auto c = circuit();
+  util::Rng rng(8);
+  const FixedVertexSeries series(c.graph, 2, rng,
+                                 SelectionOrder::kHighDegreeFirst);
+  const auto perm = series.permutation();
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_GE(c.graph.degree(perm[i - 1]), c.graph.degree(perm[i]));
+  }
+  // At 5%, the fixed set is exactly the top-degree slice: every fixed
+  // vertex has degree >= every free vertex.
+  const auto fixed = series.rand_regime(5.0);
+  int min_fixed_degree = 1 << 30;
+  int max_free_degree = 0;
+  for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
+    if (fixed.is_fixed(v)) {
+      min_fixed_degree = std::min(min_fixed_degree, c.graph.degree(v));
+    } else {
+      max_free_degree = std::max(max_free_degree, c.graph.degree(v));
+    }
+  }
+  EXPECT_GE(min_fixed_degree, max_free_degree);
+}
+
+TEST(FixedVertexSeries, PermutationIsCompleteAndUnique) {
+  const auto c = circuit();
+  util::Rng rng(7);
+  const FixedVertexSeries series(c.graph, 2, rng);
+  std::vector<bool> seen(static_cast<std::size_t>(c.graph.num_vertices()),
+                         false);
+  for (hg::VertexId v : series.permutation()) {
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace fixedpart::gen

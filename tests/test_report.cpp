@@ -1,0 +1,88 @@
+#include "part/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph square4() {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{1, 2});
+  b.add_net(std::vector<hg::VertexId>{2, 3});
+  b.add_net(std::vector<hg::VertexId>{3, 0});
+  return b.build();
+}
+
+TEST(SolutionReport, GradesBalancedSolution) {
+  const hg::Hypergraph g = square4();
+  const hg::FixedAssignment fixed(4, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const std::vector<hg::PartitionId> assignment = {0, 0, 1, 1};
+  const SolutionReport report =
+      evaluate_solution(g, fixed, balance, assignment);
+  EXPECT_EQ(report.cut, 2);
+  EXPECT_TRUE(report.balanced);
+  EXPECT_TRUE(report.strictly_balanced);
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.fixed_violations, 0);
+  EXPECT_DOUBLE_EQ(report.imbalance_pct[0], 0.0);
+  EXPECT_EQ(report.part_weights[0], 2);
+}
+
+TEST(SolutionReport, DetectsImbalanceAndViolations) {
+  const hg::Hypergraph g = square4();
+  hg::FixedAssignment fixed(4, 2);
+  fixed.fix(0, 1);  // but the assignment puts 0 in part 0
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const std::vector<hg::PartitionId> assignment = {0, 0, 0, 1};
+  const SolutionReport report =
+      evaluate_solution(g, fixed, balance, assignment);
+  EXPECT_EQ(report.cut, 2);
+  EXPECT_FALSE(report.balanced);  // 3 vs 1 at 10% tolerance
+  EXPECT_FALSE(report.valid());
+  EXPECT_EQ(report.fixed_violations, 1);
+  // Worst deviation: |3 - 2| / 2 = 50%.
+  EXPECT_DOUBLE_EQ(report.imbalance_pct[0], 50.0);
+}
+
+TEST(SolutionReport, MultiResourceImbalance) {
+  hg::HypergraphBuilder b(2);
+  const Weight w0[] = {2, 1};
+  const Weight w1[] = {2, 3};
+  b.add_vertex(std::span<const Weight>(w0, 2));
+  b.add_vertex(std::span<const Weight>(w1, 2));
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(2, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 100.0);
+  const std::vector<hg::PartitionId> assignment = {0, 1};
+  const SolutionReport report =
+      evaluate_solution(g, fixed, balance, assignment);
+  // Resource 0 perfectly split (2/2); resource 1 is 1 vs 3 (perfect 2).
+  EXPECT_DOUBLE_EQ(report.imbalance_pct[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.imbalance_pct[1], 50.0);
+}
+
+TEST(SolutionReport, Validation) {
+  const hg::Hypergraph g = square4();
+  const hg::FixedAssignment fixed(4, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const std::vector<hg::PartitionId> too_short = {0, 1};
+  EXPECT_THROW(evaluate_solution(g, fixed, balance, too_short),
+               std::invalid_argument);
+  const std::vector<hg::PartitionId> bad_part = {0, 1, 0, 7};
+  EXPECT_THROW(evaluate_solution(g, fixed, balance, bad_part),
+               std::invalid_argument);
+  const hg::FixedAssignment wrong_k(4, 4);
+  const std::vector<hg::PartitionId> ok = {0, 1, 0, 1};
+  EXPECT_THROW(evaluate_solution(g, wrong_k, balance, ok),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fixedpart::part

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fixedpart::util {
+namespace {
+
+TEST(RunningStat, EmptyThrowsOnMean) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 4.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, BadQuantileThrows) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(MeanMin, Helpers) {
+  const std::vector<double> v = {4.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 4.0);
+  EXPECT_DOUBLE_EQ(min_of(v), 2.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, Cdf) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.cdf(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(3), 1.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, CdfOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.cdf(2), std::out_of_range);
+}
+
+TEST(Histogram, EmptyCdfIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.0);
+}
+
+}  // namespace
+}  // namespace fixedpart::util

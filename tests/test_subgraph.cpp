@@ -1,0 +1,159 @@
+#include "hg/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+/// 6 vertices: nets {0,1}, {1,2,3}, {3,4}, {4,5}, {0,5} (a loose ring).
+Hypergraph ring6() {
+  HypergraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.add_vertex(i + 1);
+  b.add_net(std::vector<VertexId>{0, 1});
+  b.add_net(std::vector<VertexId>{1, 2, 3});
+  b.add_net(std::vector<VertexId>{3, 4});
+  b.add_net(std::vector<VertexId>{4, 5});
+  b.add_net(std::vector<VertexId>{0, 5}, 7);
+  return b.build();
+}
+
+TEST(Subgraph, DropModeTruncatesNets) {
+  const Hypergraph g = ring6();
+  const std::vector<VertexId> subset = {0, 1, 2};
+  const Subgraph sub = induce_subgraph(g, subset);
+  EXPECT_EQ(sub.num_movable, 3);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  // Kept nets with >= 2 pins inside: {0,1} and {1,2} (truncated from
+  // {1,2,3}); {0,5} and {3,4}/{4,5} drop out.
+  EXPECT_EQ(sub.graph.num_nets(), 2);
+  EXPECT_EQ(sub.local_of[0], 0);
+  EXPECT_EQ(sub.local_of[3], kNoVertex);
+  EXPECT_EQ(sub.original_of.size(), 3u);
+  // Weights carried over.
+  EXPECT_EQ(sub.graph.vertex_weight(sub.local_of[2]), 3);
+  sub.graph.validate();
+}
+
+TEST(Subgraph, TerminalModeMaterializesOutsideVertices) {
+  const Hypergraph g = ring6();
+  const std::vector<VertexId> subset = {0, 1, 2};
+  SubgraphOptions options;
+  options.outside = SubgraphOptions::OutsidePins::kTerminalPerVertex;
+  const Subgraph sub = induce_subgraph(g, subset, options);
+  EXPECT_EQ(sub.num_movable, 3);
+  // Outside vertices adjacent via kept nets: 3 (net {1,2,3}) and 5
+  // (net {0,5}). Vertex 4 shares no net with the subset.
+  EXPECT_EQ(sub.graph.num_vertices(), 5);
+  EXPECT_EQ(sub.graph.num_pads(), 2);
+  for (VertexId t = sub.num_movable; t < sub.graph.num_vertices(); ++t) {
+    EXPECT_TRUE(sub.graph.is_pad(t));
+    EXPECT_EQ(sub.graph.vertex_weight(t), 0);
+    const VertexId original = sub.original_of[t];
+    EXPECT_TRUE(original == 3 || original == 5);
+  }
+  // Every net touching the subset survives: {0,1}, {1,2,3}, {0,5}.
+  EXPECT_EQ(sub.graph.num_nets(), 3);
+  // Net weights preserved (find the weight-7 net).
+  int weight7 = 0;
+  for (NetId e = 0; e < sub.graph.num_nets(); ++e) {
+    weight7 += (sub.graph.net_weight(e) == 7);
+  }
+  EXPECT_EQ(weight7, 1);
+  sub.graph.validate();
+}
+
+TEST(Subgraph, KeepDegenerateNetsOption) {
+  const Hypergraph g = ring6();
+  const std::vector<VertexId> subset = {0};
+  SubgraphOptions options;
+  options.keep_degenerate_nets = true;
+  const Subgraph sub = induce_subgraph(g, subset, options);
+  // Nets {0,1} and {0,5} both truncate to the single pin {0} but are kept.
+  EXPECT_EQ(sub.graph.num_nets(), 2);
+  const Subgraph dropped = induce_subgraph(g, subset);
+  EXPECT_EQ(dropped.graph.num_nets(), 0);
+}
+
+TEST(Subgraph, FullSubsetIsIsomorphic) {
+  const Hypergraph g = ring6();
+  std::vector<VertexId> all = {0, 1, 2, 3, 4, 5};
+  const Subgraph sub = induce_subgraph(g, all);
+  EXPECT_EQ(sub.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(sub.graph.num_nets(), g.num_nets());
+  EXPECT_EQ(sub.graph.num_pins(), g.num_pins());
+  EXPECT_EQ(sub.graph.total_weight(), g.total_weight());
+}
+
+TEST(Subgraph, Validation) {
+  const Hypergraph g = ring6();
+  const std::vector<VertexId> out_of_range = {0, 9};
+  EXPECT_THROW(induce_subgraph(g, out_of_range), std::out_of_range);
+  const std::vector<VertexId> duplicate = {0, 0};
+  EXPECT_THROW(induce_subgraph(g, duplicate), std::invalid_argument);
+}
+
+TEST(Subgraph, EmptySubset) {
+  const Hypergraph g = ring6();
+  const Subgraph sub = induce_subgraph(g, std::vector<VertexId>{});
+  EXPECT_EQ(sub.graph.num_vertices(), 0);
+  EXPECT_EQ(sub.graph.num_nets(), 0);
+}
+
+/// Property: in terminal mode, assigning the subgraph by projecting an
+/// original assignment gives exactly the cut restricted to kept nets.
+TEST(Subgraph, TerminalModePreservesLocalCut) {
+  util::Rng rng(5);
+  HypergraphBuilder b;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) b.add_vertex(1);
+  for (int e = 0; e < 70; ++e) {
+    std::vector<VertexId> pins;
+    for (int d = 0; d < 2 + static_cast<int>(rng.next_below(3)); ++d) {
+      pins.push_back(static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    b.add_net(pins);
+  }
+  const Hypergraph g = b.build();
+
+  std::vector<VertexId> subset;
+  for (VertexId v = 0; v < n / 2; ++v) subset.push_back(v);
+  SubgraphOptions options;
+  options.outside = SubgraphOptions::OutsidePins::kTerminalPerVertex;
+  const Subgraph sub = induce_subgraph(g, subset, options);
+
+  std::vector<PartitionId> sides(static_cast<std::size_t>(n));
+  for (auto& side : sides) {
+    side = static_cast<PartitionId>(rng.next_below(2));
+  }
+  part::PartitionState local(sub.graph, 2);
+  for (VertexId lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+    local.assign(lv, sides[sub.original_of[lv]]);
+  }
+  // Reference: cut of the original restricted to nets touching the subset.
+  Weight reference = 0;
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    bool touches = false;
+    for (const VertexId v : g.pins(e)) touches |= (v < n / 2);
+    if (!touches) continue;
+    PartitionId first = kNoPartition;
+    for (const VertexId v : g.pins(e)) {
+      if (first == kNoPartition) {
+        first = sides[v];
+      } else if (sides[v] != first) {
+        reference += g.net_weight(e);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(local.cut(), reference);
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fixedpart::util {
+namespace {
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Every line has the same start-of-column offsets: "value" column
+  // starts after the widest first cell ("longer" = 6 chars + 2 spaces).
+  EXPECT_NE(s.find("x       1"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, CutTimeCell) {
+  EXPECT_EQ(fmt_cut_time(123.0, 4.5), "123.0 (4.50s)");
+}
+
+}  // namespace
+}  // namespace fixedpart::util

@@ -1,0 +1,125 @@
+#include "hg/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "part/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+TEST(ClusterTerminals, CollapsesEachSide) {
+  HypergraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{0, 1, 2});
+  b.add_net(std::vector<VertexId>{3, 4, 5});
+  b.add_net(std::vector<VertexId>{2, 3});
+  const Hypergraph g = b.build();
+  FixedAssignment fixed(6, 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 0);
+  fixed.fix(5, 1);
+
+  const ClusteredTerminals result = cluster_terminals(g, fixed);
+  // 3 fixed vertices collapse into 2 terminals; 3 free survive: 5 total.
+  EXPECT_EQ(result.graph.num_vertices(), 5);
+  EXPECT_EQ(result.fixed.count_fixed(), 2);
+  ASSERT_NE(result.terminal_of_part[0], kNoVertex);
+  ASSERT_NE(result.terminal_of_part[1], kNoVertex);
+  EXPECT_EQ(result.graph.vertex_weight(result.terminal_of_part[0]), 2);
+  EXPECT_EQ(result.graph.vertex_weight(result.terminal_of_part[1]), 1);
+  EXPECT_EQ(result.fixed.fixed_part(result.terminal_of_part[0]), 0);
+  EXPECT_EQ(result.map[0], result.map[1]);
+  EXPECT_NE(result.map[2], result.map[3]);
+  result.graph.validate();
+}
+
+TEST(ClusterTerminals, NoTerminalsIsIdentityShape) {
+  HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{0, 1, 2});
+  const Hypergraph g = b.build();
+  const FixedAssignment fixed(3, 2);
+  const ClusteredTerminals result = cluster_terminals(g, fixed);
+  EXPECT_EQ(result.graph.num_vertices(), 3);
+  EXPECT_EQ(result.graph.num_nets(), 1);
+  EXPECT_EQ(result.terminal_of_part[0], kNoVertex);
+}
+
+TEST(ClusterTerminals, PreservesOrRestrictions) {
+  HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1);
+  b.add_net(std::vector<VertexId>{0, 1, 2});
+  const Hypergraph g = b.build();
+  FixedAssignment fixed(3, 4);
+  fixed.fix(0, 2);
+  fixed.restrict_to(1, 0b0011);
+  const ClusteredTerminals result = cluster_terminals(g, fixed);
+  EXPECT_EQ(result.fixed.allowed_mask(result.map[1]), 0b0011u);
+}
+
+TEST(ClusterTerminals, SizeMismatchThrows) {
+  HypergraphBuilder b;
+  b.add_vertex(1);
+  const Hypergraph g = b.build();
+  const FixedAssignment fixed(5, 2);
+  EXPECT_THROW(cluster_terminals(g, fixed), std::invalid_argument);
+}
+
+/// The key equivalence the paper states in Sec. V: for any assignment of
+/// the movable vertices, the cut of the original instance equals the cut
+/// of the terminal-clustered instance (with terminals on their fixed
+/// sides). Verified over random instances and assignments.
+class ClusterEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterEquivalence, CutPreservedForAllMovableAssignments) {
+  util::Rng rng(GetParam());
+  HypergraphBuilder b;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) b.add_vertex(1);
+  for (int e = 0; e < 40; ++e) {
+    std::vector<VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(4));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    b.add_net(pins);
+  }
+  const Hypergraph g = b.build();
+  FixedAssignment fixed(n, 2);
+  for (int i = 0; i < n / 3; ++i) {
+    fixed.fix(static_cast<VertexId>(i),
+              static_cast<PartitionId>(rng.next_below(2)));
+  }
+  const ClusteredTerminals clustered = cluster_terminals(g, fixed);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    part::PartitionState original(g, 2);
+    part::PartitionState reduced(clustered.graph, 2);
+    std::vector<PartitionId> reduced_side(
+        static_cast<std::size_t>(clustered.graph.num_vertices()),
+        kNoPartition);
+    for (VertexId v = 0; v < n; ++v) {
+      PartitionId p = fixed.fixed_part(v);
+      if (p == kNoPartition) {
+        p = static_cast<PartitionId>(rng.next_below(2));
+      }
+      original.assign(v, p);
+      reduced_side[clustered.map[v]] = p;
+    }
+    for (VertexId c = 0; c < clustered.graph.num_vertices(); ++c) {
+      reduced.assign(c, reduced_side[c]);
+    }
+    EXPECT_EQ(original.cut(), reduced.cut()) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ClusterEquivalence,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+}  // namespace
+}  // namespace fixedpart::hg
