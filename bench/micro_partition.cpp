@@ -50,6 +50,45 @@ void BM_GainBucketChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_GainBucketChurn)->Arg(1000)->Arg(10000);
 
+// Boundary-driven refinement keeps only a fraction of the vertices live in
+// the buckets; the rest churn through insert (activation) / remove (move)
+// cycles. Arg = percent of vertices active at a time: 10/20/30% brackets
+// the boundary fractions seen on the ibm-profile instances.
+void BM_GainBucketBoundaryChurn(benchmark::State& state) {
+  constexpr hg::VertexId kVertices = 10000;
+  const auto active =
+      static_cast<hg::VertexId>(kVertices * state.range(0) / 100);
+  part::GainBuckets buckets(kVertices, 64);
+  util::Rng rng(6);
+  // Ring of active vertices: each op adjusts one, retires the oldest
+  // (remove = its move got picked) and activates a fresh interior vertex.
+  std::vector<hg::VertexId> live;
+  for (hg::VertexId v = 0; v < active; ++v) {
+    buckets.insert(v, static_cast<hg::Weight>(rng.next_in(-48, 16)));
+    live.push_back(v);
+  }
+  hg::VertexId next = active;
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    const hg::VertexId u =
+        live[rng.next_below(static_cast<std::uint64_t>(live.size()))];
+    const auto key = buckets.key_of(u);
+    const auto delta = static_cast<hg::Weight>(rng.next_in(-4, 4));
+    const auto clamped =
+        std::max<hg::Weight>(-64, std::min<hg::Weight>(64, key + delta));
+    buckets.adjust(u, clamped - key);
+    const hg::VertexId retired = live[oldest];
+    if (buckets.contains(retired)) buckets.remove(retired);
+    buckets.insert(next, static_cast<hg::Weight>(rng.next_in(-48, 16)));
+    live[oldest] = next;
+    oldest = (oldest + 1) % live.size();
+    next = (next + 1) % kVertices;
+    benchmark::DoNotOptimize(
+        buckets.find_best([](hg::VertexId) { return true; }));
+  }
+}
+BENCHMARK(BM_GainBucketBoundaryChurn)->Arg(10)->Arg(20)->Arg(30);
+
 void BM_FmRefine(benchmark::State& state) {
   const auto circuit = bench_circuit(static_cast<int>(state.range(0)));
   const bool clip = state.range(1) != 0;

@@ -61,6 +61,14 @@ class Hypergraph {
                         static_cast<std::size_t>(num_resources_) +
                     static_cast<std::size_t>(r)];
   }
+  /// All resource weights of vertex v, laid out [r]. Contiguous view into
+  /// the weight table — refiner feasibility probes pass this straight to
+  /// BalanceConstraint::fits without copying per-resource weights.
+  std::span<const Weight> vertex_weights(VertexId v) const {
+    return {weights_.data() + static_cast<std::size_t>(v) *
+                                  static_cast<std::size_t>(num_resources_),
+            static_cast<std::size_t>(num_resources_)};
+  }
   /// Total weight of all vertices in resource r.
   Weight total_weight(int r = 0) const { return total_weights_[r]; }
 

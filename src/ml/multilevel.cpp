@@ -39,6 +39,10 @@ MultilevelResult MultilevelPartitioner::run(
     util::Rng& rng, const MultilevelConfig& config) const {
   util::Timer timer;
   MultilevelResult result;
+  // One refinement workspace for the whole descent: every level's
+  // FmBipartitioner shares it, so bucket storage is sized once for the
+  // largest graph and reused across levels, starts and V-cycles.
+  part::FmScratch scratch;
 
   // Builds the coarsening hierarchy; when `incumbent` is non-null the
   // matching is solution-preserving (V-cycle restriction).
@@ -87,7 +91,7 @@ MultilevelResult MultilevelPartitioner::run(
       for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
         fine_state.assign(v, assignment[levels[i].map[v]]);
       }
-      part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_);
+      part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_, &scratch);
       const auto fm_result = fm.refine(fine_state, rng, config.refine);
       result.total_moves += fm_result.total_moves;
       result.total_passes += fm_result.passes;
@@ -105,7 +109,7 @@ MultilevelResult MultilevelPartitioner::run(
 
   part::PartitionState state(*coarsest_graph, 2);
   part::FmBipartitioner coarse_fm(*coarsest_graph, *coarsest_fixed,
-                                  *balance_);
+                                  *balance_, &scratch);
   std::vector<PartitionId> best_assignment;
   Weight best_cut = 0;
   const int starts = std::max(1, config.coarse_starts);
@@ -143,7 +147,7 @@ MultilevelResult MultilevelPartitioner::run(
     for (VertexId v = 0; v < vgraph->num_vertices(); ++v) {
       coarse_state.assign(v, projected[v]);
     }
-    part::FmBipartitioner vfm(*vgraph, *vfixed, *balance_);
+    part::FmBipartitioner vfm(*vgraph, *vfixed, *balance_, &scratch);
     const auto fm = vfm.refine(coarse_state, rng, config.refine);
     result.total_moves += fm.total_moves;
     result.total_passes += fm.passes;

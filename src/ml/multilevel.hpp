@@ -20,6 +20,12 @@ namespace fixedpart::ml {
 using hg::PartitionId;
 
 struct MultilevelConfig {
+  /// Multilevel refinement has cheap restarts (multistart + many levels),
+  /// so it trades the tail of each pass for throughput: stop a pass after
+  /// a quarter of the movable vertices move without improving the cut.
+  /// Flat FmConfig keeps the paper's full-pass default.
+  MultilevelConfig() { refine.stall_fraction = 0.25; }
+
   /// Refinement engine settings applied at every level (policy, cutoff).
   part::FmConfig refine;
   /// Stop coarsening at (movable) vertex counts at or below this.

@@ -2,30 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <stdexcept>
 
 namespace fixedpart::part {
 
-namespace {
-
-/// CLIP keys accumulate deltas on top of a zero seed, so they can drift to
-/// (initial gain distance) beyond the true gain range; 2x covers it.
-Weight key_range(const hg::Hypergraph& g) {
-  return 2 * g.max_weighted_vertex_degree() + 1;
+void FmScratch::reserve(VertexId vertices, Weight max_key,
+                        Weight interior_key) {
+  for (int s = 0; s < 2; ++s) {
+    buckets_[s].clear();
+    buckets_[s].reshape(vertices, max_key);
+    interior_[s].clear();
+    interior_[s].reshape(vertices, interior_key);
+  }
+  order_.clear();
+  order_.reserve(static_cast<std::size_t>(vertices));
+  move_log_.clear();
+  move_log_.reserve(static_cast<std::size_t>(vertices));
 }
-
-}  // namespace
 
 FmBipartitioner::FmBipartitioner(const hg::Hypergraph& graph,
                                  const hg::FixedAssignment& fixed,
-                                 const BalanceConstraint& balance)
+                                 const BalanceConstraint& balance,
+                                 FmScratch* scratch)
     : graph_(&graph),
       fixed_(&fixed),
       balance_(&balance),
-      locked_(static_cast<std::size_t>(graph.num_vertices()), 0),
-      buckets_{GainBuckets(graph.num_vertices(), key_range(graph)),
-               GainBuckets(graph.num_vertices(), key_range(graph))} {
+      scratch_(scratch != nullptr ? scratch : &owned_scratch_) {
   if (fixed.num_parts() != 2 || balance.num_parts() != 2) {
     throw std::invalid_argument("FmBipartitioner: needs exactly 2 parts");
   }
@@ -37,7 +41,17 @@ FmBipartitioner::FmBipartitioner(const hg::Hypergraph& graph,
       movable_.push_back(v);
     }
   }
-  move_log_.reserve(movable_.size());
+  // A vertex with no incident cut net loses every >= 2-pin net by moving
+  // and uncuts none, so its gain is the negated weighted interior degree —
+  // a graph constant. Single-pin nets stay uncut either way (+w - w = 0).
+  interior_key_.assign(static_cast<std::size_t>(graph.num_vertices()), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    Weight key = 0;
+    for (hg::NetId e : graph.nets_of(v)) {
+      if (graph.net_size(e) >= 2) key -= graph.net_weight(e);
+    }
+    interior_key_[v] = key;
+  }
 }
 
 Weight FmBipartitioner::true_gain(const PartitionState& state,
@@ -55,17 +69,40 @@ Weight FmBipartitioner::true_gain(const PartitionState& state,
 
 void FmBipartitioner::bucket_adjust(PartitionId side, VertexId u, Weight delta) {
   if (policy_ == SelectionPolicy::kFifo) {
-    buckets_[side].adjust_back(u, delta);
+    scratch_->buckets_[side].adjust_back(u, delta);
   } else {
-    buckets_[side].adjust(u, delta);
+    scratch_->buckets_[side].adjust(u, delta);
+  }
+}
+
+void FmBipartitioner::touch(PartitionId side, VertexId u, Weight delta) {
+  if (scratch_->buckets_[side].contains(u)) {
+    bucket_adjust(side, u, delta);
+    return;
+  }
+  if (!boundary_pass_) return;  // not in buckets => locked or fixed
+  GainBuckets& parked = scratch_->interior_[side];
+  if (!parked.contains(u)) return;  // locked or fixed
+  // Activation: u's first nonzero delta coincides with a net of u turning
+  // cut, i.e. with u joining the boundary. Its static key equals its true
+  // gain up to now, and linking at the head (LIFO/CLIP) or tail (FIFO) of
+  // the live bucket is exactly where a full-population pass's adjust()
+  // would have re-linked it — trajectories stay identical.
+  const Weight key = parked.key_of(u) + delta;
+  parked.remove(u);
+  if (policy_ == SelectionPolicy::kFifo) {
+    scratch_->buckets_[side].insert_back(u, key);
+  } else {
+    scratch_->buckets_[side].insert(u, key);
   }
 }
 
 void FmBipartitioner::apply_gain_updates(PartitionState& state, VertexId v,
                                          PartitionId from, PartitionId to) {
   // Standard FM delta rules, evaluated on the pre-move pin counts. The
-  // bucket keys of unlocked pins shift by the change in their true gain;
-  // under CLIP the same deltas are applied to the zero-seeded keys.
+  // keys of unlocked pins shift by the change in their true gain; under
+  // CLIP the same deltas are applied to the zero-seeded keys. touch()
+  // also pulls still-parked interior pins into the live buckets.
   for (hg::NetId e : graph_->nets_of(v)) {
     const Weight w = graph_->net_weight(e);
     if (w == 0) continue;
@@ -78,15 +115,13 @@ void FmBipartitioner::apply_gain_updates(PartitionState& state, VertexId v,
     if (cnt_to == 0) {
       // Net was uncut on `from`; every other pin gains w.
       for (VertexId u : pins) {
-        if (u != v && buckets_[from].contains(u)) {
-          bucket_adjust(from, u, +w);
-        }
+        if (u != v) touch(from, u, +w);
       }
     } else if (cnt_to == 1) {
       // The single `to`-side pin loses its uncut-by-moving gain.
       for (VertexId u : pins) {
         if (u != v && state.part_of(u) == to) {
-          if (buckets_[to].contains(u)) bucket_adjust(to, u, -w);
+          touch(to, u, -w);
           break;
         }
       }
@@ -94,16 +129,43 @@ void FmBipartitioner::apply_gain_updates(PartitionState& state, VertexId v,
     if (cnt_from_after == 0) {
       // Net becomes uncut on `to`; every other pin now cuts by moving.
       for (VertexId u : pins) {
-        if (u != v && buckets_[to].contains(u)) {
-          bucket_adjust(to, u, -w);
-        }
+        if (u != v) touch(to, u, -w);
       }
     } else if (cnt_from_after == 1) {
       // The single remaining `from`-side pin can now uncut the net.
       for (VertexId u : pins) {
-        if (u != v && u != hg::kNoVertex && state.part_of(u) == from) {
-          if (buckets_[from].contains(u)) bucket_adjust(from, u, +w);
+        if (u != v && state.part_of(u) == from) {
+          touch(from, u, +w);
           break;
+        }
+      }
+    }
+  }
+}
+
+void FmBipartitioner::verify_invariants(const PartitionState& state,
+                                        const FmConfig& config) const {
+  for (VertexId u : movable_) {
+    for (PartitionId side = 0; side < 2; ++side) {
+      if (scratch_->buckets_[side].contains(u)) {
+        // Live keys track true gain exactly (LIFO/FIFO) or up to the
+        // constant zero-seed offset (CLIP).
+        const Weight expected =
+            config.policy == SelectionPolicy::kClip
+                ? true_gain(state, u) - scratch_->gain_scratch_[u]
+                : true_gain(state, u);
+        if (scratch_->buckets_[side].key_of(u) != expected) {
+          throw std::logic_error(
+              "FmBipartitioner: bucket key diverged from true gain");
+        }
+      }
+      if (scratch_->interior_[side].contains(u)) {
+        // A parked vertex has absorbed no deltas, so its static key must
+        // still BE its true gain — i.e. none of its nets turned cut (up
+        // to zero-weight nets, which do not affect the gain).
+        if (scratch_->interior_[side].key_of(u) != true_gain(state, u)) {
+          throw std::logic_error(
+              "FmBipartitioner: parked interior key diverged from true gain");
         }
       }
     }
@@ -119,34 +181,71 @@ Weight FmBipartitioner::run_pass(PartitionState& state, util::Rng& rng,
   record.cut_best = state.cut();
   if (movable_count == 0) return 0;
 
+  policy_ = config.policy;
+  boundary_pass_ = config.boundary && policy_ != SelectionPolicy::kClip;
+  const bool fifo = policy_ == SelectionPolicy::kFifo;
+  GainBuckets* dyn = scratch_->buckets_;
+  GainBuckets* stat = scratch_->interior_;
+  dyn[0].clear();
+  dyn[1].clear();
+  stat[0].clear();
+  stat[1].clear();
+
   // Random insertion order diversifies LIFO tie-breaking between passes.
-  order_ = movable_;
-  rng.shuffle(std::span<VertexId>(order_));
-  if (config.policy == SelectionPolicy::kClip) {
+  // Both population modes consume the RNG identically.
+  auto& order = scratch_->order_;
+  order.assign(movable_.begin(), movable_.end());
+  rng.shuffle(std::span<VertexId>(order));
+
+  std::int32_t boundary_count = 0;
+  if (policy_ == SelectionPolicy::kClip) {
     // CLIP seeds every key at zero, so bucket order IS the tie-break for
     // the first selection: insert in ascending actual gain (head insertion
     // reverses it) so the pass starts from the highest-actual-gain vertex
     // and then follows update gains — the cluster signal (Dutt-Deng).
-    gain_scratch_.resize(static_cast<std::size_t>(graph_->num_vertices()));
-    for (VertexId v : order_) gain_scratch_[v] = true_gain(state, v);
-    std::stable_sort(order_.begin(), order_.end(),
-                     [&](VertexId a, VertexId b) {
-                       return gain_scratch_[a] < gain_scratch_[b];
-                     });
-  }
-  policy_ = config.policy;
-  buckets_[0].clear();
-  buckets_[1].clear();
-  for (VertexId v : order_) {
-    locked_[v] = 0;
-    const Weight key =
-        config.policy == SelectionPolicy::kClip ? 0 : true_gain(state, v);
-    if (config.policy == SelectionPolicy::kFifo) {
-      buckets_[state.part_of(v)].insert_back(v, key);
-    } else {
-      buckets_[state.part_of(v)].insert(v, key);
+    // Interior vertices get their gain from the precomputed static key
+    // instead of a pin scan.
+    auto& gain = scratch_->gain_scratch_;
+    gain.resize(static_cast<std::size_t>(graph_->num_vertices()));
+    for (VertexId v : order) {
+      if (state.is_boundary(v)) {
+        gain[v] = true_gain(state, v);
+        ++boundary_count;
+      } else {
+        gain[v] = interior_key_[v];
+      }
+    }
+    std::stable_sort(
+        order.begin(), order.end(),
+        [&](VertexId a, VertexId b) { return gain[a] < gain[b]; });
+    for (VertexId v : order) dyn[state.part_of(v)].insert(v, 0);
+  } else {
+    // Phase-split insertion, identical in both population modes: interior
+    // vertices first (into the parked structure, or — in full mode — the
+    // live buckets; their gain is the precomputed static key either way),
+    // then boundary vertices with scanned gains. The split fixes the
+    // within-bucket order so that lazy activation reproduces it.
+    GainBuckets* park = boundary_pass_ ? stat : dyn;
+    for (VertexId v : order) {
+      if (state.is_boundary(v)) continue;
+      if (fifo) {
+        park[state.part_of(v)].insert_back(v, interior_key_[v]);
+      } else {
+        park[state.part_of(v)].insert(v, interior_key_[v]);
+      }
+    }
+    for (VertexId v : order) {
+      if (!state.is_boundary(v)) continue;
+      ++boundary_count;
+      const Weight g = true_gain(state, v);
+      if (fifo) {
+        dyn[state.part_of(v)].insert_back(v, g);
+      } else {
+        dyn[state.part_of(v)].insert(v, g);
+      }
     }
   }
+  record.boundary_vertices = boundary_count;
 
   std::int32_t move_limit = movable_count;
   if (!first_pass || config.cutoff_first_pass) {
@@ -156,25 +255,56 @@ Weight FmBipartitioner::run_pass(PartitionState& state, util::Rng& rng,
                  std::llround(config.pass_cutoff * movable_count)));
     }
   }
+  std::int32_t stall_limit = std::numeric_limits<std::int32_t>::max();
+  if (config.stall_fraction < 1.0) {
+    stall_limit = std::max<std::int32_t>(
+        std::max<std::int32_t>(1, config.stall_min),
+        static_cast<std::int32_t>(
+            std::llround(config.stall_fraction * movable_count)));
+  }
 
-  move_log_.clear();
+  auto& move_log = scratch_->move_log_;
+  move_log.clear();
   const Weight cut_start = state.cut();
   Weight best_cut = cut_start;
   std::int32_t best_prefix = 0;
+  std::int32_t stall = 0;
 
-  while (static_cast<std::int32_t>(move_log_.size()) < move_limit) {
+  while (static_cast<std::int32_t>(move_log.size()) < move_limit &&
+         stall < stall_limit) {
     // Best feasible candidate from each side; feasibility = target side
     // stays under its capacity in every resource.
     VertexId candidate[2] = {hg::kNoVertex, hg::kNoVertex};
+    Weight cand_key[2] = {0, 0};
+    bool cand_parked[2] = {false, false};
     for (PartitionId side = 0; side < 2; ++side) {
       const PartitionId target = 1 - side;
-      candidate[side] = buckets_[side].find_best([&](VertexId u) {
-        Weight add[8];
-        const int nr = graph_->num_resources();
-        for (int r = 0; r < nr; ++r) add[r] = graph_->vertex_weight(u, r);
-        return balance_->fits(state.part_weight_vector(target),
-                              std::span<const Weight>(add, nr), target);
-      });
+      const auto target_weights = state.part_weight_vector(target);
+      const auto feasible = [&](VertexId u) {
+        return balance_->fits(target_weights, graph_->vertex_weights(u),
+                              target);
+      };
+      VertexId pick = dyn[side].find_best(feasible);
+      Weight pick_key = pick != hg::kNoVertex ? dyn[side].key_of(pick) : 0;
+      bool parked = false;
+      if (boundary_pass_) {
+        const VertexId us = stat[side].find_best(feasible);
+        if (us != hg::kNoVertex) {
+          const Weight ks = stat[side].key_of(us);
+          // The parked pick wins exactly when it would precede the live
+          // pick in a fully-populated bucket: FIFO queues interiors ahead
+          // of equal-key boundary vertices, LIFO behind them.
+          if (pick == hg::kNoVertex || ks > pick_key ||
+              (fifo && ks == pick_key)) {
+            pick = us;
+            pick_key = ks;
+            parked = true;
+          }
+        }
+      }
+      candidate[side] = pick;
+      cand_key[side] = pick_key;
+      cand_parked[side] = parked;
     }
     PartitionId side;
     if (candidate[0] == hg::kNoVertex && candidate[1] == hg::kNoVertex) break;
@@ -182,59 +312,45 @@ Weight FmBipartitioner::run_pass(PartitionState& state, util::Rng& rng,
       side = 1;
     } else if (candidate[1] == hg::kNoVertex) {
       side = 0;
+    } else if (cand_key[0] != cand_key[1]) {
+      side = cand_key[0] > cand_key[1] ? 0 : 1;
     } else {
-      const Weight k0 = buckets_[0].key_of(candidate[0]);
-      const Weight k1 = buckets_[1].key_of(candidate[1]);
-      if (k0 != k1) {
-        side = k0 > k1 ? 0 : 1;
-      } else {
-        // Tie: move from the heavier side (improves balance slack).
-        side = state.part_weight(0) >= state.part_weight(1) ? 0 : 1;
-      }
+      // Tie: move from the heavier side (improves balance slack).
+      side = state.part_weight(0) >= state.part_weight(1) ? 0 : 1;
     }
     const VertexId v = candidate[side];
     const PartitionId from = side;
     const PartitionId to = 1 - side;
 
-    buckets_[from].remove(v);
-    locked_[v] = 1;
+    if (cand_parked[side]) {
+      stat[from].remove(v);
+    } else {
+      dyn[from].remove(v);
+    }
     apply_gain_updates(state, v, from, to);
     state.move(v, to);
-    move_log_.push_back({v, from});
+    move_log.push_back({v, from});
 
-    if (config.check_invariants) {
-      // Every unlocked vertex's key must track its true gain: exactly for
-      // LIFO/FIFO, and up to the constant CLIP zero-seed offset otherwise.
-      for (VertexId u : order_) {
-        for (PartitionId side = 0; side < 2; ++side) {
-          if (!buckets_[side].contains(u)) continue;
-          const Weight expected =
-              config.policy == SelectionPolicy::kClip
-                  ? true_gain(state, u) - gain_scratch_[u]
-                  : true_gain(state, u);
-          if (buckets_[side].key_of(u) != expected) {
-            throw std::logic_error(
-                "FmBipartitioner: bucket key diverged from true gain");
-          }
-        }
-      }
-    }
+    if (config.check_invariants) verify_invariants(state, config);
 
     if (state.cut() < best_cut) {
       best_cut = state.cut();
-      best_prefix = static_cast<std::int32_t>(move_log_.size());
+      best_prefix = static_cast<std::int32_t>(move_log.size());
+      stall = 0;
+    } else {
+      ++stall;
     }
   }
 
   // Roll back to the best prefix; the undone tail is the "wasted" work of
   // Sec. III.
-  for (std::size_t i = move_log_.size(); i > static_cast<std::size_t>(best_prefix);
-       --i) {
-    const MoveLog& entry = move_log_[i - 1];
+  for (std::size_t i = move_log.size();
+       i > static_cast<std::size_t>(best_prefix); --i) {
+    const FmScratch::MoveLog& entry = move_log[i - 1];
     state.move(entry.vertex, entry.from);
   }
 
-  record.moves_performed = static_cast<std::int32_t>(move_log_.size());
+  record.moves_performed = static_cast<std::int32_t>(move_log.size());
   record.best_prefix = best_prefix;
   record.cut_best = best_cut;
   return cut_start - best_cut;
@@ -248,10 +364,13 @@ FmResult FmBipartitioner::refine(PartitionState& state, util::Rng& rng,
   if (state.num_assigned() != graph_->num_vertices()) {
     throw std::invalid_argument("FmBipartitioner::refine: incomplete state");
   }
-  if (graph_->num_resources() > 8) {
-    throw std::invalid_argument("FmBipartitioner: more than 8 resources");
-  }
-  for (VertexId v : movable_) locked_[v] = 0;
+  // LIFO/FIFO keys are true gains, bounded by the weighted vertex degree.
+  // CLIP keys drift by up to (initial gain) - (current gain), so they need
+  // twice that range. Parked interior keys live in [-max_wdeg, 0].
+  const Weight max_wdeg = graph_->max_weighted_vertex_degree();
+  const Weight key_bound =
+      config.policy == SelectionPolicy::kClip ? 2 * max_wdeg : max_wdeg;
+  scratch_->reserve(graph_->num_vertices(), key_bound, max_wdeg);
 
   FmResult result;
   result.initial_cut = state.cut();

@@ -5,16 +5,30 @@
 
 namespace fixedpart::part {
 
-GainBuckets::GainBuckets(VertexId capacity, Weight max_key)
-    : max_key_bound_(max_key) {
+GainBuckets::GainBuckets(VertexId capacity, Weight max_key) {
+  reshape(capacity, max_key);
+}
+
+void GainBuckets::reshape(VertexId capacity, Weight max_key) {
   if (capacity < 0) throw std::invalid_argument("GainBuckets: capacity<0");
   if (max_key < 0) throw std::invalid_argument("GainBuckets: max_key<0");
-  head_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
-  tail_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
-  next_.assign(static_cast<std::size_t>(capacity), hg::kNoVertex);
-  prev_.assign(static_cast<std::size_t>(capacity), hg::kNoVertex);
-  key_.assign(static_cast<std::size_t>(capacity), 0);
-  in_.assign(static_cast<std::size_t>(capacity), 0);
+  if (size_ != 0) throw std::logic_error("GainBuckets::reshape: not empty");
+  if (static_cast<std::size_t>(capacity) > in_.size()) {
+    next_.resize(static_cast<std::size_t>(capacity), hg::kNoVertex);
+    prev_.resize(static_cast<std::size_t>(capacity), hg::kNoVertex);
+    key_.resize(static_cast<std::size_t>(capacity), 0);
+    in_.resize(static_cast<std::size_t>(capacity), 0);
+  }
+  if (max_key > max_key_bound_) {
+    // The bucket index of a key shifts with the range; all buckets are
+    // empty here, so reindexing is just a larger cleared array.
+    head_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
+    tail_.assign(static_cast<std::size_t>(2 * max_key + 1), hg::kNoVertex);
+    bucket_used_.assign(static_cast<std::size_t>(2 * max_key + 1), 0);
+    touched_.clear();
+    max_key_bound_ = max_key;
+  }
+  max_bucket_ = -1;
 }
 
 std::size_t GainBuckets::bucket_of_key(Weight key) const {
@@ -25,11 +39,26 @@ std::size_t GainBuckets::bucket_of_key(Weight key) const {
 }
 
 void GainBuckets::clear() {
-  std::fill(head_.begin(), head_.end(), hg::kNoVertex);
-  std::fill(tail_.begin(), tail_.end(), hg::kNoVertex);
-  std::fill(in_.begin(), in_.end(), 0);
+  for (const std::size_t b : touched_) {
+    for (VertexId v = head_[b]; v != hg::kNoVertex;) {
+      const VertexId following = next_[v];
+      in_[v] = 0;
+      v = following;
+    }
+    head_[b] = hg::kNoVertex;
+    tail_[b] = hg::kNoVertex;
+    bucket_used_[b] = 0;
+  }
+  touched_.clear();
   max_bucket_ = -1;
   size_ = 0;
+}
+
+void GainBuckets::note_touched(std::size_t b) {
+  if (!bucket_used_[b]) {
+    bucket_used_[b] = 1;
+    touched_.push_back(b);
+  }
 }
 
 void GainBuckets::link_front(VertexId v, Weight key) {
@@ -43,6 +72,7 @@ void GainBuckets::link_front(VertexId v, Weight key) {
     tail_[b] = v;
   }
   head_[b] = v;
+  note_touched(b);
   max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(b));
 }
 
@@ -57,6 +87,7 @@ void GainBuckets::link_back(VertexId v, Weight key) {
     head_[b] = v;
   }
   tail_[b] = v;
+  note_touched(b);
   max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(b));
 }
 

@@ -5,6 +5,11 @@
 // which yields LIFO tie-breaking among equal gains — the "LIFO FM" of the
 // paper; CLIP is realized by the caller seeding all keys at zero so that
 // only *deltas* (cluster signals) order the bucket.
+//
+// Built for reuse across passes and hierarchy levels: clear() touches only
+// the buckets populated since the last clear (not the whole key range), and
+// reshape() grows capacity/key range in place so one structure serves every
+// level of a multilevel hierarchy without reallocation.
 
 #include <vector>
 
@@ -17,10 +22,23 @@ using hg::Weight;
 
 class GainBuckets {
  public:
+  /// An empty structure with zero capacity; reshape() before use.
+  GainBuckets() = default;
+
   /// capacity: vertex id space; keys must stay within [-max_key, +max_key].
   GainBuckets(VertexId capacity, Weight max_key);
 
-  /// Remove all vertices (O(buckets + contents)).
+  /// Grow-only resize (capacity and/or key range); keeps existing storage
+  /// when the request already fits. Must be empty. The accepted key range
+  /// only ever widens, so callers can size per use (e.g. per selection
+  /// policy) and share one structure across differently-sized graphs.
+  void reshape(VertexId capacity, Weight max_key);
+
+  VertexId capacity() const { return static_cast<VertexId>(in_.size()); }
+  Weight max_key_bound() const { return max_key_bound_; }
+
+  /// Remove all vertices: O(touched buckets + contents), NOT O(key range) —
+  /// a pass that populated few buckets pays only for those.
   void clear();
 
   bool empty() const { return size_ == 0; }
@@ -64,14 +82,17 @@ class GainBuckets {
   void unlink(VertexId v);
   void link_front(VertexId v, Weight key);
   void link_back(VertexId v, Weight key);
+  void note_touched(std::size_t b);
 
-  Weight max_key_bound_;
+  Weight max_key_bound_ = -1;  // -1: no key range allocated yet
   std::vector<VertexId> head_;
   std::vector<VertexId> tail_;
   std::vector<VertexId> next_;
   std::vector<VertexId> prev_;
   std::vector<Weight> key_;
   std::vector<std::uint8_t> in_;
+  std::vector<std::size_t> touched_;      // buckets populated since clear()
+  std::vector<std::uint8_t> bucket_used_;  // dedups touched_ entries
   mutable std::ptrdiff_t max_bucket_ = -1;  // lazy upper bound
   VertexId size_ = 0;
 };

@@ -12,6 +12,7 @@ PartitionState::PartitionState(const hg::Hypergraph& g, PartitionId num_parts)
                          static_cast<std::size_t>(num_parts),
                      0);
   populated_parts_.assign(static_cast<std::size_t>(g.num_nets()), 0);
+  boundary_nets_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
   part_weights_.assign(static_cast<std::size_t>(num_parts) *
                            static_cast<std::size_t>(num_resources_),
                        0);
@@ -30,7 +31,10 @@ void PartitionState::add_to_part(VertexId v, PartitionId p) {
                               static_cast<std::size_t>(p)];
     if (count == 0) {
       ++populated_parts_[e];
-      if (populated_parts_[e] == 2) cut_ += graph_->net_weight(e);
+      if (populated_parts_[e] == 2) {
+        cut_ += graph_->net_weight(e);
+        for (VertexId u : graph_->pins(e)) ++boundary_nets_[u];
+      }
     }
     ++count;
   }
@@ -50,7 +54,10 @@ void PartitionState::remove_from_part(VertexId v, PartitionId p) {
     --count;
     if (count == 0) {
       --populated_parts_[e];
-      if (populated_parts_[e] == 1) cut_ -= graph_->net_weight(e);
+      if (populated_parts_[e] == 1) {
+        cut_ -= graph_->net_weight(e);
+        for (VertexId u : graph_->pins(e)) --boundary_nets_[u];
+      }
     }
   }
 }
@@ -116,6 +123,7 @@ void PartitionState::clear() {
   std::fill(part_.begin(), part_.end(), hg::kNoPartition);
   std::fill(pin_counts_.begin(), pin_counts_.end(), 0);
   std::fill(populated_parts_.begin(), populated_parts_.end(), 0);
+  std::fill(boundary_nets_.begin(), boundary_nets_.end(), 0);
   std::fill(part_weights_.begin(), part_weights_.end(), 0);
   cut_ = 0;
   num_assigned_ = 0;

@@ -37,6 +37,15 @@ class PartitionState {
   /// backtracking solvers).
   void unassign(VertexId v);
 
+  /// Does v touch at least one cut net (net spanning > 1 part)? This is
+  /// the boundary set that drives boundary-only FM refinement. Maintained
+  /// incrementally from the same pin-count transitions move() already
+  /// computes: O(|e|) exactly when an incident net switches between cut
+  /// and uncut, which is when refiners rescan the net's pins anyway.
+  bool is_boundary(VertexId v) const { return boundary_nets_[v] > 0; }
+  /// Number of cut nets incident to v.
+  std::int32_t boundary_degree(VertexId v) const { return boundary_nets_[v]; }
+
   /// Pins of net e currently in partition p.
   int pin_count(NetId e, PartitionId p) const {
     return pin_counts_[static_cast<std::size_t>(e) *
@@ -86,6 +95,7 @@ class PartitionState {
   std::vector<PartitionId> part_;
   std::vector<std::int32_t> pin_counts_;       // [e * num_parts + p]
   std::vector<std::int16_t> populated_parts_;  // per net
+  std::vector<std::int32_t> boundary_nets_;    // per vertex: cut nets at v
   std::vector<Weight> part_weights_;           // [p * num_resources + r]
   Weight cut_ = 0;
   VertexId num_assigned_ = 0;

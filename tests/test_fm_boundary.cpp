@@ -1,0 +1,301 @@
+// Differential tests for boundary-driven FM: with the same RNG seed, a
+// boundary-populated pass must replay the full-population trajectory
+// exactly — same moves, same cuts, same pass count, same final assignment.
+// This is the correctness contract that lets the hot path skip interior
+// vertices (see docs/PERF.md for why the two modes coincide).
+
+#include "part/fm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hg/builder.hpp"
+#include "part/initial.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+hg::Hypergraph random_graph(util::Rng& rng, int n, int nets,
+                            Weight max_area = 4, int zero_weight_nets = 0) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.add_vertex(1 + static_cast<Weight>(rng.next_below(
+                         static_cast<std::uint64_t>(max_area))));
+  }
+  for (int e = 0; e < nets; ++e) {
+    std::vector<hg::VertexId> pins;
+    const int degree = 2 + static_cast<int>(rng.next_below(4));
+    for (int d = 0; d < degree; ++d) {
+      pins.push_back(static_cast<hg::VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    // Zero-weight nets stress the one asymmetry between the population
+    // modes: they can put a vertex on the boundary without ever sending it
+    // a gain delta, so boundary mode keeps it parked where full mode
+    // tracks it live — at an identical (zero-contribution) key.
+    b.add_net(pins, e < zero_weight_nets ? 0 : 1);
+  }
+  return b.build();
+}
+
+struct Outcome {
+  FmResult result;
+  std::vector<hg::PartitionId> assignment;
+};
+
+Outcome run_mode(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+                 const BalanceConstraint& balance, FmConfig config,
+                 bool boundary, std::uint64_t seed) {
+  config.boundary = boundary;
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(seed);
+  random_feasible_assignment(state, fixed, balance, rng);
+  Outcome out;
+  out.result = fm.refine(state, rng, config);
+  out.assignment.assign(state.assignment().begin(), state.assignment().end());
+  return out;
+}
+
+void expect_identical(const Outcome& boundary, const Outcome& full) {
+  EXPECT_EQ(boundary.result.initial_cut, full.result.initial_cut);
+  EXPECT_EQ(boundary.result.final_cut, full.result.final_cut);
+  EXPECT_EQ(boundary.result.passes, full.result.passes);
+  EXPECT_EQ(boundary.result.total_moves, full.result.total_moves);
+  ASSERT_EQ(boundary.result.pass_records.size(),
+            full.result.pass_records.size());
+  for (std::size_t p = 0; p < full.result.pass_records.size(); ++p) {
+    const PassRecord& b = boundary.result.pass_records[p];
+    const PassRecord& f = full.result.pass_records[p];
+    EXPECT_EQ(b.moves_performed, f.moves_performed) << "pass " << p;
+    EXPECT_EQ(b.best_prefix, f.best_prefix) << "pass " << p;
+    EXPECT_EQ(b.cut_before, f.cut_before) << "pass " << p;
+    EXPECT_EQ(b.cut_best, f.cut_best) << "pass " << p;
+    EXPECT_EQ(b.boundary_vertices, f.boundary_vertices) << "pass " << p;
+  }
+  EXPECT_EQ(boundary.assignment, full.assignment);
+}
+
+struct DiffParam {
+  std::uint64_t seed;
+  int vertices;
+  int nets;
+  int zero_weight_nets;
+  double tolerance;
+  SelectionPolicy policy;
+  double fixed_fraction;
+  double pass_cutoff;
+  double stall_fraction;
+};
+
+class BoundaryDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(BoundaryDifferential, MatchesFullPopulationMoveForMove) {
+  const auto param = GetParam();
+  util::Rng gen(param.seed);
+  const hg::Hypergraph g = random_graph(gen, param.vertices, param.nets, 4,
+                                        param.zero_weight_nets);
+  hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto fixed_count = static_cast<hg::VertexId>(
+      param.fixed_fraction * param.vertices);
+  for (hg::VertexId i = 0; i < fixed_count; ++i) {
+    fixed.fix(i, static_cast<hg::PartitionId>(gen.next_below(2)));
+  }
+  const auto balance = BalanceConstraint::relative(g, 2, param.tolerance);
+
+  FmConfig config;
+  config.policy = param.policy;
+  config.pass_cutoff = param.pass_cutoff;
+  config.stall_fraction = param.stall_fraction;
+  config.stall_min = 8;  // small enough to trigger on these instances
+
+  const Outcome boundary =
+      run_mode(g, fixed, balance, config, /*boundary=*/true, param.seed ^ 0xd1f);
+  const Outcome full =
+      run_mode(g, fixed, balance, config, /*boundary=*/false, param.seed ^ 0xd1f);
+  expect_identical(boundary, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundaryDifferential,
+    ::testing::Values(
+        // policy x fixed-fraction spread, full passes
+        DiffParam{301, 80, 160, 0, 10.0, SelectionPolicy::kLifo, 0.0, 1.0, 1.0},
+        DiffParam{302, 80, 160, 0, 10.0, SelectionPolicy::kFifo, 0.0, 1.0, 1.0},
+        DiffParam{303, 80, 160, 0, 10.0, SelectionPolicy::kClip, 0.0, 1.0, 1.0},
+        DiffParam{304, 120, 260, 0, 5.0, SelectionPolicy::kLifo, 0.3, 1.0, 1.0},
+        DiffParam{305, 120, 260, 0, 5.0, SelectionPolicy::kFifo, 0.3, 1.0, 1.0},
+        DiffParam{306, 120, 260, 0, 5.0, SelectionPolicy::kClip, 0.3, 1.0, 1.0},
+        // pass cutoff interacts with selection order
+        DiffParam{307, 100, 220, 0, 5.0, SelectionPolicy::kLifo, 0.2, 0.25,
+                  1.0},
+        DiffParam{308, 100, 220, 0, 5.0, SelectionPolicy::kFifo, 0.2, 0.25,
+                  1.0},
+        // stall exit must fire at the same move in both modes
+        DiffParam{309, 150, 320, 0, 5.0, SelectionPolicy::kLifo, 0.1, 1.0,
+                  0.15},
+        DiffParam{310, 150, 320, 0, 5.0, SelectionPolicy::kFifo, 0.1, 1.0,
+                  0.15},
+        // zero-weight nets: boundary membership without gain deltas
+        DiffParam{311, 90, 200, 40, 10.0, SelectionPolicy::kLifo, 0.2, 1.0,
+                  1.0},
+        DiffParam{312, 90, 200, 40, 10.0, SelectionPolicy::kFifo, 0.2, 1.0,
+                  1.0},
+        // heavily fixed (the paper's regime): big stable interior
+        DiffParam{313, 140, 300, 0, 2.0, SelectionPolicy::kLifo, 0.6, 1.0,
+                  1.0},
+        DiffParam{314, 140, 300, 0, 2.0, SelectionPolicy::kClip, 0.6, 1.0,
+                  1.0}));
+
+// The move-by-move self-check must also hold in boundary mode: live keys
+// track true gains, and parked interior keys equal true gains throughout.
+class BoundaryInvariant
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 SelectionPolicy>> {};
+
+TEST_P(BoundaryInvariant, KeysTrackTrueGainsMoveByMove) {
+  const auto [seed, policy] = GetParam();
+  util::Rng gen(seed);
+  const hg::Hypergraph g = random_graph(gen, 60, 140);
+  hg::FixedAssignment fixed(g.num_vertices(), 2);
+  for (hg::VertexId v = 0; v < 10; ++v) {
+    fixed.fix(v, static_cast<hg::PartitionId>(gen.next_below(2)));
+  }
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(seed ^ 0x7e2);
+  random_feasible_assignment(state, fixed, balance, rng);
+  FmConfig config;
+  config.policy = policy;
+  config.boundary = true;
+  config.check_invariants = true;
+  EXPECT_NO_THROW(fm.refine(state, rng, config));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, BoundaryInvariant,
+    ::testing::Combine(::testing::Values(71, 72, 73),
+                       ::testing::Values(SelectionPolicy::kLifo,
+                                         SelectionPolicy::kFifo,
+                                         SelectionPolicy::kClip)));
+
+// A shared scratch must be a pure optimization: reusing one workspace
+// across refiners on differently-sized graphs (the multilevel pattern)
+// yields exactly the results of per-refiner workspaces.
+TEST(FmScratch, ReuseAcrossGraphsMatchesFreshScratch) {
+  util::Rng gen(401);
+  const hg::Hypergraph big = random_graph(gen, 150, 320);
+  const hg::Hypergraph small = random_graph(gen, 40, 90);
+  FmScratch shared;
+
+  auto run_with = [&](const hg::Hypergraph& g, FmScratch* scratch,
+                      SelectionPolicy policy, std::uint64_t seed) {
+    const hg::FixedAssignment fixed(g.num_vertices(), 2);
+    const auto balance = BalanceConstraint::relative(g, 2, 5.0);
+    FmBipartitioner fm(g, fixed, balance, scratch);
+    PartitionState state(g, 2);
+    util::Rng rng(seed);
+    random_feasible_assignment(state, fixed, balance, rng);
+    FmConfig config;
+    config.policy = policy;
+    fm.refine(state, rng, config);
+    return std::vector<hg::PartitionId>(state.assignment().begin(),
+                                        state.assignment().end());
+  };
+
+  // big -> small -> big again, alternating policies so key ranges and
+  // populated buckets differ between uses of the shared workspace.
+  EXPECT_EQ(run_with(big, &shared, SelectionPolicy::kClip, 11),
+            run_with(big, nullptr, SelectionPolicy::kClip, 11));
+  EXPECT_EQ(run_with(small, &shared, SelectionPolicy::kLifo, 12),
+            run_with(small, nullptr, SelectionPolicy::kLifo, 12));
+  EXPECT_EQ(run_with(big, &shared, SelectionPolicy::kFifo, 13),
+            run_with(big, nullptr, SelectionPolicy::kFifo, 13));
+}
+
+TEST(FmStallExit, BoundsNonImprovingTail) {
+  util::Rng gen(402);
+  const hg::Hypergraph g = random_graph(gen, 200, 420);
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 5.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  util::Rng rng(403);
+  random_feasible_assignment(state, fixed, balance, rng);
+
+  FmConfig config;
+  config.stall_fraction = 0.1;
+  config.stall_min = 4;
+  const auto result = fm.refine(state, rng, config);
+
+  const std::int32_t limit = std::max<std::int32_t>(
+      config.stall_min,
+      static_cast<std::int32_t>(0.1 * static_cast<double>(fm.num_movable())));
+  for (const auto& rec : result.pass_records) {
+    // A pass runs at most `limit` moves past its best prefix before the
+    // stall exit fires (unless it exhausted the movable set first).
+    if (rec.moves_performed < rec.movable) {
+      EXPECT_LE(rec.moves_performed - rec.best_prefix, limit);
+    }
+  }
+  // Still a valid refinement: consistent and never worse.
+  EXPECT_LE(result.final_cut, result.initial_cut);
+  EXPECT_EQ(state.cut(), state.recompute_cut());
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+}
+
+TEST(FmStallExit, DisabledAtOneRunsFullPasses) {
+  util::Rng gen(404);
+  const hg::Hypergraph g = random_graph(gen, 60, 120);
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+
+  auto run_with_stall = [&](double fraction) {
+    FmBipartitioner fm(g, fixed, balance);
+    PartitionState state(g, 2);
+    util::Rng rng(405);
+    random_feasible_assignment(state, fixed, balance, rng);
+    FmConfig config;
+    config.stall_fraction = fraction;
+    fm.refine(state, rng, config);
+    return std::vector<hg::PartitionId>(state.assignment().begin(),
+                                        state.assignment().end());
+  };
+  EXPECT_EQ(run_with_stall(1.0), run_with_stall(2.0));
+}
+
+TEST(PassRecordBoundary, CountsMovableBoundaryVertices) {
+  // Two 3-vertex chains sharing no nets, split so one chain is entirely on
+  // side 0 and the other on side 1 except one crossing vertex: only the
+  // pins of the single cut net are boundary.
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{1, 2});
+  b.add_net(std::vector<hg::VertexId>{3, 4});
+  b.add_net(std::vector<hg::VertexId>{4, 5});
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(g.num_vertices(), 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 60.0);
+  FmBipartitioner fm(g, fixed, balance);
+  PartitionState state(g, 2);
+  // Cut exactly net {1,2}: vertices 1 and 2 are boundary, rest interior.
+  state.assign(0, 0);
+  state.assign(1, 0);
+  state.assign(2, 1);
+  state.assign(3, 1);
+  state.assign(4, 1);
+  state.assign(5, 1);
+  util::Rng rng(406);
+  FmConfig config;
+  config.max_passes = 1;
+  const auto result = fm.refine(state, rng, config);
+  ASSERT_EQ(result.pass_records.size(), 1u);
+  EXPECT_EQ(result.pass_records[0].boundary_vertices, 2);
+}
+
+}  // namespace
+}  // namespace fixedpart::part

@@ -159,6 +159,55 @@ TEST(GainBuckets, RemoveTailThenInsertBack) {
   EXPECT_EQ(popped, (std::vector<VertexId>{0, 2}));
 }
 
+TEST(GainBuckets, DefaultConstructedNeedsReshape) {
+  GainBuckets b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.capacity(), 0);
+  b.reshape(4, 2);
+  b.insert(3, -2);
+  EXPECT_EQ(b.max_key(), -2);
+}
+
+TEST(GainBuckets, ReshapeGrowsCapacityAndKeyRange) {
+  GainBuckets b(4, 2);
+  b.insert(0, 2);
+  EXPECT_THROW(b.reshape(8, 4), std::logic_error);  // must be empty
+  b.clear();
+  b.reshape(8, 4);
+  EXPECT_GE(b.capacity(), 8);
+  EXPECT_EQ(b.max_key_bound(), 4);
+  b.insert(7, 4);
+  b.insert(0, -4);
+  EXPECT_EQ(b.max_key(), 4);
+  b.clear();
+  // Shrinking requests keep the larger storage: old ids and keys still fit.
+  b.reshape(2, 1);
+  EXPECT_GE(b.capacity(), 8);
+  EXPECT_EQ(b.max_key_bound(), 4);
+  b.insert(7, 3);
+  EXPECT_EQ(b.max_key(), 3);
+}
+
+TEST(GainBuckets, ClearThenReuseRepeatedly) {
+  // Exercises the touched-bucket clear: each round populates a different
+  // small set of buckets; stale state from earlier rounds must never leak.
+  GainBuckets b(50, 25);
+  for (int round = 0; round < 20; ++round) {
+    const Weight base = (round % 9) - 4;
+    for (VertexId v = 0; v < 50; ++v) {
+      b.insert(v, base + (v % 3));
+    }
+    for (VertexId v = 0; v < 50; v += 2) b.adjust(v, round % 2 == 0 ? 5 : -5);
+    EXPECT_EQ(b.size(), 50);
+    // Even rounds: some even vertex has v % 3 == 2 and was lifted by 5.
+    EXPECT_EQ(b.max_key(), base + (round % 2 == 0 ? 7 : 2));
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    for (VertexId v = 0; v < 50; ++v) EXPECT_FALSE(b.contains(v));
+    EXPECT_THROW(b.max_key(), std::logic_error);
+  }
+}
+
 TEST(GainBuckets, ManyAdjustmentsStayConsistent) {
   GainBuckets b(100, 50);
   for (VertexId v = 0; v < 100; ++v) b.insert(v, 0);

@@ -180,6 +180,35 @@ struct RandomMoveParam {
 
 class PartitionStateProperty : public ::testing::TestWithParam<RandomMoveParam> {};
 
+TEST(PartitionState, BoundaryTracksCutNets) {
+  const hg::Hypergraph g = chain(4);
+  PartitionState s(g, 2);
+  s.assign(0, 0);
+  s.assign(1, 0);
+  s.assign(2, 1);
+  s.assign(3, 1);
+  // Only net {1,2} is cut: its pins are boundary, the ends are not.
+  EXPECT_FALSE(s.is_boundary(0));
+  EXPECT_TRUE(s.is_boundary(1));
+  EXPECT_TRUE(s.is_boundary(2));
+  EXPECT_FALSE(s.is_boundary(3));
+  EXPECT_EQ(s.boundary_degree(1), 1);
+  s.move(2, 0);  // cut moves to net {2,3}
+  EXPECT_FALSE(s.is_boundary(1));
+  EXPECT_TRUE(s.is_boundary(2));
+  EXPECT_TRUE(s.is_boundary(3));
+  s.move(2, 1);  // and back
+  EXPECT_TRUE(s.is_boundary(1));
+  EXPECT_FALSE(s.is_boundary(3));
+  s.unassign(2);  // net {1,2} loses its only side-1 pin: uncut again
+  EXPECT_FALSE(s.is_boundary(1));
+  s.clear();
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(s.is_boundary(v));
+    EXPECT_EQ(s.boundary_degree(v), 0);
+  }
+}
+
 TEST_P(PartitionStateProperty, IncrementalCutMatchesRecompute) {
   const auto param = GetParam();
   util::Rng rng(param.seed);
@@ -219,6 +248,16 @@ TEST_P(PartitionStateProperty, IncrementalCutMatchesRecompute) {
     expected_weight[to] += g.vertex_weight(v);
     s.move(v, to);
     ASSERT_EQ(s.cut(), s.recompute_cut()) << "step " << step;
+    if (step % 50 == 0) {
+      // Boundary bookkeeping matches brute force: v is boundary iff some
+      // incident net is cut, and boundary_degree counts those nets.
+      for (hg::VertexId u = 0; u < g.num_vertices(); ++u) {
+        std::int32_t cut_nets = 0;
+        for (hg::NetId e : g.nets_of(u)) cut_nets += s.is_cut(e) ? 1 : 0;
+        ASSERT_EQ(s.boundary_degree(u), cut_nets) << "step " << step;
+        ASSERT_EQ(s.is_boundary(u), cut_nets > 0) << "step " << step;
+      }
+    }
   }
   for (int p = 0; p < param.parts; ++p) {
     EXPECT_EQ(s.part_weight(p), expected_weight[p]);
