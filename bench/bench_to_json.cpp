@@ -33,6 +33,7 @@
 #include "part/gain_buckets.hpp"
 #include "part/initial.hpp"
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -47,6 +48,9 @@ struct Metric {
   std::int64_t moves = 0;
   std::int32_t passes = 0;
   double moves_per_sec = 0.0;
+  /// A --budget deadline expired mid-scenario; the cut is the best found
+  /// within the budget and must not be compared against full runs.
+  bool truncated = false;
 };
 
 using Results = std::vector<std::pair<std::string, Metric>>;
@@ -65,7 +69,7 @@ const Metric* find(const Results& results, const std::string& name) {
 /// minimum wall-clock reported (the runs are deterministic for the seed, so
 /// cut/moves/passes are identical across repeats).
 Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
-                      int repeats) {
+                      int repeats, double budget_seconds) {
   const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
   const auto balance =
       part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
@@ -76,13 +80,24 @@ Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
   for (int rep = 0; rep < repeats; ++rep) {
     util::Rng rng(0xBE9C);
     util::Timer timer;
+    util::Deadline deadline;
+    ml::MultilevelConfig config;
+    if (budget_seconds > 0.0) {
+      deadline = util::Deadline::after_seconds(budget_seconds);
+      config.deadline = &deadline;
+    }
     hg::Weight best_cut = 0;
     std::int64_t moves = 0;
     std::int32_t passes = 0;
     for (int s = 0; s < starts; ++s) {
-      const auto result = partitioner.run(rng, ml::MultilevelConfig{});
+      if (s > 0 && budget_seconds > 0.0 && deadline.expired()) {
+        m.truncated = true;
+        break;
+      }
+      const auto result = partitioner.run(rng, config);
       moves += result.total_moves;
       passes += result.total_passes;
+      m.truncated |= result.truncated;
       if (s == 0 || result.cut < best_cut) best_cut = result.cut;
     }
     m.seconds = std::min(m.seconds, timer.seconds());
@@ -97,7 +112,8 @@ Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
 
 /// Flat FM refinement of a random feasible start on the full circuit.
 Metric run_flat_fm(const gen::GeneratedCircuit& circuit,
-                   part::SelectionPolicy policy, int repeats) {
+                   part::SelectionPolicy policy, int repeats,
+                   double budget_seconds) {
   const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
   const auto balance =
       part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
@@ -112,12 +128,18 @@ Metric run_flat_fm(const gen::GeneratedCircuit& circuit,
     part::PartitionState state(circuit.graph, 2);
     part::random_feasible_assignment(state, fixed, balance, rng,
                                      /*require_feasible=*/false);
+    util::Deadline deadline;
+    if (budget_seconds > 0.0) {
+      deadline = util::Deadline::after_seconds(budget_seconds);
+      config.deadline = &deadline;
+    }
     util::Timer timer;
     const auto result = fm.refine(state, rng, config);
     m.seconds = std::min(m.seconds, timer.seconds());
     m.cut = result.final_cut;
     m.moves = result.total_moves;
     m.passes = result.passes;
+    m.truncated |= result.truncated;
   }
   m.moves_per_sec =
       m.seconds > 0.0 ? static_cast<double>(m.moves) / m.seconds : 0.0;
@@ -177,6 +199,8 @@ void emit_metric(std::ostream& out, const std::string& indent,
       << indent << "  \"moves\": " << m.moves << ",\n"
       << indent << "  \"passes\": " << m.passes << ",\n"
       << indent << "  \"moves_per_sec\": " << format_double(m.moves_per_sec)
+      << ",\n"
+      << indent << "  \"truncated\": " << (m.truncated ? "true" : "false")
       << "\n"
       << indent << "}";
 }
@@ -230,6 +254,7 @@ Results parse_section(const std::string& text, const std::string& section) {
     m.moves = std::llround(field("moves", 0.0));
     m.passes = static_cast<std::int32_t>(std::llround(field("passes", 0.0)));
     m.moves_per_sec = field("moves_per_sec", 0.0);
+    m.truncated = body.find("\"truncated\": true") != std::string::npos;
     results.emplace_back(name, m);
     pos = obj_close + 1;
   }
@@ -250,20 +275,26 @@ bool metrics_close(const Metric& a, const Metric& b) {
                                                std::abs(y)});
   };
   return a.cut == b.cut && a.moves == b.moves && a.passes == b.passes &&
-         near(a.seconds, b.seconds) && near(a.moves_per_sec, b.moves_per_sec);
+         a.truncated == b.truncated && near(a.seconds, b.seconds) &&
+         near(a.moves_per_sec, b.moves_per_sec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  cli.require_known({"out", "baseline", "starts", "repeats", "smoke"});
+  cli.require_known({"out", "baseline", "starts", "repeats", "smoke",
+                     "budget"});
   const bool smoke = cli.get_bool("smoke", false);
   const std::string out_path = cli.get_or("out", "BENCH.json");
   const int starts =
       static_cast<int>(cli.get_int("starts", smoke ? 2 : 8));
   const int repeats =
       static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
+  // Wall-clock budget per scenario measurement in seconds; 0 = unlimited.
+  // Expired runs degrade to best-so-far and are flagged "truncated" in the
+  // output (docs/ROBUSTNESS.md).
+  const double budget = cli.get_double("budget", 0.0);
   const util::Scale scale = smoke ? util::Scale::kSmoke
                                   : util::Scale::kDefault;
 
@@ -286,17 +317,17 @@ int main(int argc, char** argv) {
   std::cerr << "bench_to_json: multilevel multistart (ibm01-profile, "
             << starts << " starts)...\n";
   results.emplace_back("ml_multistart_ibm01",
-                       run_multilevel(ibm01, starts, repeats));
+                       run_multilevel(ibm01, starts, repeats, budget));
   std::cerr << "bench_to_json: multilevel multistart (ibm03-profile)...\n";
   results.emplace_back("ml_multistart_ibm03",
-                       run_multilevel(ibm03, starts, repeats));
+                       run_multilevel(ibm03, starts, repeats, budget));
   std::cerr << "bench_to_json: flat FM (lifo / clip)...\n";
   results.emplace_back(
       "flat_fm_lifo_ibm01",
-      run_flat_fm(ibm01, part::SelectionPolicy::kLifo, repeats));
+      run_flat_fm(ibm01, part::SelectionPolicy::kLifo, repeats, budget));
   results.emplace_back(
       "flat_fm_clip_ibm01",
-      run_flat_fm(ibm01, part::SelectionPolicy::kClip, repeats));
+      run_flat_fm(ibm01, part::SelectionPolicy::kClip, repeats, budget));
   std::cerr << "bench_to_json: gain-bucket churn...\n";
   results.emplace_back("gain_bucket_churn",
                        run_bucket_churn(smoke ? 20000 : 2000000, repeats));
@@ -312,7 +343,8 @@ int main(int argc, char** argv) {
         << "  \"generated_by\": \"bench_to_json\",\n"
         << "  \"scale\": \"" << util::to_string(scale) << "\",\n"
         << "  \"starts\": " << starts << ",\n"
-        << "  \"repeats\": " << repeats << ",\n";
+        << "  \"repeats\": " << repeats << ",\n"
+        << "  \"budget_seconds\": " << format_double(budget) << ",\n";
     emit_results(out, "results", results);
     if (!baseline.empty()) {
       out << ",\n";

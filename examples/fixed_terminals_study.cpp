@@ -13,12 +13,14 @@
 #include "gen/regimes.hpp"
 #include "ml/multilevel.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const fixedpart::util::Cli& cli) {
   using namespace fixedpart;
-  const util::Cli cli(argc, argv);
   cli.require_known({"cells", "pct", "starts", "trials", "regime", "seed",
                      "tolerance"});
 
@@ -68,4 +70,12 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fixedpart::util::Cli cli(argc, argv);
+  return fixedpart::util::run_cli_main("fixed_terminals_study",
+                                       [&] { return run(cli); });
 }

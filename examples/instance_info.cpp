@@ -15,6 +15,7 @@
 #include "hg/io_netare.hpp"
 #include "hg/stats.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -29,31 +30,34 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 int main(int argc, char** argv) {
   using namespace fixedpart;
   const util::Cli cli(argc, argv);
-  try {
-    cli.require_known({"fix", "are", "k"});
+  return util::run_cli_main("instance_info", [&] {
+    cli.require_known({"fix", "are", "k", "lenient"});
     if (cli.positional().size() != 1) {
-      std::cerr << "usage: instance_info <file.fpb|file.hgr|file.netD> "
-                   "[--fix=f] [--are=f] [--k=2]\n";
-      return 2;
+      throw util::UsageError(
+          "instance_info <file.fpb|file.hgr|file.netD> "
+          "[--fix=f] [--are=f] [--k=2] [--lenient]");
     }
     const std::string path = cli.positional()[0];
+    const hg::IoOptions io_options = cli.get_bool("lenient", false)
+                                         ? hg::IoOptions::lenient()
+                                         : hg::IoOptions{};
     hg::Hypergraph graph;
     hg::FixedAssignment fixed(0, 2);
     auto k = static_cast<hg::PartitionId>(cli.get_int("k", 2));
     if (ends_with(path, ".fpb")) {
-      hg::BenchmarkInstance instance = hg::read_fpb_file(path);
+      hg::BenchmarkInstance instance = hg::read_fpb_file(path, io_options);
       graph = std::move(instance.graph);
       fixed = instance.fixed;
       k = instance.num_parts;
     } else if (ends_with(path, ".netD") || ends_with(path, ".net")) {
       const auto are = cli.get("are");
-      if (!are) throw std::runtime_error("netD input needs --are=<file>");
-      graph = hg::read_netd_files(path, *are).graph;
+      if (!are) throw util::UsageError("netD input needs --are=<file>");
+      graph = hg::read_netd_files(path, *are, io_options).graph;
       fixed = hg::FixedAssignment(graph.num_vertices(), k);
     } else {
-      graph = hg::read_hmetis_file(path);
+      graph = hg::read_hmetis_file(path, io_options);
       if (const auto fix = cli.get("fix")) {
-        fixed = hg::read_fix_file(*fix, graph.num_vertices(), k);
+        fixed = hg::read_fix_file(*fix, graph.num_vertices(), k, io_options);
       } else {
         fixed = hg::FixedAssignment(graph.num_vertices(), k);
       }
@@ -104,8 +108,5 @@ int main(int argc, char** argv) {
       metric_table.print(std::cout);
     }
     return 0;
-  } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 1;
-  }
+  });
 }

@@ -7,10 +7,17 @@
 //   $ ./build/examples/partition_file instance.fpb
 //   $ ./build/examples/partition_file netlist.hgr --fix=netlist.fix
 //   $     --k=2 --tolerance=2 --starts=4 --policy=clip --cutoff=1.0
-//   $     --seed=1 --out=assignment.txt
+//   $     --seed=1 --out=assignment.txt --budget=10 --repair --lenient
 //
 // For k == 2 the multilevel engine is used; for k > 2 the flat k-way FM
 // refiner runs from multistart random solutions.
+//
+// Guardrails (docs/ROBUSTNESS.md): a feasibility pre-flight rejects
+// instances whose fixed vertices provably cannot satisfy the balance
+// (exit code 4) unless --repair loosens a relative tolerance to the
+// minimal feasible value; --budget=<seconds> bounds the wall clock and
+// degrades to the best partition found so far ("truncated"); --lenient
+// accepts recoverable input anomalies the strict parsers reject.
 
 #include <fstream>
 #include <iostream>
@@ -21,9 +28,12 @@
 #include "hg/io_hmetis.hpp"
 #include "hg/io_solution.hpp"
 #include "ml/multilevel.hpp"
+#include "part/feasibility.hpp"
 #include "part/initial.hpp"
 #include "part/kway_fm.hpp"
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
+#include "util/errors.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -34,8 +44,7 @@ part::SelectionPolicy parse_policy(const std::string& name) {
   if (name == "lifo") return part::SelectionPolicy::kLifo;
   if (name == "fifo") return part::SelectionPolicy::kFifo;
   if (name == "clip") return part::SelectionPolicy::kClip;
-  throw std::invalid_argument("unknown --policy (use lifo|fifo|clip): " +
-                              name);
+  throw util::UsageError("unknown --policy (use lifo|fifo|clip): " + name);
 }
 
 bool ends_with(const std::string& text, const std::string& suffix) {
@@ -43,128 +52,165 @@ bool ends_with(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+int run(const util::Cli& cli) {
+  cli.require_known({"fix", "k", "tolerance", "starts", "policy", "cutoff",
+                     "seed", "out", "sol", "threads", "vcycles", "budget",
+                     "repair", "lenient"});
+  if (cli.positional().size() != 1) {
+    throw util::UsageError(
+        "partition_file <instance.fpb|netlist.hgr> "
+        "[--fix=f] [--k=2] [--tolerance=2] [--starts=4]\n"
+        "       [--policy=clip|lifo|fifo] [--cutoff=1.0] [--vcycles=0] "
+        "[--seed=1] [--out=assignment.txt]\n"
+        "       [--budget=seconds] [--repair] [--lenient]");
+  }
+  const std::string path = cli.positional()[0];
+  const hg::IoOptions io_options =
+      cli.get_bool("lenient", false) ? hg::IoOptions::lenient()
+                                     : hg::IoOptions{};
+
+  // --- Load the instance.
+  hg::BenchmarkInstance instance;
+  if (ends_with(path, ".fpb")) {
+    instance = hg::read_fpb_file(path, io_options);
+  } else {
+    instance.graph = hg::read_hmetis_file(path, io_options);
+    instance.num_parts = static_cast<hg::PartitionId>(cli.get_int("k", 2));
+    instance.balance.relative = true;
+    instance.balance.tolerance_pct = cli.get_double("tolerance", 2.0);
+    instance.names = hg::default_names(instance.graph.num_vertices());
+    if (const auto fix_path = cli.get("fix")) {
+      instance.fixed =
+          hg::read_fix_file(*fix_path, instance.graph.num_vertices(),
+                            instance.num_parts, io_options);
+    } else {
+      instance.fixed = hg::FixedAssignment(instance.graph.num_vertices(),
+                                           instance.num_parts);
+    }
+  }
+  auto balance = part::BalanceConstraint::from_spec(
+      instance.graph, instance.num_parts, instance.balance);
+
+  // --- Feasibility pre-flight: never refine a provably impossible
+  // instance. --repair loosens a relative tolerance to the minimal
+  // feasible value (and says so); other infeasibilities exit with code 4.
+  part::FeasibilityReport feasibility;
+  if (instance.balance.relative) {
+    balance = part::preflight_balance(
+        instance.graph, instance.fixed, instance.num_parts,
+        instance.balance.tolerance_pct, cli.get_bool("repair", false),
+        &feasibility);
+  } else {
+    feasibility =
+        part::check_feasibility(instance.graph, instance.fixed, balance);
+    if (!feasibility.feasible) {
+      throw util::InfeasibleError(feasibility.summary());
+    }
+  }
+  if (feasibility.repaired) {
+    std::cout << "note: " << feasibility.summary() << "\n";
+  }
+
+  const int starts = static_cast<int>(cli.get_int("starts", 4));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  std::cout << "instance: " << instance.graph.num_vertices() << " vertices, "
+            << instance.graph.num_nets() << " nets, "
+            << instance.fixed.count_fixed() << " fixed, k = "
+            << instance.num_parts << "\n";
+
+  util::Deadline deadline;
+  const double budget = cli.get_double("budget", 0.0);
+  if (budget > 0.0) deadline = util::Deadline::after_seconds(budget);
+
+  // --- Partition.
+  util::Timer timer;
+  std::vector<hg::PartitionId> assignment;
+  hg::Weight cut = 0;
+  bool truncated = false;
+  if (instance.num_parts == 2) {
+    ml::MultilevelConfig config;
+    config.refine.policy = parse_policy(cli.get_or("policy", "clip"));
+    config.refine.pass_cutoff = cli.get_double("cutoff", 1.0);
+    config.vcycles = static_cast<int>(cli.get_int("vcycles", 0));
+    if (budget > 0.0) config.deadline = &deadline;
+    const ml::MultilevelPartitioner partitioner(instance.graph,
+                                                instance.fixed, balance);
+    const int threads = static_cast<int>(cli.get_int("threads", 1));
+    auto result =
+        threads > 1
+            ? partitioner.best_of_parallel(
+                  starts, threads,
+                  static_cast<std::uint64_t>(cli.get_int("seed", 1)), config)
+            : partitioner.best_of(starts, rng, config);
+    assignment = std::move(result.assignment);
+    cut = result.cut;
+    truncated = result.truncated;
+  } else {
+    part::KwayFmRefiner refiner(instance.graph, instance.fixed, balance);
+    part::KwayConfig config;
+    config.pass_cutoff = cli.get_double("cutoff", 1.0);
+    hg::Weight best = std::numeric_limits<hg::Weight>::max();
+    for (int s = 0; s < starts; ++s) {
+      // The k-way refiner has no in-pass deadline; the budget bounds the
+      // multistart loop instead (the first start always runs).
+      if (s > 0 && budget > 0.0 && deadline.expired()) {
+        truncated = true;
+        break;
+      }
+      part::PartitionState state(instance.graph, instance.num_parts);
+      part::random_feasible_assignment(state, instance.fixed, balance, rng,
+                                       /*require_feasible=*/false);
+      refiner.refine(state, rng, config);
+      if (state.cut() < best) {
+        best = state.cut();
+        assignment.assign(state.assignment().begin(),
+                          state.assignment().end());
+      }
+    }
+    cut = best;
+  }
+  const double seconds = timer.seconds();
+
+  // --- Report and verify.
+  part::PartitionState state(instance.graph, instance.num_parts);
+  for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
+    state.assign(v, assignment[v]);
+  }
+  part::check_respects_fixed(state, instance.fixed);
+  std::cout << "cut = " << cut << "  (" << starts << " starts, " << seconds
+            << "s)" << (truncated ? "  [truncated: budget expired]" : "")
+            << "\n";
+  for (hg::PartitionId p = 0; p < instance.num_parts; ++p) {
+    std::cout << "  part " << p << ": weight " << state.part_weight(p)
+              << " (cap " << balance.max_weight(p) << ")"
+              << (state.part_weight(p) > balance.max_weight(p)
+                      ? "  [over capacity: instance infeasible]"
+                      : "")
+              << "\n";
+  }
+
+  if (const auto sol = cli.get("sol")) {
+    hg::Solution solution;
+    solution.num_parts = instance.num_parts;
+    solution.cut = cut;
+    solution.assignment = assignment;
+    hg::write_solution_file(*sol, solution);
+    std::cout << "wrote solution to " << *sol << "\n";
+  }
+  if (const auto out = cli.get("out")) {
+    std::ofstream os(*out);
+    if (!os) throw std::runtime_error("cannot write " + *out);
+    for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
+      os << instance.names[v] << ' ' << assignment[v] << '\n';
+    }
+    std::cout << "wrote assignment to " << *out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  try {
-    cli.require_known({"fix", "k", "tolerance", "starts", "policy", "cutoff",
-                       "seed", "out", "sol", "threads", "vcycles"});
-    if (cli.positional().size() != 1) {
-      std::cerr << "usage: partition_file <instance.fpb|netlist.hgr> "
-                   "[--fix=f] [--k=2] [--tolerance=2] [--starts=4]\n"
-                   "       [--policy=clip|lifo|fifo] [--cutoff=1.0] "
-                   "[--vcycles=0] [--seed=1] [--out=assignment.txt]\n";
-      return 2;
-    }
-    const std::string path = cli.positional()[0];
-
-    // --- Load the instance.
-    hg::BenchmarkInstance instance;
-    if (ends_with(path, ".fpb")) {
-      instance = hg::read_fpb_file(path);
-    } else {
-      instance.graph = hg::read_hmetis_file(path);
-      instance.num_parts = static_cast<hg::PartitionId>(cli.get_int("k", 2));
-      instance.balance.relative = true;
-      instance.balance.tolerance_pct = cli.get_double("tolerance", 2.0);
-      instance.names = hg::default_names(instance.graph.num_vertices());
-      if (const auto fix_path = cli.get("fix")) {
-        instance.fixed = hg::read_fix_file(
-            *fix_path, instance.graph.num_vertices(), instance.num_parts);
-      } else {
-        instance.fixed =
-            hg::FixedAssignment(instance.graph.num_vertices(),
-                                instance.num_parts);
-      }
-    }
-    const auto balance = part::BalanceConstraint::from_spec(
-        instance.graph, instance.num_parts, instance.balance);
-
-    const int starts = static_cast<int>(cli.get_int("starts", 4));
-    util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-    std::cout << "instance: " << instance.graph.num_vertices()
-              << " vertices, " << instance.graph.num_nets() << " nets, "
-              << instance.fixed.count_fixed() << " fixed, k = "
-              << instance.num_parts << "\n";
-
-    // --- Partition.
-    util::Timer timer;
-    std::vector<hg::PartitionId> assignment;
-    hg::Weight cut = 0;
-    if (instance.num_parts == 2) {
-      ml::MultilevelConfig config;
-      config.refine.policy = parse_policy(cli.get_or("policy", "clip"));
-      config.refine.pass_cutoff = cli.get_double("cutoff", 1.0);
-      config.vcycles = static_cast<int>(cli.get_int("vcycles", 0));
-      const ml::MultilevelPartitioner partitioner(instance.graph,
-                                                  instance.fixed, balance);
-      const int threads = static_cast<int>(cli.get_int("threads", 1));
-      auto result =
-          threads > 1
-              ? partitioner.best_of_parallel(
-                    starts, threads,
-                    static_cast<std::uint64_t>(cli.get_int("seed", 1)),
-                    config)
-              : partitioner.best_of(starts, rng, config);
-      assignment = std::move(result.assignment);
-      cut = result.cut;
-    } else {
-      part::KwayFmRefiner refiner(instance.graph, instance.fixed, balance);
-      part::KwayConfig config;
-      config.pass_cutoff = cli.get_double("cutoff", 1.0);
-      hg::Weight best = std::numeric_limits<hg::Weight>::max();
-      for (int s = 0; s < starts; ++s) {
-        part::PartitionState state(instance.graph, instance.num_parts);
-        part::random_feasible_assignment(state, instance.fixed, balance, rng,
-                                         /*require_feasible=*/false);
-        refiner.refine(state, rng, config);
-        if (state.cut() < best) {
-          best = state.cut();
-          assignment.assign(state.assignment().begin(),
-                            state.assignment().end());
-        }
-      }
-      cut = best;
-    }
-    const double seconds = timer.seconds();
-
-    // --- Report and verify.
-    part::PartitionState state(instance.graph, instance.num_parts);
-    for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
-      state.assign(v, assignment[v]);
-    }
-    part::check_respects_fixed(state, instance.fixed);
-    std::cout << "cut = " << cut << "  (" << starts << " starts, "
-              << seconds << "s)\n";
-    for (hg::PartitionId p = 0; p < instance.num_parts; ++p) {
-      std::cout << "  part " << p << ": weight " << state.part_weight(p)
-                << " (cap " << balance.max_weight(p) << ")"
-                << (state.part_weight(p) > balance.max_weight(p)
-                        ? "  [over capacity: instance infeasible]"
-                        : "")
-                << "\n";
-    }
-
-    if (const auto sol = cli.get("sol")) {
-      hg::Solution solution;
-      solution.num_parts = instance.num_parts;
-      solution.cut = cut;
-      solution.assignment = assignment;
-      hg::write_solution_file(*sol, solution);
-      std::cout << "wrote solution to " << *sol << "\n";
-    }
-    if (const auto out = cli.get("out")) {
-      std::ofstream os(*out);
-      if (!os) throw std::runtime_error("cannot write " + *out);
-      for (hg::VertexId v = 0; v < instance.graph.num_vertices(); ++v) {
-        os << instance.names[v] << ' ' << assignment[v] << '\n';
-      }
-      std::cout << "wrote assignment to " << *out << "\n";
-    }
-    return 0;
-  } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 1;
-  }
+  return util::run_cli_main("partition_file", [&] { return run(cli); });
 }

@@ -20,6 +20,7 @@
 #include "part/initial.hpp"
 #include "part/kway_fm.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -66,10 +67,8 @@ hg::Weight solve(const gen::GeneratedCircuit& circuit,
   return best;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+int run(const util::Cli& cli) {
+  cli.require_known({"cells", "starts", "seed"});
   gen::CircuitSpec spec;
   spec.name = "quad";
   spec.num_cells = static_cast<hg::VertexId>(cli.get_int("cells", 2000));
@@ -116,4 +115,11 @@ int main(int argc, char** argv) {
                "realize the advantage. This is the flexibility the paper\n"
                "asks benchmark formats to express.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  return util::run_cli_main("quadrisection", [&] { return run(cli); });
 }

@@ -10,9 +10,12 @@
 #include "hg/fixed.hpp"
 #include "ml/multilevel.hpp"
 #include "part/balance.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace fixedpart;
 
   // 1. Describe the netlist: 8 cells, two tightly-connected clusters of 4,
@@ -53,3 +56,7 @@ int main() {
   }
   return result.cut == 1 ? 0 : 1;
 }
+
+}  // namespace
+
+int main() { return fixedpart::util::run_cli_main("quickstart", run); }

@@ -18,11 +18,15 @@
 #include "ml/multilevel.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const fixedpart::util::Cli& cli) {
   using namespace fixedpart;
-  const util::Cli cli(argc, argv);
+  cli.require_known({"out", "circuits", "tolerance", "solutions", "starts",
+                     "seed"});
   const std::string out_dir = cli.get_or("out", "fixedpart-suite");
   const int circuits = static_cast<int>(cli.get_int("circuits", 5));
   const double tolerance = cli.get_double("tolerance", 2.0);
@@ -76,4 +80,12 @@ int main(int argc, char** argv) {
   std::cout << "\nwrote suite to " << out_dir << " (scale "
             << util::to_string(scale) << ")\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fixedpart::util::Cli cli(argc, argv);
+  return fixedpart::util::run_cli_main("suite_writer",
+                                       [&] { return run(cli); });
 }

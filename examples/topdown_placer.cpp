@@ -20,11 +20,14 @@
 #include "place/hpwl.hpp"
 #include "place/placer.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const fixedpart::util::Cli& cli) {
   using namespace fixedpart;
-  const util::Cli cli(argc, argv);
+  cli.require_known({"cells", "levels", "cutoff", "exact", "seed"});
   gen::CircuitSpec spec;
   spec.name = "placer-demo";
   spec.num_cells = static_cast<hg::VertexId>(cli.get_int("cells", 3000));
@@ -98,4 +101,12 @@ int main(int argc, char** argv) {
                "terminals, which is why the fixed-terminals regime is the\n"
                "real-world placement workload.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fixedpart::util::Cli cli(argc, argv);
+  return fixedpart::util::run_cli_main("topdown_placer",
+                                       [&] { return run(cli); });
 }

@@ -14,7 +14,8 @@ namespace {
 SweepSeries run_series(const InstanceContext& context,
                        const SweepConfig& config,
                        const std::vector<hg::FixedAssignment>& instances,
-                       double normalizer_or_zero, util::Rng& rng) {
+                       double normalizer_or_zero, util::Rng& rng,
+                       bool* truncated) {
   const int max_starts =
       *std::max_element(config.starts.begin(), config.starts.end());
 
@@ -35,6 +36,7 @@ SweepSeries run_series(const InstanceContext& context,
     for (int t = 0; t < config.trials; ++t) {
       for (int r = 0; r < max_starts; ++r) {
         const auto run = partitioner.run(rng, config.ml);
+        *truncated |= run.truncated;
         cuts[t].push_back(run.cut);
         seconds[t].push_back(run.seconds);
         series.best_seen[pi] = std::min(series.best_seen[pi], run.cut);
@@ -91,8 +93,10 @@ SweepResult run_fixed_sweep(const InstanceContext& context,
   }
 
   result.good = run_series(context, config, good_instances,
-                           static_cast<double>(context.good_cut), rng);
-  result.rand = run_series(context, config, rand_instances, 0.0, rng);
+                           static_cast<double>(context.good_cut), rng,
+                           &result.truncated);
+  result.rand = run_series(context, config, rand_instances, 0.0, rng,
+                           &result.truncated);
   return result;
 }
 

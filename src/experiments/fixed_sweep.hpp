@@ -50,6 +50,11 @@ struct SweepResult {
   std::vector<int> starts;
   SweepSeries good;
   SweepSeries rand;
+  /// A deadline in SweepConfig::ml expired during the sweep: every cell is
+  /// still populated (each run degrades to its best-so-far, see
+  /// MultilevelConfig::deadline), but cuts from degraded runs are not
+  /// comparable to full runs and the sweep should be reported as such.
+  bool truncated = false;
 };
 
 SweepResult run_fixed_sweep(const InstanceContext& context,

@@ -1,61 +1,52 @@
 #include "hg/io_bookshelf.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "hg/builder.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& msg) {
-  throw std::runtime_error("fpb: " + msg);
-}
+constexpr std::int64_t kMaxCount = std::numeric_limits<VertexId>::max();
+constexpr std::int64_t kMaxWeight = std::numeric_limits<Weight>::max();
 
-/// Next non-comment, non-blank line.
-bool next_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i == line.size() || line[i] == '#') continue;
-    return true;
-  }
-  return false;
-}
-
-std::istringstream expect_keyword(std::istream& in, const std::string& kw) {
+std::istringstream expect_keyword(LineReader& reader, const std::string& kw) {
   std::string line;
-  if (!next_line(in, line)) fail("expected '" + kw + "', got EOF");
+  if (!reader.next(line)) reader.fail("expected '" + kw + "', got EOF");
   std::istringstream ls(line);
   std::string word;
   ls >> word;
-  if (word != kw) fail("expected '" + kw + "', got '" + word + "'");
+  if (word != kw) reader.fail("expected '" + kw + "', got '" + word + "'");
   return ls;
 }
 
-/// Parses "p0" or "p0|p3|p5" into a partition bitmask.
-std::uint64_t parse_part_set(const std::string& token, PartitionId num_parts) {
+/// Parses "p0" or "p0|p3|p5" into a partition bitmask. Numeric suffixes
+/// go through parse_int_text so a malformed token fails with line context
+/// instead of being swallowed.
+std::uint64_t parse_part_set(const std::string& token, PartitionId num_parts,
+                             const LineReader& at) {
   std::uint64_t mask = 0;
   std::size_t pos = 0;
   while (pos < token.size()) {
     std::size_t bar = token.find('|', pos);
     if (bar == std::string::npos) bar = token.size();
     const std::string piece = token.substr(pos, bar - pos);
-    if (piece.empty() || piece[0] != 'p') fail("bad partition token: " + token);
-    std::int64_t p = 0;
-    try {
-      p = std::stoll(piece.substr(1));
-    } catch (const std::exception&) {
-      fail("bad partition token: " + token);
+    if (piece.empty() || piece[0] != 'p') {
+      at.fail("bad partition token (want pN[|pN...]): '" + token + "'");
     }
-    if (p < 0 || p >= num_parts) fail("partition out of range: " + piece);
+    const std::int64_t p = parse_int_text(piece.substr(1), at,
+                                          "partition index", 0,
+                                          num_parts - 1);
     mask |= std::uint64_t{1} << p;
     pos = bar + 1;
   }
-  if (mask == 0) fail("empty partition set");
+  if (mask == 0) at.fail("empty partition set: '" + token + "'");
   return mask;
 }
 
@@ -70,139 +61,187 @@ std::vector<std::string> default_names(VertexId num_vertices) {
   return names;
 }
 
-BenchmarkInstance read_fpb(std::istream& in) {
+BenchmarkInstance read_fpb(std::istream& in, const IoOptions& options,
+                           const std::string& source) {
+  LineReader reader(in, source, '#');
   std::string line;
-  if (!next_line(in, line)) fail("empty input");
+  if (!reader.next(line)) reader.fail("empty input");
   {
     std::istringstream ls(line);
     std::string magic, version;
     ls >> magic >> version;
-    if (magic != "FPB") fail("missing FPB magic");
-    if (version != "1.0") fail("unsupported version " + version);
+    if (magic != "FPB") reader.fail("missing FPB magic");
+    if (version != "1.0") reader.fail("unsupported version " + version);
   }
 
-  int resources = 0;
-  expect_keyword(in, "resources") >> resources;
-  if (resources < 1) fail("resources < 1");
+  std::int64_t resources = 0;
+  {
+    auto ls = expect_keyword(reader, "resources");
+    resources = parse_int(ls, reader, "resource count", 1, 64);
+  }
 
   std::int64_t num_vertices = 0;
-  expect_keyword(in, "vertices") >> num_vertices;
-  if (num_vertices < 0) fail("negative vertex count");
+  {
+    auto ls = expect_keyword(reader, "vertices");
+    num_vertices = parse_int(ls, reader, "vertex count", 0, kMaxCount);
+  }
 
   BenchmarkInstance inst;
-  HypergraphBuilder builder(resources);
+  HypergraphBuilder builder(static_cast<int>(resources));
   std::unordered_map<std::string, VertexId> by_name;
   inst.names.reserve(static_cast<std::size_t>(num_vertices));
   for (std::int64_t i = 0; i < num_vertices; ++i) {
-    if (!next_line(in, line)) fail("missing vertex line");
+    if (!reader.next(line)) {
+      reader.fail("missing vertex line " + std::to_string(i + 1) + " of " +
+                  std::to_string(num_vertices));
+    }
     std::istringstream ls(line);
     std::string name;
     ls >> name;
+    if (name.empty()) reader.fail("missing vertex name");
     std::vector<Weight> weights(static_cast<std::size_t>(resources));
     for (auto& w : weights) {
-      if (!(ls >> w)) fail("missing weight for vertex " + name);
+      std::string token;
+      if (!(ls >> token)) reader.fail("missing weight for vertex " + name);
+      w = parse_int_text(token, reader, "vertex weight", 0, kMaxWeight);
     }
     std::string tag;
     bool pad = false;
     if (ls >> tag) {
       if (tag == "pad") {
         pad = true;
-      } else {
-        fail("unexpected trailing token on vertex line: " + tag);
+      } else if (options.strict) {
+        reader.fail("unexpected trailing token on vertex line: " + tag);
       }
     }
     if (!by_name.emplace(name, builder.num_vertices()).second) {
-      fail("duplicate vertex name " + name);
+      reader.fail("duplicate vertex name " + name);
     }
     builder.add_vertex(weights, pad);
     inst.names.push_back(name);
   }
 
   std::int64_t num_nets = 0;
-  expect_keyword(in, "nets") >> num_nets;
+  {
+    auto ls = expect_keyword(reader, "nets");
+    num_nets = parse_int(ls, reader, "net count", 0, kMaxCount);
+  }
+  std::unordered_set<VertexId> seen;
   for (std::int64_t e = 0; e < num_nets; ++e) {
-    if (!next_line(in, line)) fail("missing net line");
+    if (!reader.next(line)) {
+      reader.fail("missing net line " + std::to_string(e + 1) + " of " +
+                  std::to_string(num_nets));
+    }
     std::istringstream ls(line);
-    Weight weight = 0;
-    int degree = 0;
-    if (!(ls >> weight >> degree)) fail("bad net header");
+    const Weight weight = parse_int(ls, reader, "net weight", 0, kMaxWeight);
+    const std::int64_t degree =
+        parse_int(ls, reader, "net degree", 0, num_vertices);
     std::vector<VertexId> pins;
     pins.reserve(static_cast<std::size_t>(degree));
-    for (int d = 0; d < degree; ++d) {
+    seen.clear();
+    for (std::int64_t d = 0; d < degree; ++d) {
       std::string name;
-      if (!(ls >> name)) fail("net pin count mismatch");
+      if (!(ls >> name)) {
+        reader.fail("net declares " + std::to_string(degree) +
+                    " pins but lists " + std::to_string(d));
+      }
       const auto it = by_name.find(name);
-      if (it == by_name.end()) fail("unknown vertex in net: " + name);
+      if (it == by_name.end()) reader.fail("unknown vertex in net: " + name);
+      if (!seen.insert(it->second).second) {
+        // The builder would merge the duplicate silently; diagnose it in
+        // strict mode, drop it in lenient mode.
+        if (options.strict) {
+          reader.fail("duplicate pin " + name + " in net " +
+                      std::to_string(e + 1));
+        }
+        continue;
+      }
       pins.push_back(it->second);
+    }
+    std::string extra;
+    if ((ls >> extra) && options.strict) {
+      reader.fail("net lists more pins than its declared degree " +
+                  std::to_string(degree));
     }
     builder.add_net(pins, weight);
   }
 
   std::int64_t num_parts = 0;
-  expect_keyword(in, "partitions") >> num_parts;
-  if (num_parts < 1 || num_parts > FixedAssignment::kMaxParts) {
-    fail("bad partition count");
+  {
+    auto ls = expect_keyword(reader, "partitions");
+    num_parts = parse_int(ls, reader, "partition count", 1,
+                          FixedAssignment::kMaxParts);
   }
   inst.num_parts = static_cast<PartitionId>(num_parts);
   inst.graph = builder.build();
   inst.fixed = FixedAssignment(inst.graph.num_vertices(), inst.num_parts);
 
   // Balance section: either one `tolerance` line or >=1 `capacity` lines.
-  if (!next_line(in, line)) fail("missing balance section");
+  if (!reader.next(line)) reader.fail("missing balance section");
   {
     std::istringstream ls(line);
     std::string word;
     ls >> word;
     if (word == "tolerance") {
       inst.balance.relative = true;
-      if (!(ls >> inst.balance.tolerance_pct)) fail("bad tolerance");
-      if (!next_line(in, line)) fail("missing fixed section");
+      if (!(ls >> inst.balance.tolerance_pct) ||
+          !(inst.balance.tolerance_pct >= 0.0)) {
+        reader.fail("bad tolerance (want a percentage >= 0)");
+      }
+      if (!reader.next(line)) reader.fail("missing fixed section");
     } else if (word == "capacity") {
       inst.balance.relative = false;
       while (true) {
         BalanceSpec::Capacity cap;
-        std::int64_t part = 0;
-        if (!(ls >> part >> cap.resource >> cap.min >> cap.max)) {
-          fail("bad capacity line");
-        }
-        if (part < 0 || part >= num_parts) fail("capacity part out of range");
-        if (cap.resource < 0 || cap.resource >= resources) {
-          fail("capacity resource out of range");
-        }
+        const std::int64_t part =
+            parse_int(ls, reader, "capacity part", 0, num_parts - 1);
+        cap.resource = static_cast<int>(
+            parse_int(ls, reader, "capacity resource", 0, resources - 1));
+        cap.min = parse_int(ls, reader, "capacity min", 0, kMaxWeight);
+        cap.max = parse_int(ls, reader, "capacity max", cap.min, kMaxWeight);
         cap.part = static_cast<PartitionId>(part);
         inst.balance.capacities.push_back(cap);
-        if (!next_line(in, line)) fail("missing fixed section");
+        if (!reader.next(line)) reader.fail("missing fixed section");
         ls = std::istringstream(line);
         ls >> word;
         if (word != "capacity") break;
       }
     } else {
-      fail("expected tolerance/capacity, got " + word);
+      reader.fail("expected tolerance/capacity, got " + word);
     }
   }
 
   // `line` currently holds the `fixed` header.
   std::istringstream fixed_hdr(line);
   std::string word;
-  std::int64_t num_fixed = 0;
-  fixed_hdr >> word >> num_fixed;
-  if (word != "fixed") fail("expected 'fixed', got " + word);
+  fixed_hdr >> word;
+  if (word != "fixed") reader.fail("expected 'fixed', got " + word);
+  const std::int64_t num_fixed =
+      parse_int(fixed_hdr, reader, "fixed count", 0, num_vertices);
   for (std::int64_t i = 0; i < num_fixed; ++i) {
-    if (!next_line(in, line)) fail("missing fixed line");
+    if (!reader.next(line)) {
+      reader.fail("missing fixed line " + std::to_string(i + 1) + " of " +
+                  std::to_string(num_fixed));
+    }
     std::istringstream ls(line);
     std::string name, parts;
-    if (!(ls >> name >> parts)) fail("bad fixed line");
+    if (!(ls >> name >> parts)) reader.fail("bad fixed line: " + line);
     const auto it = by_name.find(name);
-    if (it == by_name.end()) fail("unknown fixed vertex " + name);
-    inst.fixed.restrict_to(it->second, parse_part_set(parts, inst.num_parts));
+    if (it == by_name.end()) reader.fail("unknown fixed vertex " + name);
+    inst.fixed.restrict_to(it->second,
+                           parse_part_set(parts, inst.num_parts, reader));
+  }
+  if (options.strict && reader.next(line)) {
+    reader.fail("trailing content after fixed section");
   }
   return inst;
 }
 
-BenchmarkInstance read_fpb_file(const std::string& path) {
+BenchmarkInstance read_fpb_file(const std::string& path,
+                                const IoOptions& options) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_fpb(in);
+  if (!in) throw util::InputError("cannot open for reading: " + path);
+  return read_fpb(in, options, path);
 }
 
 void write_fpb(std::ostream& out, const BenchmarkInstance& inst) {
@@ -256,7 +295,7 @@ void write_fpb(std::ostream& out, const BenchmarkInstance& inst) {
 
 void write_fpb_file(const std::string& path, const BenchmarkInstance& inst) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::InputError("cannot open for writing: " + path);
   write_fpb(out, inst);
 }
 

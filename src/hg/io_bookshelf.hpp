@@ -35,6 +35,7 @@
 
 #include "hg/fixed.hpp"
 #include "hg/hypergraph.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
@@ -62,8 +63,13 @@ struct BenchmarkInstance {
   std::vector<std::string> names;  ///< per-vertex, unique
 };
 
-BenchmarkInstance read_fpb(std::istream& in);
-BenchmarkInstance read_fpb_file(const std::string& path);
+/// Failures throw ParseError with `source` (the path for the _file
+/// variant) and line context. Strict mode additionally rejects duplicate
+/// pins, degree mismatches and trailing tokens; lenient repairs them.
+BenchmarkInstance read_fpb(std::istream& in, const IoOptions& options = {},
+                           const std::string& source = "<fpb>");
+BenchmarkInstance read_fpb_file(const std::string& path,
+                                const IoOptions& options = {});
 void write_fpb(std::ostream& out, const BenchmarkInstance& instance);
 void write_fpb_file(const std::string& path,
                     const BenchmarkInstance& instance);

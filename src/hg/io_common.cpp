@@ -1,0 +1,76 @@
+#include "hg/io_common.hpp"
+
+#include <charconv>
+#include <system_error>
+
+namespace fixedpart::hg {
+
+namespace {
+
+std::string format_context(const std::string& source, std::int64_t line,
+                           const std::string& msg) {
+  std::string out = source;
+  if (line > 0) {
+    out += ':';
+    out += std::to_string(line);
+  }
+  out += ": ";
+  out += msg;
+  return out;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& source, std::int64_t line,
+                       const std::string& msg)
+    : util::InputError(format_context(source, line, msg)), line_(line) {}
+
+LineReader::LineReader(std::istream& in, std::string source, char comment)
+    : in_(&in), source_(std::move(source)), comment_(comment) {}
+
+bool LineReader::next(std::string& line) {
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == comment_) continue;
+    return true;
+  }
+  return false;
+}
+
+void LineReader::fail(const std::string& msg) const {
+  throw ParseError(source_, line_no_, msg);
+}
+
+std::int64_t parse_int(std::istream& in, const LineReader& at,
+                       const char* what, std::int64_t min, std::int64_t max) {
+  std::string token;
+  if (!(in >> token)) at.fail(std::string("missing ") + what);
+  return parse_int_text(token, at, what, min, max);
+}
+
+std::int64_t parse_int_text(const std::string& text, const LineReader& at,
+                            const char* what, std::int64_t min,
+                            std::int64_t max) {
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    at.fail(std::string(what) + " overflows 64-bit integer: '" + text + "'");
+  }
+  if (ec != std::errc() || ptr != last) {
+    at.fail(std::string("bad ") + what + ": '" + text + "'");
+  }
+  if (value < min || value > max) {
+    at.fail(std::string(what) + " out of range [" + std::to_string(min) +
+            ", " + std::to_string(max) + "]: " + std::to_string(value));
+  }
+  return value;
+}
+
+}  // namespace fixedpart::hg

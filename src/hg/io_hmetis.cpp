@@ -1,80 +1,95 @@
 #include "hg/io_hmetis.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "hg/builder.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
 namespace {
 
-/// Reads the next non-comment, non-blank line; returns false at EOF.
-bool next_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i == line.size() || line[i] == '%') continue;
-    return true;
-  }
-  return false;
-}
-
 std::ifstream open_in(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw util::InputError("cannot open for reading: " + path);
   return in;
 }
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::InputError("cannot open for writing: " + path);
   return out;
 }
 
+constexpr std::int64_t kMaxCount = std::numeric_limits<VertexId>::max();
+constexpr std::int64_t kMaxWeight = std::numeric_limits<Weight>::max();
+
 }  // namespace
 
-Hypergraph read_hmetis(std::istream& in) {
+Hypergraph read_hmetis(std::istream& in, const IoOptions& options,
+                       const std::string& source) {
+  LineReader reader(in, source, '%');
   std::string line;
-  if (!next_line(in, line)) throw std::runtime_error("hgr: empty input");
+  if (!reader.next(line)) reader.fail("empty input");
   std::istringstream header(line);
-  std::int64_t num_nets = 0;
-  std::int64_t num_vertices = 0;
-  int fmt = 0;
-  header >> num_nets >> num_vertices;
-  if (!header) throw std::runtime_error("hgr: bad header");
-  header >> fmt;  // optional
+  const std::int64_t num_nets =
+      parse_int(header, reader, "net count", 0, kMaxCount);
+  const std::int64_t num_vertices =
+      parse_int(header, reader, "vertex count", 0, kMaxCount);
+  std::int64_t fmt = 0;
+  std::string fmt_token;
+  if (header >> fmt_token) {
+    fmt = parse_int_text(fmt_token, reader, "fmt code", 0, 11);
+  }
   const bool has_net_weights = (fmt == 1 || fmt == 11);
   const bool has_vertex_weights = (fmt == 10 || fmt == 11);
   if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
-    throw std::runtime_error("hgr: unsupported fmt code");
+    reader.fail("unsupported fmt code " + std::to_string(fmt) +
+                " (use 0, 1, 10 or 11)");
   }
-  if (num_nets < 0 || num_vertices < 0) {
-    throw std::runtime_error("hgr: negative counts");
+  std::string trailing;
+  if (header >> trailing) {
+    if (options.strict) reader.fail("trailing token in header: " + trailing);
   }
 
   // Nets are read before vertex weights exist, so stage them.
   std::vector<std::vector<VertexId>> nets;
   std::vector<Weight> net_weights;
   nets.reserve(static_cast<std::size_t>(num_nets));
+  std::unordered_set<VertexId> seen;
   for (std::int64_t e = 0; e < num_nets; ++e) {
-    if (!next_line(in, line)) throw std::runtime_error("hgr: missing net line");
+    if (!reader.next(line)) {
+      reader.fail("missing net line " + std::to_string(e + 1) + " of " +
+                  std::to_string(num_nets));
+    }
     std::istringstream ls(line);
     Weight w = 1;
     if (has_net_weights) {
-      if (!(ls >> w)) throw std::runtime_error("hgr: missing net weight");
+      w = parse_int(ls, reader, "net weight", 0, kMaxWeight);
     }
     std::vector<VertexId> pins;
-    std::int64_t pin = 0;
-    while (ls >> pin) {
-      if (pin < 1 || pin > num_vertices) {
-        throw std::runtime_error("hgr: pin out of range");
+    std::string token;
+    seen.clear();
+    while (ls >> token) {
+      const std::int64_t pin =
+          parse_int_text(token, reader, "pin", 1, num_vertices);
+      const auto v = static_cast<VertexId>(pin - 1);
+      if (!seen.insert(v).second) {
+        // The builder would merge the duplicate silently; diagnose it in
+        // strict mode, drop it in lenient mode.
+        if (options.strict) {
+          reader.fail("duplicate pin " + token + " in net " +
+                      std::to_string(e + 1));
+        }
+        continue;
       }
-      pins.push_back(static_cast<VertexId>(pin - 1));
+      pins.push_back(v);
     }
-    if (pins.empty()) throw std::runtime_error("hgr: empty net");
+    if (pins.empty()) reader.fail("empty net " + std::to_string(e + 1));
     nets.push_back(std::move(pins));
     net_weights.push_back(w);
   }
@@ -83,13 +98,17 @@ Hypergraph read_hmetis(std::istream& in) {
   for (std::int64_t v = 0; v < num_vertices; ++v) {
     Weight w = 1;
     if (has_vertex_weights) {
-      if (!next_line(in, line)) {
-        throw std::runtime_error("hgr: missing vertex weight");
+      if (!reader.next(line)) {
+        reader.fail("missing weight for vertex " + std::to_string(v + 1) +
+                    " of " + std::to_string(num_vertices));
       }
       std::istringstream ls(line);
-      if (!(ls >> w)) throw std::runtime_error("hgr: bad vertex weight");
+      w = parse_int(ls, reader, "vertex weight", 0, kMaxWeight);
     }
     builder.add_vertex(w);
+  }
+  if (options.strict && reader.next(line)) {
+    reader.fail("trailing content after instance");
   }
   for (std::size_t e = 0; e < nets.size(); ++e) {
     builder.add_net(nets[e], net_weights[e]);
@@ -97,9 +116,10 @@ Hypergraph read_hmetis(std::istream& in) {
   return builder.build();
 }
 
-Hypergraph read_hmetis_file(const std::string& path) {
+Hypergraph read_hmetis_file(const std::string& path,
+                            const IoOptions& options) {
   auto in = open_in(path);
-  return read_hmetis(in);
+  return read_hmetis(in, options, path);
 }
 
 void write_hmetis(std::ostream& out, const Hypergraph& g) {
@@ -120,29 +140,33 @@ void write_hmetis_file(const std::string& path, const Hypergraph& g) {
 }
 
 FixedAssignment read_fix(std::istream& in, VertexId num_vertices,
-                         PartitionId num_parts) {
+                         PartitionId num_parts, const IoOptions& options,
+                         const std::string& source) {
   FixedAssignment fixed(num_vertices, num_parts);
+  LineReader reader(in, source, '%');
   std::string line;
   for (VertexId v = 0; v < num_vertices; ++v) {
-    if (!next_line(in, line)) {
-      throw std::runtime_error("fix: fewer lines than vertices");
+    if (!reader.next(line)) {
+      reader.fail("fewer lines (" + std::to_string(v) + ") than vertices (" +
+                  std::to_string(num_vertices) + ")");
     }
     std::istringstream ls(line);
-    std::int64_t p = 0;
-    if (!(ls >> p)) throw std::runtime_error("fix: bad line");
-    if (p == -1) continue;
-    if (p < 0 || p >= num_parts) {
-      throw std::runtime_error("fix: partition out of range");
-    }
-    fixed.fix(v, static_cast<PartitionId>(p));
+    const std::int64_t p =
+        parse_int(ls, reader, "partition id", -1, num_parts - 1);
+    if (p != -1) fixed.fix(v, static_cast<PartitionId>(p));
+  }
+  if (options.strict && reader.next(line)) {
+    reader.fail("more lines than vertices (" + std::to_string(num_vertices) +
+                ")");
   }
   return fixed;
 }
 
 FixedAssignment read_fix_file(const std::string& path, VertexId num_vertices,
-                              PartitionId num_parts) {
+                              PartitionId num_parts,
+                              const IoOptions& options) {
   auto in = open_in(path);
-  return read_fix(in, num_vertices, num_parts);
+  return read_fix(in, num_vertices, num_parts, options, path);
 }
 
 void write_fix(std::ostream& out, const FixedAssignment& fixed) {

@@ -15,18 +15,26 @@
 
 #include "hg/fixed.hpp"
 #include "hg/hypergraph.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
-Hypergraph read_hmetis(std::istream& in);
-Hypergraph read_hmetis_file(const std::string& path);
+/// Failures throw ParseError with `source` (the path for the _file
+/// variants) and line context. Strict mode additionally rejects duplicate
+/// pins, trailing tokens and trailing content; lenient repairs them.
+Hypergraph read_hmetis(std::istream& in, const IoOptions& options = {},
+                       const std::string& source = "<hgr>");
+Hypergraph read_hmetis_file(const std::string& path,
+                            const IoOptions& options = {});
 void write_hmetis(std::ostream& out, const Hypergraph& g);
 void write_hmetis_file(const std::string& path, const Hypergraph& g);
 
 FixedAssignment read_fix(std::istream& in, VertexId num_vertices,
-                         PartitionId num_parts);
+                         PartitionId num_parts, const IoOptions& options = {},
+                         const std::string& source = "<fix>");
 FixedAssignment read_fix_file(const std::string& path, VertexId num_vertices,
-                              PartitionId num_parts);
+                              PartitionId num_parts,
+                              const IoOptions& options = {});
 void write_fix(std::ostream& out, const FixedAssignment& fixed);
 void write_fix_file(const std::string& path, const FixedAssignment& fixed);
 

@@ -1,75 +1,70 @@
 #include "hg/io_netare.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "hg/builder.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& msg) {
-  throw std::runtime_error("netD: " + msg);
-}
+constexpr std::int64_t kMaxCount = std::numeric_limits<VertexId>::max();
+constexpr std::int64_t kMaxWeight = std::numeric_limits<Weight>::max();
 
-bool next_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i == line.size() || line[i] == '#') continue;
-    return true;
-  }
-  return false;
-}
-
-std::int64_t read_count(std::istream& in, const std::string& what) {
+std::int64_t read_count(LineReader& reader, const char* what,
+                        std::int64_t min, std::int64_t max) {
   std::string line;
-  if (!next_line(in, line)) fail("missing " + what);
+  if (!reader.next(line)) reader.fail(std::string("missing ") + what);
   std::istringstream ls(line);
-  std::int64_t value = 0;
-  if (!(ls >> value)) fail("bad " + what);
-  return value;
+  return parse_int(ls, reader, what, min, max);
 }
 
 /// Module name -> dense vertex id: cells a0..aC first, then pads p1..pP.
+/// Numeric suffixes are parsed without exceptions (std::from_chars); a
+/// malformed name fails with line context instead of being swallowed.
 struct NameSpace {
   std::int64_t num_cells = 0;
   std::int64_t num_pads = 0;
 
-  VertexId resolve(const std::string& name) const {
-    if (name.size() < 2) fail("bad module name: " + name);
-    std::int64_t index = 0;
-    try {
-      index = std::stoll(name.substr(1));
-    } catch (const std::exception&) {
-      fail("bad module name: " + name);
-    }
+  VertexId resolve(const std::string& name, const LineReader& at) const {
+    if (name.size() < 2) at.fail("bad module name: '" + name + "'");
     if (name[0] == 'a') {
-      if (index < 0 || index >= num_cells) fail("cell out of range: " + name);
+      const std::int64_t index = parse_int_text(
+          name.substr(1), at, "cell index", 0, num_cells - 1);
       return static_cast<VertexId>(index);
     }
     if (name[0] == 'p') {
-      if (index < 1 || index > num_pads) fail("pad out of range: " + name);
+      const std::int64_t index =
+          parse_int_text(name.substr(1), at, "pad index", 1, num_pads);
       return static_cast<VertexId>(num_cells + index - 1);
     }
-    fail("bad module prefix: " + name);
+    at.fail("bad module prefix (want aN or pN): '" + name + "'");
   }
 };
 
 }  // namespace
 
-NetDInstance read_netd(std::istream& net, std::istream& are) {
-  (void)read_count(net, "header zero");
-  const std::int64_t num_pins = read_count(net, "pin count");
-  const std::int64_t num_nets = read_count(net, "net count");
-  const std::int64_t num_modules = read_count(net, "module count");
-  const std::int64_t pad_offset = read_count(net, "pad offset");
-  if (num_modules < 0 || pad_offset < -1 || pad_offset >= num_modules) {
-    fail("inconsistent module/pad counts");
+NetDInstance read_netd(std::istream& net, std::istream& are,
+                       const IoOptions& options,
+                       const std::string& net_source,
+                       const std::string& are_source) {
+  LineReader net_reader(net, net_source, '#');
+  (void)read_count(net_reader, "header zero", std::numeric_limits<std::int64_t>::min(),
+                   std::numeric_limits<std::int64_t>::max());
+  const std::int64_t num_pins =
+      read_count(net_reader, "pin count", 0, std::numeric_limits<std::int64_t>::max());
+  const std::int64_t num_nets = read_count(net_reader, "net count", 0, kMaxCount);
+  const std::int64_t num_modules =
+      read_count(net_reader, "module count", 0, kMaxCount);
+  const std::int64_t pad_offset =
+      read_count(net_reader, "pad offset", -1, kMaxCount);
+  if (pad_offset >= num_modules) {
+    net_reader.fail("pad offset " + std::to_string(pad_offset) +
+                    " not below module count " + std::to_string(num_modules));
   }
   NameSpace ns;
   ns.num_cells = pad_offset + 1;
@@ -77,14 +72,26 @@ NetDInstance read_netd(std::istream& net, std::istream& are) {
 
   // Areas (default 1 for cells, 0 for pads when absent).
   std::vector<Weight> areas(static_cast<std::size_t>(num_modules), 0);
+  std::vector<std::uint8_t> area_seen(static_cast<std::size_t>(num_modules),
+                                      0);
   for (std::int64_t c = 0; c < ns.num_cells; ++c) areas[c] = 1;
+  LineReader are_reader(are, are_source, '#');
   std::string line;
-  while (next_line(are, line)) {
+  while (are_reader.next(line)) {
     std::istringstream ls(line);
     std::string name;
-    Weight area = 0;
-    if (!(ls >> name >> area)) fail("bad .are line: " + line);
-    areas[static_cast<std::size_t>(ns.resolve(name))] = area;
+    ls >> name;
+    const VertexId v = ns.resolve(name, are_reader);
+    const Weight area = parse_int(ls, are_reader, "area", 0, kMaxWeight);
+    std::string trailing;
+    if ((ls >> trailing) && options.strict) {
+      are_reader.fail("trailing token on .are line: " + trailing);
+    }
+    if (area_seen[static_cast<std::size_t>(v)] && options.strict) {
+      are_reader.fail("duplicate area entry for " + name);
+    }
+    area_seen[static_cast<std::size_t>(v)] = 1;
+    areas[static_cast<std::size_t>(v)] = area;
   }
 
   NetDInstance out;
@@ -99,6 +106,9 @@ NetDInstance read_netd(std::istream& net, std::istream& are) {
     out.names.push_back("p" + std::to_string(p));
   }
 
+  // A module may legitimately carry several pins of the same net (the
+  // builder merges them into one), so duplicates are not diagnosed here;
+  // the declared pin count still counts every line.
   std::vector<VertexId> current;
   std::int64_t pins_read = 0;
   std::int64_t nets_read = 0;
@@ -109,38 +119,57 @@ NetDInstance read_netd(std::istream& net, std::istream& are) {
       current.clear();
     }
   };
-  while (next_line(net, line)) {
+  while (net_reader.next(line)) {
     std::istringstream ls(line);
     std::string name;
     std::string marker;
-    if (!(ls >> name >> marker)) fail("bad pin line: " + line);
-    if (marker != "s" && marker != "l") fail("bad pin marker: " + marker);
+    if (!(ls >> name >> marker)) net_reader.fail("bad pin line: " + line);
+    if (marker != "s" && marker != "l") {
+      net_reader.fail("bad pin marker (want s or l): '" + marker + "'");
+    }
     if (marker == "s") flush();
-    if (marker == "l" && current.empty()) fail("'l' pin before any 's'");
-    current.push_back(ns.resolve(name));
+    if (marker == "l" && current.empty()) {
+      net_reader.fail("'l' continuation pin before any 's' start pin");
+    }
+    current.push_back(ns.resolve(name, net_reader));
+    if (pins_read == std::numeric_limits<std::int64_t>::max()) {
+      net_reader.fail("pin count overflows");
+    }
     ++pins_read;
     std::string direction;
     if (ls >> direction) {
       if (direction != "I" && direction != "O" && direction != "B") {
-        fail("bad pin direction: " + direction);
+        if (options.strict) {
+          net_reader.fail("bad pin direction (want I, O or B): '" +
+                          direction + "'");
+        }
       }
     }
   }
   flush();
-  if (pins_read != num_pins) fail("pin count mismatch");
-  if (nets_read != num_nets) fail("net count mismatch");
+  if (pins_read != num_pins) {
+    net_reader.fail("pin count mismatch: header declares " +
+                    std::to_string(num_pins) + ", read " +
+                    std::to_string(pins_read));
+  }
+  if (nets_read != num_nets) {
+    net_reader.fail("net count mismatch: header declares " +
+                    std::to_string(num_nets) + ", read " +
+                    std::to_string(nets_read));
+  }
 
   out.graph = builder.build();
   return out;
 }
 
 NetDInstance read_netd_files(const std::string& net_path,
-                             const std::string& are_path) {
+                             const std::string& are_path,
+                             const IoOptions& options) {
   std::ifstream net(net_path);
-  if (!net) throw std::runtime_error("cannot open " + net_path);
+  if (!net) throw util::InputError("cannot open " + net_path);
   std::ifstream are(are_path);
-  if (!are) throw std::runtime_error("cannot open " + are_path);
-  return read_netd(net, are);
+  if (!are) throw util::InputError("cannot open " + are_path);
+  return read_netd(net, are, options, net_path, are_path);
 }
 
 void write_netd(std::ostream& net, std::ostream& are, const Hypergraph& g) {
@@ -175,9 +204,9 @@ void write_netd(std::ostream& net, std::ostream& are, const Hypergraph& g) {
 void write_netd_files(const std::string& net_path,
                       const std::string& are_path, const Hypergraph& g) {
   std::ofstream net(net_path);
-  if (!net) throw std::runtime_error("cannot write " + net_path);
+  if (!net) throw util::InputError("cannot write " + net_path);
   std::ofstream are(are_path);
-  if (!are) throw std::runtime_error("cannot write " + are_path);
+  if (!are) throw util::InputError("cannot write " + are_path);
   write_netd(net, are, g);
 }
 

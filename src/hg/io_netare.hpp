@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hg/hypergraph.hpp"
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
@@ -32,10 +33,17 @@ struct NetDInstance {
   std::vector<std::string> names;
 };
 
-/// Reads a .netD netlist plus its .are area file.
-NetDInstance read_netd(std::istream& net, std::istream& are);
+/// Reads a .netD netlist plus its .are area file. Failures throw
+/// ParseError with source/line context. Duplicate pins of one module on a
+/// net are format-normal and merged in both modes; strict mode rejects
+/// trailing tokens, bad pin directions and duplicate .are entries.
+NetDInstance read_netd(std::istream& net, std::istream& are,
+                       const IoOptions& options = {},
+                       const std::string& net_source = "<netD>",
+                       const std::string& are_source = "<are>");
 NetDInstance read_netd_files(const std::string& net_path,
-                             const std::string& are_path);
+                             const std::string& are_path,
+                             const IoOptions& options = {});
 
 /// Writes a hypergraph in .netD/.are form. Vertices flagged as pads are
 /// emitted as pN modules; others as aN. Single-pin nets cannot be

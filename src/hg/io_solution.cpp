@@ -1,22 +1,22 @@
 #include "hg/io_solution.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+
+#include "hg/io_common.hpp"
 
 namespace fixedpart::hg {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& msg) {
-  throw std::runtime_error("fpsol: " + msg);
-}
-
 std::ifstream open_in(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw util::InputError("cannot open for reading: " + path);
   return in;
 }
+
+constexpr std::int64_t kMaxCount = std::numeric_limits<VertexId>::max();
 
 }  // namespace
 
@@ -54,66 +54,106 @@ void write_solution(std::ostream& out, const Solution& solution) {
 
 void write_solution_file(const std::string& path, const Solution& solution) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::InputError("cannot open for writing: " + path);
   write_solution(out, solution);
 }
 
-Solution read_solution(std::istream& in) {
-  std::string magic;
-  std::string version;
-  if (!(in >> magic >> version)) fail("empty input");
-  if (magic != "FPSOL") fail("missing FPSOL magic");
-  if (version != "1.0") fail("unsupported version " + version);
+Solution read_solution(std::istream& in, const IoOptions& options,
+                       const std::string& source) {
+  LineReader reader(in, source, '#');
+  std::string line;
+  if (!reader.next(line)) reader.fail("empty input");
+  {
+    std::istringstream ls(line);
+    std::string magic, version;
+    ls >> magic >> version;
+    if (magic != "FPSOL") reader.fail("missing FPSOL magic");
+    if (version != "1.0") reader.fail("unsupported version " + version);
+  }
 
+  if (!reader.next(line)) reader.fail("missing header line");
+  std::istringstream header(line);
   std::string kw_vertices;
   std::string kw_parts;
   std::string kw_cut;
-  std::int64_t vertices = 0;
-  std::int64_t parts = 0;
-  Weight cut = 0;
-  if (!(in >> kw_vertices >> vertices >> kw_parts >> parts >> kw_cut >> cut) ||
-      kw_vertices != "vertices" || kw_parts != "parts" || kw_cut != "cut") {
-    fail("bad header line");
-  }
-  if (vertices < 0 || parts < 1) fail("bad counts");
+  header >> kw_vertices;
+  if (kw_vertices != "vertices") reader.fail("expected 'vertices'");
+  const std::int64_t vertices =
+      parse_int(header, reader, "vertex count", 0, kMaxCount);
+  header >> kw_parts;
+  if (kw_parts != "parts") reader.fail("expected 'parts'");
+  const std::int64_t parts =
+      parse_int(header, reader, "partition count", 1, kMaxCount);
+  header >> kw_cut;
+  if (kw_cut != "cut") reader.fail("expected 'cut'");
+  const Weight cut =
+      parse_int(header, reader, "cut", 0,
+                std::numeric_limits<Weight>::max());
 
   Solution solution;
   solution.num_parts = static_cast<PartitionId>(parts);
   solution.cut = cut;
   solution.assignment.reserve(static_cast<std::size_t>(vertices));
-  for (std::int64_t i = 0; i < vertices; ++i) {
-    std::int64_t p = 0;
-    if (!(in >> p)) fail("fewer part ids than vertices");
-    if (p < 0 || p >= parts) fail("part id out of range");
+  // One id per line is the canonical layout, but several per line are
+  // accepted (the legacy reader consumed a plain token stream).
+  std::istringstream ids;
+  while (static_cast<std::int64_t>(solution.assignment.size()) < vertices) {
+    std::string token;
+    if (!(ids >> token)) {
+      if (!reader.next(line)) {
+        reader.fail("fewer part ids (" +
+                    std::to_string(solution.assignment.size()) +
+                    ") than vertices (" + std::to_string(vertices) + ")");
+      }
+      ids = std::istringstream(line);
+      continue;
+    }
+    const std::int64_t p =
+        parse_int_text(token, reader, "part id", 0, parts - 1);
     solution.assignment.push_back(static_cast<PartitionId>(p));
+  }
+  std::string extra;
+  if (options.strict && (ids >> extra || reader.next(line))) {
+    reader.fail("trailing content after " + std::to_string(vertices) +
+                " part ids");
   }
   return solution;
 }
 
-Solution read_solution_file(const std::string& path) {
+Solution read_solution_file(const std::string& path,
+                            const IoOptions& options) {
   auto in = open_in(path);
-  return read_solution(in);
+  return read_solution(in, options, path);
 }
 
-Solution read_solution_checked(std::istream& in, const Hypergraph& graph) {
-  Solution solution = read_solution(in);
+Solution read_solution_checked(std::istream& in, const Hypergraph& graph,
+                               const IoOptions& options,
+                               const std::string& source) {
+  Solution solution = read_solution(in, options, source);
   if (static_cast<VertexId>(solution.assignment.size()) !=
       graph.num_vertices()) {
-    fail("solution vertex count does not match the hypergraph");
+    throw util::InputError(
+        source + ": solution vertex count " +
+        std::to_string(solution.assignment.size()) +
+        " does not match the hypergraph's " +
+        std::to_string(graph.num_vertices()));
   }
   const Weight actual =
       solution_cut(graph, solution.assignment, solution.num_parts);
   if (actual != solution.cut) {
-    fail("recorded cut " + std::to_string(solution.cut) +
-         " does not match actual cut " + std::to_string(actual));
+    throw util::InputError(source + ": recorded cut " +
+                           std::to_string(solution.cut) +
+                           " does not match actual cut " +
+                           std::to_string(actual));
   }
   return solution;
 }
 
 Solution read_solution_file_checked(const std::string& path,
-                                    const Hypergraph& graph) {
+                                    const Hypergraph& graph,
+                                    const IoOptions& options) {
   auto in = open_in(path);
-  return read_solution_checked(in, graph);
+  return read_solution_checked(in, graph, options, path);
 }
 
 }  // namespace fixedpart::hg

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hg/hypergraph.hpp"
+#include "hg/io_common.hpp"
 #include "hg/types.hpp"
 
 namespace fixedpart::hg {
@@ -29,16 +30,22 @@ struct Solution {
 void write_solution(std::ostream& out, const Solution& solution);
 void write_solution_file(const std::string& path, const Solution& solution);
 
-/// Parses a solution file; no graph check.
-Solution read_solution(std::istream& in);
-Solution read_solution_file(const std::string& path);
+/// Parses a solution file; no graph check. Failures throw ParseError
+/// with source/line context.
+Solution read_solution(std::istream& in, const IoOptions& options = {},
+                       const std::string& source = "<fpsol>");
+Solution read_solution_file(const std::string& path,
+                            const IoOptions& options = {});
 
 /// Parses and verifies against `graph`: vertex count must match and the
 /// recorded cut must equal the assignment's actual cut. Throws
-/// std::runtime_error otherwise.
-Solution read_solution_checked(std::istream& in, const Hypergraph& graph);
+/// util::InputError (a std::runtime_error) otherwise.
+Solution read_solution_checked(std::istream& in, const Hypergraph& graph,
+                               const IoOptions& options = {},
+                               const std::string& source = "<fpsol>");
 Solution read_solution_file_checked(const std::string& path,
-                                    const Hypergraph& graph);
+                                    const Hypergraph& graph,
+                                    const IoOptions& options = {});
 
 /// Convenience: evaluates an assignment's cut on a graph.
 Weight solution_cut(const Hypergraph& graph,

@@ -5,7 +5,9 @@
 #include <thread>
 #include <tuple>
 
+#include "part/feasibility.hpp"
 #include "part/initial.hpp"
+#include "util/errors.hpp"
 #include "util/timer.hpp"
 
 namespace fixedpart::ml {
@@ -39,6 +41,19 @@ MultilevelResult MultilevelPartitioner::run(
     util::Rng& rng, const MultilevelConfig& config) const {
   util::Timer timer;
   MultilevelResult result;
+  if (config.preflight) {
+    const part::FeasibilityReport report =
+        part::check_feasibility(*graph_, *fixed_, *balance_);
+    if (!report.feasible) {
+      throw util::InfeasibleError("multilevel: " + report.summary());
+    }
+  }
+  const util::Deadline* deadline = config.deadline;
+  const auto expired = [&] {
+    return deadline != nullptr && deadline->expired();
+  };
+  part::FmConfig refine_config = config.refine;
+  if (deadline != nullptr) refine_config.deadline = deadline;
   // One refinement workspace for the whole descent: every level's
   // FmBipartitioner shares it, so bucket storage is sized once for the
   // largest graph and reused across levels, starts and V-cycles.
@@ -54,6 +69,12 @@ MultilevelResult MultilevelPartitioner::run(
     std::vector<PartitionId> projected;
     if (incumbent != nullptr) projected = *incumbent;
     while (movable_count(*g, *f) > config.coarsest_size) {
+      if (expired()) {
+        // Stop descending: the levels built so far still uncoarsen
+        // correctly, the coarse solve just runs on a bigger graph.
+        result.truncated = true;
+        break;
+      }
       const auto match = heavy_edge_matching(
           *g, *f, config.matching, rng,
           incumbent != nullptr ? &projected : nullptr);
@@ -91,10 +112,18 @@ MultilevelResult MultilevelPartitioner::run(
       for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
         fine_state.assign(v, assignment[levels[i].map[v]]);
       }
-      part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_, &scratch);
-      const auto fm_result = fm.refine(fine_state, rng, config.refine);
-      result.total_moves += fm_result.total_moves;
-      result.total_passes += fm_result.passes;
+      // Projection always happens (coarse weights are sums of fine
+      // weights, so it preserves balance feasibility); refinement is what
+      // an expired budget skips.
+      if (expired()) {
+        result.truncated = true;
+      } else {
+        part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_, &scratch);
+        const auto fm_result = fm.refine(fine_state, rng, refine_config);
+        result.total_moves += fm_result.total_moves;
+        result.total_passes += fm_result.passes;
+        result.truncated |= fm_result.truncated;
+      }
       assignment.assign(fine_state.assignment().begin(),
                         fine_state.assignment().end());
       if (i == 0) result.cut = fine_state.cut();
@@ -114,13 +143,20 @@ MultilevelResult MultilevelPartitioner::run(
   Weight best_cut = 0;
   const int starts = std::max(1, config.coarse_starts);
   for (int s = 0; s < starts; ++s) {
+    // The first start always runs so there is always a complete
+    // assignment to return; an expired budget only skips restarts.
+    if (s > 0 && expired()) {
+      result.truncated = true;
+      break;
+    }
     // Best-effort: rand-regime instances can be inherently over capacity
     // (see random_feasible_assignment); refinement drains what it can.
     part::random_feasible_assignment(state, *coarsest_fixed, *balance_, rng,
                                      /*require_feasible=*/false);
-    const auto fm = coarse_fm.refine(state, rng, config.refine);
+    const auto fm = coarse_fm.refine(state, rng, refine_config);
     result.total_moves += fm.total_moves;
     result.total_passes += fm.passes;
+    result.truncated |= fm.truncated;
     if (best_assignment.empty() || state.cut() < best_cut) {
       best_cut = state.cut();
       best_assignment.assign(state.assignment().begin(),
@@ -141,6 +177,10 @@ MultilevelResult MultilevelPartitioner::run(
   // V-cycle never worsens the solution (it spends time, which is exactly
   // the trade-off the paper rejects).
   for (int cycle = 0; cycle < config.vcycles; ++cycle) {
+    if (expired()) {
+      result.truncated = true;
+      break;
+    }
     auto [vlevels, vgraph, vfixed, projected] = build_hierarchy(&assignment);
     if (vlevels.empty()) break;  // nothing to re-coarsen
     part::PartitionState coarse_state(*vgraph, 2);
@@ -148,9 +188,10 @@ MultilevelResult MultilevelPartitioner::run(
       coarse_state.assign(v, projected[v]);
     }
     part::FmBipartitioner vfm(*vgraph, *vfixed, *balance_, &scratch);
-    const auto fm = vfm.refine(coarse_state, rng, config.refine);
+    const auto fm = vfm.refine(coarse_state, rng, refine_config);
     result.total_moves += fm.total_moves;
     result.total_passes += fm.passes;
+    result.truncated |= fm.truncated;
     assignment = uncoarsen(
         vlevels, std::vector<PartitionId>(coarse_state.assignment().begin(),
                                           coarse_state.assignment().end()));
@@ -176,12 +217,21 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
 
   std::vector<MultilevelResult> results(static_cast<std::size_t>(starts));
   std::atomic<int> next{0};
+  std::atomic<bool> truncated{false};
   auto worker = [&] {
     while (true) {
       const int s = next.fetch_add(1);
       if (s >= starts) return;
-      results[static_cast<std::size_t>(s)] =
-          run(streams[static_cast<std::size_t>(s)], config);
+      // Start 0 always runs (run() itself degrades under the deadline);
+      // later starts are skipped once the budget is gone. Skipped slots
+      // keep their empty default result.
+      if (s > 0 && config.deadline != nullptr && config.deadline->expired()) {
+        truncated.store(true, std::memory_order_relaxed);
+        return;
+      }
+      MultilevelResult& r = results[static_cast<std::size_t>(s)];
+      r = run(streams[static_cast<std::size_t>(s)], config);
+      if (r.truncated) truncated.store(true, std::memory_order_relaxed);
     }
   };
   std::vector<std::thread> pool;
@@ -190,12 +240,16 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
   for (int t = 0; t < used; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
+  // Start 0 always ran, so it is the fallback best (and the only
+  // candidate on a zero-vertex graph, where every assignment is empty).
   std::size_t best = 0;
   for (std::size_t s = 1; s < results.size(); ++s) {
+    if (results[s].assignment.empty()) continue;  // skipped at expiry
     if (results[s].cut < results[best].cut) best = s;
   }
   MultilevelResult out = std::move(results[best]);
   out.seconds = timer.seconds();
+  out.truncated = truncated.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -203,13 +257,21 @@ MultilevelResult MultilevelPartitioner::best_of(
     int starts, util::Rng& rng, const MultilevelConfig& config) const {
   if (starts < 1) throw std::invalid_argument("best_of: starts < 1");
   MultilevelResult best;
+  bool truncated = false;
   double total_seconds = 0.0;
   for (int s = 0; s < starts; ++s) {
+    // The first start always runs; an expired budget only skips restarts.
+    if (s > 0 && config.deadline != nullptr && config.deadline->expired()) {
+      truncated = true;
+      break;
+    }
     MultilevelResult r = run(rng, config);
     total_seconds += r.seconds;
+    truncated |= r.truncated;
     if (s == 0 || r.cut < best.cut) best = std::move(r);
   }
   best.seconds = total_seconds;
+  best.truncated = truncated;
   return best;
 }
 

@@ -13,6 +13,7 @@
 #include "part/balance.hpp"
 #include "part/fm.hpp"
 #include "part/partition.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace fixedpart::ml {
@@ -41,6 +42,20 @@ struct MultilevelConfig {
   /// ("a net loss in terms of overall cost-runtime profile"); it is
   /// implemented so the ablation bench can check that claim. 0 = off.
   int vcycles = 0;
+  /// Optional wall-clock budget (not owned; must outlive run(); nullptr =
+  /// unlimited). Degradation contract (docs/ROBUSTNESS.md): on expiry,
+  /// coarsening stops descending, at most one coarse start runs, every
+  /// projection to a finer level still happens (projection preserves
+  /// balance feasibility) but refinement is skipped, and the result
+  /// carries `truncated = true`. run() therefore always returns a
+  /// complete, valid assignment — the best found within the budget.
+  const util::Deadline* deadline = nullptr;
+  /// Strict feasibility pre-flight (part/feasibility.hpp): when set, run()
+  /// throws util::InfeasibleError if the fixed assignment provably cannot
+  /// satisfy the balance constraint. Off by default because the paper's
+  /// rand-regime experiments deliberately run overconstrained instances
+  /// best-effort and report the raw cost.
+  bool preflight = false;
 };
 
 struct MultilevelResult {
@@ -50,6 +65,9 @@ struct MultilevelResult {
   double seconds = 0.0;     ///< wall-clock for this start
   std::int64_t total_moves = 0;
   std::int32_t total_passes = 0;
+  /// The deadline expired before the pipeline completed; `assignment` is
+  /// still complete and valid — the best found within the budget.
+  bool truncated = false;
 };
 
 class MultilevelPartitioner {

@@ -24,6 +24,7 @@ struct Splitter {
   const RbConfig* config;
   util::Rng* rng;
   std::vector<hg::PartitionId>* result;
+  bool truncated = false;
 
   /// Assigns `subset` into parts [lo, hi).
   void split(const std::vector<VertexId>& subset, hg::PartitionId lo,
@@ -81,6 +82,7 @@ struct Splitter {
 
     const MultilevelPartitioner partitioner(sub, sub_fixed, balance);
     const MultilevelResult solved = partitioner.run(*rng, config->ml);
+    truncated |= solved.truncated;
 
     std::vector<VertexId> low_subset;
     std::vector<VertexId> high_subset;
@@ -97,7 +99,8 @@ struct Splitter {
 
 std::vector<hg::PartitionId> recursive_bisection(
     const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
-    hg::PartitionId k, const RbConfig& config, util::Rng& rng) {
+    hg::PartitionId k, const RbConfig& config, util::Rng& rng,
+    bool* truncated) {
   if (k < 1 || k > hg::FixedAssignment::kMaxParts) {
     throw std::invalid_argument("recursive_bisection: bad k");
   }
@@ -113,6 +116,7 @@ std::vector<hg::PartitionId> recursive_bisection(
   for (VertexId v = 0; v < graph.num_vertices(); ++v) all[v] = v;
   Splitter splitter{&graph, &fixed, &config, &rng, &result};
   splitter.split(all, 0, k);
+  if (truncated != nullptr) *truncated = splitter.truncated;
   return result;
 }
 

@@ -32,8 +32,15 @@ struct RbConfig {
 /// Returns a complete k-way assignment honouring `fixed` (whose
 /// num_parts() must equal k). Throws if some vertex's allowed set is
 /// empty over [0,k).
+///
+/// A deadline in `config.ml.deadline` bounds the whole recursion: once it
+/// expires each remaining bisection degrades to its cheapest valid split
+/// (see MultilevelConfig::deadline), so a complete assignment always comes
+/// back. When `truncated` is non-null it is set to whether any bisection
+/// ran in degraded mode.
 std::vector<hg::PartitionId> recursive_bisection(
     const hg::Hypergraph& graph, const hg::FixedAssignment& fixed,
-    hg::PartitionId k, const RbConfig& config, util::Rng& rng);
+    hg::PartitionId k, const RbConfig& config, util::Rng& rng,
+    bool* truncated = nullptr);
 
 }  // namespace fixedpart::ml

@@ -1,0 +1,166 @@
+#include "part/feasibility.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "util/errors.hpp"
+
+namespace fixedpart::part {
+namespace {
+
+std::string format_pct(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", pct);
+  return buf;
+}
+
+std::string format_mask(std::uint64_t mask) {
+  std::string out = "{";
+  for (int p = 0; p < 64; ++p) {
+    if (!((mask >> p) & 1U)) continue;
+    if (out.size() > 1) out += ",";
+    out += std::to_string(p);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string FeasibilityReport::summary() const {
+  if (issues.empty()) return "feasible";
+  std::string out;
+  for (const std::string& issue : issues) {
+    if (!out.empty()) out += "; ";
+    out += issue;
+  }
+  return out;
+}
+
+FeasibilityReport check_feasibility(const hg::Hypergraph& graph,
+                                    const hg::FixedAssignment& fixed,
+                                    const BalanceConstraint& balance) {
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument("check_feasibility: vertex count mismatch");
+  }
+  if (fixed.num_parts() != balance.num_parts()) {
+    throw std::invalid_argument("check_feasibility: part count mismatch");
+  }
+  if (balance.num_resources() != graph.num_resources()) {
+    throw std::invalid_argument("check_feasibility: resource count mismatch");
+  }
+  const int num_resources = graph.num_resources();
+  const std::uint64_t full = fixed.full_mask();
+
+  FeasibilityReport report;
+
+  // Group vertex weight by allowed mask; ordered map keeps the issue list
+  // deterministic. The full mask is always a group so the total-capacity
+  // bound is always checked.
+  std::map<std::uint64_t, std::vector<Weight>> by_mask;
+  by_mask[full].assign(static_cast<std::size_t>(num_resources), 0);
+  bool any_movable = false;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t mask = fixed.allowed_mask(v) & full;
+    if (mask == 0) {
+      report.feasible = false;
+      report.issues.push_back("vertex " + std::to_string(v) +
+                              " has no allowed partition");
+      continue;
+    }
+    if (std::popcount(mask) > 1) any_movable = true;
+    auto [it, inserted] = by_mask.try_emplace(mask);
+    if (inserted) it->second.assign(static_cast<std::size_t>(num_resources), 0);
+    for (int r = 0; r < num_resources; ++r) {
+      it->second[static_cast<std::size_t>(r)] += graph.vertex_weight(v, r);
+    }
+  }
+  report.empty_freedom = !any_movable;
+
+  // Hall-type packing bound per distinct mask M: everything confined to a
+  // subset of M must fit in M's combined capacity.
+  for (const auto& [mask, unused] : by_mask) {
+    for (int r = 0; r < num_resources; ++r) {
+      Weight confined = 0;
+      for (const auto& [sub, weights] : by_mask) {
+        if ((sub & ~mask) == 0) confined += weights[static_cast<std::size_t>(r)];
+      }
+      Weight capacity = 0;
+      for (PartitionId p = 0; p < balance.num_parts(); ++p) {
+        if ((mask >> p) & 1U) capacity += balance.max_weight(p, r);
+      }
+      if (confined <= capacity) continue;
+      report.feasible = false;
+      std::string what;
+      if (mask == full) {
+        what = "total weight " + std::to_string(confined) +
+               " exceeds total capacity " + std::to_string(capacity);
+      } else if (std::popcount(mask) == 1) {
+        what = "weight " + std::to_string(confined) +
+               " fixed into partition " +
+               std::to_string(std::countr_zero(mask)) + " exceeds its capacity " +
+               std::to_string(capacity);
+      } else {
+        what = "weight " + std::to_string(confined) +
+               " confined to partitions " + format_mask(mask) +
+               " exceeds their combined capacity " + std::to_string(capacity);
+      }
+      if (num_resources > 1) what += " in resource " + std::to_string(r);
+      report.issues.push_back(what);
+    }
+  }
+  return report;
+}
+
+double min_feasible_tolerance_pct(const hg::Hypergraph& graph,
+                                  const hg::FixedAssignment& fixed,
+                                  PartitionId num_parts, double max_pct) {
+  const auto feasible_at = [&](double pct) {
+    return check_feasibility(graph, fixed,
+                             BalanceConstraint::relative(graph, num_parts, pct))
+        .feasible;
+  };
+  if (feasible_at(0.0)) return 0.0;
+  if (!feasible_at(max_pct)) return -1.0;
+  double lo = 0.0, hi = max_pct;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible_at(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+BalanceConstraint preflight_balance(const hg::Hypergraph& graph,
+                                    const hg::FixedAssignment& fixed,
+                                    PartitionId num_parts,
+                                    double tolerance_pct, bool repair,
+                                    FeasibilityReport* report) {
+  BalanceConstraint balance =
+      BalanceConstraint::relative(graph, num_parts, tolerance_pct);
+  FeasibilityReport rep = check_feasibility(graph, fixed, balance);
+  rep.tolerance_pct = tolerance_pct;
+  if (!rep.feasible && repair) {
+    const double minimal =
+        min_feasible_tolerance_pct(graph, fixed, num_parts);
+    if (minimal >= 0.0) {
+      rep.feasible = true;
+      rep.repaired = true;
+      rep.tolerance_pct = minimal;
+      rep.issues.push_back("repaired: tolerance loosened from " +
+                           format_pct(tolerance_pct) + "% to " +
+                           format_pct(minimal) + "%");
+      balance = BalanceConstraint::relative(graph, num_parts, minimal);
+    }
+  }
+  if (report) *report = rep;
+  if (!rep.feasible) {
+    throw util::InfeasibleError("infeasible at tolerance " +
+                                format_pct(tolerance_pct) + "%: " +
+                                rep.summary());
+  }
+  return balance;
+}
+
+}  // namespace fixedpart::part

@@ -1,0 +1,86 @@
+#pragma once
+// Pre-flight feasibility analysis for fixed-vertex balanced partitioning.
+//
+// Fixed vertices interact with balance: weight pinned into a partition
+// consumes its capacity, and once enough weight is pinned no assignment of
+// the movable remainder can fit — the paper's "relatively overconstrained"
+// regime taken to its limit. Without a pre-flight, such an instance either
+// throws from deep inside initial-solution generation (after coarsening
+// already ran) or burns the full multistart budget failing to find a
+// feasible seed. The checks here are *necessary* conditions evaluated in
+// one pass over the vertices: when they fail the instance is provably
+// infeasible under the given balance; when they pass the randomized
+// feasible-seed machinery takes over as before. For relative-tolerance
+// balance the minimal feasible tolerance can be computed, giving callers
+// an optional repair path (loosen-and-report) instead of an error.
+//
+// Conditions checked, per resource r:
+//  * no vertex has an empty allowed-partition set;
+//  * for every distinct allowed mask M present in the instance (singleton
+//    fixed masks and the full mask included), the total weight of vertices
+//    whose allowed set is contained in M must fit in the summed capacity
+//    of the partitions of M (a Hall-type packing bound — for M a singleton
+//    this is "fixed weight exceeds capacity", for M the full mask it is
+//    "total weight exceeds total capacity").
+
+#include <string>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "part/balance.hpp"
+
+namespace fixedpart::part {
+
+struct FeasibilityReport {
+  /// No necessary condition violated. (The instance may still defeat the
+  /// randomized seeder on pathological capacity windows; this flag never
+  /// claims infeasibility wrongly.)
+  bool feasible = true;
+  /// Every vertex is singleton-fixed (or the graph is empty): there is
+  /// nothing to optimize. Not an error — the unique assignment is checked
+  /// for balance like any other — but callers may want to skip refinement.
+  bool empty_freedom = false;
+  /// A repair step loosened the tolerance; `tolerance_pct` holds the new
+  /// value and `issues` records what was wrong at the requested tolerance.
+  bool repaired = false;
+  /// Effective relative tolerance after preflight_balance (repaired or
+  /// not); -1 when the report came from check_feasibility directly.
+  double tolerance_pct = -1.0;
+  /// One human-readable line per violated condition.
+  std::vector<std::string> issues;
+
+  /// The issues joined into a single diagnostic line.
+  std::string summary() const;
+};
+
+/// Evaluates the necessary conditions for (graph, fixed) under `balance`.
+/// Never throws on infeasibility — inspect the report. Throws
+/// std::invalid_argument only on structural mismatch (vertex counts, part
+/// counts, resource counts disagreeing between the three arguments).
+FeasibilityReport check_feasibility(const hg::Hypergraph& graph,
+                                    const hg::FixedAssignment& fixed,
+                                    const BalanceConstraint& balance);
+
+/// Smallest relative tolerance (percent) at which check_feasibility passes,
+/// found by bisection (capacities grow monotonically with tolerance).
+/// Returns a negative value when even `max_pct` is infeasible (e.g. a
+/// vertex with an empty allowed set — no tolerance fixes that).
+double min_feasible_tolerance_pct(const hg::Hypergraph& graph,
+                                  const hg::FixedAssignment& fixed,
+                                  PartitionId num_parts,
+                                  double max_pct = 10000.0);
+
+/// Pre-flight for relative-tolerance callers: builds the balance
+/// constraint, checks feasibility, and either returns the constraint
+/// (repaired to the minimal feasible tolerance when `repair` is set and
+/// needed) or throws util::InfeasibleError with the violated conditions.
+/// When `report` is non-null it receives the full findings, including
+/// whether and how far the tolerance was loosened.
+BalanceConstraint preflight_balance(const hg::Hypergraph& graph,
+                                    const hg::FixedAssignment& fixed,
+                                    PartitionId num_parts,
+                                    double tolerance_pct, bool repair = false,
+                                    FeasibilityReport* report = nullptr);
+
+}  // namespace fixedpart::part

@@ -145,6 +145,10 @@ void FmBipartitioner::apply_gain_updates(PartitionState& state, VertexId v,
 
 void FmBipartitioner::verify_invariants(const PartitionState& state,
                                         const FmConfig& config) const {
+  // Full recompute-and-compare of the partition bookkeeping (pin counts,
+  // boundary set, weights, cut) before checking the gain structures on
+  // top of it.
+  state.check_invariants();
   for (VertexId u : movable_) {
     for (PartitionId side = 0; side < 2; ++side) {
       if (scratch_->buckets_[side].contains(u)) {
@@ -272,6 +276,13 @@ Weight FmBipartitioner::run_pass(PartitionState& state, util::Rng& rng,
 
   while (static_cast<std::int32_t>(move_log.size()) < move_limit &&
          stall < stall_limit) {
+    // Budget check between moves (every 64 to keep clock reads off the hot
+    // path); breaking here falls through to the normal best-prefix
+    // rollback, so an expired pass still leaves a valid improved state.
+    if (config.deadline != nullptr && (move_log.size() & 63) == 0 &&
+        config.deadline->expired()) {
+      break;
+    }
     // Best feasible candidate from each side; feasibility = target side
     // stays under its capacity in every resource.
     VertexId candidate[2] = {hg::kNoVertex, hg::kNoVertex};
@@ -375,11 +386,21 @@ FmResult FmBipartitioner::refine(PartitionState& state, util::Rng& rng,
   FmResult result;
   result.initial_cut = state.cut();
   for (int pass = 0; pass < config.max_passes; ++pass) {
+    if (config.deadline != nullptr && config.deadline->expired()) {
+      result.truncated = true;
+      break;
+    }
     PassRecord record;
     const Weight gain = run_pass(state, rng, config, pass == 0, record);
     ++result.passes;
     result.total_moves += record.moves_performed;
     if (config.collect_pass_records) result.pass_records.push_back(record);
+    // An expiry inside run_pass already rolled back to the best prefix;
+    // report the truncation even when this pass happened to converge.
+    if (config.deadline != nullptr && config.deadline->expired()) {
+      result.truncated = true;
+      break;
+    }
     if (gain <= 0) break;
   }
   result.final_cut = state.cut();

@@ -35,6 +35,7 @@
 #include "part/balance.hpp"
 #include "part/gain_buckets.hpp"
 #include "part/partition.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace fixedpart::part {
@@ -75,6 +76,12 @@ struct FmConfig {
   /// the selection signal, which requires every vertex) but still uses the
   /// boundary set to compute initial gains cheaply.
   bool boundary = true;
+  /// Optional wall-clock budget (not owned; must outlive the refinement;
+  /// nullptr = unlimited). Checked between moves and between passes: on
+  /// expiry the current pass ends early, rolls back to its best prefix as
+  /// usual, and refine() returns with `truncated` set — the state is
+  /// always the best solution seen, never a mid-move snapshot.
+  const util::Deadline* deadline = nullptr;
   /// Debug mode: after every move, verify that each bucketed vertex's key
   /// equals its true gain (LIFO/FIFO; CLIP keys are deltas and are checked
   /// against gain change instead), and that parked interior vertices'
@@ -104,6 +111,9 @@ struct FmResult {
   Weight final_cut = 0;
   std::int32_t passes = 0;
   std::int64_t total_moves = 0;
+  /// The deadline expired before refinement converged; the state holds the
+  /// best solution found so far (degraded mode, not an error).
+  bool truncated = false;
   std::vector<PassRecord> pass_records;
 };
 

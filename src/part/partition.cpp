@@ -119,6 +119,70 @@ Weight PartitionState::recompute_cut() const {
   return cut;
 }
 
+void PartitionState::check_invariants() const {
+  const hg::Hypergraph& g = *graph_;
+  std::vector<std::int32_t> pins(pin_counts_.size(), 0);
+  std::vector<Weight> weights(part_weights_.size(), 0);
+  VertexId assigned = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartitionId p = part_[v];
+    if (p == hg::kNoPartition) continue;
+    if (p < 0 || p >= num_parts_) {
+      throw std::logic_error("PartitionState: vertex " + std::to_string(v) +
+                             " holds invalid partition " + std::to_string(p));
+    }
+    ++assigned;
+    for (int r = 0; r < num_resources_; ++r) {
+      weights[static_cast<std::size_t>(p) *
+                  static_cast<std::size_t>(num_resources_) +
+              static_cast<std::size_t>(r)] += g.vertex_weight(v, r);
+    }
+    for (NetId e : g.nets_of(v)) {
+      ++pins[static_cast<std::size_t>(e) *
+                 static_cast<std::size_t>(num_parts_) +
+             static_cast<std::size_t>(p)];
+    }
+  }
+  if (assigned != num_assigned_) {
+    throw std::logic_error("PartitionState: assigned count diverged");
+  }
+  if (weights != part_weights_) {
+    throw std::logic_error("PartitionState: part weights diverged");
+  }
+  if (pins != pin_counts_) {
+    throw std::logic_error("PartitionState: pin counts diverged");
+  }
+  Weight cut = 0;
+  for (NetId e = 0; e < g.num_nets(); ++e) {
+    std::int16_t populated = 0;
+    for (PartitionId p = 0; p < num_parts_; ++p) {
+      populated += pins[static_cast<std::size_t>(e) *
+                            static_cast<std::size_t>(num_parts_) +
+                        static_cast<std::size_t>(p)] > 0;
+    }
+    if (populated != populated_parts_[e]) {
+      throw std::logic_error("PartitionState: populated-part count diverged "
+                             "on net " +
+                             std::to_string(e));
+    }
+    if (populated > 1) cut += g.net_weight(e);
+  }
+  if (cut != cut_) {
+    throw std::logic_error("PartitionState: cut diverged (incremental " +
+                           std::to_string(cut_) + ", recomputed " +
+                           std::to_string(cut) + ")");
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::int32_t on_cut = 0;
+    for (NetId e : g.nets_of(v)) on_cut += populated_parts_[e] > 1;
+    if (on_cut != boundary_nets_[v]) {
+      throw std::logic_error("PartitionState: boundary degree diverged on "
+                             "vertex " +
+                             std::to_string(v));
+    }
+  }
+}
+
 void PartitionState::clear() {
   std::fill(part_.begin(), part_.end(), hg::kNoPartition);
   std::fill(pin_counts_.begin(), pin_counts_.end(), 0);

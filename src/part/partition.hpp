@@ -79,6 +79,14 @@ class PartitionState {
   /// incremental bookkeeping.
   Weight recompute_cut() const;
 
+  /// Full consistency audit: recomputes pin counts, populated-part counts,
+  /// boundary degrees, per-part weights, the cut and the assigned count
+  /// from scratch and compares them to the incrementally maintained
+  /// values. Throws std::logic_error naming the first divergence.
+  /// O(pins + nets * parts) — opt-in debug/fault-injection tool (see
+  /// FmConfig::check_invariants), never called on hot paths.
+  void check_invariants() const;
+
   /// Reset every vertex to unassigned.
   void clear();
 

@@ -1,0 +1,63 @@
+#pragma once
+// Cooperative wall-clock budgets for the partitioning engines. A Deadline
+// is checked (never enforced preemptively) at natural rollback points —
+// FM move selection, multilevel level boundaries, multistart loop heads —
+// so an expired budget always degrades to the best feasible solution
+// found so far instead of aborting mid-mutation. Engines that honour a
+// deadline report the degradation through a `truncated` flag in their
+// result structs; see docs/ROBUSTNESS.md for the contract.
+//
+// A Deadline may also carry an external cancellation flag (e.g. set from
+// a signal handler or another thread), which expires it immediately.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace fixedpart::util {
+
+class Deadline {
+ public:
+  /// Unlimited: never expires (and costs nothing to check).
+  Deadline() = default;
+
+  /// Expires `seconds` of wall-clock time after construction. Negative or
+  /// zero budgets are already expired.
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.expires_at_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Attach an external cancellation flag; when `*cancel` becomes true the
+  /// deadline reads as expired. The flag must outlive the deadline.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  bool limited() const { return limited_ || cancel_ != nullptr; }
+
+  bool expired() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return limited_ && Clock::now() >= expires_at_;
+  }
+
+  /// Seconds left before expiry; +infinity when unlimited, never negative.
+  double remaining_seconds() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    const auto left =
+        std::chrono::duration<double>(expires_at_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point expires_at_{};
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
+}  // namespace fixedpart::util

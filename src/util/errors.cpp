@@ -1,0 +1,30 @@
+#include "util/errors.hpp"
+
+#include <iostream>
+
+namespace fixedpart::util {
+
+int run_cli_main(const char* program, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const UsageError& error) {
+    std::cerr << program << ": usage error: " << error.what() << "\n";
+    return kExitUsage;
+  } catch (const InputError& error) {
+    std::cerr << program << ": input error: " << error.what() << "\n";
+    return kExitInput;
+  } catch (const InfeasibleError& error) {
+    std::cerr << program << ": infeasible: " << error.what() << "\n";
+    return kExitInfeasible;
+  } catch (const std::invalid_argument& error) {
+    // In a CLI, std::invalid_argument means bad user parameters (unknown
+    // flags from Cli::require_known, out-of-range --k, bad enum names).
+    std::cerr << program << ": usage error: " << error.what() << "\n";
+    return kExitUsage;
+  } catch (const std::exception& error) {
+    std::cerr << program << ": error: " << error.what() << "\n";
+    return kExitInternal;
+  }
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,51 @@
+#pragma once
+// Error taxonomy and the shared CLI entry-point wrapper. Every tool in
+// examples/ and bench/ funnels its body through run_cli_main so that any
+// failure — a typo on the command line, a malformed input file, an
+// infeasible instance, or an internal bug — exits with a diagnostic on
+// stderr and a *distinct* exit code instead of an uncaught throw. The
+// taxonomy and codes are documented in docs/ROBUSTNESS.md.
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace fixedpart::util {
+
+/// Exit codes returned by run_cli_main. Scripts may branch on these.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitInternal = 1,    ///< unclassified exception (a bug, or resource loss)
+  kExitUsage = 2,       ///< bad command line (UsageError)
+  kExitInput = 3,       ///< malformed/unreadable input data (InputError)
+  kExitInfeasible = 4,  ///< structurally infeasible instance (InfeasibleError)
+};
+
+/// Bad command-line arguments; run_cli_main exits with kExitUsage.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Malformed or unreadable input data (parsers derive ParseError from
+/// this); run_cli_main exits with kExitInput.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// The instance itself admits no solution under its constraints (e.g.
+/// fixed vertices overflow a balance capacity); run_cli_main exits with
+/// kExitInfeasible. `detail` carries the per-issue diagnostics.
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Runs `body`, mapping exceptions to stderr diagnostics and exit codes:
+/// UsageError -> 2, InputError -> 3, InfeasibleError -> 4, any other
+/// std::exception -> 1. `program` prefixes every diagnostic. The body's
+/// own return value is passed through on success.
+int run_cli_main(const char* program, const std::function<int()>& body);
+
+}  // namespace fixedpart::util

@@ -1,0 +1,109 @@
+#pragma once
+// Deterministic fault injection for the IO guardrail layer. Starting from
+// a well-formed input text, these operators produce corrupted variants —
+// truncations, token mutations, overflow-scale numbers, structural line
+// edits — and `expect_graceful` asserts the contract every parser must
+// uphold: the input either parses, or the parser throws util::InputError
+// (the documented taxonomy) with a non-empty diagnostic. Any other
+// exception type, an empty message, or a crash is a guardrail violation.
+//
+// Everything is seeded through util::Rng, so a failing variant reproduces
+// bit-identically from the test name and seed.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::testing {
+
+/// Every prefix of `text` cut at a line boundary, plus a few mid-line
+/// cuts — models a transfer that died partway.
+inline std::vector<std::string> truncations(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.push_back(text.substr(0, i + 1));
+  }
+  for (std::size_t num = 1; num <= 4; ++num) {
+    out.push_back(text.substr(0, num * text.size() / 5));
+  }
+  return out;
+}
+
+/// Replaces one character (chosen by `rng`) with a character from a pool
+/// of plausible corruption: digits, minus signs, letters, punctuation.
+inline std::string mutate_token(const std::string& text, util::Rng& rng) {
+  if (text.empty()) return text;
+  static const char kPool[] = "0123456789-xz#.%";
+  std::string out = text;
+  const auto at = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(out.size())));
+  out[at] = kPool[rng.next_below(sizeof kPool - 1)];
+  return out;
+}
+
+/// Appends zeros to one numeric token so its value overflows 64 bits —
+/// the "overflow-scale weight" fault.
+inline std::string overflow_number(const std::string& text, util::Rng& rng) {
+  std::vector<std::size_t> digit_runs;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const bool digit = std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+    const bool run_start =
+        digit && (i == 0 || !std::isdigit(static_cast<unsigned char>(
+                                text[i - 1])));
+    if (run_start) digit_runs.push_back(i);
+  }
+  if (digit_runs.empty()) return text;
+  const std::size_t at = digit_runs[rng.next_below(
+      static_cast<std::uint64_t>(digit_runs.size()))];
+  std::string out = text;
+  out.insert(at, "98765432109876543210");
+  return out;
+}
+
+/// Duplicates or deletes one whole line (structural corruption).
+inline std::string mangle_line(const std::string& text, util::Rng& rng) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  if (lines.empty()) return text;
+  const auto at = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(lines.size())));
+  if (rng.next_below(2) == 0) {
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), lines[at]);
+  } else {
+    lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  std::string out;
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+/// The guardrail contract: parsing `text` either succeeds or fails with a
+/// util::InputError carrying a non-empty diagnostic. `parse` receives a
+/// std::istream&. Returns true when the variant parsed cleanly (so tests
+/// can additionally validate the parsed object).
+template <typename Parse>
+bool expect_graceful(const std::string& text, Parse&& parse,
+                     const std::string& label) {
+  std::istringstream in(text);
+  try {
+    parse(in);
+    return true;
+  } catch (const util::InputError& error) {
+    EXPECT_STRNE(error.what(), "") << label << ": empty diagnostic";
+  } catch (const std::exception& error) {
+    ADD_FAILURE() << label << ": threw " << typeid(error).name()
+                  << " instead of util::InputError: " << error.what()
+                  << "\n--- input ---\n"
+                  << text;
+  }
+  return false;
+}
+
+}  // namespace fixedpart::testing

@@ -10,6 +10,7 @@
 #include "part/fm.hpp"
 #include "part/initial.hpp"
 #include "part/kway_fm.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace fixedpart {
@@ -193,6 +194,110 @@ TEST(EdgeCases, ParallelNetsAccumulateWeightInCoarsening) {
   const auto result = partitioner.best_of(4, rng, ml::MultilevelConfig{});
   // Hubs 0 and 1 must land together (splitting them costs 20).
   EXPECT_EQ(result.assignment[0], result.assignment[1]);
+}
+
+// Degenerate instances driven through the *full* multilevel pipeline
+// (coarsen, coarse multistart, uncoarsen+refine) — ISSUE 2 satellite.
+
+TEST(EdgeCases, MultilevelOnEmptyHypergraph) {
+  hg::HypergraphBuilder b;
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(0, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(41);
+  const auto result = partitioner.best_of(4, rng, ml::MultilevelConfig{});
+  EXPECT_EQ(result.cut, 0);
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(EdgeCases, MultilevelOnSingleVertex) {
+  hg::HypergraphBuilder b;
+  b.add_vertex(3);
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(1, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 200.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(42);
+  const auto result = partitioner.run(rng, ml::MultilevelConfig{});
+  EXPECT_EQ(result.cut, 0);
+  ASSERT_EQ(result.assignment.size(), 1u);
+  EXPECT_LT(result.assignment[0], 2);
+}
+
+TEST(EdgeCases, MultilevelWithAllVerticesFixed) {
+  // Zero freedom: the pipeline must reproduce exactly the forced
+  // assignment and its cut, with nothing for coarsening or FM to do.
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 16; ++i) b.add_vertex(1);
+  for (int i = 0; i + 1 < 16; ++i) {
+    b.add_net(std::vector<hg::VertexId>{static_cast<hg::VertexId>(i),
+                                        static_cast<hg::VertexId>(i + 1)});
+  }
+  const hg::Hypergraph g = b.build();
+  hg::FixedAssignment fixed(16, 2);
+  for (hg::VertexId v = 0; v < 16; ++v) {
+    fixed.fix(v, static_cast<hg::PartitionId>(v % 2));
+  }
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(43);
+  const auto result = partitioner.best_of(3, rng, ml::MultilevelConfig{});
+  ASSERT_EQ(result.assignment.size(), 16u);
+  for (hg::VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(result.assignment[v], static_cast<hg::PartitionId>(v % 2));
+  }
+  // The alternating chain cuts every one of the 15 nets.
+  EXPECT_EQ(result.cut, 15);
+}
+
+TEST(EdgeCases, MultilevelWithAllNetsZeroWeight) {
+  hg::HypergraphBuilder b;
+  for (int i = 0; i < 24; ++i) b.add_vertex(1);
+  for (int i = 0; i + 1 < 24; ++i) {
+    b.add_net(std::vector<hg::VertexId>{static_cast<hg::VertexId>(i),
+                                        static_cast<hg::VertexId>(i + 1)},
+              /*weight=*/0);
+  }
+  const hg::Hypergraph g = b.build();
+  const hg::FixedAssignment fixed(24, 2);
+  const auto balance = BalanceConstraint::relative(g, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(44);
+  const auto result = partitioner.best_of(3, rng, ml::MultilevelConfig{});
+  // Every cut net costs nothing, so any balanced assignment is optimal.
+  EXPECT_EQ(result.cut, 0);
+  ASSERT_EQ(result.assignment.size(), 24u);
+}
+
+TEST(EdgeCases, MultilevelOnProvablyInfeasibleFixedAssignment) {
+  // Both heavy vertices pinned to part 0 overflow a 0%-tolerance side.
+  // Default config: best-effort, complete assignment, fixed respected.
+  // preflight = true: a structured InfeasibleError instead.
+  hg::HypergraphBuilder b;
+  b.add_vertex(10);
+  b.add_vertex(10);
+  b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 2});
+  b.add_net(std::vector<hg::VertexId>{1, 3});
+  const hg::Hypergraph g = b.build();
+  hg::FixedAssignment fixed(4, 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 0);
+  const auto balance = BalanceConstraint::relative(g, 2, 0.0);
+  const ml::MultilevelPartitioner partitioner(g, fixed, balance);
+  util::Rng rng(45);
+
+  const auto result = partitioner.run(rng, ml::MultilevelConfig{});
+  ASSERT_EQ(result.assignment.size(), 4u);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 0);
+
+  ml::MultilevelConfig strict;
+  strict.preflight = true;
+  EXPECT_THROW(partitioner.run(rng, strict), util::InfeasibleError);
 }
 
 }  // namespace

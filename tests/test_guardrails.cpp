@@ -1,0 +1,407 @@
+// Tests for the guardrail layer (ISSUE 2): cooperative deadlines with
+// best-so-far degradation, the feasibility pre-flight with its repair
+// path, the partition-state invariant audit, and the CLI error taxonomy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/builder.hpp"
+#include "hg/io_solution.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+#include "part/feasibility.hpp"
+#include "part/fm.hpp"
+#include "part/initial.hpp"
+#include "util/deadline.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart {
+namespace {
+
+gen::GeneratedCircuit medium_circuit(std::uint64_t seed = 11) {
+  gen::CircuitSpec spec;
+  spec.name = "guardrails";
+  spec.num_cells = 400;
+  spec.num_nets = 440;
+  spec.num_pads = 12;
+  spec.seed = seed;
+  return gen::generate_circuit(spec);
+}
+
+/// 2 parts, total weight 22, perfect side 11: two weight-10 vertices
+/// pinned into part 0 overflow any tolerance below ~81.8%.
+hg::Hypergraph overloaded_graph() {
+  hg::HypergraphBuilder builder;
+  builder.add_vertex(10);
+  builder.add_vertex(10);
+  builder.add_vertex(1);
+  builder.add_vertex(1);
+  builder.add_net(std::vector<hg::VertexId>{0, 2}, 1);
+  builder.add_net(std::vector<hg::VertexId>{1, 3}, 1);
+  return builder.build();
+}
+
+hg::FixedAssignment overloaded_fixed(const hg::Hypergraph& graph) {
+  hg::FixedAssignment fixed(graph.num_vertices(), 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 0);
+  return fixed;
+}
+
+// ------------------------------------------------------------- Deadline --
+
+TEST(Guardrails, UnlimitedDeadlineNeverExpires) {
+  const util::Deadline deadline;
+  EXPECT_FALSE(deadline.limited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_seconds()));
+}
+
+TEST(Guardrails, ZeroBudgetIsAlreadyExpired) {
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  EXPECT_TRUE(deadline.limited());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_seconds(), 0.0);
+}
+
+TEST(Guardrails, GenerousBudgetNotExpired) {
+  const util::Deadline deadline = util::Deadline::after_seconds(3600.0);
+  EXPECT_TRUE(deadline.limited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 3000.0);
+}
+
+TEST(Guardrails, CancelFlagExpiresDeadline) {
+  std::atomic<bool> cancel{false};
+  util::Deadline deadline;  // unlimited by time
+  deadline.set_cancel_flag(&cancel);
+  EXPECT_TRUE(deadline.limited());
+  EXPECT_FALSE(deadline.expired());
+  cancel.store(true);
+  EXPECT_TRUE(deadline.expired());
+}
+
+// ------------------------------------------------- FM under a deadline --
+
+TEST(Guardrails, FmExpiredDeadlineReturnsBestSoFar) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  part::PartitionState state(circuit.graph, 2);
+  util::Rng rng(5);
+  part::random_feasible_assignment(state, fixed, balance, rng);
+  const hg::Weight initial = state.cut();
+
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  part::FmConfig config;
+  config.deadline = &deadline;
+  part::FmBipartitioner fm(circuit.graph, fixed, balance);
+  const part::FmResult result = fm.refine(state, rng, config);
+
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.passes, 0);
+  EXPECT_EQ(result.final_cut, initial);
+  EXPECT_EQ(state.cut(), initial);
+  EXPECT_NO_THROW(state.check_invariants());  // no mid-move snapshot
+}
+
+TEST(Guardrails, FmGenerousDeadlineMatchesUnlimitedRun) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+
+  const auto solve = [&](const util::Deadline* deadline) {
+    part::PartitionState state(circuit.graph, 2);
+    util::Rng rng(5);
+    part::random_feasible_assignment(state, fixed, balance, rng);
+    part::FmConfig config;
+    config.deadline = deadline;
+    part::FmBipartitioner fm(circuit.graph, fixed, balance);
+    const part::FmResult result = fm.refine(state, rng, config);
+    EXPECT_FALSE(result.truncated);
+    return result.final_cut;
+  };
+
+  const util::Deadline generous = util::Deadline::after_seconds(3600.0);
+  // Deadline checks consume no randomness, so the trajectories and cuts
+  // must be bit-identical.
+  EXPECT_EQ(solve(nullptr), solve(&generous));
+}
+
+// ----------------------------------------- multilevel under a deadline --
+
+TEST(Guardrails, MultilevelExpiredDeadlineStillCompleteAndValid) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  ml::MultilevelConfig config;
+  config.deadline = &deadline;
+  util::Rng rng(7);
+  const ml::MultilevelResult result = partitioner.run(rng, config);
+
+  EXPECT_TRUE(result.truncated);
+  ASSERT_EQ(result.assignment.size(), circuit.graph.num_vertices());
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    ASSERT_LT(result.assignment[v], 2);
+  }
+  // The reported cut must match the assignment it came with.
+  EXPECT_EQ(hg::solution_cut(circuit.graph, result.assignment, 2),
+            result.cut);
+}
+
+TEST(Guardrails, MultilevelCancelFlagTruncates) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  std::atomic<bool> cancel{true};  // cancelled before work starts
+  util::Deadline deadline;
+  deadline.set_cancel_flag(&cancel);
+  ml::MultilevelConfig config;
+  config.deadline = &deadline;
+  util::Rng rng(7);
+  const ml::MultilevelResult result = partitioner.run(rng, config);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.assignment.size(), circuit.graph.num_vertices());
+}
+
+TEST(Guardrails, BestOfExpiredDeadlineRunsFallbackStart) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  ml::MultilevelConfig config;
+  config.deadline = &deadline;
+  util::Rng rng(9);
+  const ml::MultilevelResult result = partitioner.best_of(8, rng, config);
+  EXPECT_TRUE(result.truncated);
+  ASSERT_EQ(result.assignment.size(), circuit.graph.num_vertices());
+  EXPECT_EQ(hg::solution_cut(circuit.graph, result.assignment, 2),
+            result.cut);
+}
+
+TEST(Guardrails, BestOfParallelExpiredDeadlineRunsFallbackStart) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  ml::MultilevelConfig config;
+  config.deadline = &deadline;
+  const ml::MultilevelResult result =
+      partitioner.best_of_parallel(8, 2, /*seed=*/3, config);
+  EXPECT_TRUE(result.truncated);
+  ASSERT_EQ(result.assignment.size(), circuit.graph.num_vertices());
+  EXPECT_EQ(hg::solution_cut(circuit.graph, result.assignment, 2),
+            result.cut);
+}
+
+TEST(Guardrails, MultilevelGenerousDeadlineNotTruncated) {
+  const gen::GeneratedCircuit circuit = medium_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  const util::Deadline deadline = util::Deadline::after_seconds(3600.0);
+  ml::MultilevelConfig config;
+  config.deadline = &deadline;
+  util::Rng with_deadline_rng(21);
+  const ml::MultilevelResult with_deadline =
+      partitioner.run(with_deadline_rng, config);
+  EXPECT_FALSE(with_deadline.truncated);
+
+  ml::MultilevelConfig no_deadline_config;
+  util::Rng no_deadline_rng(21);
+  const ml::MultilevelResult no_deadline =
+      partitioner.run(no_deadline_rng, no_deadline_config);
+  EXPECT_EQ(with_deadline.cut, no_deadline.cut);
+}
+
+// -------------------------------------------------- feasibility checks --
+
+TEST(Guardrails, FreeInstanceIsFeasible) {
+  const hg::Hypergraph graph = overloaded_graph();
+  const hg::FixedAssignment fixed(graph.num_vertices(), 2);  // nothing fixed
+  const auto balance = part::BalanceConstraint::relative(graph, 2, 10.0);
+  const part::FeasibilityReport report =
+      part::check_feasibility(graph, fixed, balance);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.empty_freedom);
+  EXPECT_TRUE(report.issues.empty());
+}
+
+TEST(Guardrails, AllVerticesFixedReportsEmptyFreedom) {
+  hg::HypergraphBuilder builder;
+  builder.add_vertex(1);
+  builder.add_vertex(1);
+  builder.add_net(std::vector<hg::VertexId>{0, 1}, 1);
+  const hg::Hypergraph graph = builder.build();
+  hg::FixedAssignment fixed(2, 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 1);
+  const auto balance = part::BalanceConstraint::relative(graph, 2, 10.0);
+  const part::FeasibilityReport report =
+      part::check_feasibility(graph, fixed, balance);
+  EXPECT_TRUE(report.feasible);  // the unique assignment is balanced
+  EXPECT_TRUE(report.empty_freedom);
+}
+
+TEST(Guardrails, OverloadedFixedWeightIsDetected) {
+  const hg::Hypergraph graph = overloaded_graph();
+  const hg::FixedAssignment fixed = overloaded_fixed(graph);
+  const auto balance = part::BalanceConstraint::relative(graph, 2, 0.0);
+  const part::FeasibilityReport report =
+      part::check_feasibility(graph, fixed, balance);
+  EXPECT_FALSE(report.feasible);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Guardrails, HallBoundCatchesRestrictedMaskOverflow) {
+  // 3 parts, total weight 60, perfect 20, tolerance 0 -> cap 20 per part.
+  // Five weight-10 vertices restricted to parts {0,1} carry 50 > 40.
+  hg::HypergraphBuilder builder;
+  for (int v = 0; v < 6; ++v) builder.add_vertex(10);
+  builder.add_net(std::vector<hg::VertexId>{0, 1, 2}, 1);
+  builder.add_net(std::vector<hg::VertexId>{3, 4, 5}, 1);
+  const hg::Hypergraph graph = builder.build();
+  hg::FixedAssignment fixed(6, 3);
+  for (hg::VertexId v = 0; v < 5; ++v) fixed.restrict_to(v, 0b011);
+  const auto balance = part::BalanceConstraint::relative(graph, 3, 0.0);
+  const part::FeasibilityReport report =
+      part::check_feasibility(graph, fixed, balance);
+  EXPECT_FALSE(report.feasible);
+  // Restricting only three of them (30 <= 40) is fine.
+  hg::FixedAssignment lighter(6, 3);
+  for (hg::VertexId v = 0; v < 3; ++v) lighter.restrict_to(v, 0b011);
+  EXPECT_TRUE(part::check_feasibility(graph, lighter, balance).feasible);
+}
+
+TEST(Guardrails, MinFeasibleToleranceBisection) {
+  const hg::Hypergraph graph = overloaded_graph();
+  const hg::FixedAssignment fixed = overloaded_fixed(graph);
+  // 20 pinned into a perfect side of 11 -> needs ~81.82% tolerance.
+  const double min_pct =
+      part::min_feasible_tolerance_pct(graph, fixed, 2);
+  EXPECT_GT(min_pct, 81.0);
+  EXPECT_LT(min_pct, 82.5);
+  // Free instance: already feasible at 0.
+  const hg::FixedAssignment free_fixed(graph.num_vertices(), 2);
+  EXPECT_EQ(part::min_feasible_tolerance_pct(graph, free_fixed, 2), 0.0);
+  // Capped search below the needed tolerance reports failure, not a lie.
+  EXPECT_LT(part::min_feasible_tolerance_pct(graph, fixed, 2,
+                                             /*max_pct=*/10.0),
+            0.0);
+}
+
+TEST(Guardrails, PreflightBalanceRepairLoosensAndReports) {
+  const hg::Hypergraph graph = overloaded_graph();
+  const hg::FixedAssignment fixed = overloaded_fixed(graph);
+  part::FeasibilityReport report;
+  const part::BalanceConstraint repaired = part::preflight_balance(
+      graph, fixed, 2, /*tolerance_pct=*/0.0, /*repair=*/true, &report);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_GT(report.tolerance_pct, 81.0);
+  // The repaired constraint actually admits the pinned weight.
+  EXPECT_TRUE(part::check_feasibility(graph, fixed, repaired).feasible);
+  // Without repair the same instance is a structured error.
+  EXPECT_THROW(part::preflight_balance(graph, fixed, 2, 0.0),
+               util::InfeasibleError);
+}
+
+TEST(Guardrails, MultilevelPreflightGatesInfeasibleInstances) {
+  const hg::Hypergraph graph = overloaded_graph();
+  const hg::FixedAssignment fixed = overloaded_fixed(graph);
+  const auto balance = part::BalanceConstraint::relative(graph, 2, 0.0);
+  const ml::MultilevelPartitioner partitioner(graph, fixed, balance);
+  util::Rng rng(3);
+
+  ml::MultilevelConfig strict;
+  strict.preflight = true;
+  EXPECT_THROW(partitioner.run(rng, strict), util::InfeasibleError);
+
+  // Default (preflight off): best-effort, the paper's rand-regime
+  // protocol — a complete assignment comes back, never a throw.
+  const ml::MultilevelResult result =
+      partitioner.run(rng, ml::MultilevelConfig{});
+  EXPECT_EQ(result.assignment.size(), graph.num_vertices());
+}
+
+// ------------------------------------------------------ invariant audit --
+
+TEST(Guardrails, CheckInvariantsAcceptsConsistentState) {
+  const gen::GeneratedCircuit circuit = medium_circuit(23);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  part::PartitionState state(circuit.graph, 2);
+  util::Rng rng(23);
+  part::random_feasible_assignment(state, fixed, balance, rng);
+  EXPECT_NO_THROW(state.check_invariants());
+}
+
+TEST(Guardrails, FmWithInvariantAuditRunsClean) {
+  const gen::GeneratedCircuit circuit = medium_circuit(29);
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 10.0);
+  part::PartitionState state(circuit.graph, 2);
+  util::Rng rng(29);
+  part::random_feasible_assignment(state, fixed, balance, rng);
+
+  part::FmConfig config;
+  config.check_invariants = true;
+  config.max_passes = 2;  // the audit is O(movable * degree) per move
+  part::FmBipartitioner fm(circuit.graph, fixed, balance);
+  EXPECT_NO_THROW(fm.refine(state, rng, config));
+  EXPECT_NO_THROW(state.check_invariants());
+}
+
+// ------------------------------------------------------- CLI taxonomy --
+
+TEST(Guardrails, RunCliMainMapsTaxonomyToExitCodes) {
+  using util::run_cli_main;
+  EXPECT_EQ(run_cli_main("t", [] { return 0; }), util::kExitOk);
+  EXPECT_EQ(run_cli_main("t", []() -> int {
+              throw util::UsageError("bad flag");
+            }),
+            util::kExitUsage);
+  EXPECT_EQ(run_cli_main("t", []() -> int {
+              throw std::invalid_argument("unknown option");
+            }),
+            util::kExitUsage);
+  EXPECT_EQ(run_cli_main("t", []() -> int {
+              throw util::InputError("bad file");
+            }),
+            util::kExitInput);
+  EXPECT_EQ(run_cli_main("t", []() -> int {
+              throw util::InfeasibleError("pinned weight over capacity");
+            }),
+            util::kExitInfeasible);
+  EXPECT_EQ(run_cli_main("t", []() -> int {
+              throw std::runtime_error("bug");
+            }),
+            util::kExitInternal);
+}
+
+}  // namespace
+}  // namespace fixedpart
