@@ -32,6 +32,7 @@
 #include "part/fm.hpp"
 #include "part/gain_buckets.hpp"
 #include "part/initial.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/deadline.hpp"
 #include "util/env.hpp"
@@ -333,11 +334,9 @@ int main(int argc, char** argv) {
                        run_bucket_churn(smoke ? 20000 : 2000000, repeats));
 
   {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::cerr << "bench_to_json: cannot write " << out_path << "\n";
-      return 1;
-    }
+    // Built in memory and published via write-temp + atomic rename: an
+    // interruption mid-emit cannot leave a truncated BENCH_*.json behind.
+    std::ostringstream out;
     out << "{\n"
         << "  \"format\": 1,\n"
         << "  \"generated_by\": \"bench_to_json\",\n"
@@ -362,6 +361,12 @@ int main(int argc, char** argv) {
       out << "\n  }";
     }
     out << "\n}\n";
+    try {
+      util::write_file_atomic(out_path, out.str());
+    } catch (const std::exception& error) {
+      std::cerr << "bench_to_json: " << error.what() << "\n";
+      return 1;
+    }
   }
 
   // Round-trip check: the file we just wrote must parse back to the same

@@ -2,12 +2,23 @@
 // Shared driver for the Fig. 1 / Fig. 2 binaries: runs the Section II
 // fixed-vertex sweep on one IBMxx-like circuit and prints the six panels
 // (good/rand x raw cut / normalized cut / CPU time) as series tables.
+//
+// The sweep runs through the svc batch engine (one job per regime x
+// percentage x trial x run), so the paper reproductions are supervised
+// and resumable: --journal=FILE checkpoints every finished job,
+// --resume skips them on the next invocation, --workers=N parallelizes
+// (bit-identical results for a given --seed), --budget=SECONDS bounds
+// each job, and Ctrl-C drains gracefully — in-flight jobs finish and are
+// checkpointed before exit.
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "experiments/fixed_sweep.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
 namespace fixedpart::bench {
@@ -66,6 +77,14 @@ inline void maybe_write_csv(const util::Cli& cli, const util::Table& good,
   }
 }
 
+/// Set by SIGINT/SIGTERM; the engine finishes in-flight jobs, checkpoints
+/// them, and the driver exits through the normal reporting path.
+inline std::atomic<bool> g_sweep_drain{false};
+
+inline void sweep_drain_handler(int) {
+  g_sweep_drain.store(true, std::memory_order_release);
+}
+
 inline int run_fixed_sweep_bench(const std::string& figure, int circuit_index,
                                  int argc, char** argv) {
   const util::Cli cli(argc, argv);
@@ -74,7 +93,8 @@ inline int run_fixed_sweep_bench(const std::string& figure, int circuit_index,
   print_header(figure + " fixed-vertex sweep on " + spec.name + "-like",
                env);
 
-  util::Rng rng(cli.get_int("seed", 20260707));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 20260707));
+  util::Rng rng(static_cast<std::uint64_t>(seed));
   const exp::InstanceContext ctx =
       exp::make_context(spec, env.ref_starts, 2.0, rng);
   std::cout << "instance: " << ctx.circuit.graph.num_vertices()
@@ -86,7 +106,32 @@ inline int run_fixed_sweep_bench(const std::string& figure, int circuit_index,
   config.percentages = sweep_percentages(env.scale);
   config.trials = env.trials;
   config.ml = exp::default_ml_config();
-  const exp::SweepResult result = exp::run_fixed_sweep(ctx, config, rng);
+
+  exp::SupervisedSweepOptions options;
+  options.workers = static_cast<int>(cli.get_int("workers", 1));
+  options.seed = seed;
+  options.journal_path = cli.get_or("journal", "");
+  options.resume = cli.get_bool("resume", false);
+  options.job_budget_seconds = cli.get_double("budget", 0.0);
+  options.drain = &g_sweep_drain;
+  if (options.resume && options.journal_path.empty()) {
+    throw util::UsageError("--resume requires --journal=FILE");
+  }
+  std::signal(SIGINT, sweep_drain_handler);
+  std::signal(SIGTERM, sweep_drain_handler);
+
+  const exp::SupervisedSweepRun run =
+      exp::run_supervised_sweep(ctx, config, options);
+  std::cout << "jobs: " << run.report.summary() << "\n\n";
+  if (!run.result.has_value()) {
+    std::cout << "sweep incomplete; "
+              << (options.journal_path.empty()
+                      ? "rerun with --journal=FILE to make it resumable\n"
+                      : "rerun with --journal=" + options.journal_path +
+                            " --resume to finish\n");
+    return run.report.exit_code();
+  }
+  const exp::SweepResult& result = *run.result;
 
   const util::Table good_table = series_table(result, result.good);
   const util::Table rand_table = series_table(result, result.rand);

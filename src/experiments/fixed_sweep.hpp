@@ -15,10 +15,14 @@
 // best cut seen across *all* starts of *all* trials for that percentage
 // (each rand percentage is a distinct instance).
 
+#include <atomic>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "experiments/context.hpp"
 #include "gen/regimes.hpp"
+#include "svc/executor.hpp"
 #include "util/rng.hpp"
 
 namespace fixedpart::exp {
@@ -59,5 +63,43 @@ struct SweepResult {
 
 SweepResult run_fixed_sweep(const InstanceContext& context,
                             const SweepConfig& config, util::Rng& rng);
+
+// --- supervised (resumable) sweep ----------------------------------------
+//
+// The same experiment expressed as a fleet of svc::JobSpecs — one job per
+// (regime, percentage, trial, run) — executed through the batch engine, so
+// the paper reproductions inherit its guarantees: per-job deadlines,
+// retry-with-backoff, hang cancellation, graceful drain, and crash-safe
+// checkpoint/resume. Every job's seed is pre-forked from `seed` in
+// manifest order, so results are deterministic regardless of worker count
+// and a resumed sweep is bit-identical to an uninterrupted one.
+
+struct SupervisedSweepOptions {
+  int workers = 1;
+  /// Seeds the fixed-vertex series and every job's RNG stream.
+  std::uint64_t seed = 20260707;
+  /// Checkpoint journal path; empty = run without checkpointing. Without
+  /// `resume`, an existing journal is replaced.
+  std::string journal_path;
+  bool resume = false;
+  /// Per-job wall-clock budget (0 = unlimited); expired jobs degrade to
+  /// best-so-far and are flagged truncated.
+  double job_budget_seconds = 0.0;
+  svc::RetryPolicy retry;
+  double hang_seconds = 0.0;
+  const std::atomic<bool>* drain = nullptr;  ///< SIGINT/SIGTERM drain flag
+};
+
+struct SupervisedSweepRun {
+  svc::BatchReport report;
+  /// Populated only when every job finished with a usable result (ok or
+  /// truncated); a drained/halted or failure-ridden fleet leaves it empty
+  /// (rerun with resume to finish).
+  std::optional<SweepResult> result;
+};
+
+SupervisedSweepRun run_supervised_sweep(const InstanceContext& context,
+                                        const SweepConfig& config,
+                                        const SupervisedSweepOptions& options);
 
 }  // namespace fixedpart::exp

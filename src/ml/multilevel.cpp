@@ -1,7 +1,8 @@
 #include "ml/multilevel.hpp"
 
-#include <stdexcept>
 #include <atomic>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <tuple>
 
@@ -218,10 +219,16 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
   std::vector<MultilevelResult> results(static_cast<std::size_t>(starts));
   std::atomic<int> next{0};
   std::atomic<bool> truncated{false};
+  // A worker exception (preflight InfeasibleError, bad_alloc, ...) must
+  // reach the caller, not std::terminate: the first one is captured, the
+  // other workers stop claiming starts, and it is rethrown after join.
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
   auto worker = [&] {
     while (true) {
       const int s = next.fetch_add(1);
-      if (s >= starts) return;
+      if (s >= starts || abort.load(std::memory_order_acquire)) return;
       // Start 0 always runs (run() itself degrades under the deadline);
       // later starts are skipped once the budget is gone. Skipped slots
       // keep their empty default result.
@@ -230,7 +237,16 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
         return;
       }
       MultilevelResult& r = results[static_cast<std::size_t>(s)];
-      r = run(streams[static_cast<std::size_t>(s)], config);
+      try {
+        r = run(streams[static_cast<std::size_t>(s)], config);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+        return;
+      }
       if (r.truncated) truncated.store(true, std::memory_order_relaxed);
     }
   };
@@ -239,6 +255,7 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
   pool.reserve(static_cast<std::size_t>(used));
   for (int t = 0; t < used; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
 
   // Start 0 always ran, so it is the fallback best (and the only
   // candidate on a zero-vertex graph, where every assignment is empty).

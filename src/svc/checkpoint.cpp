@@ -1,0 +1,110 @@
+#include "svc/checkpoint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+
+namespace fixedpart::svc {
+
+namespace {
+
+/// Reads the journal's parseable content: complete lines only (a torn
+/// trailing line without '\n' is a crash artifact and is dropped). Returns
+/// false when the file does not exist.
+bool read_complete_lines(const std::string& path,
+                         std::vector<std::string>* lines) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) break;  // torn trailing line: discard
+    if (end > start) lines->push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return true;
+}
+
+std::vector<JobOutcome> parse_lines(const std::vector<std::string>& lines,
+                                    const std::string& path) {
+  // Replay the journal through a LineReader so a corrupt complete line
+  // reports its position like every other parser in the tree.
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  std::istringstream in(text);
+  hg::LineReader reader(in, path, '#');
+  std::vector<JobOutcome> outcomes;
+  std::string line;
+  while (reader.next(line)) {
+    outcomes.push_back(job_outcome_from_json(line, reader));
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string path)
+    : path_(std::move(path)) {}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::vector<JobOutcome> CheckpointJournal::load() const {
+  std::vector<std::string> lines;
+  if (!read_complete_lines(path_, &lines)) return {};
+  return parse_lines(lines, path_);
+}
+
+std::vector<JobOutcome> CheckpointJournal::open_for_append() {
+  std::vector<std::string> lines;
+  std::vector<JobOutcome> outcomes;
+  if (read_complete_lines(path_, &lines)) {
+    outcomes = parse_lines(lines, path_);
+    // Republish the validated prefix atomically: after this the file has
+    // no torn tail and every line is known-parseable.
+    std::string text;
+    for (const std::string& line : lines) {
+      text += line;
+      text += '\n';
+    }
+    util::write_file_atomic(path_, text);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + path_);
+  }
+  return outcomes;
+}
+
+void CheckpointJournal::append(const JobOutcome& outcome) {
+  if (file_ == nullptr) open_for_append();
+  const std::string line = to_json_line(outcome) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    throw std::runtime_error("checkpoint: short write to " + path_);
+  }
+  util::flush_and_sync(file_, path_);
+}
+
+std::vector<std::string> canonical_journal(
+    const std::vector<JobOutcome>& outcomes) {
+  std::vector<std::string> lines;
+  lines.reserve(outcomes.size());
+  for (const JobOutcome& outcome : outcomes) {
+    lines.push_back(to_canonical_json_line(outcome));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace fixedpart::svc

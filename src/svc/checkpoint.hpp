@@ -1,0 +1,62 @@
+#pragma once
+// Crash-safe checkpoint journal for the batch executor: an append-only
+// JSONL file with one JobOutcome per line. Durability model
+// (docs/ROBUSTNESS.md):
+//
+//  * every append is flushed and fsynced before the executor counts the
+//    job as checkpointed, so a kill -9 mid-sweep loses at most the jobs
+//    that were still in flight;
+//  * a crash can leave at most one torn (partial) trailing line; load()
+//    discards it and open_for_append() compacts the journal through the
+//    write-temp + flush + atomic-rename helper (util::write_file_atomic),
+//    so the on-disk file is a complete, valid snapshot before any new
+//    outcome is appended;
+//  * a *complete* line that fails to parse is data corruption, not a torn
+//    write, and load() throws hg::ParseError with line context.
+//
+// canonical_journal() reduces a journal to its order- and timing-
+// independent form (sorted canonical lines) for the determinism guard.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace fixedpart::svc {
+
+class CheckpointJournal {
+ public:
+  /// No file is touched until load()/open_for_append()/append().
+  explicit CheckpointJournal(std::string path);
+  ~CheckpointJournal();
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Parses every completed outcome (missing file = empty journal). A
+  /// torn trailing line — no newline terminator — is discarded.
+  std::vector<JobOutcome> load() const;
+
+  /// Compacts the journal to the parseable prefix (atomically) and opens
+  /// it for appending. Returns the outcomes that survived, i.e. the jobs
+  /// --resume may skip.
+  std::vector<JobOutcome> open_for_append();
+
+  /// Appends one outcome and makes it durable (flush + fsync) before
+  /// returning. Opens the file first if open_for_append was not called.
+  void append(const JobOutcome& outcome);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Sorted, timing-stripped journal lines: byte-identical for a given
+/// manifest and seed regardless of worker count or completion order.
+std::vector<std::string> canonical_journal(
+    const std::vector<JobOutcome>& outcomes);
+
+}  // namespace fixedpart::svc

@@ -1,0 +1,472 @@
+#include "svc/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "gen/netlist_gen.hpp"
+#include "gen/regimes.hpp"
+#include "gen/suite.hpp"
+#include "hg/io_bookshelf.hpp"
+#include "hg/io_hmetis.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+#include "util/errors.hpp"
+#include "util/timer.hpp"
+
+namespace fixedpart::svc {
+
+namespace {
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Retry delay before attempt `next_attempt` (2-based): exponential in the
+/// retry index with a deterministic multiplicative jitter from the job id,
+/// so a rerun of the same manifest backs off identically.
+double backoff_seconds(const RetryPolicy& retry, const std::string& id,
+                       int next_attempt) {
+  const int retries_done = next_attempt - 2;  // 0 for the first retry
+  double delay = retry.backoff_base_seconds *
+                 std::ldexp(1.0, std::min(retries_done, 30));
+  delay = std::min(delay, retry.backoff_cap_seconds);
+  const std::uint64_t bits =
+      splitmix64(fnv1a(id) ^ static_cast<std::uint64_t>(next_attempt));
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return delay * (1.0 + retry.jitter_fraction * unit);
+}
+
+/// Per-worker heartbeat the supervisor watches: `busy` + `start_ms` say
+/// how long the current attempt has been running; `cancel` is the
+/// supervisor's lever, wired into the attempt's Deadline.
+struct WorkerSlot {
+  std::atomic<bool> busy{false};
+  std::atomic<std::int64_t> start_ms{0};
+  std::atomic<bool> cancel{false};
+};
+
+}  // namespace
+
+int BatchReport::exit_code() const {
+  if (poisoned > 0 || !complete()) return util::kExitInternal;
+  if (failed > 0) {
+    for (const JobOutcome& outcome : outcomes) {
+      if (outcome.status == JobStatus::kFailed &&
+          outcome.error == ErrorClass::kInput) {
+        return util::kExitInput;
+      }
+    }
+    return util::kExitInfeasible;
+  }
+  return util::kExitOk;
+}
+
+std::string BatchReport::summary() const {
+  std::ostringstream out;
+  out << "ok=" << ok << " truncated=" << truncated << " failed=" << failed
+      << " poisoned=" << poisoned << " retried=" << retried
+      << " resumed=" << resumed << " abandoned=" << abandoned;
+  if (drained) out << " (drained)";
+  return out.str();
+}
+
+BatchExecutor::BatchExecutor(JobRunner runner, ExecutorConfig config)
+    : runner_(std::move(runner)), config_(std::move(config)) {
+  if (!runner_) throw std::invalid_argument("BatchExecutor: null runner");
+  if (config_.workers < 1) {
+    throw std::invalid_argument("BatchExecutor: workers < 1");
+  }
+  if (config_.retry.max_attempts < 1) {
+    throw std::invalid_argument("BatchExecutor: max_attempts < 1");
+  }
+}
+
+BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
+                               CheckpointJournal* journal) {
+  {
+    std::set<std::string> ids;
+    for (const JobSpec& spec : manifest) {
+      if (!ids.insert(spec.id).second) {
+        throw util::InputError("executor: duplicate job id \"" + spec.id +
+                               "\"");
+      }
+    }
+  }
+
+  // Resume: journaled outcomes are finished work, including permanent
+  // failures — only jobs with no outcome are (re)dispatched.
+  std::vector<std::optional<JobOutcome>> outcomes(manifest.size());
+  BatchReport report;
+  if (journal != nullptr) {
+    std::map<std::string, JobOutcome> done;
+    for (JobOutcome& outcome : journal->open_for_append()) {
+      done.insert_or_assign(outcome.id, std::move(outcome));
+    }
+    for (std::size_t i = 0; i < manifest.size(); ++i) {
+      const auto it = done.find(manifest[i].id);
+      if (it != done.end()) {
+        outcomes[i] = it->second;
+        ++report.resumed;
+      }
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    if (!outcomes[i].has_value()) pending.push_back(i);
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> halted{false};
+  std::atomic<int> active{0};
+  std::mutex commit_mu;  // guards journal appends + outcome commits
+  std::int64_t committed = 0;
+  std::exception_ptr journal_error;
+
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.workers), pending.size()));
+  std::vector<WorkerSlot> slots(
+      static_cast<std::size_t>(std::max(workers, 1)));
+
+  const auto draining = [&] {
+    return halted.load(std::memory_order_acquire) ||
+           (config_.drain != nullptr &&
+            config_.drain->load(std::memory_order_acquire));
+  };
+
+  const auto sleep_for = [&](double seconds) {
+    if (config_.sleep_fn) {
+      config_.sleep_fn(seconds);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  };
+
+  // Runs every attempt of one job; never throws (the job boundary).
+  const auto run_job = [&](const JobSpec& spec, WorkerSlot& slot) {
+    JobOutcome out;
+    out.id = spec.id;
+    util::Timer total;
+    std::optional<JobResult> best;  // best successful attempt so far
+    for (int attempt = 1;; ++attempt) {
+      out.attempts = attempt;
+      slot.cancel.store(false, std::memory_order_release);
+      slot.start_ms.store(steady_ms(), std::memory_order_release);
+      slot.busy.store(true, std::memory_order_release);
+      util::Deadline deadline = spec.budget_seconds > 0.0
+                                    ? util::Deadline::after_seconds(
+                                          spec.budget_seconds)
+                                    : util::Deadline();
+      deadline.set_cancel_flag(&slot.cancel);
+      ErrorClass error = ErrorClass::kNone;
+      std::string message;
+      JobResult result;
+      try {
+        if (config_.fault_hook) config_.fault_hook(spec, attempt);
+        result = runner_(spec, deadline);
+      } catch (const util::InputError& e) {
+        error = ErrorClass::kInput;
+        message = e.what();
+      } catch (const util::InfeasibleError& e) {
+        error = ErrorClass::kInfeasible;
+        message = e.what();
+      } catch (const TransientError& e) {
+        error = ErrorClass::kTransient;
+        message = e.what();
+      } catch (const std::bad_alloc&) {
+        error = ErrorClass::kTransient;
+        message = "out of memory";
+      } catch (const std::exception& e) {
+        error = ErrorClass::kInternal;
+        message = e.what();
+      } catch (...) {
+        error = ErrorClass::kInternal;
+        message = "unknown exception";
+      }
+      slot.busy.store(false, std::memory_order_release);
+
+      if (error == ErrorClass::kNone) {
+        if (!best.has_value() || (!result.truncated && best->truncated) ||
+            (result.truncated == best->truncated &&
+             result.cut < best->cut)) {
+          best = result;
+        }
+        const bool want_retry = result.truncated &&
+                                config_.retry.retry_truncated &&
+                                attempt < config_.retry.max_attempts &&
+                                !draining();
+        if (!want_retry) break;
+      } else if (error == ErrorClass::kInput ||
+                 error == ErrorClass::kInfeasible) {
+        out.status = JobStatus::kFailed;
+        out.error = error;
+        out.message = message;
+        out.seconds = total.seconds();
+        return out;
+      } else {
+        // Transient / internal: poisoned once attempts run out (unless an
+        // earlier attempt already produced a usable truncated result).
+        if (attempt >= config_.retry.max_attempts || draining()) {
+          if (!best.has_value()) {
+            out.status = JobStatus::kPoisoned;
+            out.error = error;
+            out.message = message;
+            out.seconds = total.seconds();
+            return out;
+          }
+          break;
+        }
+      }
+      sleep_for(backoff_seconds(config_.retry, spec.id, attempt + 1));
+    }
+    out.status = best->truncated ? JobStatus::kTruncated : JobStatus::kOk;
+    out.error = ErrorClass::kNone;
+    out.cut = best->cut;
+    out.truncated = best->truncated;
+    out.seconds = total.seconds();
+    return out;
+  };
+
+  const auto worker = [&](std::size_t slot_index) {
+    WorkerSlot& slot = slots[slot_index];
+    while (!draining()) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= pending.size()) break;
+      const std::size_t manifest_index = pending[i];
+      JobOutcome out = run_job(manifest[manifest_index], slot);
+      std::lock_guard<std::mutex> lock(commit_mu);
+      // A halt between claim and commit is the simulated kill -9: the
+      // result is lost exactly like a genuinely in-flight job.
+      if (halted.load(std::memory_order_acquire)) break;
+      if (journal != nullptr && !journal_error) {
+        try {
+          journal->append(out);
+        } catch (...) {
+          journal_error = std::current_exception();
+          halted.store(true, std::memory_order_release);
+          break;
+        }
+      }
+      outcomes[manifest_index] = std::move(out);
+      ++committed;
+      if (config_.halt_after >= 0 && committed >= config_.halt_after) {
+        halted.store(true, std::memory_order_release);
+        // Expedite the abandonment: in-flight attempts unwind at their
+        // next deadline check instead of running to completion.
+        for (WorkerSlot& other : slots) {
+          other.cancel.store(true, std::memory_order_release);
+        }
+        break;
+      }
+    }
+    active.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  active.store(workers, std::memory_order_release);
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back(worker, static_cast<std::size_t>(t));
+  }
+
+  // Supervisor: heartbeat-based hang detection while the pool drains.
+  while (active.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (config_.hang_seconds <= 0.0) continue;
+    const std::int64_t now = steady_ms();
+    const auto limit =
+        static_cast<std::int64_t>(config_.hang_seconds * 1000.0);
+    for (WorkerSlot& slot : slots) {
+      if (slot.busy.load(std::memory_order_acquire) &&
+          now - slot.start_ms.load(std::memory_order_acquire) > limit) {
+        slot.cancel.store(true, std::memory_order_release);
+      }
+    }
+  }
+  for (std::thread& thread : pool) thread.join();
+  if (journal_error) std::rethrow_exception(journal_error);
+
+  for (const std::optional<JobOutcome>& outcome : outcomes) {
+    if (!outcome.has_value()) {
+      ++report.abandoned;
+      continue;
+    }
+    report.outcomes.push_back(*outcome);
+    switch (outcome->status) {
+      case JobStatus::kOk: ++report.ok; break;
+      case JobStatus::kTruncated: ++report.truncated; break;
+      case JobStatus::kFailed: ++report.failed; break;
+      case JobStatus::kPoisoned: ++report.poisoned; break;
+    }
+    if (outcome->attempts > 1) ++report.retried;
+  }
+  report.drained = draining();
+  return report;
+}
+
+// --- the standard partition-job runner -----------------------------------
+
+namespace {
+
+/// Everything shareable between jobs touching the same instance. Built
+/// once under the entry mutex; reads afterwards are immutable.
+struct InstanceEntry {
+  std::mutex mu;
+  bool built = false;
+  hg::Hypergraph graph;
+  hg::FixedAssignment base_fixed{0, 2};
+  std::optional<part::BalanceConstraint> balance;
+  std::unique_ptr<gen::FixedVertexSeries> series;  // good/rand regimes
+  bool reference_built = false;
+  std::vector<hg::PartitionId> good_reference;
+};
+
+util::Scale scale_from_string(const std::string& text) {
+  if (text == "smoke") return util::Scale::kSmoke;
+  if (text == "paper") return util::Scale::kPaper;
+  return util::Scale::kDefault;
+}
+
+/// The paper's engine defaults (CLIP refinement, no pass cutoff) — kept in
+/// sync with exp::default_ml_config, which lives a layer above svc.
+ml::MultilevelConfig engine_config() {
+  ml::MultilevelConfig config;
+  config.refine.policy = part::SelectionPolicy::kClip;
+  config.refine.pass_cutoff = 1.0;
+  return config;
+}
+
+std::shared_ptr<InstanceEntry> instance_entry(const std::string& key) {
+  static std::mutex cache_mu;
+  static std::map<std::string, std::shared_ptr<InstanceEntry>> cache;
+  std::lock_guard<std::mutex> lock(cache_mu);
+  std::shared_ptr<InstanceEntry>& entry = cache[key];
+  if (entry == nullptr) entry = std::make_shared<InstanceEntry>();
+  return entry;
+}
+
+void build_instance(InstanceEntry& entry, const JobSpec& spec,
+                    const std::string& key) {
+  if (spec.instance.empty()) {
+    gen::GeneratedCircuit circuit = gen::generate_circuit(
+        gen::ibm_like_spec(spec.circuit, scale_from_string(spec.scale)));
+    entry.graph = std::move(circuit.graph);
+    entry.base_fixed = hg::FixedAssignment(entry.graph.num_vertices(), 2);
+    entry.balance = part::BalanceConstraint::relative(entry.graph, 2,
+                                                      spec.tolerance_pct);
+  } else if (spec.instance.size() > 4 &&
+             spec.instance.rfind(".fpb") == spec.instance.size() - 4) {
+    hg::BenchmarkInstance instance = hg::read_fpb_file(spec.instance);
+    if (instance.num_parts != 2) {
+      throw util::InputError("batch job " + spec.id +
+                             ": only bipartitioning instances supported");
+    }
+    entry.graph = std::move(instance.graph);
+    entry.base_fixed = std::move(instance.fixed);
+    entry.balance = part::BalanceConstraint::from_spec(entry.graph, 2,
+                                                       instance.balance);
+  } else {
+    entry.graph = hg::read_hmetis_file(spec.instance);
+    entry.base_fixed = hg::FixedAssignment(entry.graph.num_vertices(), 2);
+    entry.balance = part::BalanceConstraint::relative(entry.graph, 2,
+                                                      spec.tolerance_pct);
+  }
+  // The regime series and good reference must be shared by every job on
+  // this instance (the paper's nested-series protocol), so their seeds
+  // derive from the instance key, never from a job's seed.
+  util::Rng series_rng(splitmix64(fnv1a(key)));
+  entry.series = std::make_unique<gen::FixedVertexSeries>(entry.graph, 2,
+                                                          series_rng);
+  entry.built = true;
+}
+
+const std::vector<hg::PartitionId>& good_reference(InstanceEntry& entry,
+                                                   const std::string& key) {
+  if (!entry.reference_built) {
+    const hg::FixedAssignment all_free(entry.graph.num_vertices(), 2);
+    const ml::MultilevelPartitioner partitioner(entry.graph, all_free,
+                                                *entry.balance);
+    util::Rng rng(splitmix64(fnv1a(key) ^ 0x900dULL));
+    entry.good_reference =
+        partitioner.best_of(4, rng, engine_config()).assignment;
+    entry.reference_built = true;
+  }
+  return entry.good_reference;
+}
+
+/// Re-applies the instance's own pins on top of a regime assignment (file
+/// instances may carry fixed terminals; they always win).
+void merge_base_fixed(hg::FixedAssignment& fixed,
+                      const hg::FixedAssignment& base) {
+  for (hg::VertexId v = 0; v < base.num_vertices(); ++v) {
+    if (base.is_restricted(v)) fixed.restrict_to(v, base.allowed_mask(v));
+  }
+}
+
+}  // namespace
+
+JobResult run_partition_job(const JobSpec& spec,
+                            const util::Deadline& deadline) {
+  const std::string key = spec.instance.empty()
+                              ? "gen:" + std::to_string(spec.circuit) + ":" +
+                                    spec.scale + ":" +
+                                    std::to_string(spec.tolerance_pct)
+                              : "file:" + spec.instance + ":" +
+                                    std::to_string(spec.tolerance_pct);
+  const std::shared_ptr<InstanceEntry> entry = instance_entry(key);
+
+  hg::FixedAssignment fixed{0, 2};
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->built) build_instance(*entry, spec, key);
+    if (spec.regime == "good") {
+      fixed = entry->series->good_regime(spec.fixed_pct,
+                                         good_reference(*entry, key));
+      merge_base_fixed(fixed, entry->base_fixed);
+    } else if (spec.regime == "rand") {
+      fixed = entry->series->rand_regime(spec.fixed_pct);
+      merge_base_fixed(fixed, entry->base_fixed);
+    } else {
+      fixed = entry->base_fixed;
+    }
+  }
+
+  ml::MultilevelConfig config = engine_config();
+  config.deadline = &deadline;
+  config.preflight = spec.preflight;
+  const ml::MultilevelPartitioner partitioner(entry->graph, fixed,
+                                              *entry->balance);
+  util::Rng rng(spec.seed);
+  const ml::MultilevelResult result =
+      partitioner.best_of(spec.starts, rng, config);
+  return JobResult{result.cut, result.truncated};
+}
+
+}  // namespace fixedpart::svc

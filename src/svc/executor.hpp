@@ -1,0 +1,132 @@
+#pragma once
+// Supervised batch execution: a worker pool that keeps a fleet of
+// partitioning jobs making progress when individual jobs crash, hang, run
+// out of budget, or the whole process is killed mid-sweep.
+//
+// Per job: its own util::Deadline (budget + a supervisor-owned cancel
+// flag), every exception caught at the job boundary and classified via
+// the PR-2 taxonomy, transient failures (bad_alloc, TransientError,
+// internal errors, deadline truncation) retried with exponential backoff
+// and deterministic jitter, permanent failures (InputError,
+// InfeasibleError) failed fast, jobs poisoned after max_attempts.
+//
+// Per fleet: an optional checkpoint journal (resume skips finished jobs),
+// a heartbeat watchdog that cancels attempts stuck past hang_seconds
+// through Deadline::set_cancel_flag, and a drain flag (SIGINT/SIGTERM)
+// that finishes in-flight jobs, checkpoints them, and returns.
+//
+// Determinism: a job's result depends only on its JobSpec (seed included)
+// — never on worker count, scheduling, or other jobs — so the canonical
+// journal of a (manifest, seed) pair is byte-identical across runs.
+// docs/ROBUSTNESS.md documents the job lifecycle state machine.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "svc/checkpoint.hpp"
+#include "svc/job.hpp"
+#include "util/deadline.hpp"
+
+namespace fixedpart::svc {
+
+/// What one successful attempt reports back to the executor.
+struct JobResult {
+  Weight cut = 0;
+  bool truncated = false;
+};
+
+/// Runs one attempt of one job under the supervisor's deadline. Must be
+/// callable concurrently from multiple workers, and for determinism must
+/// derive all randomness from the spec (not from shared mutable state).
+using JobRunner =
+    std::function<JobResult(const JobSpec&, const util::Deadline&)>;
+
+struct RetryPolicy {
+  /// Total attempts per job (first try included). >= 1.
+  int max_attempts = 3;
+  /// First retry waits base, then base*2, base*4, ... capped.
+  double backoff_base_seconds = 0.5;
+  double backoff_cap_seconds = 30.0;
+  /// Multiplicative jitter in [0, fraction), deterministic from
+  /// (job id, attempt) so reruns back off identically.
+  double jitter_fraction = 0.25;
+  /// Deadline truncation counts as transient: retry with a fresh budget
+  /// (the expiry may be machine load); the best attempt is kept either
+  /// way, so exhausting attempts yields kTruncated, never kPoisoned.
+  bool retry_truncated = true;
+};
+
+struct ExecutorConfig {
+  int workers = 1;
+  RetryPolicy retry;
+  /// Cancel an attempt running longer than this (0 = no watchdog). The
+  /// cancellation is cooperative — the engine unwinds at its next deadline
+  /// check and the attempt reports truncated.
+  double hang_seconds = 0.0;
+  /// Graceful drain (not owned): when it becomes true, in-flight jobs
+  /// finish and are checkpointed, nothing new is dispatched.
+  const std::atomic<bool>* drain = nullptr;
+
+  // --- test / fault-injection hooks -------------------------------------
+  /// Called on the worker thread before each attempt (1-based); may throw
+  /// to inject failures. In the spirit of tests/fault_inject.hpp.
+  std::function<void(const JobSpec&, int attempt)> fault_hook;
+  /// Simulated kill -9: once this many outcomes have been checkpointed,
+  /// stop dispatching and *discard* in-flight results (they never reach
+  /// the journal). < 0 disables.
+  std::int64_t halt_after = -1;
+  /// Backoff sleep override (tests capture delays instead of sleeping).
+  std::function<void(double seconds)> sleep_fn;
+};
+
+struct BatchReport {
+  /// One entry per finished job, in manifest order (resumed jobs keep
+  /// their journaled outcome). Jobs never dispatched — drain/halt — are
+  /// absent and counted in `abandoned`.
+  std::vector<JobOutcome> outcomes;
+  std::int64_t ok = 0;
+  std::int64_t truncated = 0;
+  std::int64_t failed = 0;    ///< permanent input/infeasible errors
+  std::int64_t poisoned = 0;
+  std::int64_t retried = 0;   ///< jobs that needed more than one attempt
+  std::int64_t resumed = 0;   ///< skipped because the journal had them
+  std::int64_t abandoned = 0; ///< not run: drain, halt, or journal loss
+  bool drained = false;       ///< stopped early (drain flag or halt_after)
+
+  bool complete() const { return abandoned == 0; }
+  /// PR-2 exit code for the fleet: 0 when every job completed (ok or
+  /// truncated); otherwise the highest-severity class — poisoned or an
+  /// incomplete run -> 1, input failures -> 3, infeasible failures -> 4.
+  int exit_code() const;
+  /// One-line counts for logs: "ok=5 truncated=1 ...".
+  std::string summary() const;
+};
+
+class BatchExecutor {
+ public:
+  BatchExecutor(JobRunner runner, ExecutorConfig config);
+
+  /// Runs every manifest job without a journal entry. `journal` may be
+  /// null (no checkpointing, no resume). Manifest ids must be unique.
+  /// Exceptions escaping the runner never escape run(); journal IO errors
+  /// and invalid manifests do.
+  BatchReport run(const std::vector<JobSpec>& manifest,
+                  CheckpointJournal* journal);
+
+ private:
+  JobRunner runner_;
+  ExecutorConfig config_;
+};
+
+/// The standard runner: materializes the instance described by the spec
+/// (reads .fpb/.hgr files, or generates the ibm-like circuit; applies the
+/// good/rand fixed-vertex regime) and runs the multilevel multistart
+/// under the deadline. Instances and good-regime references are memoized
+/// process-wide, keyed by everything that affects them.
+JobResult run_partition_job(const JobSpec& spec,
+                            const util::Deadline& deadline);
+
+}  // namespace fixedpart::svc

@@ -1,0 +1,410 @@
+#include "svc/job.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fixedpart::svc {
+
+namespace {
+
+// --- JSON emission -------------------------------------------------------
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << value;
+  return out.str();
+}
+
+class LineBuilder {
+ public:
+  void field(const char* key, const std::string& value) {
+    prefix(key);
+    append_escaped(out_, value);
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+  void raw_field(const char* key, const std::string& raw) {
+    prefix(key);
+    out_ += raw;
+  }
+  void field(const char* key, std::int64_t value) {
+    raw_field(key, std::to_string(value));
+  }
+  void field(const char* key, std::uint64_t value) {
+    raw_field(key, std::to_string(value));
+  }
+  void field(const char* key, int value) {
+    raw_field(key, std::to_string(value));
+  }
+  void field(const char* key, double value) {
+    raw_field(key, format_double(value));
+  }
+  void field(const char* key, bool value) {
+    raw_field(key, value ? "true" : "false");
+  }
+  std::string finish() { return out_ + "}"; }
+
+ private:
+  void prefix(const char* key) {
+    out_ += first_ ? "{\"" : ", \"";
+    first_ = false;
+    out_ += key;
+    out_ += "\": ";
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+// --- flat-object parsing -------------------------------------------------
+
+/// Scans a single-line flat JSON object {"key": value, ...} where values
+/// are strings, numbers or booleans (no nesting). Every syntax failure
+/// goes through `at.fail`, so diagnostics carry source:line context.
+class FlatObject {
+ public:
+  FlatObject(const std::string& line, const hg::LineReader& at) : at_(at) {
+    std::size_t pos = 0;
+    skip_ws(line, pos);
+    if (pos >= line.size() || line[pos] != '{') at_.fail("expected '{'");
+    ++pos;
+    skip_ws(line, pos);
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+    } else {
+      while (true) {
+        const std::string key = parse_string(line, pos);
+        skip_ws(line, pos);
+        if (pos >= line.size() || line[pos] != ':') {
+          at_.fail("expected ':' after key \"" + key + "\"");
+        }
+        ++pos;
+        skip_ws(line, pos);
+        if (!fields_.emplace(key, parse_value(line, pos)).second) {
+          at_.fail("duplicate key \"" + key + "\"");
+        }
+        skip_ws(line, pos);
+        if (pos < line.size() && line[pos] == ',') {
+          ++pos;
+          skip_ws(line, pos);
+          continue;
+        }
+        if (pos < line.size() && line[pos] == '}') {
+          ++pos;
+          break;
+        }
+        at_.fail("expected ',' or '}' in object");
+      }
+    }
+    skip_ws(line, pos);
+    if (pos != line.size()) at_.fail("trailing content after object");
+  }
+
+  bool has(const char* key) const { return fields_.count(key) != 0; }
+
+  std::string get_string(const char* key, const std::string& def) const {
+    const auto it = fields_.find(key);
+    return it == fields_.end() ? def : it->second;
+  }
+
+  std::string require_string(const char* key) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) {
+      at_.fail(std::string("missing required field \"") + key + "\"");
+    }
+    return it->second;
+  }
+
+  std::int64_t get_int(const char* key, std::int64_t def, std::int64_t min,
+                       std::int64_t max) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return def;
+    return hg::parse_int_text(it->second, at_, key, min, max);
+  }
+
+  std::uint64_t get_uint64(const char* key, std::uint64_t def) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return def;
+    const std::string& text = it->second;
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      at_.fail(std::string(key) + ": not an unsigned integer: " + text);
+    }
+    return value;
+  }
+
+  double get_double(const char* key, double def) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return def;
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument("trailing");
+      return value;
+    } catch (const std::exception&) {
+      at_.fail(std::string(key) + ": not a number: " + it->second);
+    }
+  }
+
+  bool get_bool(const char* key, bool def) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return def;
+    if (it->second == "true") return true;
+    if (it->second == "false") return false;
+    at_.fail(std::string(key) + ": not a boolean: " + it->second);
+  }
+
+ private:
+  static void skip_ws(const std::string& line, std::size_t& pos) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+
+  std::string parse_string(const std::string& line, std::size_t& pos) const {
+    if (pos >= line.size() || line[pos] != '"') at_.fail("expected '\"'");
+    ++pos;
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+      char c = line[pos++];
+      if (c == '\\') {
+        if (pos >= line.size()) at_.fail("unterminated escape");
+        const char esc = line[pos++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: at_.fail(std::string("unsupported escape \\") + esc);
+        }
+      }
+      out += c;
+    }
+    if (pos >= line.size()) at_.fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  /// Strings come back unescaped; numbers/booleans come back as the raw
+  /// token text (validated on typed access).
+  std::string parse_value(const std::string& line, std::size_t& pos) const {
+    if (pos < line.size() && line[pos] == '"') {
+      return parse_string(line, pos);
+    }
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ',' && line[pos] != '}' &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos == start) at_.fail("expected a value");
+    return line.substr(start, pos - start);
+  }
+
+  const hg::LineReader& at_;
+  std::map<std::string, std::string> fields_;
+};
+
+void validate_spec(const JobSpec& spec, const hg::LineReader& at) {
+  if (spec.id.empty()) at.fail("job id must be non-empty");
+  if (spec.scale != "smoke" && spec.scale != "default" &&
+      spec.scale != "paper") {
+    at.fail("scale must be smoke|default|paper, got \"" + spec.scale + "\"");
+  }
+  if (spec.regime != "free" && spec.regime != "good" &&
+      spec.regime != "rand") {
+    at.fail("regime must be free|good|rand, got \"" + spec.regime + "\"");
+  }
+  if (spec.instance.empty() && (spec.circuit < 1 || spec.circuit > 5)) {
+    at.fail("circuit must be in 1..5 for generated instances");
+  }
+  if (spec.fixed_pct < 0.0 || spec.fixed_pct > 100.0) {
+    at.fail("fixed_pct must be in [0, 100]");
+  }
+  if (spec.budget_seconds < 0.0) at.fail("budget_seconds must be >= 0");
+  if (spec.tolerance_pct < 0.0) at.fail("tolerance_pct must be >= 0");
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kTruncated: return "truncated";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kPoisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+const char* to_string(ErrorClass error) {
+  switch (error) {
+    case ErrorClass::kNone: return "none";
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kInput: return "input";
+    case ErrorClass::kInfeasible: return "infeasible";
+    case ErrorClass::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+JobStatus job_status_from_string(const std::string& text) {
+  if (text == "ok") return JobStatus::kOk;
+  if (text == "truncated") return JobStatus::kTruncated;
+  if (text == "failed") return JobStatus::kFailed;
+  if (text == "poisoned") return JobStatus::kPoisoned;
+  throw util::InputError("unknown job status: " + text);
+}
+
+ErrorClass error_class_from_string(const std::string& text) {
+  if (text == "none") return ErrorClass::kNone;
+  if (text == "transient") return ErrorClass::kTransient;
+  if (text == "input") return ErrorClass::kInput;
+  if (text == "infeasible") return ErrorClass::kInfeasible;
+  if (text == "internal") return ErrorClass::kInternal;
+  throw util::InputError("unknown error class: " + text);
+}
+
+std::string to_json_line(const JobSpec& spec) {
+  LineBuilder out;
+  out.field("id", spec.id);
+  if (!spec.instance.empty()) {
+    out.field("instance", spec.instance);
+  } else {
+    out.field("circuit", spec.circuit);
+    out.field("scale", spec.scale);
+  }
+  out.field("regime", spec.regime);
+  out.field("fixed_pct", spec.fixed_pct);
+  out.field("starts", spec.starts);
+  out.field("seed", spec.seed);
+  out.field("tolerance_pct", spec.tolerance_pct);
+  out.field("budget_seconds", spec.budget_seconds);
+  out.field("preflight", spec.preflight);
+  return out.finish();
+}
+
+namespace {
+
+std::string outcome_json(const JobOutcome& outcome, bool with_timing) {
+  LineBuilder out;
+  out.field("id", outcome.id);
+  out.field("status", to_string(outcome.status));
+  out.field("error", to_string(outcome.error));
+  if (!outcome.message.empty()) out.field("message", outcome.message);
+  out.field("attempts", outcome.attempts);
+  out.field("cut", static_cast<std::int64_t>(outcome.cut));
+  out.field("truncated", outcome.truncated);
+  if (with_timing) out.field("seconds", outcome.seconds);
+  return out.finish();
+}
+
+}  // namespace
+
+std::string to_json_line(const JobOutcome& outcome) {
+  return outcome_json(outcome, /*with_timing=*/true);
+}
+
+std::string to_canonical_json_line(const JobOutcome& outcome) {
+  return outcome_json(outcome, /*with_timing=*/false);
+}
+
+JobSpec job_spec_from_json(const std::string& line,
+                           const hg::LineReader& at) {
+  const FlatObject obj(line, at);
+  JobSpec spec;
+  spec.id = obj.require_string("id");
+  spec.instance = obj.get_string("instance", "");
+  spec.circuit = static_cast<int>(obj.get_int("circuit", spec.circuit, 1, 5));
+  spec.scale = obj.get_string("scale", spec.scale);
+  spec.regime = obj.get_string("regime", spec.regime);
+  spec.fixed_pct = obj.get_double("fixed_pct", spec.fixed_pct);
+  spec.starts =
+      static_cast<int>(obj.get_int("starts", spec.starts, 1, 1 << 20));
+  spec.seed = obj.get_uint64("seed", spec.seed);
+  spec.tolerance_pct = obj.get_double("tolerance_pct", spec.tolerance_pct);
+  spec.budget_seconds = obj.get_double("budget_seconds", spec.budget_seconds);
+  spec.preflight = obj.get_bool("preflight", spec.preflight);
+  validate_spec(spec, at);
+  return spec;
+}
+
+JobOutcome job_outcome_from_json(const std::string& line,
+                                 const hg::LineReader& at) {
+  const FlatObject obj(line, at);
+  JobOutcome outcome;
+  outcome.id = obj.require_string("id");
+  try {
+    outcome.status = job_status_from_string(obj.require_string("status"));
+    outcome.error = error_class_from_string(obj.get_string("error", "none"));
+  } catch (const util::InputError& error) {
+    at.fail(error.what());
+  }
+  outcome.message = obj.get_string("message", "");
+  outcome.attempts =
+      static_cast<int>(obj.get_int("attempts", 1, 1, 1 << 20));
+  outcome.cut = static_cast<Weight>(obj.get_int(
+      "cut", 0, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()));
+  outcome.truncated = obj.get_bool("truncated", false);
+  outcome.seconds = obj.get_double("seconds", 0.0);
+  if (outcome.id.empty()) at.fail("outcome id must be non-empty");
+  return outcome;
+}
+
+std::vector<JobSpec> load_manifest(std::istream& in,
+                                   const std::string& source) {
+  hg::LineReader reader(in, source, '#');
+  std::vector<JobSpec> manifest;
+  std::set<std::string> seen;
+  std::string line;
+  while (reader.next(line)) {
+    JobSpec spec = job_spec_from_json(line, reader);
+    if (!seen.insert(spec.id).second) {
+      reader.fail("duplicate job id \"" + spec.id + "\"");
+    }
+    manifest.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+std::vector<JobSpec> load_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::InputError("manifest: cannot read " + path);
+  return load_manifest(in, path);
+}
+
+}  // namespace fixedpart::svc

@@ -1,0 +1,108 @@
+#pragma once
+// Batch-job descriptions for the supervised execution engine (svc). A
+// JobSpec says *what* to partition — an on-disk instance or a generated
+// IBM-like circuit, plus regime/engine knobs — and a JobOutcome records
+// what happened to it: result, attempts, error class, wall time. Both are
+// serialized as flat single-line JSON objects so a manifest (one JobSpec
+// per line) and a checkpoint journal (one JobOutcome per line) are plain
+// JSONL files, diffable and greppable. Parsing reuses the hardened
+// hg::LineReader, so malformed manifests fail with source:line context
+// through the PR-2 error taxonomy (util::InputError, exit code 3).
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hg/io_common.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::svc {
+
+using hg::Weight;
+
+/// One unit of supervised work: an instance, a fixed-vertex regime, and
+/// the multilevel engine knobs. Defaults describe a tiny smoke job.
+struct JobSpec {
+  /// Unique within a manifest; names the job in the journal and logs.
+  std::string id;
+  /// On-disk instance (.fpb or hMETIS .hgr); empty = generated circuit.
+  std::string instance;
+  /// Generator parameters (used when `instance` is empty).
+  int circuit = 1;             ///< ibm-like preset index (1..5)
+  std::string scale = "smoke"; ///< smoke | default | paper
+  /// Fixed-vertex regime layered on top: free keeps the instance's own
+  /// fixed vertices; good/rand fix `fixed_pct`% per the paper's protocol.
+  std::string regime = "free"; ///< free | good | rand
+  double fixed_pct = 0.0;
+  /// Engine knobs.
+  int starts = 1;                ///< multistart runs, best kept
+  std::uint64_t seed = 1;        ///< RNG seed; fully determines the result
+  double tolerance_pct = 2.0;    ///< relative balance tolerance
+  double budget_seconds = 0.0;   ///< per-attempt deadline; 0 = unlimited
+  bool preflight = false;        ///< strict feasibility pre-flight
+};
+
+/// Terminal states of a job (docs/ROBUSTNESS.md has the state machine).
+enum class JobStatus : std::uint8_t {
+  kOk,         ///< completed within budget
+  kTruncated,  ///< completed, but degraded by an expired deadline/cancel
+  kFailed,     ///< permanent error (input/infeasible); never retried
+  kPoisoned,   ///< transient errors exhausted max_attempts
+};
+
+/// Error classification at the job boundary (PR-2 taxonomy).
+enum class ErrorClass : std::uint8_t {
+  kNone,
+  kTransient,   ///< bad_alloc, TransientError: retried with backoff
+  kInput,       ///< util::InputError: permanent, failed fast
+  kInfeasible,  ///< util::InfeasibleError: permanent, failed fast
+  kInternal,    ///< unclassified exception: retried, then poisoned
+};
+
+/// Retryable failure injected by infrastructure (IO hiccups, test fault
+/// hooks). The executor backs off and retries these like bad_alloc.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// What happened to one job, as recorded in the checkpoint journal.
+struct JobOutcome {
+  std::string id;
+  JobStatus status = JobStatus::kOk;
+  ErrorClass error = ErrorClass::kNone;
+  std::string message;   ///< diagnostic for failed/poisoned jobs
+  int attempts = 1;
+  Weight cut = 0;
+  bool truncated = false;
+  double seconds = 0.0;  ///< total wall time across attempts (a timestamp:
+                         ///< excluded from the canonical form)
+};
+
+const char* to_string(JobStatus status);
+const char* to_string(ErrorClass error);
+JobStatus job_status_from_string(const std::string& text);
+ErrorClass error_class_from_string(const std::string& text);
+
+/// One-line JSON serializations (no trailing newline).
+std::string to_json_line(const JobSpec& spec);
+std::string to_json_line(const JobOutcome& outcome);
+/// The outcome minus wall-time: for a given manifest and seed this line is
+/// byte-identical regardless of worker count or machine load, so sorted
+/// canonical journals can be compared bit-for-bit (the determinism guard).
+std::string to_canonical_json_line(const JobOutcome& outcome);
+
+/// Parse one JSON line; failures throw hg::ParseError anchored at `at`.
+JobSpec job_spec_from_json(const std::string& line, const hg::LineReader& at);
+JobOutcome job_outcome_from_json(const std::string& line,
+                                 const hg::LineReader& at);
+
+/// Loads a JSONL manifest ('#' comments and blank lines allowed). Rejects
+/// duplicate or empty ids and out-of-range knobs via util::InputError.
+std::vector<JobSpec> load_manifest(std::istream& in,
+                                   const std::string& source);
+std::vector<JobSpec> load_manifest_file(const std::string& path);
+
+}  // namespace fixedpart::svc

@@ -1,0 +1,56 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace fixedpart::util {
+
+void flush_and_sync(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw std::runtime_error("atomic_file: flush failed for " + path);
+  }
+#ifndef _WIN32
+  // Durability, not just ordering: without fsync a power loss can leave a
+  // renamed-but-empty file on some filesystems.
+  if (::fsync(::fileno(file)) != 0) {
+    throw std::runtime_error("atomic_file: fsync failed for " + path);
+  }
+#endif
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("atomic_file: cannot open " + tmp);
+  }
+  const bool wrote =
+      content.empty() ||
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  bool ok = wrote;
+  if (ok) {
+    try {
+      flush_and_sync(file, tmp);
+    } catch (...) {
+      std::fclose(file);
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_file: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_file: cannot rename " + tmp + " -> " +
+                             path);
+  }
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,24 @@
+#pragma once
+// Crash-safe whole-file writes. write_file_atomic publishes `content`
+// under `path` via write-temp + flush(+fsync) + atomic rename, so readers
+// never observe a truncated or half-written file: they see either the old
+// content or the new content, even if the writer dies mid-write. Used by
+// the svc checkpoint journal (compaction and summaries) and by
+// bench/bench_to_json for the tracked BENCH_*.json trajectory files.
+
+#include <cstdio>
+#include <string>
+
+namespace fixedpart::util {
+
+/// Atomically replaces (or creates) `path` with `content`. The temporary
+/// sibling is named `path` + ".tmp" and is removed on failure. Throws
+/// std::runtime_error naming the path on any IO error.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Flushes `content` to an open FILE-descriptor-backed stream and fsyncs
+/// it (no-op fsync on platforms without one). Shared by write_file_atomic
+/// and the append-mode checkpoint journal.
+void flush_and_sync(std::FILE* file, const std::string& path);
+
+}  // namespace fixedpart::util

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "gen/netlist_gen.hpp"
+#include "hg/builder.hpp"
 #include "part/initial.hpp"
 #include "part/partition.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace fixedpart::ml {
@@ -221,6 +223,32 @@ TEST(Multilevel, ParallelMultistartValidation) {
                std::invalid_argument);
   EXPECT_THROW(partitioner.best_of_parallel(2, 0, 1, MultilevelConfig{}),
                std::invalid_argument);
+}
+
+TEST(Multilevel, ParallelMultistartPropagatesWorkerExceptions) {
+  // Two weight-10 vertices pinned into part 0 overflow a 2% tolerance, so
+  // with the strict pre-flight every worker start throws InfeasibleError.
+  // The exception must propagate to the caller as an exception (not
+  // std::terminate from an unjoined/throwing thread, not a hang).
+  hg::HypergraphBuilder builder;
+  builder.add_vertex(10);
+  builder.add_vertex(10);
+  builder.add_vertex(1);
+  builder.add_vertex(1);
+  builder.add_net(std::vector<hg::VertexId>{0, 2}, 1);
+  builder.add_net(std::vector<hg::VertexId>{1, 3}, 1);
+  const hg::Hypergraph graph = builder.build();
+  hg::FixedAssignment fixed(graph.num_vertices(), 2);
+  fixed.fix(0, 0);
+  fixed.fix(1, 0);
+  const auto balance = part::BalanceConstraint::relative(graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(graph, fixed, balance);
+  MultilevelConfig strict;
+  strict.preflight = true;
+  EXPECT_THROW(partitioner.best_of_parallel(4, 2, 11, strict),
+               util::InfeasibleError);
+  EXPECT_THROW(partitioner.best_of_parallel(4, 1, 11, strict),
+               util::InfeasibleError);
 }
 
 TEST(Multilevel, RejectsBadArguments) {
