@@ -28,6 +28,8 @@
 #include "gen/suite.hpp"
 #include "hg/fixed.hpp"
 #include "ml/multilevel.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "part/balance.hpp"
 #include "part/fm.hpp"
 #include "part/gain_buckets.hpp"
@@ -270,6 +272,19 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Re-indents a pretty-printed JSON block so it nests one level deeper
+/// inside the output object (and drops its trailing newline).
+std::string indent_block(std::string text) {
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  std::string out;
+  out.reserve(text.size() + 64);
+  for (const char c : text) {
+    out += c;
+    if (c == '\n') out += "  ";
+  }
+  return out;
+}
+
 bool metrics_close(const Metric& a, const Metric& b) {
   const auto near = [](double x, double y) {
     return std::abs(x - y) <= 1e-5 * std::max({1.0, std::abs(x),
@@ -285,7 +300,7 @@ bool metrics_close(const Metric& a, const Metric& b) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   cli.require_known({"out", "baseline", "starts", "repeats", "smoke",
-                     "budget"});
+                     "budget", "trace-out"});
   const bool smoke = cli.get_bool("smoke", false);
   const std::string out_path = cli.get_or("out", "BENCH.json");
   const int starts =
@@ -333,6 +348,30 @@ int main(int argc, char** argv) {
   results.emplace_back("gain_bucket_churn",
                        run_bucket_churn(smoke ? 20000 : 2000000, repeats));
 
+  // Optional Chrome-trace capture: one extra, untimed multistart run with
+  // the tracer armed, so the timed numbers above stay span-free. Open the
+  // file in chrome://tracing or https://ui.perfetto.dev.
+  if (const auto trace_path = cli.get("trace-out")) {
+    if (!fixedpart::obs::kEnabled) {
+      std::cerr << "bench_to_json: built with FIXEDPART_OBS=OFF; "
+                << *trace_path << " will contain no spans\n";
+    }
+    std::cerr << "bench_to_json: traced multilevel multistart (untimed)...\n";
+    auto& tracer = fixedpart::obs::Tracer::global();
+    tracer.start();
+    run_multilevel(ibm01, starts, /*repeats=*/1, budget);
+    tracer.stop();
+    try {
+      tracer.write_json(*trace_path);
+    } catch (const std::exception& error) {
+      std::cerr << "bench_to_json: " << error.what() << "\n";
+      return 1;
+    }
+    std::cerr << "bench_to_json: wrote " << *trace_path << " ("
+              << tracer.event_count() << " spans, "
+              << tracer.dropped_count() << " dropped)\n";
+  }
+
   {
     // Built in memory and published via write-temp + atomic rename: an
     // interruption mid-emit cannot leave a truncated BENCH_*.json behind.
@@ -345,6 +384,10 @@ int main(int argc, char** argv) {
         << "  \"repeats\": " << repeats << ",\n"
         << "  \"budget_seconds\": " << format_double(budget) << ",\n";
     emit_results(out, "results", results);
+    // Process-wide obs counters/histograms over everything this invocation
+    // ran ({"counters": {}, "histograms": {}} under FIXEDPART_OBS=OFF).
+    out << ",\n  \"metrics\": "
+        << indent_block(fixedpart::obs::Registry::global().scrape().to_json());
     if (!baseline.empty()) {
       out << ",\n";
       emit_results(out, "baseline", baseline);

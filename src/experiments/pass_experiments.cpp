@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "gen/regimes.hpp"
+#include "obs/pass_observer.hpp"
+#include "obs/registry.hpp"
 #include "part/fm.hpp"
 #include "part/initial.hpp"
 #include "part/partition.hpp"
@@ -18,6 +20,45 @@ hg::FixedAssignment good_instance(const InstanceContext& context, double pct,
   gen::FixedVertexSeries series(context.circuit.graph, 2, rng);
   return series.good_regime(pct, context.good_reference);
 }
+
+/// Table II statistics as a thin observer: per-pass aggregation happens
+/// on the engine's pass-end events instead of post-processing
+/// FmResult::pass_records. The accumulation below mirrors the legacy loop
+/// in run_pass_stats line for line — same values, same order — which is
+/// what keeps the two paths bit-identical.
+class TableTwoCollector final : public obs::PassObserver {
+ public:
+  TableTwoCollector(util::RunningStat& pct_moved,
+                    util::RunningStat& pct_performed,
+                    util::Histogram& prefix_positions)
+      : pct_moved_(pct_moved),
+        pct_performed_(pct_performed),
+        prefix_positions_(prefix_positions) {}
+
+  void on_pass_begin(const obs::PassBegin& begin) override {
+    movable_ = begin.movable;
+  }
+
+  void on_pass_end(const obs::PassEnd& end) override {
+    // Skip the first pass (the paper's protocol) and degenerate passes,
+    // exactly like the pass_records loop.
+    if (end.pass < 1 || movable_ == 0) return;
+    pct_moved_.add(100.0 * static_cast<double>(end.best_prefix) /
+                   static_cast<double>(movable_));
+    pct_performed_.add(100.0 * static_cast<double>(end.moves_performed) /
+                       static_cast<double>(movable_));
+    if (end.moves_performed > 0 && end.best_prefix > 0) {
+      prefix_positions_.add(static_cast<double>(end.best_prefix) /
+                            static_cast<double>(end.moves_performed));
+    }
+  }
+
+ private:
+  util::RunningStat& pct_moved_;
+  util::RunningStat& pct_performed_;
+  util::Histogram& prefix_positions_;
+  std::int32_t movable_ = 0;
+};
 
 }  // namespace
 
@@ -37,11 +78,21 @@ std::vector<PassStatsRow> run_pass_stats(const InstanceContext& context,
     util::RunningStat pct_moved;
     util::RunningStat pct_performed;
     util::Histogram prefix_positions(0.0, 1.0, 10);
+    // Observer path: the engine streams pass events into the collector and
+    // does not retain pass records at all. Falls back to the pass_records
+    // loop when the hooks are compiled out (FIXEDPART_OBS=OFF).
+    TableTwoCollector collector(pct_moved, pct_performed, prefix_positions);
+    const bool use_observer = config.use_observer && obs::kEnabled;
+    if (use_observer) {
+      fm.observer = &collector;
+      fm.collect_pass_records = false;
+    }
     part::PartitionState state(context.circuit.graph, 2);
     for (int run = 0; run < config.runs; ++run) {
       part::random_feasible_assignment(state, fixed, context.balance, rng);
       const auto result = engine.refine(state, rng, fm);
       passes.add(static_cast<double>(result.passes));
+      if (use_observer) continue;
       for (std::size_t p = 1; p < result.pass_records.size(); ++p) {
         const auto& rec = result.pass_records[p];
         if (rec.movable == 0) continue;
@@ -90,6 +141,7 @@ CutoffResult run_cutoff_experiment(const InstanceContext& context,
       part::FmConfig fm;
       fm.policy = part::SelectionPolicy::kLifo;
       fm.pass_cutoff = cutoff;
+      fm.collect_pass_records = false;  // only final cut and time are used
       util::RunningStat cut;
       util::RunningStat seconds;
       part::PartitionState state(context.circuit.graph, 2);

@@ -6,6 +6,8 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "part/feasibility.hpp"
 #include "part/initial.hpp"
 #include "util/errors.hpp"
@@ -76,10 +78,15 @@ MultilevelResult MultilevelPartitioner::run(
         result.truncated = true;
         break;
       }
+      obs::ScopedSpan span("ml.coarsen_level");
       const auto match = heavy_edge_matching(
           *g, *f, config.matching, rng,
           incumbent != nullptr ? &projected : nullptr);
       CoarseLevel level = contract(*g, *f, match);
+      span.arg("level", static_cast<std::int64_t>(levels.size()))
+          .arg("fine_vertices", static_cast<std::int64_t>(g->num_vertices()))
+          .arg("coarse_vertices",
+               static_cast<std::int64_t>(level.graph.num_vertices()));
       if (static_cast<double>(level.graph.num_vertices()) >
           config.stagnation_ratio * static_cast<double>(g->num_vertices())) {
         break;  // matching stagnated; stop coarsening
@@ -109,6 +116,10 @@ MultilevelResult MultilevelPartitioner::run(
           (i == 0) ? *graph_ : levels[i - 1].graph;
       const hg::FixedAssignment& fine_fixed =
           (i == 0) ? *fixed_ : levels[i - 1].fixed;
+      obs::ScopedSpan span("ml.project");
+      span.arg("level", static_cast<std::int64_t>(i))
+          .arg("fine_vertices",
+               static_cast<std::int64_t>(fine_graph.num_vertices()));
       part::PartitionState fine_state(fine_graph, 2);
       for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
         fine_state.assign(v, assignment[levels[i].map[v]]);
@@ -182,6 +193,8 @@ MultilevelResult MultilevelPartitioner::run(
       result.truncated = true;
       break;
     }
+    obs::ScopedSpan span("ml.vcycle");
+    span.arg("cycle", static_cast<std::int64_t>(cycle));
     auto [vlevels, vgraph, vfixed, projected] = build_hierarchy(&assignment);
     if (vlevels.empty()) break;  // nothing to re-coarsen
     part::PartitionState coarse_state(*vgraph, 2);
@@ -200,6 +213,15 @@ MultilevelResult MultilevelPartitioner::run(
 
   result.assignment = std::move(assignment);
   result.seconds = timer.seconds();
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    static const obs::MetricId runs = reg.counter("ml.runs");
+    static const obs::MetricId levels_total = reg.counter("ml.levels");
+    static const obs::MetricId truncations = reg.counter("ml.truncations");
+    reg.add(runs);
+    reg.add(levels_total, result.levels);
+    if (result.truncated) reg.add(truncations);
+  }
   return result;
 }
 

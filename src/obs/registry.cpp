@@ -1,0 +1,233 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fixedpart::obs {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // metric names are plain identifiers; keep it simple
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::int64_t Snapshot::counter(const std::string& name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramValue* Snapshot::histogram(const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(counters[i].name)
+        << "\": " << counters[i].value;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name)
+        << "\": {\"lo\": " << format_double(h.lo)
+        << ", \"hi\": " << format_double(h.hi) << ", \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.counts[b];
+    }
+    out << "], \"total\": " << h.total << ", \"dropped\": " << h.dropped
+        << "}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+#if FIXEDPART_OBS_ENABLED
+
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Registry::Registry() : uid_(next_registry_uid()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+MetricId Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return static_cast<MetricId>(i);
+  }
+  if (counter_names_.size() >= kMaxCounters) {
+    throw std::length_error("obs::Registry: counter capacity exhausted");
+  }
+  counter_names_.push_back(name);
+  return static_cast<MetricId>(counter_names_.size() - 1);
+}
+
+MetricId Registry::histogram(const std::string& name, double lo, double hi,
+                             std::uint32_t bins) {
+  if (bins == 0) throw std::invalid_argument("obs histogram: zero bins");
+  if (!(lo < hi)) throw std::invalid_argument("obs histogram: lo >= hi");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    if (histogram_names_[i] != name) continue;
+    const HistogramMeta& meta = histogram_meta_[i];
+    if (meta.lo != lo || meta.hi != hi || meta.bins != bins) {
+      throw std::invalid_argument("obs histogram \"" + name +
+                                  "\": re-registered with different shape");
+    }
+    return static_cast<MetricId>(i);
+  }
+  if (histogram_names_.size() >= kMaxHistograms) {
+    throw std::length_error("obs::Registry: histogram capacity exhausted");
+  }
+  if (next_cell_ + bins > kMaxHistogramCells) {
+    throw std::length_error("obs::Registry: histogram cell capacity exhausted");
+  }
+  const auto id = static_cast<MetricId>(histogram_names_.size());
+  histogram_names_.push_back(name);
+  HistogramMeta& meta = histogram_meta_[id];
+  meta.lo = lo;
+  meta.hi = hi;
+  meta.scale = static_cast<double>(bins) / (hi - lo);
+  meta.bins = bins;
+  meta.offset = next_cell_;
+  next_cell_ += bins;
+  // Publish: observe() loads num_histograms_ with acquire, so the meta
+  // writes above are visible to any thread holding a valid id.
+  num_histograms_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+Registry::Shard& Registry::local_shard() const {
+  struct CacheEntry {
+    std::uint64_t registry_uid;
+    std::shared_ptr<Shard> shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (CacheEntry& entry : cache) {
+    if (entry.registry_uid == uid_) return *entry.shard;
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+  cache.push_back({uid_, shard});
+  return *cache.back().shard;
+}
+
+void Registry::add(MetricId id, std::int64_t delta) {
+  if (id >= kMaxCounters) return;
+  local_shard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, double x) {
+  if (id >= num_histograms_.load(std::memory_order_acquire)) return;
+  const HistogramMeta& meta = histogram_meta_[id];
+  Shard& shard = local_shard();
+  if (std::isnan(x)) {
+    shard.dropped[id].fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Clamp in the double domain before any integer cast: +/-inf and values
+  // far outside [lo, hi) land in the edge bins instead of invoking UB.
+  std::uint32_t bin;
+  if (x <= meta.lo) {
+    bin = 0;
+  } else if (x >= meta.hi) {
+    bin = meta.bins - 1;
+  } else {
+    bin = std::min(static_cast<std::uint32_t>((x - meta.lo) * meta.scale),
+                   meta.bins - 1);
+  }
+  shard.cells[meta.offset + bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot Registry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::int64_t sum = 0;
+    for (const auto& shard : shards_) {
+      sum += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back({counter_names_[i], sum});
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    const HistogramMeta& meta = histogram_meta_[i];
+    HistogramValue value;
+    value.name = histogram_names_[i];
+    value.lo = meta.lo;
+    value.hi = meta.hi;
+    value.counts.assign(meta.bins, 0);
+    for (const auto& shard : shards_) {
+      for (std::uint32_t b = 0; b < meta.bins; ++b) {
+        value.counts[b] +=
+            shard->cells[meta.offset + b].load(std::memory_order_relaxed);
+      }
+      value.dropped += shard->dropped[i].load(std::memory_order_relaxed);
+    }
+    for (const std::uint64_t c : value.counts) value.total += c;
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->counters) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cell : shard->cells) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : shard->dropped) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#endif  // FIXEDPART_OBS_ENABLED
+
+}  // namespace fixedpart::obs

@@ -1,0 +1,171 @@
+#pragma once
+// Low-overhead named metrics: monotonic counters and fixed-bin histograms
+// (docs/OBSERVABILITY.md). The hot path — Registry::add / Registry::observe
+// — touches only a thread-local shard with relaxed atomic increments: no
+// locks, no shared cache lines between threads. scrape() takes the registry
+// mutex, sums every shard ever created (shards of exited threads are kept
+// alive by the registry and retain their final values) and returns a
+// consistent-enough Snapshot: each cell is read atomically; cells may be
+// torn *relative to each other* while writers are still running, which is
+// the standard monotonic-counter contract.
+//
+// Registration (counter()/histogram()) is the cold path and takes a lock;
+// call it once and cache the MetricId (a function-local static is the
+// idiomatic pattern, see src/part/fm.cpp). Capacities are fixed so shards
+// never reallocate under concurrent readers: kMaxCounters counters,
+// kMaxHistograms histograms, kMaxHistogramCells total bins per registry.
+//
+// Compile-time kill switch: building with -DFIXEDPART_OBS=OFF defines
+// FIXEDPART_OBS_ENABLED=0 and every member below compiles to an empty
+// inline stub, so instrumented call sites cost literally nothing.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef FIXEDPART_OBS_ENABLED
+#define FIXEDPART_OBS_ENABLED 1
+#endif
+
+namespace fixedpart::obs {
+
+/// True when the observability layer is compiled in. Use
+/// `if constexpr (obs::kEnabled)` around hooks that must vanish entirely
+/// under FIXEDPART_OBS=OFF.
+inline constexpr bool kEnabled = FIXEDPART_OBS_ENABLED != 0;
+
+/// Dense handle for a registered metric; stable for the registry lifetime.
+using MetricId = std::uint32_t;
+
+struct CounterValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::uint64_t> counts;  ///< one entry per bin
+  std::uint64_t total = 0;            ///< sum of counts
+  std::uint64_t dropped = 0;          ///< NaN observations, excluded above
+};
+
+/// Point-in-time merge of every shard, in registration order.
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a counter by name; 0 when the name was never registered.
+  std::int64_t counter(const std::string& name) const;
+  /// Histogram by name; nullptr when never registered.
+  const HistogramValue* histogram(const std::string& name) const;
+  /// Two-section JSON object: {"counters": {...}, "histograms": {...}}.
+  std::string to_json() const;
+};
+
+#if FIXEDPART_OBS_ENABLED
+
+class Registry {
+ public:
+  static constexpr std::uint32_t kMaxCounters = 256;
+  static constexpr std::uint32_t kMaxHistograms = 64;
+  static constexpr std::uint32_t kMaxHistogramCells = 4096;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static Registry& global();
+
+  /// Registers (or finds) a monotonic counter. Idempotent per name.
+  /// Throws std::length_error past kMaxCounters.
+  MetricId counter(const std::string& name);
+
+  /// Registers (or finds) a histogram over [lo, hi) with `bins` equal
+  /// bins. Re-registration with different parameters throws
+  /// std::invalid_argument; values outside the range clamp into the edge
+  /// bins; NaN observations are dropped (and counted).
+  MetricId histogram(const std::string& name, double lo, double hi,
+                     std::uint32_t bins);
+
+  /// Hot path: adds `delta` to this thread's shard of the counter.
+  void add(MetricId id, std::int64_t delta = 1);
+
+  /// Hot path: bins `x` into this thread's shard of the histogram.
+  void observe(MetricId id, double x);
+
+  /// Merges all shards into a Snapshot (takes the registry lock).
+  Snapshot scrape() const;
+
+  /// Zeroes every cell of every shard. Keeps registrations. Concurrent
+  /// adds during a reset land on either side of it (test/tool use only).
+  void reset();
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::int64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistogramCells> cells{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> dropped{};
+  };
+  struct HistogramMeta {
+    double lo = 0.0;
+    double hi = 1.0;
+    double scale = 0.0;  ///< bins / (hi - lo), for the hot-path bin compute
+    std::uint32_t bins = 0;
+    std::uint32_t offset = 0;  ///< first cell index in Shard::cells
+  };
+
+  Shard& local_shard() const;
+
+  /// Distinguishes registries in the thread-local shard cache even when a
+  /// destroyed registry's address is reused.
+  const std::uint64_t uid_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> histogram_names_;
+  std::array<HistogramMeta, kMaxHistograms> histogram_meta_{};
+  std::uint32_t next_cell_ = 0;
+  /// Published count of registered histograms; the release store in
+  /// histogram() / acquire load in observe() orders the meta writes.
+  std::atomic<std::uint32_t> num_histograms_{0};
+  mutable std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+#else  // FIXEDPART_OBS_ENABLED == 0: every hook is a no-op.
+
+class Registry {
+ public:
+  static constexpr std::uint32_t kMaxCounters = 256;
+  static constexpr std::uint32_t kMaxHistograms = 64;
+  static constexpr std::uint32_t kMaxHistogramCells = 4096;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global() {
+    static Registry registry;
+    return registry;
+  }
+
+  MetricId counter(const std::string&) { return 0; }
+  MetricId histogram(const std::string&, double, double, std::uint32_t) {
+    return 0;
+  }
+  void add(MetricId, std::int64_t = 1) {}
+  void observe(MetricId, double) {}
+  Snapshot scrape() const { return {}; }
+  void reset() {}
+};
+
+#endif
+
+}  // namespace fixedpart::obs

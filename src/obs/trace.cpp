@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+
+namespace fixedpart::obs {
+
+#if FIXEDPART_OBS_ENABLED
+
+namespace {
+
+std::string json_escape(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-microsecond fraction: chrome://tracing's "ts" and
+/// "dur" are in us; many spans here are shorter than one.
+std::string format_us(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns < 0 ? 0 : ns % 1000));
+  return buf;
+}
+
+std::string format_arg(const TraceArg& arg) {
+  if (arg.is_int) return std::to_string(arg.int_value);
+  std::ostringstream out;
+  out.precision(6);
+  out << arg.double_value;
+  return out.str();
+}
+
+std::uint32_t local_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = Clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+void Tracer::record(const TraceEvent& event) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+  events_.back().tid = event.tid != 0 ? event.tid : local_thread_id();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceEvent> events = this->events();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"name\": \"" << json_escape(e.name)
+        << "\", \"cat\": \"fixedpart\", \"ph\": \"X\", \"ts\": "
+        << format_us(e.start_ns) << ", \"dur\": " << format_us(e.dur_ns)
+        << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.num_args > 0) {
+      out << ", \"args\": {";
+      for (std::uint32_t a = 0; a < e.num_args; ++a) {
+        out << (a == 0 ? "" : ", ") << "\"" << json_escape(e.args[a].key)
+            << "\": " << format_arg(e.args[a]);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+void Tracer::write_json(const std::string& path) const {
+  util::write_file_atomic(path, to_json());
+}
+
+#else
+
+void Tracer::write_json(const std::string& path) const {
+  util::write_file_atomic(path, to_json());
+}
+
+#endif  // FIXEDPART_OBS_ENABLED
+
+}  // namespace fixedpart::obs

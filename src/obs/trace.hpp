@@ -1,0 +1,185 @@
+#pragma once
+// Scoped-span tracing with Chrome-trace-format JSON output: load the file
+// written by Tracer::write_json into chrome://tracing (or https://ui.
+// perfetto.dev) to see coarsen levels, FM passes, projections, V-cycles
+// and svc job attempts on a per-thread timeline (docs/OBSERVABILITY.md).
+//
+// Collection is off by default; an inactive tracer costs one relaxed
+// atomic load per span. start() arms the global tracer, spans record
+// complete events ("ph":"X") with microsecond timestamps from
+// steady_clock (wall-clock jumps cannot reorder spans), stop() disarms.
+// The buffer is bounded (kMaxEvents); overflow drops events and counts
+// them instead of growing without bound.
+//
+// Span names and arg keys must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+//
+// Under FIXEDPART_OBS=OFF every member compiles to an empty inline stub.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"  // FIXEDPART_OBS_ENABLED / kEnabled
+
+namespace fixedpart::obs {
+
+struct TraceArg {
+  const char* key = nullptr;
+  bool is_int = true;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+};
+
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;  ///< steady time since the tracer epoch
+  std::int64_t dur_ns = 0;
+  std::array<TraceArg, 4> args{};
+  std::uint32_t num_args = 0;
+};
+
+#if FIXEDPART_OBS_ENABLED
+
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "trace timestamps must be jump-immune");
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer the built-in spans record into.
+  static Tracer& global();
+
+  /// Clears the buffer, resets the epoch to now, and starts collecting.
+  void start();
+  /// Stops collecting (buffered events are kept until the next start()).
+  void stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the last start(); the timebase of TraceEvent.
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                epoch_)
+        .count();
+  }
+
+  /// Appends one event (dropped when inactive or past kMaxEvents).
+  void record(const TraceEvent& event);
+
+  std::size_t event_count() const;
+  std::uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string to_json() const;
+  /// to_json() published via util::write_file_atomic.
+  void write_json(const std::string& path) const;
+
+ private:
+  std::atomic<bool> active_{false};
+  Clock::time_point epoch_{};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span over the global tracer. Construction samples the clock only
+/// when the tracer is active; destruction records a complete event.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Tracer::global().active()) {
+      name_ = name;
+      start_ns_ = Tracer::global().now_ns();
+      live_ = true;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument (first 4 kept). `key` must outlive the
+  /// tracer buffer — use string literals.
+  ScopedSpan& arg(const char* key, std::int64_t value) {
+    if (live_ && num_args_ < args_.size()) {
+      args_[num_args_++] = TraceArg{key, true, value, 0.0};
+    }
+    return *this;
+  }
+  ScopedSpan& arg(const char* key, double value) {
+    if (live_ && num_args_ < args_.size()) {
+      args_[num_args_++] = TraceArg{key, false, 0, value};
+    }
+    return *this;
+  }
+
+  ~ScopedSpan() {
+    if (!live_) return;
+    TraceEvent event;
+    event.name = name_;
+    event.start_ns = start_ns_;
+    event.dur_ns = Tracer::global().now_ns() - start_ns_;
+    event.args = args_;
+    event.num_args = num_args_;
+    Tracer::global().record(event);
+  }
+
+ private:
+  const char* name_ = "";
+  std::int64_t start_ns_ = 0;
+  std::array<TraceArg, 4> args_{};
+  std::uint32_t num_args_ = 0;
+  bool live_ = false;
+};
+
+#else  // FIXEDPART_OBS_ENABLED == 0: tracing compiles away entirely.
+
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxEvents = 0;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  void start() {}
+  void stop() {}
+  bool active() const { return false; }
+  std::int64_t now_ns() const { return 0; }
+  void record(const TraceEvent&) {}
+  std::size_t event_count() const { return 0; }
+  std::uint64_t dropped_count() const { return 0; }
+  std::vector<TraceEvent> events() const { return {}; }
+  std::string to_json() const {
+    return "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n";
+  }
+  void write_json(const std::string& path) const;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan& arg(const char*, std::int64_t) { return *this; }
+  ScopedSpan& arg(const char*, double) { return *this; }
+};
+
+#endif
+
+}  // namespace fixedpart::obs

@@ -32,6 +32,7 @@
 
 #include "hg/fixed.hpp"
 #include "hg/hypergraph.hpp"
+#include "obs/pass_observer.hpp"
 #include "part/balance.hpp"
 #include "part/gain_buckets.hpp"
 #include "part/partition.hpp"
@@ -82,6 +83,11 @@ struct FmConfig {
   /// usual, and refine() returns with `truncated` set — the state is
   /// always the best solution seen, never a mid-move snapshot.
   const util::Deadline* deadline = nullptr;
+  /// Optional profiling hook (not owned; must outlive the refinement;
+  /// nullptr = none). Invoked per pass begin / accepted move / pass end
+  /// with the physical sequence the engine performed — see
+  /// obs::PassObserver. Ignored when built with FIXEDPART_OBS=OFF.
+  obs::PassObserver* observer = nullptr;
   /// Debug mode: after every move, verify that each bucketed vertex's key
   /// equals its true gain (LIFO/FIFO; CLIP keys are deltas and are checked
   /// against gain change instead), and that parked interior vertices'
@@ -173,7 +179,7 @@ class FmBipartitioner {
  private:
   /// One FM pass; returns the improvement (>= 0) kept after rollback.
   Weight run_pass(PartitionState& state, util::Rng& rng,
-                  const FmConfig& config, bool first_pass, PassRecord& record);
+                  const FmConfig& config, int pass_index, PassRecord& record);
 
   Weight true_gain(const PartitionState& state, VertexId v) const;
   /// Policy-aware re-keying: LIFO/CLIP move updated vertices to the bucket

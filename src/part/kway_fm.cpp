@@ -7,6 +7,9 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace fixedpart::part {
 
 KwayFmRefiner::KwayFmRefiner(const hg::Hypergraph& graph,
@@ -75,8 +78,10 @@ KwayFmRefiner::BestMove KwayFmRefiner::best_move(const PartitionState& state,
 }
 
 Weight KwayFmRefiner::run_pass(PartitionState& state, util::Rng& rng,
-                               const KwayConfig& config, bool first_pass,
+                               const KwayConfig& config, int pass_index,
                                PassRecord& record) {
+  const bool first_pass = pass_index == 0;
+  obs::ScopedSpan span("kway.pass");
   const auto movable_count = static_cast<std::int32_t>(movable_.size());
   record.movable = movable_count;
   record.cut_before = state.cut();
@@ -95,6 +100,16 @@ Weight KwayFmRefiner::run_pass(PartitionState& state, util::Rng& rng,
     }
     target_[v] = mv.target;
     buckets_.insert(v, mv.gain);
+  }
+
+  if constexpr (obs::kEnabled) {
+    if (config.observer != nullptr) {
+      obs::PassBegin begin;
+      begin.pass = pass_index;
+      begin.movable = movable_count;
+      begin.cut = state.cut();
+      config.observer->on_pass_begin(begin);
+    }
   }
 
   std::int32_t move_limit = movable_count;
@@ -128,8 +143,23 @@ Weight KwayFmRefiner::run_pass(PartitionState& state, util::Rng& rng,
     buckets_.remove(v);
     locked_[v] = 1;
     const PartitionId from = state.part_of(v);
+    [[maybe_unused]] const Weight cut_prev = state.cut();
     state.move(v, current.target);
     move_log_.push_back({v, from});
+
+    if constexpr (obs::kEnabled) {
+      if (config.observer != nullptr) {
+        obs::MoveEvent move;
+        move.pass = pass_index;
+        move.move_index = static_cast<std::int32_t>(move_log_.size()) - 1;
+        move.vertex = v;
+        move.from = from;
+        move.to = current.target;
+        move.gain = cut_prev - state.cut();
+        move.cut = state.cut();
+        config.observer->on_move(move);
+      }
+    }
 
     // Exact re-keying of affected unlocked neighbours.
     for (hg::NetId e : graph_->nets_of(v)) {
@@ -160,6 +190,22 @@ Weight KwayFmRefiner::run_pass(PartitionState& state, util::Rng& rng,
   record.moves_performed = static_cast<std::int32_t>(move_log_.size());
   record.best_prefix = best_prefix;
   record.cut_best = best_cut;
+
+  if constexpr (obs::kEnabled) {
+    if (config.observer != nullptr) {
+      obs::PassEnd end;
+      end.pass = pass_index;
+      end.moves_performed = record.moves_performed;
+      end.best_prefix = best_prefix;
+      end.cut_before = cut_start;
+      end.cut_best = best_cut;
+      config.observer->on_pass_end(end);
+    }
+    span.arg("pass", static_cast<std::int64_t>(pass_index))
+        .arg("moves", static_cast<std::int64_t>(record.moves_performed))
+        .arg("kept", static_cast<std::int64_t>(best_prefix))
+        .arg("cut", static_cast<std::int64_t>(best_cut));
+  }
   return cut_start - best_cut;
 }
 
@@ -172,13 +218,22 @@ FmResult KwayFmRefiner::refine(PartitionState& state, util::Rng& rng,
   result.initial_cut = state.cut();
   for (int pass = 0; pass < config.max_passes; ++pass) {
     PassRecord record;
-    const Weight gain = run_pass(state, rng, config, pass == 0, record);
+    const Weight gain = run_pass(state, rng, config, pass, record);
     ++result.passes;
     result.total_moves += record.moves_performed;
     result.pass_records.push_back(record);
     if (gain <= 0) break;
   }
   result.final_cut = state.cut();
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    static const obs::MetricId refines = reg.counter("kway.refine_calls");
+    static const obs::MetricId passes = reg.counter("kway.passes");
+    static const obs::MetricId moves = reg.counter("kway.moves");
+    reg.add(refines);
+    reg.add(passes, result.passes);
+    reg.add(moves, result.total_moves);
+  }
   return result;
 }
 

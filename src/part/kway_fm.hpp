@@ -27,6 +27,11 @@ struct KwayConfig {
   /// heuristic generalized to k-way); applied after the first pass.
   double pass_cutoff = 1.0;
   int max_passes = 64;
+  /// Optional profiling hook (not owned; must outlive the refinement;
+  /// nullptr = none) — see obs::PassObserver. boundary_vertices is -1 in
+  /// PassBegin (this engine tracks no boundary set). Ignored when built
+  /// with FIXEDPART_OBS=OFF.
+  obs::PassObserver* observer = nullptr;
 };
 
 class KwayFmRefiner {
@@ -56,7 +61,7 @@ class KwayFmRefiner {
   BestMove best_move(const PartitionState& state, VertexId v) const;
   bool feasible(const PartitionState& state, VertexId v, PartitionId to) const;
   Weight run_pass(PartitionState& state, util::Rng& rng,
-                  const KwayConfig& config, bool first_pass,
+                  const KwayConfig& config, int pass_index,
                   PassRecord& record);
 
   const hg::Hypergraph* graph_;

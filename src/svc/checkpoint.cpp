@@ -84,6 +84,10 @@ std::vector<JobOutcome> CheckpointJournal::open_for_append() {
   if (file_ == nullptr) {
     throw std::runtime_error("checkpoint: cannot open " + path_);
   }
+  // A fresh journal creates a new directory entry; make it durable before
+  // appending so a post-crash resume finds the (possibly empty) journal
+  // instead of appending to a file the crash un-created.
+  util::sync_parent_dir(path_);
   return outcomes;
 }
 

@@ -18,6 +18,8 @@
 #include "hg/io_bookshelf.hpp"
 #include "hg/io_hmetis.hpp"
 #include "ml/multilevel.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "part/balance.hpp"
 #include "util/errors.hpp"
 #include "util/timer.hpp"
@@ -189,6 +191,8 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
       std::string message;
       JobResult result;
       try {
+        obs::ScopedSpan span("svc.job_attempt");
+        span.arg("attempt", static_cast<std::int64_t>(attempt));
         if (config_.fault_hook) config_.fault_hook(spec, attempt);
         result = runner_(spec, deadline);
       } catch (const util::InputError& e) {
@@ -250,6 +254,8 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
     out.error = ErrorClass::kNone;
     out.cut = best->cut;
     out.truncated = best->truncated;
+    out.moves = best->moves;
+    out.passes = best->passes;
     out.seconds = total.seconds();
     return out;
   };
@@ -328,6 +334,28 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
     if (outcome->attempts > 1) ++report.retried;
   }
   report.drained = draining();
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    static const obs::MetricId jobs_ok = reg.counter("svc.jobs_ok");
+    static const obs::MetricId jobs_truncated =
+        reg.counter("svc.jobs_truncated");
+    static const obs::MetricId jobs_failed = reg.counter("svc.jobs_failed");
+    static const obs::MetricId jobs_poisoned =
+        reg.counter("svc.jobs_poisoned");
+    static const obs::MetricId jobs_retried = reg.counter("svc.jobs_retried");
+    static const obs::MetricId jobs_resumed = reg.counter("svc.jobs_resumed");
+    static const obs::MetricId attempts_hist =
+        reg.histogram("svc.job_attempts", 1.0, 11.0, 10);
+    reg.add(jobs_ok, report.ok);
+    reg.add(jobs_truncated, report.truncated);
+    reg.add(jobs_failed, report.failed);
+    reg.add(jobs_poisoned, report.poisoned);
+    reg.add(jobs_retried, report.retried);
+    reg.add(jobs_resumed, report.resumed);
+    for (const JobOutcome& outcome : report.outcomes) {
+      reg.observe(attempts_hist, static_cast<double>(outcome.attempts));
+    }
+  }
   return report;
 }
 
@@ -466,7 +494,8 @@ JobResult run_partition_job(const JobSpec& spec,
   util::Rng rng(spec.seed);
   const ml::MultilevelResult result =
       partitioner.best_of(spec.starts, rng, config);
-  return JobResult{result.cut, result.truncated};
+  return JobResult{result.cut, result.truncated, result.total_moves,
+                   result.total_passes};
 }
 
 }  // namespace fixedpart::svc

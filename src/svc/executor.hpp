@@ -36,6 +36,10 @@ namespace fixedpart::svc {
 struct JobResult {
   Weight cut = 0;
   bool truncated = false;
+  /// Engine effort metrics (FM moves/passes summed over the multistart);
+  /// deterministic given the spec, carried into JobOutcome.
+  std::int64_t moves = 0;
+  std::int64_t passes = 0;
 };
 
 /// Runs one attempt of one job under the supervisor's deadline. Must be

@@ -328,6 +328,8 @@ std::string outcome_json(const JobOutcome& outcome, bool with_timing) {
   out.field("attempts", outcome.attempts);
   out.field("cut", static_cast<std::int64_t>(outcome.cut));
   out.field("truncated", outcome.truncated);
+  out.field("moves", outcome.moves);
+  out.field("passes", outcome.passes);
   if (with_timing) out.field("seconds", outcome.seconds);
   return out.finish();
 }
@@ -380,6 +382,11 @@ JobOutcome job_outcome_from_json(const std::string& line,
       "cut", 0, std::numeric_limits<std::int64_t>::min(),
       std::numeric_limits<std::int64_t>::max()));
   outcome.truncated = obj.get_bool("truncated", false);
+  // Absent in journals written before these fields existed; default 0.
+  outcome.moves = obj.get_int("moves", 0, 0,
+                              std::numeric_limits<std::int64_t>::max());
+  outcome.passes = obj.get_int("passes", 0, 0,
+                               std::numeric_limits<std::int64_t>::max());
   outcome.seconds = obj.get_double("seconds", 0.0);
   if (outcome.id.empty()) at.fail("outcome id must be non-empty");
   return outcome;

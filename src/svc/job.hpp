@@ -77,6 +77,12 @@ struct JobOutcome {
   int attempts = 1;
   Weight cut = 0;
   bool truncated = false;
+  /// Engine effort of the winning attempt: FM moves/passes summed over
+  /// the multistart. Deterministic given the spec (unlike `seconds`), so
+  /// they are part of the canonical form. 0 for failed/poisoned jobs and
+  /// for journals written before these fields existed.
+  std::int64_t moves = 0;
+  std::int64_t passes = 0;
   double seconds = 0.0;  ///< total wall time across attempts (a timestamp:
                          ///< excluded from the canonical form)
 };

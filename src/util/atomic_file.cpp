@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #ifndef _WIN32
+#include <cerrno>
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -19,6 +21,31 @@ void flush_and_sync(std::FILE* file, const std::string& path) {
   if (::fsync(::fileno(file)) != 0) {
     throw std::runtime_error("atomic_file: fsync failed for " + path);
   }
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    // tmpfs-style filesystems and restricted mounts may refuse directory
+    // reads; the rename itself already happened, so degrade silently.
+    return;
+  }
+  const int rc = ::fsync(fd);
+  const int sync_errno = errno;
+  ::close(fd);
+  if (rc != 0 && sync_errno != EINVAL && sync_errno != ENOTSUP &&
+      sync_errno != EBADF) {
+    throw std::runtime_error("atomic_file: directory fsync failed for " +
+                             dir);
+  }
+#else
+  (void)path;
 #endif
 }
 
@@ -51,6 +78,10 @@ void write_file_atomic(const std::string& path, const std::string& content) {
     throw std::runtime_error("atomic_file: cannot rename " + tmp + " -> " +
                              path);
   }
+  // The rename is atomic but not durable: on ext4/xfs the new directory
+  // entry can be lost on power failure unless the parent directory is
+  // fsynced too.
+  sync_parent_dir(path);
 }
 
 }  // namespace fixedpart::util

@@ -21,4 +21,11 @@ void write_file_atomic(const std::string& path, const std::string& content);
 /// and the append-mode checkpoint journal.
 void flush_and_sync(std::FILE* file, const std::string& path);
 
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed entry durable (rename alone is atomic but not durable on
+/// ext4/xfs). Filesystems that cannot fsync directories (EINVAL/ENOTSUP)
+/// are tolerated; other errors throw std::runtime_error. No-op on
+/// platforms without directory fds.
+void sync_parent_dir(const std::string& path);
+
 }  // namespace fixedpart::util

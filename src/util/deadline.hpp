@@ -18,6 +18,14 @@ namespace fixedpart::util {
 
 class Deadline {
  public:
+  /// Budgets are measured on the monotonic clock exclusively: a step of
+  /// the system (wall) clock — NTP correction, suspend/resume, a manual
+  /// `date` — must never fire a deadline early or stall it forever.
+  /// tests/test_guardrails.cpp pins this contract.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Deadline must be immune to system-clock jumps");
+
   /// Unlimited: never expires (and costs nothing to check).
   Deadline() = default;
 
@@ -54,7 +62,6 @@ class Deadline {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   bool limited_ = false;
   Clock::time_point expires_at_{};
   const std::atomic<bool>* cancel_ = nullptr;

@@ -27,7 +27,9 @@ double RunningStat::mean() const {
 
 double RunningStat::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
+  // Welford's m2 is mathematically non-negative but can round a hair below
+  // zero for near-constant samples; clamp so stddev() never returns NaN.
+  return std::max(0.0, m2_) / static_cast<double>(n_ - 1);
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
@@ -44,7 +46,9 @@ double RunningStat::max() const {
 
 double percentile(std::span<const double> values, double q) {
   if (values.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: bad q");
+  // Negated comparison so NaN fails too: `q < 0.0 || q > 1.0` is false for
+  // NaN and would fall through to an undefined float->int cast below.
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("percentile: bad q");
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -73,11 +77,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  const double t = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  if (std::isnan(x)) {
+    ++dropped_;
+    return;
+  }
+  // Clamp in the double domain: casting an out-of-range double (e.g. from
+  // an infinite x) to an integer is undefined behaviour, so the old
+  // cast-then-clamp order could corrupt the bin index before the clamp.
+  const std::size_t bins = counts_.size();
+  std::size_t bin = 0;
+  if (x >= hi_) {
+    bin = bins - 1;
+  } else if (x > lo_) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    bin = std::min(static_cast<std::size_t>(t * static_cast<double>(bins)),
+                   bins - 1);
+  }
+  ++counts_[bin];
   ++total_;
 }
 

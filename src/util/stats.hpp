@@ -17,7 +17,9 @@ class RunningStat {
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
   double mean() const;
-  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples and
+  /// never negative (Welford round-off is clamped), so stddev() is never
+  /// NaN.
   double variance() const;
   double stddev() const;
   double min() const;
@@ -34,14 +36,16 @@ class RunningStat {
 };
 
 /// Exact percentile of a sample (linear interpolation between order
-/// statistics). q in [0,1]. Throws on an empty sample.
+/// statistics). Throws on an empty sample and on q outside [0,1],
+/// including NaN.
 double percentile(std::span<const double> values, double q);
 
 double mean_of(std::span<const double> values);
 double min_of(std::span<const double> values);
 
-/// Histogram with fixed-width bins over [lo, hi); values outside are
-/// clamped into the edge bins. Used for per-pass move-position statistics.
+/// Histogram with fixed-width bins over [lo, hi); finite values outside
+/// are clamped into the edge bins, NaN is dropped (and counted). Used for
+/// per-pass move-position statistics.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -50,6 +54,8 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// NaN samples rejected by add(); never part of total().
+  std::size_t dropped() const { return dropped_; }
   /// Fraction of mass at or below bin i (inclusive CDF).
   double cdf(std::size_t i) const;
 
@@ -58,6 +64,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace fixedpart::util

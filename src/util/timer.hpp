@@ -9,6 +9,13 @@ namespace fixedpart::util {
 
 class Timer {
  public:
+  /// Monotonic, like every timing source in this repo (Deadline, the svc
+  /// heartbeat watchdog, obs::Tracer): a wall-clock step must not bend
+  /// measured durations.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Timer must be immune to system-clock jumps");
+
   Timer() : start_(Clock::now()) {}
 
   void restart() { start_ = Clock::now(); }
@@ -19,7 +26,6 @@ class Timer {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

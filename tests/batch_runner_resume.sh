@@ -25,6 +25,14 @@ status=0
 lines=$(wc -l < run.jsonl)
 [ "$lines" -eq 2 ] || { echo "FAIL: journal has $lines outcomes, want 2"; exit 1; }
 
+# Crash artifacts around journal compaction must not derail a resume:
+# a stale .tmp sibling (died between write and rename, or between rename
+# and the directory fsync) and a torn trailing line are both recovered —
+# the tmp is simply replaced by the next compaction, the torn line is
+# dropped and its job re-run.
+printf 'garbage from a dead compaction' > run.jsonl.tmp
+printf '{"id": "job5", "status": "ok", "err' >> run.jsonl
+
 # Resume completes the fleet and exits 0.
 "$runner" --manifest=jobs.jsonl --journal=run.jsonl --workers=2 \
   --resume --quiet --canonical-out=resumed.txt > /dev/null

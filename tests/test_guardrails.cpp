@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "gen/netlist_gen.hpp"
 #include "hg/builder.hpp"
@@ -19,6 +21,7 @@
 #include "util/deadline.hpp"
 #include "util/errors.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace fixedpart {
 namespace {
@@ -74,6 +77,38 @@ TEST(Guardrails, GenerousBudgetNotExpired) {
   EXPECT_TRUE(deadline.limited());
   EXPECT_FALSE(deadline.expired());
   EXPECT_GT(deadline.remaining_seconds(), 3000.0);
+}
+
+TEST(Guardrails, DeadlineIsImmuneToSystemClockJumps) {
+  // The budget clock must be monotonic: a Deadline built from a duration
+  // measures elapsed *steady* time, so stepping the system clock (NTP,
+  // suspend/resume, `date`) can neither fire it early nor stall it. We
+  // cannot step the wall clock from a test, so pin the contract two ways:
+  // the clock type itself, and the duration semantics around "now".
+  static_assert(
+      std::is_same_v<util::Deadline::Clock, std::chrono::steady_clock>,
+      "Deadline must use the steady clock");
+  static_assert(util::Deadline::Clock::is_steady,
+                "Deadline clock must be monotonic");
+  static_assert(std::is_same_v<util::Timer::Clock, std::chrono::steady_clock>,
+                "Timer must use the steady clock");
+
+  // A duration-built deadline is relative to construction, not to any
+  // absolute wall-clock timestamp: a generous budget has (almost) all of
+  // its budget remaining immediately, and a tiny one expires by waiting,
+  // never by consulting the system clock.
+  const util::Deadline generous = util::Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(generous.expired());
+  EXPECT_GT(generous.remaining_seconds(), 3590.0);
+  EXPECT_LE(generous.remaining_seconds(), 3600.0);
+
+  const util::Deadline tiny = util::Deadline::after_seconds(1e-9);
+  const auto start = util::Deadline::Clock::now();
+  while (!tiny.expired()) {
+    ASSERT_LT(util::Deadline::Clock::now() - start, std::chrono::seconds(5))
+        << "deadline failed to expire on the steady clock";
+  }
+  EXPECT_EQ(tiny.remaining_seconds(), 0.0);
 }
 
 TEST(Guardrails, CancelFlagExpiresDeadline) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace fixedpart::util {
@@ -36,6 +37,26 @@ TEST(RunningStat, KnownMoments) {
   EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, StddevDefinedForFewerThanTwoSamples) {
+  // Contract: variance/stddev are 0 (not NaN, no throw) for n < 2.
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, StddevNeverNanOnNearConstantSamples) {
+  // Values whose mean is inexact in binary: Welford's m2 accumulates
+  // round-off and could dip below zero without the clamp.
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(0.1);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
 }
 
 TEST(RunningStat, NegativeValues) {
@@ -72,6 +93,18 @@ TEST(Percentile, BadQuantileThrows) {
   EXPECT_THROW(percentile(v, 1.1), std::invalid_argument);
 }
 
+TEST(Percentile, NonFiniteQuantileThrows) {
+  // NaN slips past a naive `q < 0 || q > 1` check (both compares are
+  // false) and would reach an undefined float->int cast.
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(percentile(v, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(v, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(v, -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
 TEST(MeanMin, Helpers) {
   const std::vector<double> v = {4.0, 2.0, 6.0};
   EXPECT_DOUBLE_EQ(mean_of(v), 4.0);
@@ -87,6 +120,29 @@ TEST(Histogram, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(0), 2u);
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, NanIsDroppedNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped(), 1u);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 1u);
+}
+
+TEST(Histogram, InfinityClampsToEdgeBins) {
+  // An infinite x used to be cast to an integer before clamping, which is
+  // undefined behaviour; now the clamp happens in the double domain.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.dropped(), 0u);
 }
 
 TEST(Histogram, Cdf) {
