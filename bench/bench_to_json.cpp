@@ -28,6 +28,7 @@
 #include "gen/suite.hpp"
 #include "hg/fixed.hpp"
 #include "ml/multilevel.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "part/balance.hpp"
@@ -330,23 +331,29 @@ int main(int argc, char** argv) {
   const auto ibm03 = gen::generate_circuit(gen::ibm_like_spec(3, scale));
 
   Results results;
-  std::cerr << "bench_to_json: multilevel multistart (ibm01-profile, "
-            << starts << " starts)...\n";
+  fixedpart::obs::log_info("bench", "multilevel multistart (ibm01-profile)",
+                           {{"starts", starts}, {"repeats", repeats}});
   results.emplace_back("ml_multistart_ibm01",
                        run_multilevel(ibm01, starts, repeats, budget));
-  std::cerr << "bench_to_json: multilevel multistart (ibm03-profile)...\n";
+  fixedpart::obs::log_info("bench", "multilevel multistart (ibm03-profile)");
   results.emplace_back("ml_multistart_ibm03",
                        run_multilevel(ibm03, starts, repeats, budget));
-  std::cerr << "bench_to_json: flat FM (lifo / clip)...\n";
+  fixedpart::obs::log_info("bench", "flat FM (lifo / clip)");
   results.emplace_back(
       "flat_fm_lifo_ibm01",
       run_flat_fm(ibm01, part::SelectionPolicy::kLifo, repeats, budget));
   results.emplace_back(
       "flat_fm_clip_ibm01",
       run_flat_fm(ibm01, part::SelectionPolicy::kClip, repeats, budget));
-  std::cerr << "bench_to_json: gain-bucket churn...\n";
+  fixedpart::obs::log_info("bench", "gain-bucket churn");
   results.emplace_back("gain_bucket_churn",
                        run_bucket_churn(smoke ? 20000 : 2000000, repeats));
+
+  // Scraped before the (optional) traced extra run below, so the embedded
+  // "metrics" section covers exactly the timed measurements above —
+  // --trace-out must not pollute ml.runs/fm.* with its untimed run.
+  const fixedpart::obs::Snapshot metrics_snap =
+      fixedpart::obs::Registry::global().scrape();
 
   // Optional Chrome-trace capture: one extra, untimed multistart run with
   // the tracer armed, so the timed numbers above stay span-free. Open the
@@ -356,7 +363,8 @@ int main(int argc, char** argv) {
       std::cerr << "bench_to_json: built with FIXEDPART_OBS=OFF; "
                 << *trace_path << " will contain no spans\n";
     }
-    std::cerr << "bench_to_json: traced multilevel multistart (untimed)...\n";
+    fixedpart::obs::log_info("bench",
+                             "traced multilevel multistart (untimed)");
     auto& tracer = fixedpart::obs::Tracer::global();
     tracer.start();
     run_multilevel(ibm01, starts, /*repeats=*/1, budget);
@@ -367,9 +375,11 @@ int main(int argc, char** argv) {
       std::cerr << "bench_to_json: " << error.what() << "\n";
       return 1;
     }
-    std::cerr << "bench_to_json: wrote " << *trace_path << " ("
-              << tracer.event_count() << " spans, "
-              << tracer.dropped_count() << " dropped)\n";
+    fixedpart::obs::log_info(
+        "bench", "wrote trace",
+        {{"path", *trace_path},
+         {"spans", static_cast<std::int64_t>(tracer.event_count())},
+         {"dropped", static_cast<std::int64_t>(tracer.dropped_count())}});
   }
 
   {
@@ -384,10 +394,9 @@ int main(int argc, char** argv) {
         << "  \"repeats\": " << repeats << ",\n"
         << "  \"budget_seconds\": " << format_double(budget) << ",\n";
     emit_results(out, "results", results);
-    // Process-wide obs counters/histograms over everything this invocation
-    // ran ({"counters": {}, "histograms": {}} under FIXEDPART_OBS=OFF).
-    out << ",\n  \"metrics\": "
-        << indent_block(fixedpart::obs::Registry::global().scrape().to_json());
+    // Obs counters/histograms over the timed measurements (scraped before
+    // any --trace-out extra run; empty sections under FIXEDPART_OBS=OFF).
+    out << ",\n  \"metrics\": " << indent_block(metrics_snap.to_json());
     if (!baseline.empty()) {
       out << ",\n";
       emit_results(out, "baseline", baseline);
@@ -429,11 +438,15 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& [name, metric] : results) {
-    std::cerr << "  " << name << ": cut=" << metric.cut
-              << " seconds=" << format_double(metric.seconds)
-              << " moves=" << metric.moves << " passes=" << metric.passes
-              << "\n";
+    fixedpart::obs::log_info(
+        "bench", "result",
+        {{"name", name},
+         {"cut", static_cast<std::int64_t>(metric.cut)},
+         {"seconds", metric.seconds},
+         {"moves", metric.moves},
+         {"passes", static_cast<std::int64_t>(metric.passes)},
+         {"truncated", metric.truncated}});
   }
-  std::cerr << "bench_to_json: wrote " << out_path << "\n";
+  fixedpart::obs::log_info("bench", "wrote output", {{"path", out_path}});
   return 0;
 }

@@ -1,0 +1,178 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace fixedpart::obs {
+
+namespace {
+
+bool valid_name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Splits a registered name into its sanitized family and the verbatim
+/// label body ("" when unlabeled): "svc.jobs{state=\"ok\"}" ->
+/// {"svc_jobs", "state=\"ok\""}.
+struct ParsedName {
+  std::string family;
+  std::string labels;
+};
+
+ParsedName parse_name(const std::string& name) {
+  ParsedName parsed;
+  const std::size_t brace = name.find('{');
+  const std::size_t base_len =
+      brace == std::string::npos ? name.size() : brace;
+  parsed.family.reserve(base_len + 1);
+  for (std::size_t i = 0; i < base_len; ++i) {
+    const char c = name[i];
+    parsed.family += valid_name_char(c, parsed.family.empty()) ? c : '_';
+  }
+  if (parsed.family.empty()) parsed.family = "_";
+  if (brace != std::string::npos) {
+    std::size_t end = name.size();
+    if (end > brace && name[end - 1] == '}') --end;
+    parsed.labels = name.substr(brace + 1, end - brace - 1);
+  }
+  return parsed;
+}
+
+/// Sample value formatting: integral values print without an exponent or
+/// trailing zeros, everything else with enough digits to round-trip the
+/// operator-facing precision.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream out;
+  out << std::setprecision(12) << v;
+  return out.str();
+}
+
+/// One family: TYPE line emitted once, then every member sample.
+template <typename Member>
+struct Family {
+  std::string name;
+  std::vector<Member> members;
+};
+
+template <typename Member>
+Family<Member>& family_slot(std::vector<Family<Member>>& families,
+                            const std::string& name) {
+  for (Family<Member>& family : families) {
+    if (family.name == name) return family;
+  }
+  families.push_back({name, {}});
+  return families.back();
+}
+
+void append_sample(std::string& out, const std::string& family,
+                   const std::string& labels, const std::string& value) {
+  out += family;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+/// `labels` with `extra` ('le="..."') appended, comma-separated.
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  return parse_name(name).family;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+
+  struct Scalar {
+    std::string labels;
+    std::string value;
+  };
+  std::vector<Family<Scalar>> counter_families;
+  for (const CounterValue& c : snapshot.counters) {
+    const ParsedName parsed = parse_name(c.name);
+    family_slot(counter_families, parsed.family)
+        .members.push_back({parsed.labels, std::to_string(c.value)});
+  }
+  for (const Family<Scalar>& family : counter_families) {
+    out += "# TYPE " + family.name + " counter\n";
+    for (const Scalar& member : family.members) {
+      append_sample(out, family.name, member.labels, member.value);
+    }
+  }
+
+  std::vector<Family<Scalar>> gauge_families;
+  for (const GaugeValue& g : snapshot.gauges) {
+    const ParsedName parsed = parse_name(g.name);
+    family_slot(gauge_families, parsed.family)
+        .members.push_back({parsed.labels, format_value(g.value)});
+  }
+  for (const Family<Scalar>& family : gauge_families) {
+    out += "# TYPE " + family.name + " gauge\n";
+    for (const Scalar& member : family.members) {
+      append_sample(out, family.name, member.labels, member.value);
+    }
+  }
+
+  struct Hist {
+    std::string labels;
+    const HistogramValue* value;
+  };
+  std::vector<Family<Hist>> histogram_families;
+  for (const HistogramValue& h : snapshot.histograms) {
+    const ParsedName parsed = parse_name(h.name);
+    family_slot(histogram_families, parsed.family)
+        .members.push_back({parsed.labels, &h});
+  }
+  for (const Family<Hist>& family : histogram_families) {
+    out += "# TYPE " + family.name + " histogram\n";
+    for (const Hist& member : family.members) {
+      const HistogramValue& h = *member.value;
+      const std::size_t bins = h.counts.size();
+      std::uint64_t cumulative = 0;
+      // Finite edges for all bins but the last: the top bin also holds
+      // clamped >= hi observations, so only "+Inf" covers it honestly.
+      for (std::size_t b = 0; b + 1 < bins; ++b) {
+        cumulative += h.counts[b];
+        const double edge =
+            h.lo + (h.hi - h.lo) * static_cast<double>(b + 1) /
+                       static_cast<double>(bins);
+        append_sample(out, family.name + "_bucket",
+                      with_label(member.labels,
+                                 "le=\"" + format_value(edge) + "\""),
+                      std::to_string(cumulative));
+      }
+      append_sample(out, family.name + "_bucket",
+                    with_label(member.labels, "le=\"+Inf\""),
+                    std::to_string(h.total));
+      append_sample(out, family.name + "_sum", member.labels,
+                    format_value(h.sum));
+      append_sample(out, family.name + "_count", member.labels,
+                    std::to_string(h.total));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace fixedpart::obs

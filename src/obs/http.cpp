@@ -1,0 +1,212 @@
+#include "obs/http.hpp"
+
+#if FIXEDPART_OBS_ENABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/exposition.hpp"
+#include "obs/log.hpp"
+
+namespace fixedpart::obs {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("obs::HttpEndpoint: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_io_timeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone or timeout; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(HttpEndpointConfig config)
+    : config_(std::move(config)) {
+  if (config_.registry == nullptr) config_.registry = &Registry::global();
+}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::start() {
+  if (thread_.joinable()) {
+    throw std::logic_error("obs::HttpEndpoint: already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    close_fd(listen_fd_);
+    errno = saved;
+    throw_errno("bind 127.0.0.1:" + std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int saved = errno;
+    close_fd(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const int saved = errno;
+    close_fd(listen_fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    const int saved = errno;
+    close_fd(listen_fd_);
+    errno = saved;
+    throw_errno("pipe");
+  }
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+}
+
+void HttpEndpoint::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  const char wake = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &wake, 1);
+  thread_.join();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  port_ = 0;
+}
+
+void HttpEndpoint::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 500);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flag
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn >= 0) {
+        handle_connection(conn);
+        ::close(conn);
+      }
+    }
+  }
+}
+
+void HttpEndpoint::handle_connection(int fd) {
+  set_io_timeouts(fd);
+  // Read until the end of the header block; requests have no body.
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // malformed/timeout: drop
+
+  const std::string line = request.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) {
+    send_all(fd, make_response(400, "Bad Request", "text/plain",
+                               "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, method_end);
+  std::string path = line.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  static const MetricId requests_counter =
+      Registry::global().counter("obs.http_requests");
+  Registry::global().add(requests_counter);
+
+  if (method != "GET") {
+    send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+    return;
+  }
+  try {
+    if (path == "/metrics") {
+      send_all(fd, make_response(
+                       200, "OK",
+                       "text/plain; version=0.0.4; charset=utf-8",
+                       to_prometheus(config_.registry->scrape())));
+    } else if (path == "/metrics.json") {
+      send_all(fd, make_response(200, "OK", "application/json",
+                                 config_.registry->scrape().to_json()));
+    } else if (path == "/healthz") {
+      send_all(fd, make_response(200, "OK", "text/plain", "ok\n"));
+    } else if (path == "/progress") {
+      const std::string body =
+          config_.progress ? config_.progress() : std::string("{}\n");
+      send_all(fd, make_response(200, "OK", "application/json", body));
+    } else {
+      send_all(fd, make_response(404, "Not Found", "text/plain",
+                                 "unknown path\n"));
+    }
+  } catch (const std::exception& error) {
+    // A scrape/progress failure must not kill the serve thread.
+    log_error("obs", "metrics endpoint request failed",
+              {{"path", path}, {"what", error.what()}});
+    send_all(fd, make_response(500, "Internal Server Error", "text/plain",
+                               "scrape failed\n"));
+  }
+}
+
+}  // namespace fixedpart::obs
+
+#endif  // FIXEDPART_OBS_ENABLED

@@ -1,0 +1,92 @@
+#pragma once
+// Minimal embedded metrics endpoint (docs/OBSERVABILITY.md): a blocking
+// HTTP/1.1 server over plain POSIX sockets, bound to 127.0.0.1 only, with
+// no dependencies. One background accept thread serves one request per
+// connection (Connection: close) — this is an operator endpoint scraped
+// every few seconds, not a traffic path. Routes:
+//
+//   GET /metrics       Prometheus text format 0.0.4 of a fresh scrape
+//   GET /metrics.json  Snapshot::to_json of a fresh scrape
+//   GET /healthz       "ok"
+//   GET /progress      the configured progress callback's JSON (else {})
+//
+// start() binds (port 0 = kernel-assigned, read back via port()) and
+// spawns the serve thread; stop() (idempotent, also run by the
+// destructor) wakes the thread through a self-pipe, joins it, and closes
+// every fd — the lifecycle test holds the no-fd-leak contract. Under
+// FIXEDPART_OBS=OFF the class is an inert stub: start() does nothing and
+// port() stays 0, so callers can keep one code path.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace fixedpart::obs {
+
+struct HttpEndpointConfig {
+  /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port.
+  std::uint16_t port = 0;
+  /// Scraped per /metrics and /metrics.json request; never owned.
+  Registry* registry = nullptr;  ///< nullptr = Registry::global()
+  /// Body of GET /progress (should be a JSON object). Called from the
+  /// serve thread; must be thread-safe. Empty = a constant "{}".
+  std::function<std::string()> progress;
+};
+
+#if FIXEDPART_OBS_ENABLED
+
+class HttpEndpoint {
+ public:
+  explicit HttpEndpoint(HttpEndpointConfig config);
+  ~HttpEndpoint();
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Binds, listens and starts the serve thread. Throws
+  /// std::runtime_error on socket errors (port in use, ...).
+  void start();
+  /// Stops serving and releases every fd. Safe to call twice.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  /// The bound port (after start()); 0 before.
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  HttpEndpointConfig config_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+#else  // FIXEDPART_OBS_ENABLED == 0: the endpoint compiles out.
+
+class HttpEndpoint {
+ public:
+  explicit HttpEndpoint(HttpEndpointConfig) {}
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  void start() {}
+  void stop() {}
+  bool running() const { return false; }
+  std::uint16_t port() const { return 0; }
+  std::uint64_t requests_served() const { return 0; }
+};
+
+#endif
+
+}  // namespace fixedpart::obs

@@ -18,6 +18,7 @@
 #include "hg/io_bookshelf.hpp"
 #include "hg/io_hmetis.hpp"
 #include "ml/multilevel.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "part/balance.hpp"
@@ -75,6 +76,72 @@ struct WorkerSlot {
 };
 
 }  // namespace
+
+void FleetProgress::begin(std::int64_t total, std::int64_t resumed,
+                          int workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = total;
+  done_ = resumed;
+  ok_ = truncated_ = failed_ = poisoned_ = 0;
+  resumed_ = resumed;
+  workers_ = std::max(workers, 1);
+  seconds_ = util::RunningStat();
+  has_best_ = false;
+  best_cut_ = 0;
+}
+
+void FleetProgress::record(const JobOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  switch (outcome.status) {
+    case JobStatus::kOk: ++ok_; break;
+    case JobStatus::kTruncated: ++truncated_; break;
+    case JobStatus::kFailed: ++failed_; break;
+    case JobStatus::kPoisoned: ++poisoned_; break;
+  }
+  seconds_.add(outcome.seconds);
+  if (outcome.status == JobStatus::kOk ||
+      outcome.status == JobStatus::kTruncated) {
+    if (!has_best_ || outcome.cut < best_cut_) {
+      has_best_ = true;
+      best_cut_ = outcome.cut;
+    }
+  }
+}
+
+std::int64_t FleetProgress::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::int64_t FleetProgress::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+std::string FleetProgress::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double mean = seconds_.empty() ? 0.0 : seconds_.mean();
+  const std::int64_t remaining = std::max<std::int64_t>(total_ - done_, 0);
+  const double eta =
+      mean * static_cast<double>(remaining) / static_cast<double>(workers_);
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"total\": " << total_ << ", \"done\": " << done_
+      << ", \"ok\": " << ok_ << ", \"truncated\": " << truncated_
+      << ", \"failed\": " << failed_ << ", \"poisoned\": " << poisoned_
+      << ", \"resumed\": " << resumed_ << ", \"workers\": " << workers_
+      << ", \"mean_job_seconds\": " << mean << ", \"eta_seconds\": " << eta
+      << ", \"best_cut\": ";
+  if (has_best_) {
+    out << best_cut_;
+  } else {
+    out << "null";
+  }
+  out << "}\n";
+  return out.str();
+}
 
 int BatchReport::exit_code() const {
   if (poisoned > 0 || !complete()) return util::kExitInternal;
@@ -156,6 +223,44 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
       static_cast<std::size_t>(config_.workers), pending.size()));
   std::vector<WorkerSlot> slots(
       static_cast<std::size_t>(std::max(workers, 1)));
+
+  // Live telemetry: queue/worker/heartbeat/best-cut gauges plus the
+  // labeled per-state job counter family, updated at job boundaries and
+  // supervisor ticks so an attached /metrics endpoint sees the fleet
+  // move. All of it compiles to no-ops under FIXEDPART_OBS=OFF.
+  auto& obs_reg = obs::Registry::global();
+  struct LiveIds {
+    obs::MetricId queue_depth, inflight, heartbeat_age, best_cut;
+    obs::MetricId watchdog_fires;
+    obs::MetricId jobs_by_state[4];  ///< indexed by JobStatus
+  };
+  static const LiveIds live = [] {
+    auto& reg = obs::Registry::global();
+    return LiveIds{
+        reg.gauge("svc.queue_depth"),
+        reg.gauge("svc.inflight_workers"),
+        reg.gauge("svc.heartbeat_age_seconds"),
+        reg.gauge("svc.best_cut"),
+        reg.counter("svc.watchdog_fires"),
+        {reg.counter(obs::labeled("svc.jobs", {{"state", "ok"}})),
+         reg.counter(obs::labeled("svc.jobs", {{"state", "truncated"}})),
+         reg.counter(obs::labeled("svc.jobs", {{"state", "failed"}})),
+         reg.counter(obs::labeled("svc.jobs", {{"state", "poisoned"}}))},
+    };
+  }();
+  if (config_.progress != nullptr) {
+    config_.progress->begin(static_cast<std::int64_t>(manifest.size()),
+                            report.resumed, std::max(workers, 1));
+  }
+  obs_reg.set(live.queue_depth, static_cast<double>(pending.size()));
+  obs_reg.set(live.inflight, 0.0);
+  obs_reg.set(live.heartbeat_age, 0.0);
+  obs::log_info("svc", "fleet started",
+                {{"jobs", static_cast<std::int64_t>(manifest.size())},
+                 {"resumed", report.resumed},
+                 {"workers", std::max(workers, 0)}});
+  bool fleet_has_best = false;  // guarded by commit_mu
+  Weight fleet_best = 0;
 
   const auto draining = [&] {
     return halted.load(std::memory_order_acquire) ||
@@ -248,6 +353,13 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
           break;
         }
       }
+      obs::log_warn("svc", "job attempt unsuccessful; backing off",
+                    {{"id", spec.id},
+                     {"attempt", attempt},
+                     {"error", error == ErrorClass::kNone
+                                   ? "truncated"
+                                   : to_string(error)},
+                     {"message", message}});
       sleep_for(backoff_seconds(config_.retry, spec.id, attempt + 1));
     }
     out.status = best->truncated ? JobStatus::kTruncated : JobStatus::kOk;
@@ -274,12 +386,33 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
       if (journal != nullptr && !journal_error) {
         try {
           journal->append(out);
+        } catch (const std::exception& e) {
+          obs::log_error("svc", "checkpoint journal append failed",
+                         {{"id", out.id}, {"what", e.what()}});
+          journal_error = std::current_exception();
+          halted.store(true, std::memory_order_release);
+          break;
         } catch (...) {
           journal_error = std::current_exception();
           halted.store(true, std::memory_order_release);
           break;
         }
       }
+      if (config_.progress != nullptr) config_.progress->record(out);
+      obs_reg.add(live.jobs_by_state[static_cast<std::size_t>(out.status)]);
+      if ((out.status == JobStatus::kOk ||
+           out.status == JobStatus::kTruncated) &&
+          (!fleet_has_best || out.cut < fleet_best)) {
+        fleet_has_best = true;
+        fleet_best = out.cut;
+        obs_reg.set(live.best_cut, static_cast<double>(fleet_best));
+      }
+      obs::log_debug("svc", "job finished",
+                     {{"id", out.id},
+                      {"status", to_string(out.status)},
+                      {"attempts", out.attempts},
+                      {"cut", static_cast<std::int64_t>(out.cut)},
+                      {"seconds", out.seconds}});
       outcomes[manifest_index] = std::move(out);
       ++committed;
       if (config_.halt_after >= 0 && committed >= config_.halt_after) {
@@ -302,21 +435,40 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
     pool.emplace_back(worker, static_cast<std::size_t>(t));
   }
 
-  // Supervisor: heartbeat-based hang detection while the pool drains.
+  // Supervisor: heartbeat-based hang detection while the pool drains,
+  // plus the per-tick refresh of the live gauges.
+  const auto hang_limit_ms =
+      static_cast<std::int64_t>(config_.hang_seconds * 1000.0);
   while (active.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    if (config_.hang_seconds <= 0.0) continue;
     const std::int64_t now = steady_ms();
-    const auto limit =
-        static_cast<std::int64_t>(config_.hang_seconds * 1000.0);
+    int busy_workers = 0;
+    std::int64_t oldest_heartbeat_ms = 0;
     for (WorkerSlot& slot : slots) {
-      if (slot.busy.load(std::memory_order_acquire) &&
-          now - slot.start_ms.load(std::memory_order_acquire) > limit) {
-        slot.cancel.store(true, std::memory_order_release);
+      if (!slot.busy.load(std::memory_order_acquire)) continue;
+      ++busy_workers;
+      const std::int64_t age =
+          now - slot.start_ms.load(std::memory_order_acquire);
+      oldest_heartbeat_ms = std::max(oldest_heartbeat_ms, age);
+      if (config_.hang_seconds > 0.0 && age > hang_limit_ms &&
+          !slot.cancel.exchange(true, std::memory_order_acq_rel)) {
+        obs_reg.add(live.watchdog_fires);
+        obs::log_warn("svc", "hang watchdog cancelled a stuck attempt",
+                      {{"age_seconds", static_cast<double>(age) / 1000.0},
+                       {"hang_seconds", config_.hang_seconds}});
       }
     }
+    obs_reg.set(live.inflight, static_cast<double>(busy_workers));
+    obs_reg.set(live.heartbeat_age,
+                static_cast<double>(oldest_heartbeat_ms) / 1000.0);
+    const std::size_t claimed =
+        std::min(next.load(std::memory_order_relaxed), pending.size());
+    obs_reg.set(live.queue_depth,
+                static_cast<double>(pending.size() - claimed));
   }
   for (std::thread& thread : pool) thread.join();
+  obs_reg.set(live.inflight, 0.0);
+  obs_reg.set(live.heartbeat_age, 0.0);
   if (journal_error) std::rethrow_exception(journal_error);
 
   for (const std::optional<JobOutcome>& outcome : outcomes) {
@@ -356,6 +508,10 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
       reg.observe(attempts_hist, static_cast<double>(outcome.attempts));
     }
   }
+  obs::log_info("svc", "fleet finished",
+                {{"summary", report.summary()},
+                 {"drained", report.drained},
+                 {"exit_code", report.exit_code()}});
   return report;
 }
 

@@ -23,14 +23,50 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "svc/checkpoint.hpp"
 #include "svc/job.hpp"
 #include "util/deadline.hpp"
+#include "util/stats.hpp"
 
 namespace fixedpart::svc {
+
+/// Live fleet progress, updated by the executor at job boundaries (commit
+/// time) and readable concurrently from other threads — this is what the
+/// obs::HttpEndpoint /progress route serves while a fleet runs. The ETA
+/// is a naive extrapolation: mean finished-job wall time times remaining
+/// jobs, divided by the worker count.
+class FleetProgress {
+ public:
+  /// Resets and arms the tracker for a fleet of `total` jobs, `resumed`
+  /// of which were restored from a journal (counted as done).
+  void begin(std::int64_t total, std::int64_t resumed, int workers);
+  /// Records one committed outcome.
+  void record(const JobOutcome& outcome);
+
+  std::int64_t total() const;
+  std::int64_t done() const;
+  /// {"total": ..., "done": ..., per-state counts, "mean_job_seconds":
+  /// ..., "eta_seconds": ..., "best_cut": ... | null} (one line).
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t total_ = 0;
+  std::int64_t done_ = 0;
+  std::int64_t ok_ = 0;
+  std::int64_t truncated_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t poisoned_ = 0;
+  std::int64_t resumed_ = 0;
+  int workers_ = 1;
+  util::RunningStat seconds_;  ///< per finished job, this process only
+  bool has_best_ = false;
+  Weight best_cut_ = 0;
+};
 
 /// What one successful attempt reports back to the executor.
 struct JobResult {
@@ -73,6 +109,10 @@ struct ExecutorConfig {
   /// Graceful drain (not owned): when it becomes true, in-flight jobs
   /// finish and are checkpointed, nothing new is dispatched.
   const std::atomic<bool>* drain = nullptr;
+  /// Live progress tracker (not owned, may be null). begin() is called at
+  /// fleet start and record() per committed outcome, so a /progress
+  /// endpoint polling it sees job counts move while the fleet runs.
+  FleetProgress* progress = nullptr;
 
   // --- test / fault-injection hooks -------------------------------------
   /// Called on the worker thread before each attempt (1-based); may throw

@@ -17,13 +17,21 @@ cd "$workdir"
 "$runner" --gen-manifest=jobs.jsonl --jobs=6 > /dev/null
 
 # Crash after 2 checkpointed outcomes. Exit code 1 = incomplete fleet.
+# --metrics-out rides along: the periodic exporter plus the final tick
+# must leave a readable snapshot behind even though the fleet died early.
 status=0
 "$runner" --manifest=jobs.jsonl --journal=run.jsonl --workers=2 \
-  --halt-after=2 --quiet > /dev/null || status=$?
+  --halt-after=2 --metrics-out=metrics.json --metrics-interval=0.1 \
+  --quiet > /dev/null || status=$?
 [ "$status" -eq 1 ] || { echo "FAIL: halted run exited $status, want 1"; exit 1; }
 
 lines=$(wc -l < run.jsonl)
 [ "$lines" -eq 2 ] || { echo "FAIL: journal has $lines outcomes, want 2"; exit 1; }
+
+[ -s metrics.json ] || { echo "FAIL: metrics.json missing after halted run"; exit 1; }
+grep -q '"counters"' metrics.json || { echo "FAIL: metrics.json malformed after halted run"; exit 1; }
+# (-f, not -s: under FIXEDPART_OBS=OFF the exposition is legitimately empty)
+[ -f metrics.json.prom ] || { echo "FAIL: metrics.json.prom missing after halted run"; exit 1; }
 
 # Crash artifacts around journal compaction must not derail a resume:
 # a stale .tmp sibling (died between write and rename, or between rename
