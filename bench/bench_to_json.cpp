@@ -21,6 +21,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "gen/suite.hpp"
 #include "hg/fixed.hpp"
 #include "ml/multilevel.hpp"
+#include "ml/parallel.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -108,6 +110,75 @@ Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
     m.cut = best_cut;
     m.moves = moves;
     m.passes = passes;
+  }
+  m.moves_per_sec =
+      m.seconds > 0.0 ? static_cast<double>(m.moves) / m.seconds : 0.0;
+  return m;
+}
+
+/// One start of the deterministic parallel pipeline (ml/parallel.hpp),
+/// called directly so --threads=1 measures the *same* algorithm executed
+/// serially — the honest denominator for parallel speedup. Cut, moves and
+/// passes are identical for every thread count (that is the pipeline's
+/// determinism contract); only seconds may differ.
+Metric run_parallel_pipeline(const gen::GeneratedCircuit& circuit, int threads,
+                             int repeats, double budget_seconds) {
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+
+  Metric m;
+  m.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    util::Deadline deadline;
+    ml::MultilevelConfig config;
+    config.parallel.threads = threads;
+    if (budget_seconds > 0.0) {
+      deadline = util::Deadline::after_seconds(budget_seconds);
+      config.deadline = &deadline;
+    }
+    util::Timer timer;
+    const auto result = ml::run_parallel_multilevel(circuit.graph, fixed,
+                                                    balance, 0xBE9C, config);
+    m.seconds = std::min(m.seconds, timer.seconds());
+    m.cut = result.cut;
+    m.moves = result.total_moves;
+    m.passes = result.total_passes;
+    m.truncated |= result.truncated;
+  }
+  m.moves_per_sec =
+      m.seconds > 0.0 ? static_cast<double>(m.moves) / m.seconds : 0.0;
+  return m;
+}
+
+/// Parallel multistart on the shared thread pool: the ml_multistart
+/// workload with starts fanned out across --threads workers. The winning
+/// cut depends only on (starts, seed), never on the thread count.
+Metric run_parallel_multistart(const gen::GeneratedCircuit& circuit,
+                               int starts, int threads, int repeats,
+                               double budget_seconds) {
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const ml::MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  Metric m;
+  m.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    util::Deadline deadline;
+    ml::MultilevelConfig config;
+    if (budget_seconds > 0.0) {
+      deadline = util::Deadline::after_seconds(budget_seconds);
+      config.deadline = &deadline;
+    }
+    util::Timer timer;
+    const auto result =
+        partitioner.best_of_parallel(starts, threads, 0xBE9C, config);
+    m.seconds = std::min(m.seconds, timer.seconds());
+    m.cut = result.cut;
+    m.moves = result.total_moves;
+    m.passes = result.total_passes;
+    m.truncated |= result.truncated;
   }
   m.moves_per_sec =
       m.seconds > 0.0 ? static_cast<double>(m.moves) / m.seconds : 0.0;
@@ -301,13 +372,22 @@ bool metrics_close(const Metric& a, const Metric& b) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   cli.require_known({"out", "baseline", "starts", "repeats", "smoke",
-                     "budget", "trace-out"});
+                     "budget", "threads", "trace-out"});
   const bool smoke = cli.get_bool("smoke", false);
   const std::string out_path = cli.get_or("out", "BENCH.json");
   const int starts =
       static_cast<int>(cli.get_int("starts", smoke ? 2 : 8));
   const int repeats =
       static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
+  // Shared-memory threads for the ml_parstart_* / ml_pipeline_* scenarios.
+  // The serial scenarios above ignore it, so their numbers stay comparable
+  // across BENCH files regardless of this flag. Recorded in the header so a
+  // BENCH file is self-describing.
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
+  if (threads < 1) {
+    std::cerr << "bench_to_json: --threads must be >= 1\n";
+    return 2;
+  }
   // Wall-clock budget per scenario measurement in seconds; 0 = unlimited.
   // Expired runs degrade to best-so-far and are flagged "truncated" in the
   // output (docs/ROBUSTNESS.md).
@@ -348,6 +428,17 @@ int main(int argc, char** argv) {
   fixedpart::obs::log_info("bench", "gain-bucket churn");
   results.emplace_back("gain_bucket_churn",
                        run_bucket_churn(smoke ? 20000 : 2000000, repeats));
+  fixedpart::obs::log_info("bench", "parallel multistart (ibm01-profile)",
+                           {{"threads", threads}});
+  results.emplace_back(
+      "ml_parstart_ibm01",
+      run_parallel_multistart(ibm01, starts, threads, repeats, budget));
+  fixedpart::obs::log_info("bench", "parallel pipeline (ibm01/ibm03)",
+                           {{"threads", threads}});
+  results.emplace_back("ml_pipeline_ibm01",
+                       run_parallel_pipeline(ibm01, threads, repeats, budget));
+  results.emplace_back("ml_pipeline_ibm03",
+                       run_parallel_pipeline(ibm03, threads, repeats, budget));
 
   // Scraped before the (optional) traced extra run below, so the embedded
   // "metrics" section covers exactly the timed measurements above —
@@ -392,6 +483,8 @@ int main(int argc, char** argv) {
         << "  \"scale\": \"" << util::to_string(scale) << "\",\n"
         << "  \"starts\": " << starts << ",\n"
         << "  \"repeats\": " << repeats << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
         << "  \"budget_seconds\": " << format_double(budget) << ",\n";
     emit_results(out, "results", results);
     // Obs counters/histograms over the timed measurements (scraped before

@@ -1,16 +1,17 @@
 #include "ml/multilevel.hpp"
 
 #include <atomic>
-#include <mutex>
+#include <functional>
 #include <stdexcept>
-#include <thread>
 #include <tuple>
 
+#include "ml/parallel.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "part/feasibility.hpp"
 #include "part/initial.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fixedpart::ml {
@@ -42,6 +43,15 @@ MultilevelPartitioner::MultilevelPartitioner(
 
 MultilevelResult MultilevelPartitioner::run(
     util::Rng& rng, const MultilevelConfig& config) const {
+  if (config.parallel.threads > 1) {
+    // The parallel pipeline (src/ml/parallel.cpp) is a different — itself
+    // deterministic — algorithm; threads == 1 stays on the serial path
+    // below, which is the bit-exactness oracle for every existing test
+    // and benchmark. One rng.next() seeds the whole parallel run, so the
+    // caller's stream advances the same way regardless of thread count.
+    return run_parallel_multilevel(*graph_, *fixed_, *balance_, rng.next(),
+                                   config);
+  }
   util::Timer timer;
   MultilevelResult result;
   if (config.preflight) {
@@ -239,45 +249,30 @@ MultilevelResult MultilevelPartitioner::best_of_parallel(
   for (int s = 0; s < starts; ++s) streams.push_back(root.fork());
 
   std::vector<MultilevelResult> results(static_cast<std::size_t>(starts));
-  std::atomic<int> next{0};
   std::atomic<bool> truncated{false};
-  // A worker exception (preflight InfeasibleError, bad_alloc, ...) must
-  // reach the caller, not std::terminate: the first one is captured, the
-  // other workers stop claiming starts, and it is rethrown after join.
-  std::atomic<bool> abort{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto worker = [&] {
-    while (true) {
-      const int s = next.fetch_add(1);
-      if (s >= starts || abort.load(std::memory_order_acquire)) return;
-      // Start 0 always runs (run() itself degrades under the deadline);
-      // later starts are skipped once the budget is gone. Skipped slots
-      // keep their empty default result.
-      if (s > 0 && config.deadline != nullptr && config.deadline->expired()) {
-        truncated.store(true, std::memory_order_relaxed);
-        return;
-      }
-      MultilevelResult& r = results[static_cast<std::size_t>(s)];
-      try {
-        r = run(streams[static_cast<std::size_t>(s)], config);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!error) error = std::current_exception();
-        }
-        abort.store(true, std::memory_order_release);
-        return;
-      }
-      if (r.truncated) truncated.store(true, std::memory_order_relaxed);
+  // Starts run on the shared worker pool (or the one in config.parallel)
+  // instead of per-call std::threads: total process concurrency stays
+  // bounded by the pool size however many callers fan out at once, and
+  // the pool's section cap enforces this call's `threads` budget. A
+  // worker exception (preflight InfeasibleError, bad_alloc, ...) aborts
+  // the remaining starts (their slots keep the empty default result) and
+  // parallel_for rethrows the first one here.
+  const std::function<void(std::int64_t)> body = [&](std::int64_t s) {
+    // Start 0 always runs (run() itself degrades under the deadline);
+    // later starts are skipped once the budget is gone. Skipped slots
+    // keep their empty default result.
+    if (s > 0 && config.deadline != nullptr && config.deadline->expired()) {
+      truncated.store(true, std::memory_order_relaxed);
+      return;
     }
+    MultilevelResult& r = results[static_cast<std::size_t>(s)];
+    r = run(streams[static_cast<std::size_t>(s)], config);
+    if (r.truncated) truncated.store(true, std::memory_order_relaxed);
   };
-  std::vector<std::thread> pool;
-  const int used = std::min(threads, starts);
-  pool.reserve(static_cast<std::size_t>(used));
-  for (int t = 0; t < used; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  util::ThreadPool& pool = config.parallel.pool != nullptr
+                               ? *config.parallel.pool
+                               : util::ThreadPool::shared();
+  pool.parallel_for(starts, threads, body);
 
   // Start 0 always ran, so it is the fallback best (and the only
   // candidate on a zero-vertex graph, where every assignment is empty).

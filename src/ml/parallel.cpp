@@ -1,0 +1,605 @@
+#include "ml/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ml/coarsen.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "part/feasibility.hpp"
+#include "part/fm.hpp"
+#include "part/initial.hpp"
+#include "part/partition.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fixedpart::ml {
+
+namespace {
+
+using hg::NetId;
+using hg::PartitionId;
+
+/// Fixed-grain chunked execution over an index range. Chunk boundaries
+/// depend only on (count, grain), never on the thread count or which
+/// worker picks a chunk up — the determinism precondition for every
+/// parallel loop in this file.
+struct Exec {
+  util::ThreadPool* pool;
+  int threads;
+  std::int64_t grain;
+
+  std::int64_t num_chunks(std::int64_t count) const {
+    return count <= 0 ? 0 : (count + grain - 1) / grain;
+  }
+
+  /// fn(chunk_index, lo, hi) over [0, count) split into grain-sized
+  /// chunks. fn must write only chunk-owned state (or distinct elements
+  /// keyed by index) and may read anything that no chunk writes.
+  void for_chunks(
+      std::int64_t count,
+      const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn)
+      const {
+    if (count <= 0) return;
+    const std::function<void(std::int64_t)> body = [&](std::int64_t c) {
+      const std::int64_t lo = c * grain;
+      fn(c, lo, std::min(count, lo + grain));
+    };
+    pool->parallel_for(num_chunks(count), threads, body);
+  }
+};
+
+util::ThreadPool* resolve_pool(const ParallelConfig& parallel) {
+  return parallel.pool != nullptr ? parallel.pool : &util::ThreadPool::shared();
+}
+
+VertexId movable_count(const hg::Hypergraph& g,
+                       const hg::FixedAssignment& fixed) {
+  VertexId n = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    n += (fixed.allowed_mask(v) == fixed.full_mask());
+  }
+  return n;
+}
+
+/// Classic FM move gain of v (to the opposite side), read off the current
+/// pin counts. Pure read of `state` — safe to evaluate concurrently from
+/// many threads while nobody moves vertices.
+Weight move_gain(const part::PartitionState& state, const hg::Hypergraph& g,
+                 VertexId v) {
+  const PartitionId from = state.part_of(v);
+  const PartitionId to = 1 - from;
+  Weight gain = 0;
+  for (const NetId e : g.nets_of(v)) {
+    if (state.pin_count(e, from) == 1) gain += g.net_weight(e);
+    if (state.pin_count(e, to) == 0) gain -= g.net_weight(e);
+  }
+  return gain;
+}
+
+/// A refinement candidate proposed by the parallel gain pass. Ordered by
+/// (gain desc, vertex asc): a total order, so the arbiter's sequence is
+/// unique whatever the shard interleaving was.
+struct Candidate {
+  Weight gain;
+  VertexId vertex;
+};
+
+struct RoundStats {
+  std::int64_t moves = 0;
+  std::int32_t rounds = 0;
+  bool truncated = false;
+};
+
+/// Round-based parallel refinement of one level. Each round: (1) threads
+/// scan disjoint shards of the movable list and emit a gain candidate for
+/// every boundary vertex — reads only, against the round-start state;
+/// (2) a sequential arbiter sorts the candidates into the (gain desc,
+/// vertex asc) total order and tentatively applies them, tracking the
+/// best prefix that both improved the cut and kept balance (fixed
+/// vertices never enter the movable list); (3) the tail past the best
+/// prefix is rolled back, which publishes exactly the kept deltas to the
+/// next round. Stops at the first round that keeps nothing, at
+/// max_rounds, or when the deadline expires.
+RoundStats refine_rounds(part::PartitionState& state, const hg::Hypergraph& g,
+                         const std::vector<VertexId>& movable,
+                         const part::BalanceConstraint& balance,
+                         const Exec& exec, const MultilevelConfig& config,
+                         std::int64_t level_index) {
+  RoundStats stats;
+  const auto n_mov = static_cast<std::int64_t>(movable.size());
+  if (n_mov == 0) return stats;
+  const util::Deadline* deadline = config.deadline;
+
+  // Same stall discipline as the serial FM pass: a round's apply phase
+  // ends after a streak of non-improving moves (stale gains concentrate
+  // real improvement at the front of the order, mirroring Sec. III).
+  const std::int64_t stall_limit =
+      config.refine.stall_fraction >= 1.0
+          ? n_mov
+          : std::max<std::int64_t>(
+                config.refine.stall_min,
+                static_cast<std::int64_t>(config.refine.stall_fraction *
+                                          static_cast<double>(n_mov)));
+
+  std::vector<std::vector<Candidate>> shards(
+      static_cast<std::size_t>(exec.num_chunks(n_mov)));
+  std::vector<Candidate> candidates;
+  struct Applied {
+    VertexId vertex;
+    PartitionId from;
+  };
+  std::vector<Applied> applied;
+
+  for (int round = 0; round < config.parallel.max_rounds; ++round) {
+    if (deadline != nullptr && deadline->expired()) {
+      stats.truncated = true;
+      break;
+    }
+    obs::ScopedSpan span("ml.parallel_round");
+
+    // (1) Parallel proposal: each chunk owns shards[c]; state is frozen.
+    exec.for_chunks(n_mov, [&](std::int64_t c, std::int64_t lo,
+                               std::int64_t hi) {
+      auto& out = shards[static_cast<std::size_t>(c)];
+      out.clear();
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const VertexId v = movable[static_cast<std::size_t>(i)];
+        if (!state.is_boundary(v)) continue;
+        out.push_back(Candidate{move_gain(state, g, v), v});
+      }
+    });
+
+    // (2) Deterministic merge + total order.
+    candidates.clear();
+    for (const auto& shard : shards) {
+      candidates.insert(candidates.end(), shard.begin(), shard.end());
+    }
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.gain != b.gain) return a.gain > b.gain;
+                return a.vertex < b.vertex;
+              });
+
+    // (3) Sequential arbiter: apply in order, keep the best prefix.
+    const Weight cut_before = state.cut();
+    Weight best_cut = cut_before;
+    applied.clear();
+    std::size_t best_prefix = 0;
+    std::int64_t since_best = 0;
+    for (const Candidate& cand : candidates) {
+      const PartitionId from = state.part_of(cand.vertex);
+      const PartitionId to = 1 - from;
+      if (!balance.fits(state.part_weight_vector(to),
+                        g.vertex_weights(cand.vertex), to)) {
+        continue;
+      }
+      state.move(cand.vertex, to);
+      applied.push_back(Applied{cand.vertex, from});
+      if (state.cut() < best_cut) {
+        best_cut = state.cut();
+        best_prefix = applied.size();
+        since_best = 0;
+      } else if (++since_best >= stall_limit) {
+        break;
+      }
+    }
+    for (std::size_t i = applied.size(); i > best_prefix; --i) {
+      state.move(applied[i - 1].vertex, applied[i - 1].from);
+    }
+    stats.moves += static_cast<std::int64_t>(applied.size());
+    stats.rounds += 1;
+
+    span.arg("level", level_index)
+        .arg("round", static_cast<std::int64_t>(round))
+        .arg("proposed", static_cast<std::int64_t>(candidates.size()))
+        .arg("kept", static_cast<std::int64_t>(best_prefix));
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::Registry::global();
+      static const obs::MetricId rounds_total =
+          reg.counter("ml.parallel.rounds");
+      static const obs::MetricId kept_fraction =
+          reg.histogram("ml.parallel.prefix_kept_fraction", 0.0, 1.0, 20);
+      reg.add(rounds_total);
+      if (!applied.empty()) {
+        reg.observe(kept_fraction,
+                    static_cast<double>(best_prefix) /
+                        static_cast<double>(applied.size()));
+      }
+    }
+    if (best_prefix == 0) break;  // no improvement kept: converged
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<VertexId> parallel_heavy_edge_matching(
+    const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+    const MatchingConfig& config, const ParallelConfig& parallel,
+    const std::vector<hg::PartitionId>* same_part) {
+  if (same_part != nullptr &&
+      static_cast<VertexId>(same_part->size()) != g.num_vertices()) {
+    throw std::invalid_argument("parallel_heavy_edge_matching: same_part size");
+  }
+  if (fixed.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "parallel_heavy_edge_matching: fixed size mismatch");
+  }
+  if (parallel.threads < 1) {
+    throw std::invalid_argument("parallel_heavy_edge_matching: threads < 1");
+  }
+  if (parallel.grain < 1) {
+    throw std::invalid_argument("parallel_heavy_edge_matching: grain < 1");
+  }
+  const Exec exec{resolve_pool(parallel), parallel.threads,
+                  static_cast<std::int64_t>(parallel.grain)};
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) match[v] = v;
+  if (n == 0) return match;
+
+  // Same cluster-weight caps as the serial matcher.
+  std::vector<Weight> caps(static_cast<std::size_t>(g.num_resources()));
+  for (int r = 0; r < g.num_resources(); ++r) {
+    const auto fraction_cap = static_cast<Weight>(std::floor(
+        config.max_cluster_fraction * static_cast<double>(g.total_weight(r))));
+    const auto pair_cap = static_cast<Weight>(
+        std::ceil(2.0 * static_cast<double>(g.total_weight(r)) /
+                  std::max<double>(1.0, static_cast<double>(n))));
+    caps[r] = std::max<Weight>({1, fraction_cap, pair_cap});
+  }
+  const auto weight_ok = [&](VertexId a, VertexId b) {
+    for (int r = 0; r < g.num_resources(); ++r) {
+      if (g.vertex_weight(a, r) + g.vertex_weight(b, r) > caps[r]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<VertexId> propose(static_cast<std::size_t>(n));
+  // A few propose-resolve rounds capture almost all of the matching;
+  // the tail would add rounds for single pairs, and an unmatched residue
+  // only costs coarsening ratio (the stagnation check upstream handles a
+  // genuinely unmatchable graph).
+  constexpr int kMaxMatchRounds = 16;
+
+  for (int round = 0; round < kMaxMatchRounds; ++round) {
+    // Propose: for every unmatched v, the best unmatched compatible
+    // neighbour — a pure function of v and the round-start match state.
+    // (score desc, lowest index on ties; score accumulation follows v's
+    // net order, so the float sums are reproducible too.)
+    exec.for_chunks(n, [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+      // Worker-lifetime scratch: a dense score array with a touched list,
+      // as in the serial matcher. Only ever non-zero inside one vertex's
+      // scan (the touched loop restores zeros), so reuse across chunks,
+      // levels and calls is safe.
+      thread_local std::vector<double> score;
+      thread_local std::vector<VertexId> touched;
+      if (score.size() < static_cast<std::size_t>(n)) {
+        score.assign(static_cast<std::size_t>(n), 0.0);
+      }
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const auto v = static_cast<VertexId>(i);
+        propose[static_cast<std::size_t>(v)] = hg::kNoVertex;
+        if (match[static_cast<std::size_t>(v)] != v) continue;
+        touched.clear();
+        for (const NetId e : g.nets_of(v)) {
+          const int size = g.net_size(e);
+          if (size < 2 || size > config.large_net_threshold) continue;
+          const double contribution = static_cast<double>(g.net_weight(e)) /
+                                      static_cast<double>(size - 1);
+          for (const VertexId u : g.pins(e)) {
+            if (u == v || match[static_cast<std::size_t>(u)] != u) continue;
+            if (score[u] == 0.0) touched.push_back(u);
+            score[u] += contribution;
+          }
+        }
+        VertexId best = hg::kNoVertex;
+        double best_score = 0.0;
+        for (const VertexId u : touched) {
+          const double s = score[u];
+          score[u] = 0.0;
+          if ((fixed.allowed_mask(v) & fixed.allowed_mask(u)) == 0) continue;
+          if (same_part != nullptr && (*same_part)[v] != (*same_part)[u]) {
+            continue;
+          }
+          if (!weight_ok(v, u)) continue;
+          if (s > best_score ||
+              (s == best_score && best != hg::kNoVertex && u < best)) {
+            best_score = s;
+            best = u;
+          }
+        }
+        propose[static_cast<std::size_t>(v)] = best;
+      }
+    });
+
+    // Resolve: mutual proposals match. Each chunk writes only match[v]
+    // for its own v; the partner's slot is written by the partner's chunk
+    // with the symmetric value, so no slot has two writers.
+    std::atomic<std::int64_t> matched_pairs{0};
+    exec.for_chunks(n, [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+      std::int64_t local = 0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const auto v = static_cast<VertexId>(i);
+        const VertexId u = propose[static_cast<std::size_t>(v)];
+        if (u != hg::kNoVertex && propose[static_cast<std::size_t>(u)] == v) {
+          match[static_cast<std::size_t>(v)] = u;
+          if (v < u) ++local;
+        }
+      }
+      if (local != 0) {
+        matched_pairs.fetch_add(local, std::memory_order_relaxed);
+      }
+    });
+    if (matched_pairs.load(std::memory_order_relaxed) == 0) break;
+  }
+  return match;
+}
+
+MultilevelResult run_parallel_multilevel(const hg::Hypergraph& graph,
+                                         const hg::FixedAssignment& fixed,
+                                         const part::BalanceConstraint& balance,
+                                         std::uint64_t seed,
+                                         const MultilevelConfig& config) {
+  if (fixed.num_parts() != 2 || balance.num_parts() != 2) {
+    throw std::invalid_argument("run_parallel_multilevel: needs 2 parts");
+  }
+  if (fixed.num_vertices() != graph.num_vertices()) {
+    throw std::invalid_argument(
+        "run_parallel_multilevel: fixed size mismatch");
+  }
+  if (config.parallel.threads < 1) {
+    throw std::invalid_argument("run_parallel_multilevel: threads < 1");
+  }
+  if (config.parallel.grain < 1) {
+    throw std::invalid_argument("run_parallel_multilevel: grain < 1");
+  }
+  util::Timer timer;
+  MultilevelResult result;
+  if (config.preflight) {
+    const part::FeasibilityReport report =
+        part::check_feasibility(graph, fixed, balance);
+    if (!report.feasible) {
+      throw util::InfeasibleError("parallel multilevel: " + report.summary());
+    }
+  }
+  const util::Deadline* deadline = config.deadline;
+  const auto expired = [&] {
+    return deadline != nullptr && deadline->expired();
+  };
+  part::FmConfig refine_config = config.refine;
+  if (deadline != nullptr) refine_config.deadline = deadline;
+  // Serial FM calls inside this pipeline (coarse starts, small-level
+  // polish) shard their initial gain computation at the same width; this
+  // is bit-identical to serial gain init (see FmConfig::threads).
+  refine_config.threads = config.parallel.threads;
+  const Exec exec{resolve_pool(config.parallel), config.parallel.threads,
+                  static_cast<std::int64_t>(config.parallel.grain)};
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    static const obs::MetricId threads_gauge = reg.gauge("ml.parallel.threads");
+    reg.set(threads_gauge, static_cast<double>(exec.threads));
+  }
+  // One FM workspace for every serial polish in this run. Polishes only
+  // ever run on the orchestrating thread (the arbiter), so one is enough.
+  part::FmScratch scratch;
+  // RNG streams are handed out by this serially-advanced counter; every
+  // consumer derives util::Rng::stream(seed, id) — a pure function — so
+  // the streams are identical whatever the thread schedule was. Parallel
+  // consumers (coarse starts) reserve a contiguous id block up front.
+  std::uint64_t next_stream = 0;
+
+  // Parallel-matching hierarchy builder; `incumbent` non-null makes the
+  // matching solution-preserving (V-cycle restriction), as in the serial
+  // builder.
+  auto build_hierarchy = [&](const std::vector<PartitionId>* incumbent) {
+    std::vector<CoarseLevel> levels;
+    const hg::Hypergraph* g = &graph;
+    const hg::FixedAssignment* f = &fixed;
+    std::vector<PartitionId> projected;
+    if (incumbent != nullptr) projected = *incumbent;
+    while (movable_count(*g, *f) > config.coarsest_size) {
+      if (expired()) {
+        result.truncated = true;
+        break;
+      }
+      obs::ScopedSpan span("ml.coarsen_level");
+      const auto match = parallel_heavy_edge_matching(
+          *g, *f, config.matching, config.parallel,
+          incumbent != nullptr ? &projected : nullptr);
+      CoarseLevel level = contract(*g, *f, match);
+      span.arg("level", static_cast<std::int64_t>(levels.size()))
+          .arg("fine_vertices", static_cast<std::int64_t>(g->num_vertices()))
+          .arg("coarse_vertices",
+               static_cast<std::int64_t>(level.graph.num_vertices()));
+      if (static_cast<double>(level.graph.num_vertices()) >
+          config.stagnation_ratio * static_cast<double>(g->num_vertices())) {
+        break;
+      }
+      if (incumbent != nullptr) {
+        std::vector<PartitionId> coarse(
+            static_cast<std::size_t>(level.graph.num_vertices()),
+            hg::kNoPartition);
+        for (VertexId v = 0; v < g->num_vertices(); ++v) {
+          coarse[level.map[v]] = projected[v];
+        }
+        projected = std::move(coarse);
+      }
+      levels.push_back(std::move(level));
+      g = &levels.back().graph;
+      f = &levels.back().fixed;
+    }
+    return std::make_tuple(std::move(levels), g, f, std::move(projected));
+  };
+
+  // Refines one complete level in place. Small levels use the serial FM
+  // engine on a private stream (deterministic, better quality there);
+  // large levels run the parallel rounds.
+  auto refine_level = [&](part::PartitionState& state,
+                          const hg::Hypergraph& g,
+                          const hg::FixedAssignment& f,
+                          std::int64_t level_index) {
+    std::vector<VertexId> movable;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (f.allowed_mask(v) == f.full_mask()) movable.push_back(v);
+    }
+    if (static_cast<VertexId>(movable.size()) <=
+        config.parallel.fm_polish_max_movable) {
+      part::FmBipartitioner fm(g, f, balance, &scratch);
+      util::Rng rng = util::Rng::stream(seed, next_stream++);
+      const auto r = fm.refine(state, rng, refine_config);
+      result.total_moves += r.total_moves;
+      result.total_passes += r.passes;
+      result.truncated |= r.truncated;
+      return;
+    }
+    const RoundStats stats =
+        refine_rounds(state, g, movable, balance, exec, config, level_index);
+    result.total_moves += stats.moves;
+    result.total_passes += stats.rounds;
+    result.truncated |= stats.truncated;
+  };
+
+  // Parallel random starts at the coarsest level: every start owns a
+  // pre-reserved RNG stream and a private state/refiner, so results per
+  // start are schedule-independent; the best (cut asc, start index asc on
+  // ties) wins deterministically.
+  auto coarse_solve = [&](const hg::Hypergraph& cg,
+                          const hg::FixedAssignment& cf) {
+    const int starts = std::max(1, config.coarse_starts);
+    const std::uint64_t stream_base = next_stream;
+    next_stream += static_cast<std::uint64_t>(starts);
+    std::vector<std::vector<PartitionId>> assigns(
+        static_cast<std::size_t>(starts));
+    std::vector<Weight> cuts(static_cast<std::size_t>(starts), 0);
+    std::vector<char> ran(static_cast<std::size_t>(starts), 0);
+    std::atomic<std::int64_t> moves{0};
+    std::atomic<std::int32_t> passes{0};
+    std::atomic<bool> truncated{false};
+    const std::function<void(std::int64_t)> body = [&](std::int64_t s) {
+      // Start 0 always runs so there is always a complete assignment;
+      // an expired budget only skips restarts (degradation contract).
+      if (s > 0 && expired()) {
+        truncated.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const auto idx = static_cast<std::size_t>(s);
+      util::Rng rng = util::Rng::stream(
+          seed, stream_base + static_cast<std::uint64_t>(s));
+      part::PartitionState state(cg, 2);
+      part::random_feasible_assignment(state, cf, balance, rng,
+                                       /*require_feasible=*/false);
+      part::FmBipartitioner fm(cg, cf, balance);
+      const auto r = fm.refine(state, rng, refine_config);
+      moves.fetch_add(r.total_moves, std::memory_order_relaxed);
+      passes.fetch_add(r.passes, std::memory_order_relaxed);
+      if (r.truncated) truncated.store(true, std::memory_order_relaxed);
+      cuts[idx] = state.cut();
+      assigns[idx].assign(state.assignment().begin(),
+                          state.assignment().end());
+      ran[idx] = 1;
+    };
+    exec.pool->parallel_for(starts, exec.threads, body);
+    result.total_moves += moves.load(std::memory_order_relaxed);
+    result.total_passes += passes.load(std::memory_order_relaxed);
+    result.truncated |= truncated.load(std::memory_order_relaxed);
+    std::size_t best = 0;  // start 0 always ran
+    for (std::size_t s = 1; s < assigns.size(); ++s) {
+      if (ran[s] != 0 && cuts[s] < cuts[best]) best = s;
+    }
+    return std::make_pair(std::move(assigns[best]), cuts[best]);
+  };
+
+  // Projects `assignment` (on the coarsest graph of `levels`) back to the
+  // input graph, refining every level on the way. Projection always
+  // happens; an expired budget skips refinement only.
+  auto uncoarsen = [&](const std::vector<CoarseLevel>& levels,
+                       std::vector<PartitionId> assignment) {
+    for (std::size_t i = levels.size(); i-- > 0;) {
+      const hg::Hypergraph& fine_graph = (i == 0) ? graph : levels[i - 1].graph;
+      const hg::FixedAssignment& fine_fixed =
+          (i == 0) ? fixed : levels[i - 1].fixed;
+      obs::ScopedSpan span("ml.project");
+      span.arg("level", static_cast<std::int64_t>(i))
+          .arg("fine_vertices",
+               static_cast<std::int64_t>(fine_graph.num_vertices()));
+      part::PartitionState fine_state(fine_graph, 2);
+      for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
+        fine_state.assign(v, assignment[levels[i].map[v]]);
+      }
+      if (expired()) {
+        result.truncated = true;
+      } else {
+        refine_level(fine_state, fine_graph, fine_fixed,
+                     static_cast<std::int64_t>(i));
+      }
+      assignment.assign(fine_state.assignment().begin(),
+                        fine_state.assignment().end());
+      if (i == 0) result.cut = fine_state.cut();
+    }
+    return assignment;
+  };
+
+  // --- Initial descent.
+  auto [levels, coarsest_graph, coarsest_fixed, unused] =
+      build_hierarchy(nullptr);
+  result.levels = static_cast<int>(levels.size()) + 1;
+  auto [best_assignment, best_cut] =
+      coarse_solve(*coarsest_graph, *coarsest_fixed);
+
+  std::vector<PartitionId> assignment;
+  if (levels.empty()) {
+    result.cut = best_cut;
+    assignment = std::move(best_assignment);
+  } else {
+    assignment = uncoarsen(levels, std::move(best_assignment));
+  }
+
+  // --- Optional V-cycles (same protocol as the serial path).
+  for (int cycle = 0; cycle < config.vcycles; ++cycle) {
+    if (expired()) {
+      result.truncated = true;
+      break;
+    }
+    obs::ScopedSpan span("ml.vcycle");
+    span.arg("cycle", static_cast<std::int64_t>(cycle));
+    auto [vlevels, vgraph, vfixed, projected] = build_hierarchy(&assignment);
+    if (vlevels.empty()) break;
+    part::PartitionState coarse_state(*vgraph, 2);
+    for (VertexId v = 0; v < vgraph->num_vertices(); ++v) {
+      coarse_state.assign(v, projected[v]);
+    }
+    refine_level(coarse_state, *vgraph, *vfixed,
+                 static_cast<std::int64_t>(vlevels.size()));
+    assignment = uncoarsen(
+        vlevels, std::vector<PartitionId>(coarse_state.assignment().begin(),
+                                          coarse_state.assignment().end()));
+  }
+
+  result.assignment = std::move(assignment);
+  result.seconds = timer.seconds();
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::Registry::global();
+    static const obs::MetricId runs = reg.counter("ml.runs");
+    static const obs::MetricId levels_total = reg.counter("ml.levels");
+    static const obs::MetricId truncations = reg.counter("ml.truncations");
+    reg.add(runs);
+    reg.add(levels_total, result.levels);
+    if (result.truncated) reg.add(truncations);
+  }
+  return result;
+}
+
+}  // namespace fixedpart::ml

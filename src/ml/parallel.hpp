@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic shared-memory parallel multilevel pipeline
+// (docs/PARALLELISM.md). The design goal is *scheduling-independent
+// determinism*: for a given (graph, fixed, balance, seed, config) the
+// result is bit-identical for every thread count, pool size and grain —
+// parallelism only changes wall-clock. Three ingredients make that hold:
+//
+//  * Propose-resolve matching: each round, every unmatched vertex
+//    computes its best unmatched neighbour as a pure function of the
+//    round-start state (connectivity score desc, lowest index on ties);
+//    mutual proposals become matches. No vertex ever writes another
+//    vertex's slot, so the outcome is independent of execution order —
+//    unlike the serial greedy matching, which is visit-order dependent.
+//  * Round-based refinement: threads compute gains for disjoint shards of
+//    the boundary against a frozen snapshot of the partition; a
+//    sequential arbiter then applies the candidates in a total order
+//    (gain desc, vertex asc), keeps the best prefix that improved the cut
+//    under the balance constraint, and publishes the deltas before the
+//    next round begins.
+//  * Up-front RNG streams: every work item that needs randomness derives
+//    util::Rng::stream(seed, item) — a pure function, no shared generator
+//    to advance (see util/rng.hpp).
+//
+// `MultilevelConfig::parallel.threads == 1` never reaches this file: the
+// serial path in multilevel.cpp is the bit-exactness oracle and stays
+// untouched. threads > 1 dispatches MultilevelPartitioner::run here.
+
+#include <cstdint>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+
+namespace fixedpart::ml {
+
+/// Parallel propose-resolve heavy-edge matching. Same constraints as the
+/// serial heavy_edge_matching (mask compatibility, cluster weight caps,
+/// optional same_part restriction for V-cycles) but a different — and
+/// deterministic — tie-breaking discipline: best connectivity score,
+/// lowest vertex index on ties. Output is bit-identical for every pool
+/// size, including a zero-worker pool (pure serial execution of the same
+/// algorithm). match[v] = partner or v; symmetric.
+std::vector<VertexId> parallel_heavy_edge_matching(
+    const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
+    const MatchingConfig& config, const ParallelConfig& parallel,
+    const std::vector<hg::PartitionId>* same_part = nullptr);
+
+/// One independent start of the parallel pipeline: parallel coarsening,
+/// parallel random coarse starts (each on its own RNG stream), and
+/// round-based parallel refinement on the way back up (levels at or below
+/// parallel.fm_polish_max_movable movables refine with the serial FM
+/// engine instead — cheap there, and its per-move gain updates beat the
+/// round model's frozen gains on small graphs). Honours the same deadline
+/// degradation contract as MultilevelPartitioner::run. Deterministic in
+/// (inputs, seed, config) — thread count, pool size and grain never
+/// change the result.
+MultilevelResult run_parallel_multilevel(const hg::Hypergraph& graph,
+                                         const hg::FixedAssignment& fixed,
+                                         const part::BalanceConstraint& balance,
+                                         std::uint64_t seed,
+                                         const MultilevelConfig& config);
+
+}  // namespace fixedpart::ml

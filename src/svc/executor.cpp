@@ -647,6 +647,16 @@ JobResult run_partition_job(const JobSpec& spec,
   config.preflight = spec.preflight;
   const ml::MultilevelPartitioner partitioner(entry->graph, fixed,
                                               *entry->balance);
+  if (spec.threads_per_job > 1) {
+    // Parallel multistart on the shared pool: starts fan out across up to
+    // threads_per_job workers, and the result depends only on (starts,
+    // seed) — identical for every threads_per_job > 1, so the canonical
+    // journal stays byte-stable when the knob is retuned per machine.
+    const ml::MultilevelResult result = partitioner.best_of_parallel(
+        spec.starts, spec.threads_per_job, spec.seed, config);
+    return JobResult{result.cut, result.truncated, result.total_moves,
+                     result.total_passes};
+  }
   util::Rng rng(spec.seed);
   const ml::MultilevelResult result =
       partitioner.best_of(spec.starts, rng, config);

@@ -256,6 +256,7 @@ void validate_spec(const JobSpec& spec, const hg::LineReader& at) {
   }
   if (spec.budget_seconds < 0.0) at.fail("budget_seconds must be >= 0");
   if (spec.tolerance_pct < 0.0) at.fail("tolerance_pct must be >= 0");
+  if (spec.threads_per_job < 1) at.fail("threads_per_job must be >= 1");
 }
 
 }  // namespace
@@ -310,6 +311,7 @@ std::string to_json_line(const JobSpec& spec) {
   out.field("regime", spec.regime);
   out.field("fixed_pct", spec.fixed_pct);
   out.field("starts", spec.starts);
+  out.field("threads_per_job", spec.threads_per_job);
   out.field("seed", spec.seed);
   out.field("tolerance_pct", spec.tolerance_pct);
   out.field("budget_seconds", spec.budget_seconds);
@@ -356,6 +358,8 @@ JobSpec job_spec_from_json(const std::string& line,
   spec.fixed_pct = obj.get_double("fixed_pct", spec.fixed_pct);
   spec.starts =
       static_cast<int>(obj.get_int("starts", spec.starts, 1, 1 << 20));
+  spec.threads_per_job = static_cast<int>(
+      obj.get_int("threads_per_job", spec.threads_per_job, 1, 1 << 10));
   spec.seed = obj.get_uint64("seed", spec.seed);
   spec.tolerance_pct = obj.get_double("tolerance_pct", spec.tolerance_pct);
   spec.budget_seconds = obj.get_double("budget_seconds", spec.budget_seconds);

@@ -92,6 +92,17 @@ Rng Rng::fork() {
   return child;
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index through SplitMix64 before combining so that
+  // consecutive indices land on unrelated seeds (seed ^ stream alone would
+  // make streams 2k/2k+1 of seed 0/1 collide pairwise).
+  std::uint64_t s = stream ^ 0xa0761d6478bd642fULL;
+  const std::uint64_t mixed = splitmix64(s);
+  Rng child;
+  child.reseed(seed ^ mixed);
+  return child;
+}
+
 std::vector<std::uint32_t> Rng::sample_indices(std::uint32_t n,
                                                std::uint32_t k) {
   if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");

@@ -57,6 +57,17 @@ class Rng {
   /// decorrelated. Used to give each trial/start its own stream.
   Rng fork();
 
+  /// The `stream`-th child stream of `seed`: a pure function of its two
+  /// arguments, so any thread can derive stream i independently — no
+  /// parent state to advance, no ordering between derivations — and the
+  /// resulting sequence is identical regardless of which thread derives
+  /// it, when, or how many threads exist. This is the seed-splitting
+  /// discipline of the parallel pipeline (docs/PARALLELISM.md): every
+  /// parallel work item that needs randomness derives stream(seed, item)
+  /// and never shares a generator. Distinct (seed, stream) pairs map to
+  /// decorrelated states (SplitMix64 over a mixed 64-bit combination).
+  static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
   /// Fisher-Yates shuffle of a span.
   template <typename T>
   void shuffle(std::span<T> values) {

@@ -1,0 +1,142 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fixedpart::util {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) {
+    throw std::invalid_argument("ThreadPool: workers must be >= 0");
+  }
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool* pool = [] {
+    int workers =
+        static_cast<int>(std::thread::hardware_concurrency()) - 1;
+    if (const char* env = std::getenv("FIXEDPART_POOL_THREADS")) {
+      try {
+        workers = std::stoi(env) - 1;
+      } catch (const std::exception&) {
+        // Unparseable override: keep the hardware-derived default.
+      }
+    }
+    // Leaked intentionally: the shared pool must outlive every static
+    // destructor that might still run a parallel section at exit.
+    return new ThreadPool(std::max(0, workers));
+  }();
+  return *pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Section> section;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        // Front-to-back scan for a section with unclaimed work and a free
+        // helper slot; exhausted sections are retired along the way.
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if ((*it)->next.load(std::memory_order_relaxed) >= (*it)->count) {
+            it = queue_.erase(it);
+            continue;
+          }
+          if ((*it)->helpers.load(std::memory_order_relaxed) <
+              (*it)->max_helpers) {
+            section = *it;
+            section->helpers.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          ++it;
+        }
+        if (section != nullptr) break;
+        cv_.wait(lock);
+      }
+    }
+    drain(*section);
+    section->helpers.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::drain(Section& section) {
+  for (;;) {
+    const std::int64_t i = section.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= section.count) return;
+    if (!section.aborted.load(std::memory_order_acquire)) {
+      try {
+        (*section.fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(section.mu);
+          if (!section.error) section.error = std::current_exception();
+        }
+        section.aborted.store(true, std::memory_order_release);
+      }
+    }
+    const std::int64_t done =
+        section.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == section.count) {
+      // Notify under the lock so the caller's predicate check cannot race
+      // past the notification.
+      std::lock_guard<std::mutex> lock(section.mu);
+      section.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count, int max_threads,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  const auto section = std::make_shared<Section>();
+  section->fn = &fn;
+  section->count = count;
+  const int cap = max_threads <= 0 ? worker_count() : max_threads - 1;
+  section->max_helpers =
+      static_cast<int>(std::min<std::int64_t>(
+          std::min(cap, worker_count()), count - 1));
+  if (section->max_helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(section);
+    }
+    cv_.notify_all();
+  }
+  drain(*section);
+  {
+    std::unique_lock<std::mutex> lock(section->mu);
+    section->cv.wait(lock, [&] {
+      return section->completed.load(std::memory_order_acquire) >= count;
+    });
+  }
+  if (section->max_helpers > 0) {
+    // Retire the (now exhausted) section so the queue never grows; workers
+    // also prune it, so it may already be gone.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->get() == section.get()) {
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  if (section->error) std::rethrow_exception(section->error);
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,391 @@
+// Deterministic shared-memory parallel multilevel (docs/PARALLELISM.md).
+// The load-bearing property under test is *scheduling-independent
+// determinism*: thread count, pool size and grain must never change a
+// result, only wall-clock. Every test here therefore compares runs across
+// pool/thread/grain configurations for bit-identity, plus the usual
+// feasibility and fixed-vertex invariants. The whole binary carries the
+// `parallel` ctest label so it can be certified under TSan on its own
+// (FIXEDPART_SANITIZE=thread; docs/ROBUSTNESS.md).
+
+#include "ml/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "hg/fixed.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+#include "part/fm.hpp"
+#include "part/initial.hpp"
+#include "part/partition.hpp"
+#include "util/deadline.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fixedpart::ml {
+namespace {
+
+gen::GeneratedCircuit small_circuit(std::uint64_t seed = 7) {
+  gen::CircuitSpec spec;
+  spec.name = "test";
+  spec.num_cells = 600;
+  spec.num_nets = 700;
+  spec.num_pads = 24;
+  spec.num_macros = 1;
+  spec.macro_area_pct = 2.0;
+  spec.seed = seed;
+  return gen::generate_circuit(spec);
+}
+
+std::vector<hg::PartitionId> replay(const hg::Hypergraph& g,
+                                    const MultilevelResult& result,
+                                    part::PartitionState& state) {
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    state.assign(v, result.assignment[v]);
+  }
+  return result.assignment;
+}
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  constexpr std::int64_t kCount = 5000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, /*max_threads=*/4, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsEntirelyOnCaller) {
+  util::ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> foreign{0};
+  pool.parallel_for(100, /*max_threads=*/8, [&](std::int64_t) {
+    if (std::this_thread::get_id() != caller) {
+      foreign.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(foreign.load(), 0);
+}
+
+TEST(ThreadPool, MaxThreadsOneStaysOnCaller) {
+  util::ThreadPool pool(3);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> foreign{0};
+  pool.parallel_for(100, /*max_threads=*/1, [&](std::int64_t) {
+    if (std::this_thread::get_id() != caller) {
+      foreign.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(foreign.load(), 0);
+}
+
+TEST(ThreadPool, RethrowsFirstExceptionAfterDraining) {
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(1000, 3,
+                        [&](std::int64_t i) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The section drained: no stray worker is still touching `ran` after
+  // parallel_for returned (TSan would flag it if one were).
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 1000);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, 4, [&](std::int64_t) {
+    pool.parallel_for(4, 4, [&](std::int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+// --- parallel coarsening -------------------------------------------------
+
+TEST(ParallelMatching, BitIdenticalForEveryPoolSizeAndGrain) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const MatchingConfig matching;
+
+  util::ThreadPool serial(0);
+  util::ThreadPool narrow(1);
+  util::ThreadPool wide(7);
+  struct Case {
+    util::ThreadPool* pool;
+    int threads;
+    VertexId grain;
+  };
+  const Case cases[] = {{&serial, 2, 4096}, {&narrow, 2, 4096},
+                        {&wide, 8, 4096},   {&wide, 8, 64},
+                        {&wide, 3, 17}};
+
+  std::vector<VertexId> reference;
+  for (const Case& c : cases) {
+    ParallelConfig parallel;
+    parallel.pool = c.pool;
+    parallel.threads = c.threads;
+    parallel.grain = c.grain;
+    const auto match = parallel_heavy_edge_matching(circuit.graph, fixed,
+                                                    matching, parallel);
+    if (reference.empty()) {
+      reference = match;
+    } else {
+      EXPECT_EQ(match, reference);
+    }
+  }
+
+  // Sanity on the reference itself: symmetric, and it matched something.
+  ASSERT_EQ(reference.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+  int matched = 0;
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    EXPECT_EQ(reference[static_cast<std::size_t>(
+                  reference[static_cast<std::size_t>(v)])],
+              v);
+    matched += (reference[static_cast<std::size_t>(v)] != v);
+  }
+  EXPECT_GT(matched, circuit.graph.num_vertices() / 4);
+}
+
+TEST(ParallelMatching, NeverMatchesIncompatibleFixedVertices) {
+  const auto circuit = small_circuit(11);
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng pick(3);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); v += 3) {
+    fixed.fix(v, static_cast<hg::PartitionId>(pick.next_below(2)));
+  }
+  ParallelConfig parallel;
+  parallel.threads = 4;
+  util::ThreadPool pool(3);
+  parallel.pool = &pool;
+  const auto match = parallel_heavy_edge_matching(circuit.graph, fixed,
+                                                  MatchingConfig{}, parallel);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    const VertexId u = match[static_cast<std::size_t>(v)];
+    if (u == v) continue;
+    // A merged cluster must still have at least one allowed part.
+    EXPECT_NE(fixed.allowed_mask(v) & fixed.allowed_mask(u), 0u);
+  }
+}
+
+// --- full pipeline -------------------------------------------------------
+
+MultilevelResult pipeline_run(const gen::GeneratedCircuit& circuit,
+                              const hg::FixedAssignment& fixed,
+                              const part::BalanceConstraint& balance,
+                              int threads, VertexId grain = 4096,
+                              util::ThreadPool* pool = nullptr) {
+  MultilevelConfig config;
+  config.parallel.threads = threads;
+  config.parallel.grain = grain;
+  config.parallel.pool = pool;
+  return run_parallel_multilevel(circuit.graph, fixed, balance, 0xBE9C,
+                                 config);
+}
+
+TEST(ParallelPipeline, BitIdenticalAcrossThreadCountsAndGrains) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+
+  util::ThreadPool zero(0);
+  const auto reference = pipeline_run(circuit, fixed, balance, 1);
+  const auto two = pipeline_run(circuit, fixed, balance, 2);
+  const auto eight = pipeline_run(circuit, fixed, balance, 8);
+  const auto fine_grain = pipeline_run(circuit, fixed, balance, 8, 64);
+  const auto no_workers =
+      pipeline_run(circuit, fixed, balance, 8, 4096, &zero);
+
+  EXPECT_EQ(two.cut, reference.cut);
+  EXPECT_EQ(two.assignment, reference.assignment);
+  EXPECT_EQ(eight.assignment, reference.assignment);
+  EXPECT_EQ(fine_grain.assignment, reference.assignment);
+  EXPECT_EQ(no_workers.assignment, reference.assignment);
+}
+
+TEST(ParallelPipeline, ProducesFeasibleBipartition) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const auto result = pipeline_run(circuit, fixed, balance, 8);
+
+  ASSERT_EQ(result.assignment.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+  part::PartitionState state(circuit.graph, 2);
+  replay(circuit.graph, result, state);
+  EXPECT_EQ(state.cut(), result.cut);
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+}
+
+TEST(ParallelPipeline, QualityComparableToSerialOracle) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const auto result = pipeline_run(circuit, fixed, balance, 4);
+
+  util::Rng rng(2);
+  part::PartitionState random_state(circuit.graph, 2);
+  part::random_feasible_assignment(random_state, fixed, balance, rng);
+  EXPECT_LT(result.cut, random_state.cut() / 2);
+}
+
+TEST(ParallelPipeline, RespectsFixedVertices) {
+  const auto circuit = small_circuit();
+  hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  util::Rng pick(3);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); v += 5) {
+    fixed.fix(v, static_cast<hg::PartitionId>(pick.next_below(2)));
+  }
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const auto serial = pipeline_run(circuit, fixed, balance, 1);
+  const auto wide = pipeline_run(circuit, fixed, balance, 8);
+  EXPECT_EQ(wide.assignment, serial.assignment);
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    const hg::PartitionId p = fixed.fixed_part(v);
+    if (p != hg::kNoPartition) {
+      EXPECT_EQ(wide.assignment[static_cast<std::size_t>(v)], p);
+    }
+  }
+}
+
+TEST(ParallelPipeline, RunDispatchesWhenThreadsExceedOne) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  MultilevelConfig config;
+  config.parallel.threads = 2;
+  util::Rng via_run_rng(11);
+  const auto via_run = partitioner.run(via_run_rng, config);
+  // run() seeds the pipeline with rng.next(); replaying that derivation
+  // must reproduce the dispatched result exactly.
+  util::Rng replay_rng(11);
+  const auto direct = run_parallel_multilevel(circuit.graph, fixed, balance,
+                                              replay_rng.next(), config);
+  EXPECT_EQ(via_run.cut, direct.cut);
+  EXPECT_EQ(via_run.assignment, direct.assignment);
+}
+
+TEST(ParallelPipeline, ExpiredDeadlineStillReturnsCompleteAssignment) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const util::Deadline deadline = util::Deadline::after_seconds(0.0);
+  MultilevelConfig config;
+  config.parallel.threads = 4;
+  config.deadline = &deadline;
+  const auto result = run_parallel_multilevel(circuit.graph, fixed, balance,
+                                              0xBE9C, config);
+  EXPECT_TRUE(result.truncated);
+  ASSERT_EQ(result.assignment.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+  part::PartitionState state(circuit.graph, 2);
+  replay(circuit.graph, result, state);
+  EXPECT_EQ(state.cut(), result.cut);
+  EXPECT_TRUE(balance.satisfied(state.part_weights()));
+}
+
+// --- parallel multistart -------------------------------------------------
+
+TEST(BestOfParallel, ThreadCountNeverChangesTheResult) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  util::ThreadPool zero(0);
+  MultilevelConfig pooled;
+  pooled.parallel.pool = &zero;
+
+  const auto one =
+      partitioner.best_of_parallel(4, 1, 0xD00D, MultilevelConfig{});
+  const auto two =
+      partitioner.best_of_parallel(4, 2, 0xD00D, MultilevelConfig{});
+  const auto eight =
+      partitioner.best_of_parallel(4, 8, 0xD00D, MultilevelConfig{});
+  const auto no_workers = partitioner.best_of_parallel(4, 8, 0xD00D, pooled);
+
+  EXPECT_EQ(two.cut, one.cut);
+  EXPECT_EQ(two.assignment, one.assignment);
+  EXPECT_EQ(eight.assignment, one.assignment);
+  EXPECT_EQ(no_workers.assignment, one.assignment);
+}
+
+TEST(BestOfParallel, NeverWorseThanTheSameStreamsRunSerially) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+  const MultilevelPartitioner partitioner(circuit.graph, fixed, balance);
+
+  const auto best =
+      partitioner.best_of_parallel(4, 4, 0xABCD, MultilevelConfig{});
+  // Replay the stream derivation best_of_parallel documents: each start s
+  // runs on the s-th fork of Rng(seed).
+  util::Rng root(0xABCD);
+  Weight manual_best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 4; ++s) {
+    util::Rng stream = root.fork();
+    manual_best = std::min(
+        manual_best, partitioner.run(stream, MultilevelConfig{}).cut);
+  }
+  EXPECT_EQ(best.cut, manual_best);
+}
+
+// --- parallel FM gain initialization -------------------------------------
+
+TEST(FmParallelGainInit, BitIdenticalToSerialInit) {
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  const auto balance =
+      part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
+
+  auto refine_with = [&](int threads) {
+    part::PartitionState state(circuit.graph, 2);
+    util::Rng rng(0xFEED);
+    part::random_feasible_assignment(state, fixed, balance, rng,
+                                     /*require_feasible=*/false);
+    part::FmBipartitioner fm(circuit.graph, fixed, balance);
+    part::FmConfig config;
+    config.threads = threads;
+    const auto result = fm.refine(state, rng, config);
+    std::vector<hg::PartitionId> assignment(
+        static_cast<std::size_t>(circuit.graph.num_vertices()));
+    for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+      assignment[static_cast<std::size_t>(v)] = state.part_of(v);
+    }
+    return std::pair{result.final_cut, assignment};
+  };
+
+  const auto [serial_cut, serial_assignment] = refine_with(1);
+  const auto [parallel_cut, parallel_assignment] = refine_with(4);
+  EXPECT_EQ(parallel_cut, serial_cut);
+  EXPECT_EQ(parallel_assignment, serial_assignment);
+}
+
+}  // namespace
+}  // namespace fixedpart::ml

@@ -172,6 +172,31 @@ TEST(Rng, ForkDecorrelates) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, StreamIsPureFunctionOfSeedAndIndex) {
+  // stream() must not depend on any generator state — the parallel
+  // pipeline derives streams from (seed, work-item index) on whatever
+  // thread reaches the item first, so two derivations of the same pair
+  // must restart identical sequences.
+  Rng a = Rng::stream(99, 7);
+  Rng b = Rng::stream(99, 7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDecorrelateAcrossIndexAndSeed) {
+  Rng base = Rng::stream(99, 7);
+  Rng next_index = Rng::stream(99, 8);
+  Rng next_seed = Rng::stream(100, 7);
+  int equal_index = 0;
+  int equal_seed = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = base.next();
+    equal_index += (x == next_index.next());
+    equal_seed += (x == next_seed.next());
+  }
+  EXPECT_LT(equal_index, 3);
+  EXPECT_LT(equal_seed, 3);
+}
+
 TEST(Rng, UniformRandomBitGeneratorInterface) {
   EXPECT_EQ(Rng::min(), 0u);
   EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
