@@ -1,0 +1,160 @@
+// partitiond — the partition-as-a-service daemon (docs/ROBUSTNESS.md
+// "Server lifecycle", README quickstart). It fuses obs::HttpEndpoint
+// (dependency-free HTTP/1.1, 127.0.0.1 only) with svc::PartitionServer
+// (bounded priority admission, per-request Deadline budgets, idempotent
+// content-hash submission + result cache, fsync-durable event journal,
+// watchdog, graceful drain):
+//
+//   partitiond --listen=0 --port-file=port.txt --journal=jobs.journal
+//              --spool-dir=spool --workers=2
+//
+//   POST /partition      submit a .hgr/.fpb upload or one-line JSON spec;
+//                        query tunes priority + engine knobs. 202 with a
+//                        job handle, 200 on a cache hit, 429 + Retry-After
+//                        when the queue is full, 503 while draining.
+//   GET /jobs/<id>       poll the handle (state + outcome when done)
+//   DELETE /jobs/<id>    cancel (cooperative for running jobs)
+//   GET /metrics|/metrics.json|/healthz|/progress   operator routes
+//
+// SIGTERM/SIGINT drain: in-flight jobs finish and are journaled, new
+// submissions get 503, queued jobs stay journaled for the next start,
+// exit code 0. kill -9 loses at most in-flight attempts: a restart with
+// the same --journal/--spool-dir re-serves every journaled result and
+// re-enqueues accepted-but-unfinished jobs.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/http.hpp"
+#include "obs/log.hpp"
+#include "svc/server.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cli.hpp"
+#include "util/deadline.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+using namespace fixedpart;
+
+std::atomic<bool> g_drain{false};
+
+void drain_handler(int) { g_drain.store(true, std::memory_order_release); }
+
+void apply_log_level(const std::string& name) {
+  if (name == "debug") {
+    obs::Log::global().set_min_level(obs::LogLevel::kDebug);
+  } else if (name == "info") {
+    obs::Log::global().set_min_level(obs::LogLevel::kInfo);
+  } else if (name == "warn") {
+    obs::Log::global().set_min_level(obs::LogLevel::kWarn);
+  } else if (name == "error") {
+    obs::Log::global().set_min_level(obs::LogLevel::kError);
+  } else {
+    throw util::UsageError("--log-level must be debug|info|warn|error");
+  }
+}
+
+int run(const util::Cli& cli) {
+  cli.require_known({"listen", "port-file", "workers", "queue-capacity",
+                     "journal", "spool-dir", "default-budget", "max-budget",
+                     "max-attempts", "hang-seconds", "done-capacity",
+                     "io-timeout", "max-request-bytes", "log-level",
+                     "test-slow-ms"});
+  apply_log_level(cli.get_or("log-level", "info"));
+#if !FIXEDPART_OBS_ENABLED
+  std::cout << "partitiond: built with FIXEDPART_OBS=OFF; the HTTP "
+               "endpoint is compiled out, nothing to serve"
+            << std::endl;
+  return 0;
+#else
+  svc::ServerConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", 1));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-capacity", 16));
+  config.retry.max_attempts =
+      static_cast<int>(cli.get_int("max-attempts", 3));
+  config.hang_seconds = cli.get_double("hang-seconds", 0.0);
+  config.default_budget_seconds = cli.get_double("default-budget", 10.0);
+  config.max_budget_seconds = cli.get_double("max-budget", 60.0);
+  config.done_capacity =
+      static_cast<std::size_t>(cli.get_int("done-capacity", 4096));
+  config.journal_path = cli.get_or("journal", "");
+  config.spool_dir = cli.get_or("spool-dir", "");
+
+  // --test-slow-ms=N pads every job with a deadline-respecting busy wait
+  // before the real engine runs. Only for tests: it makes "the queue
+  // backs up" reproducible on any machine, so the E2E can demonstrate
+  // load-shedding and mid-flight kills deterministically.
+  const std::int64_t slow_ms = cli.get_int("test-slow-ms", 0);
+  if (slow_ms > 0) {
+    config.runner = [slow_ms](const svc::JobSpec& spec,
+                              const util::Deadline& deadline) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(slow_ms);
+      while (std::chrono::steady_clock::now() < until &&
+             !deadline.expired()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return svc::run_partition_job(spec, deadline);
+    };
+  }
+
+  svc::PartitionServer server(config);
+  server.start();
+
+  obs::HttpEndpointConfig endpoint_config;
+  const std::int64_t port = cli.get_int("listen", 0);
+  if (port < 0 || port > 65535) {
+    throw util::UsageError("--listen must be a port in [0, 65535]");
+  }
+  endpoint_config.port = static_cast<std::uint16_t>(port);
+  endpoint_config.io_timeout_seconds = cli.get_double("io-timeout", 5.0);
+  endpoint_config.max_request_bytes = static_cast<std::size_t>(
+      cli.get_int("max-request-bytes", 1 << 20));
+  endpoint_config.progress = [&server] { return server.progress_json(); };
+  endpoint_config.handler = [&server](const obs::HttpRequest& request,
+                                      obs::HttpResponse& response) {
+    return server.handle(request, response);
+  };
+  obs::HttpEndpoint endpoint(endpoint_config);
+  endpoint.start();
+  if (const auto port_file = cli.get("port-file")) {
+    // Written atomically so a test polling the file never reads half a
+    // number; the kernel-assigned port makes parallel daemons collision-
+    // free.
+    util::write_file_atomic(*port_file,
+                            std::to_string(endpoint.port()) + "\n");
+  }
+  std::cout << "partitiond: listening on 127.0.0.1:" << endpoint.port()
+            << " (workers=" << config.workers
+            << " queue=" << config.queue_capacity << ")" << std::endl;
+
+  std::signal(SIGINT, drain_handler);
+  std::signal(SIGTERM, drain_handler);
+  while (!g_drain.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful drain: new submissions see 503 immediately, in-flight jobs
+  // finish and reach the journal, queued jobs stay journaled for the
+  // next start. The endpoint keeps answering GETs until the drain ends
+  // so clients can collect final results.
+  std::cout << "partitiond: draining" << std::endl;
+  server.drain();
+  endpoint.stop();
+  std::cout << "partitiond: drained, exiting" << std::endl;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  return util::run_cli_main("partitiond", [&] { return run(cli); });
+}

@@ -226,7 +226,8 @@ RoundStats refine_rounds(part::PartitionState& state, const hg::Hypergraph& g,
 std::vector<VertexId> parallel_heavy_edge_matching(
     const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
     const MatchingConfig& config, const ParallelConfig& parallel,
-    const std::vector<hg::PartitionId>* same_part) {
+    const std::vector<hg::PartitionId>* same_part,
+    const util::Deadline* deadline) {
   if (same_part != nullptr &&
       static_cast<VertexId>(same_part->size()) != g.num_vertices()) {
     throw std::invalid_argument("parallel_heavy_edge_matching: same_part size");
@@ -275,6 +276,10 @@ std::vector<VertexId> parallel_heavy_edge_matching(
   constexpr int kMaxMatchRounds = 16;
 
   for (int round = 0; round < kMaxMatchRounds; ++round) {
+    // An expired per-request budget stops the pipeline between rounds:
+    // the matching accumulated so far is complete and symmetric, so the
+    // caller just coarsens less this level and flags truncation itself.
+    if (deadline != nullptr && deadline->expired()) break;
     // Propose: for every unmatched v, the best unmatched compatible
     // neighbour — a pure function of v and the round-start match state.
     // (score desc, lowest index on ties; score accumulation follows v's
@@ -418,7 +423,7 @@ MultilevelResult run_parallel_multilevel(const hg::Hypergraph& graph,
       obs::ScopedSpan span("ml.coarsen_level");
       const auto match = parallel_heavy_edge_matching(
           *g, *f, config.matching, config.parallel,
-          incumbent != nullptr ? &projected : nullptr);
+          incumbent != nullptr ? &projected : nullptr, deadline);
       CoarseLevel level = contract(*g, *f, match);
       span.arg("level", static_cast<std::int64_t>(levels.size()))
           .arg("fine_vertices", static_cast<std::int64_t>(g->num_vertices()))

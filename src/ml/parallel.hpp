@@ -41,11 +41,16 @@ namespace fixedpart::ml {
 /// deterministic — tie-breaking discipline: best connectivity score,
 /// lowest vertex index on ties. Output is bit-identical for every pool
 /// size, including a zero-worker pool (pure serial execution of the same
-/// algorithm). match[v] = partner or v; symmetric.
+/// algorithm). match[v] = partner or v; symmetric. A non-null `deadline`
+/// is checked between propose-resolve rounds: on expiry the rounds stop
+/// and the matching built so far is returned — still valid and symmetric,
+/// just sparser, so the caller's degradation contract (coarser hierarchy,
+/// truncated flag) takes over from there.
 std::vector<VertexId> parallel_heavy_edge_matching(
     const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
     const MatchingConfig& config, const ParallelConfig& parallel,
-    const std::vector<hg::PartitionId>* same_part = nullptr);
+    const std::vector<hg::PartitionId>* same_part = nullptr,
+    const util::Deadline* deadline = nullptr);
 
 /// One independent start of the parallel pipeline: parallel coarsening,
 /// parallel random coarse starts (each on its own RNG stream), and

@@ -1,14 +1,23 @@
 #pragma once
-// Minimal embedded metrics endpoint (docs/OBSERVABILITY.md): a blocking
+// Minimal embedded HTTP endpoint (docs/OBSERVABILITY.md): a blocking
 // HTTP/1.1 server over plain POSIX sockets, bound to 127.0.0.1 only, with
 // no dependencies. One background accept thread serves one request per
-// connection (Connection: close) — this is an operator endpoint scraped
-// every few seconds, not a traffic path. Routes:
+// connection (Connection: close). Built-in operator routes:
 //
 //   GET /metrics       Prometheus text format 0.0.4 of a fresh scrape
 //   GET /metrics.json  Snapshot::to_json of a fresh scrape
 //   GET /healthz       "ok"
 //   GET /progress      the configured progress callback's JSON (else {})
+//
+// Everything else — any method, any path — is offered to the optional
+// `handler` callback, which is how svc::PartitionServer layers POST
+// /partition and friends on top (docs/ROBUSTNESS.md). Requests may carry
+// a Content-Length body, capped at `max_request_bytes` (413 past the
+// cap), and every connection lives under a wall-clock I/O budget
+// (`io_timeout_seconds`): a client that trickles bytes or stalls
+// mid-request is cut off when the budget expires instead of wedging the
+// accept loop forever (the slowloris guard — per-recv socket timeouts
+// alone do not bound the total connection time).
 //
 // start() binds (port 0 = kernel-assigned, read back via port()) and
 // spawns the serve thread; stop() (idempotent, also run by the
@@ -22,10 +31,31 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/registry.hpp"
 
 namespace fixedpart::obs {
+
+/// One parsed request, as handed to HttpEndpointConfig::handler.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", "DELETE", ... (verbatim)
+  std::string path;    ///< request target with the query string stripped
+  std::string query;   ///< raw query string after '?' ("" when absent)
+  std::string body;    ///< Content-Length bytes (possibly empty)
+};
+
+/// What a handler sends back. `headers` carries extras such as
+/// Retry-After; Content-Type/Content-Length/Connection are always set by
+/// the endpoint itself.
+struct HttpResponse {
+  int status = 200;
+  std::string reason;  ///< "" = derived from `status`
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
 
 struct HttpEndpointConfig {
   /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port.
@@ -35,6 +65,19 @@ struct HttpEndpointConfig {
   /// Body of GET /progress (should be a JSON object). Called from the
   /// serve thread; must be thread-safe. Empty = a constant "{}".
   std::function<std::string()> progress;
+  /// Application routes: consulted for every request the built-in GET
+  /// routes above do not claim. Return true when handled; false falls
+  /// through to 404 (or 405 for a non-GET on a built-in path). Called
+  /// from the serve thread; must be thread-safe and must not block for
+  /// long — one connection is served at a time.
+  std::function<bool(const HttpRequest&, HttpResponse&)> handler;
+  /// Total wall-clock budget for one connection (read + handle + write).
+  /// A slow or stalled client is dropped when it expires, so the worst
+  /// case head-of-line delay for the next connection is bounded.
+  double io_timeout_seconds = 5.0;
+  /// Cap on the request size (header block and body, each). Larger
+  /// requests are answered 413 and the connection is closed.
+  std::size_t max_request_bytes = 1u << 20;
 };
 
 #if FIXEDPART_OBS_ENABLED

@@ -52,26 +52,23 @@ std::vector<JobOutcome> parse_lines(const std::vector<std::string>& lines,
 
 }  // namespace
 
-CheckpointJournal::CheckpointJournal(std::string path)
-    : path_(std::move(path)) {}
+LineJournal::LineJournal(std::string path) : path_(std::move(path)) {}
 
-CheckpointJournal::~CheckpointJournal() {
+LineJournal::~LineJournal() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-std::vector<JobOutcome> CheckpointJournal::load() const {
+std::vector<std::string> LineJournal::load() const {
   std::vector<std::string> lines;
-  if (!read_complete_lines(path_, &lines)) return {};
-  return parse_lines(lines, path_);
+  read_complete_lines(path_, &lines);
+  return lines;
 }
 
-std::vector<JobOutcome> CheckpointJournal::open_for_append() {
+std::vector<std::string> LineJournal::open_for_append() {
   std::vector<std::string> lines;
-  std::vector<JobOutcome> outcomes;
   if (read_complete_lines(path_, &lines)) {
-    outcomes = parse_lines(lines, path_);
-    // Republish the validated prefix atomically: after this the file has
-    // no torn tail and every line is known-parseable.
+    // Republish the complete prefix atomically: after this the file has
+    // no torn tail.
     std::string text;
     for (const std::string& line : lines) {
       text += line;
@@ -82,22 +79,37 @@ std::vector<JobOutcome> CheckpointJournal::open_for_append() {
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) {
-    throw std::runtime_error("checkpoint: cannot open " + path_);
+    throw std::runtime_error("journal: cannot open " + path_);
   }
   // A fresh journal creates a new directory entry; make it durable before
   // appending so a post-crash resume finds the (possibly empty) journal
   // instead of appending to a file the crash un-created.
   util::sync_parent_dir(path_);
-  return outcomes;
+  return lines;
+}
+
+void LineJournal::append(const std::string& line) {
+  if (file_ == nullptr) open_for_append();
+  const std::string out = line + "\n";
+  if (std::fwrite(out.data(), 1, out.size(), file_) != out.size()) {
+    throw std::runtime_error("journal: short write to " + path_);
+  }
+  util::flush_and_sync(file_, path_);
+}
+
+CheckpointJournal::CheckpointJournal(std::string path)
+    : lines_(std::move(path)) {}
+
+std::vector<JobOutcome> CheckpointJournal::load() const {
+  return parse_lines(lines_.load(), lines_.path());
+}
+
+std::vector<JobOutcome> CheckpointJournal::open_for_append() {
+  return parse_lines(lines_.open_for_append(), lines_.path());
 }
 
 void CheckpointJournal::append(const JobOutcome& outcome) {
-  if (file_ == nullptr) open_for_append();
-  const std::string line = to_json_line(outcome) + "\n";
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
-    throw std::runtime_error("checkpoint: short write to " + path_);
-  }
-  util::flush_and_sync(file_, path_);
+  lines_.append(to_json_line(outcome));
 }
 
 std::vector<std::string> canonical_journal(

@@ -25,11 +25,45 @@
 
 namespace fixedpart::svc {
 
+/// The untyped durability core every journal in svc shares: an
+/// append-only file of complete '\n'-terminated lines, fsynced per
+/// append, with the torn trailing line a crash can leave discarded on
+/// load and compacted away (atomically) before new appends. What the
+/// lines *mean* is the caller's business — CheckpointJournal stores
+/// JobOutcomes, svc::PartitionServer stores event-tagged job records.
+class LineJournal {
+ public:
+  /// No file is touched until load()/open_for_append()/append().
+  explicit LineJournal(std::string path);
+  ~LineJournal();
+
+  LineJournal(const LineJournal&) = delete;
+  LineJournal& operator=(const LineJournal&) = delete;
+
+  /// Every complete line, in file order (missing file = empty journal).
+  /// A torn trailing line — no newline terminator — is discarded.
+  std::vector<std::string> load() const;
+
+  /// Compacts the journal to its complete lines (atomic replace + parent
+  /// directory fsync) and opens it for appending. Returns the survivors.
+  std::vector<std::string> open_for_append();
+
+  /// Appends one line (terminator added here) and makes it durable
+  /// (flush + fsync) before returning. Opens the file first if
+  /// open_for_append was not called.
+  void append(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
 class CheckpointJournal {
  public:
   /// No file is touched until load()/open_for_append()/append().
   explicit CheckpointJournal(std::string path);
-  ~CheckpointJournal();
 
   CheckpointJournal(const CheckpointJournal&) = delete;
   CheckpointJournal& operator=(const CheckpointJournal&) = delete;
@@ -47,11 +81,10 @@ class CheckpointJournal {
   /// returning. Opens the file first if open_for_append was not called.
   void append(const JobOutcome& outcome);
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return lines_.path(); }
 
  private:
-  std::string path_;
-  std::FILE* file_ = nullptr;
+  LineJournal lines_;
 };
 
 /// Sorted, timing-stripped journal lines: byte-identical for a given

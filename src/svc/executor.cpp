@@ -27,13 +27,13 @@
 
 namespace fixedpart::svc {
 
-namespace {
-
 std::int64_t steady_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+namespace {
 
 std::uint64_t fnv1a(const std::string& text) {
   std::uint64_t hash = 1469598103934665603ULL;
@@ -66,16 +66,112 @@ double backoff_seconds(const RetryPolicy& retry, const std::string& id,
   return delay * (1.0 + retry.jitter_fraction * unit);
 }
 
-/// Per-worker heartbeat the supervisor watches: `busy` + `start_ms` say
-/// how long the current attempt has been running; `cancel` is the
-/// supervisor's lever, wired into the attempt's Deadline.
-struct WorkerSlot {
-  std::atomic<bool> busy{false};
-  std::atomic<std::int64_t> start_ms{0};
-  std::atomic<bool> cancel{false};
-};
-
 }  // namespace
+
+JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
+                              const RetryPolicy& retry, AttemptSlot& slot,
+                              const SupervisedHooks& hooks) {
+  const auto stop_retrying = [&] {
+    return hooks.stop_retrying && hooks.stop_retrying();
+  };
+  const auto sleep_for = [&](double seconds) {
+    if (hooks.sleep_fn) {
+      hooks.sleep_fn(seconds);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  };
+
+  JobOutcome out;
+  out.id = spec.id;
+  util::Timer total;
+  std::optional<JobResult> best;  // best successful attempt so far
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    slot.cancel.store(false, std::memory_order_release);
+    slot.start_ms.store(steady_ms(), std::memory_order_release);
+    slot.busy.store(true, std::memory_order_release);
+    util::Deadline deadline =
+        spec.budget_seconds > 0.0
+            ? util::Deadline::after_seconds(spec.budget_seconds)
+            : util::Deadline();
+    deadline.set_cancel_flag(&slot.cancel);
+    ErrorClass error = ErrorClass::kNone;
+    std::string message;
+    JobResult result;
+    try {
+      obs::ScopedSpan span("svc.job_attempt");
+      span.arg("attempt", static_cast<std::int64_t>(attempt));
+      if (hooks.fault_hook) hooks.fault_hook(spec, attempt);
+      result = runner(spec, deadline);
+    } catch (const util::InputError& e) {
+      error = ErrorClass::kInput;
+      message = e.what();
+    } catch (const util::InfeasibleError& e) {
+      error = ErrorClass::kInfeasible;
+      message = e.what();
+    } catch (const TransientError& e) {
+      error = ErrorClass::kTransient;
+      message = e.what();
+    } catch (const std::bad_alloc&) {
+      error = ErrorClass::kTransient;
+      message = "out of memory";
+    } catch (const std::exception& e) {
+      error = ErrorClass::kInternal;
+      message = e.what();
+    } catch (...) {
+      error = ErrorClass::kInternal;
+      message = "unknown exception";
+    }
+    slot.busy.store(false, std::memory_order_release);
+
+    if (error == ErrorClass::kNone) {
+      if (!best.has_value() || (!result.truncated && best->truncated) ||
+          (result.truncated == best->truncated && result.cut < best->cut)) {
+        best = result;
+      }
+      const bool want_retry = result.truncated && retry.retry_truncated &&
+                              attempt < retry.max_attempts &&
+                              !stop_retrying();
+      if (!want_retry) break;
+    } else if (error == ErrorClass::kInput ||
+               error == ErrorClass::kInfeasible) {
+      out.status = JobStatus::kFailed;
+      out.error = error;
+      out.message = message;
+      out.seconds = total.seconds();
+      return out;
+    } else {
+      // Transient / internal: poisoned once attempts run out (unless an
+      // earlier attempt already produced a usable truncated result).
+      if (attempt >= retry.max_attempts || stop_retrying()) {
+        if (!best.has_value()) {
+          out.status = JobStatus::kPoisoned;
+          out.error = error;
+          out.message = message;
+          out.seconds = total.seconds();
+          return out;
+        }
+        break;
+      }
+    }
+    obs::log_warn("svc", "job attempt unsuccessful; backing off",
+                  {{"id", spec.id},
+                   {"attempt", attempt},
+                   {"error", error == ErrorClass::kNone ? "truncated"
+                                                        : to_string(error)},
+                   {"message", message}});
+    sleep_for(backoff_seconds(retry, spec.id, attempt + 1));
+  }
+  out.status = best->truncated ? JobStatus::kTruncated : JobStatus::kOk;
+  out.error = ErrorClass::kNone;
+  out.cut = best->cut;
+  out.truncated = best->truncated;
+  out.moves = best->moves;
+  out.passes = best->passes;
+  out.seconds = total.seconds();
+  return out;
+}
 
 void FleetProgress::begin(std::int64_t total, std::int64_t resumed,
                           int workers) {
@@ -221,7 +317,7 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
 
   const int workers = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(config_.workers), pending.size()));
-  std::vector<WorkerSlot> slots(
+  std::vector<AttemptSlot> slots(
       static_cast<std::size_t>(std::max(workers, 1)));
 
   // Live telemetry: queue/worker/heartbeat/best-cut gauges plus the
@@ -268,117 +364,21 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
             config_.drain->load(std::memory_order_acquire));
   };
 
-  const auto sleep_for = [&](double seconds) {
-    if (config_.sleep_fn) {
-      config_.sleep_fn(seconds);
-    } else {
-      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    }
-  };
-
-  // Runs every attempt of one job; never throws (the job boundary).
-  const auto run_job = [&](const JobSpec& spec, WorkerSlot& slot) {
-    JobOutcome out;
-    out.id = spec.id;
-    util::Timer total;
-    std::optional<JobResult> best;  // best successful attempt so far
-    for (int attempt = 1;; ++attempt) {
-      out.attempts = attempt;
-      slot.cancel.store(false, std::memory_order_release);
-      slot.start_ms.store(steady_ms(), std::memory_order_release);
-      slot.busy.store(true, std::memory_order_release);
-      util::Deadline deadline = spec.budget_seconds > 0.0
-                                    ? util::Deadline::after_seconds(
-                                          spec.budget_seconds)
-                                    : util::Deadline();
-      deadline.set_cancel_flag(&slot.cancel);
-      ErrorClass error = ErrorClass::kNone;
-      std::string message;
-      JobResult result;
-      try {
-        obs::ScopedSpan span("svc.job_attempt");
-        span.arg("attempt", static_cast<std::int64_t>(attempt));
-        if (config_.fault_hook) config_.fault_hook(spec, attempt);
-        result = runner_(spec, deadline);
-      } catch (const util::InputError& e) {
-        error = ErrorClass::kInput;
-        message = e.what();
-      } catch (const util::InfeasibleError& e) {
-        error = ErrorClass::kInfeasible;
-        message = e.what();
-      } catch (const TransientError& e) {
-        error = ErrorClass::kTransient;
-        message = e.what();
-      } catch (const std::bad_alloc&) {
-        error = ErrorClass::kTransient;
-        message = "out of memory";
-      } catch (const std::exception& e) {
-        error = ErrorClass::kInternal;
-        message = e.what();
-      } catch (...) {
-        error = ErrorClass::kInternal;
-        message = "unknown exception";
-      }
-      slot.busy.store(false, std::memory_order_release);
-
-      if (error == ErrorClass::kNone) {
-        if (!best.has_value() || (!result.truncated && best->truncated) ||
-            (result.truncated == best->truncated &&
-             result.cut < best->cut)) {
-          best = result;
-        }
-        const bool want_retry = result.truncated &&
-                                config_.retry.retry_truncated &&
-                                attempt < config_.retry.max_attempts &&
-                                !draining();
-        if (!want_retry) break;
-      } else if (error == ErrorClass::kInput ||
-                 error == ErrorClass::kInfeasible) {
-        out.status = JobStatus::kFailed;
-        out.error = error;
-        out.message = message;
-        out.seconds = total.seconds();
-        return out;
-      } else {
-        // Transient / internal: poisoned once attempts run out (unless an
-        // earlier attempt already produced a usable truncated result).
-        if (attempt >= config_.retry.max_attempts || draining()) {
-          if (!best.has_value()) {
-            out.status = JobStatus::kPoisoned;
-            out.error = error;
-            out.message = message;
-            out.seconds = total.seconds();
-            return out;
-          }
-          break;
-        }
-      }
-      obs::log_warn("svc", "job attempt unsuccessful; backing off",
-                    {{"id", spec.id},
-                     {"attempt", attempt},
-                     {"error", error == ErrorClass::kNone
-                                   ? "truncated"
-                                   : to_string(error)},
-                     {"message", message}});
-      sleep_for(backoff_seconds(config_.retry, spec.id, attempt + 1));
-    }
-    out.status = best->truncated ? JobStatus::kTruncated : JobStatus::kOk;
-    out.error = ErrorClass::kNone;
-    out.cut = best->cut;
-    out.truncated = best->truncated;
-    out.moves = best->moves;
-    out.passes = best->passes;
-    out.seconds = total.seconds();
-    return out;
-  };
+  // The attempt loop itself lives in run_supervised_job (shared with the
+  // PartitionServer); each worker supplies its slot and the drain policy.
+  SupervisedHooks hooks;
+  hooks.fault_hook = config_.fault_hook;
+  hooks.sleep_fn = config_.sleep_fn;
+  hooks.stop_retrying = draining;
 
   const auto worker = [&](std::size_t slot_index) {
-    WorkerSlot& slot = slots[slot_index];
+    AttemptSlot& slot = slots[slot_index];
     while (!draining()) {
       const std::size_t i = next.fetch_add(1);
       if (i >= pending.size()) break;
       const std::size_t manifest_index = pending[i];
-      JobOutcome out = run_job(manifest[manifest_index], slot);
+      JobOutcome out = run_supervised_job(runner_, manifest[manifest_index],
+                                          config_.retry, slot, hooks);
       std::lock_guard<std::mutex> lock(commit_mu);
       // A halt between claim and commit is the simulated kill -9: the
       // result is lost exactly like a genuinely in-flight job.
@@ -419,7 +419,7 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
         halted.store(true, std::memory_order_release);
         // Expedite the abandonment: in-flight attempts unwind at their
         // next deadline check instead of running to completion.
-        for (WorkerSlot& other : slots) {
+        for (AttemptSlot& other : slots) {
           other.cancel.store(true, std::memory_order_release);
         }
         break;
@@ -444,7 +444,7 @@ BatchReport BatchExecutor::run(const std::vector<JobSpec>& manifest,
     const std::int64_t now = steady_ms();
     int busy_workers = 0;
     std::int64_t oldest_heartbeat_ms = 0;
-    for (WorkerSlot& slot : slots) {
+    for (AttemptSlot& slot : slots) {
       if (!slot.busy.load(std::memory_order_acquire)) continue;
       ++busy_workers;
       const std::int64_t age =

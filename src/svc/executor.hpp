@@ -99,6 +99,44 @@ struct RetryPolicy {
   bool retry_truncated = true;
 };
 
+/// Monotonic milliseconds (steady_clock), the time base for AttemptSlot
+/// heartbeats — exposed so every supervisor (BatchExecutor, the
+/// PartitionServer watchdog) ages slots against the same clock.
+std::int64_t steady_ms();
+
+/// Per-attempt heartbeat a supervisor watches: `busy` + `start_ms` say how
+/// long the current attempt has been running; `cancel` is the supervisor's
+/// lever, wired into the attempt's Deadline (cooperative — the engine
+/// unwinds at its next deadline check and the attempt reports truncated).
+struct AttemptSlot {
+  std::atomic<bool> busy{false};
+  std::atomic<std::int64_t> start_ms{0};
+  std::atomic<bool> cancel{false};
+};
+
+/// Test and policy hooks for run_supervised_job. All optional.
+struct SupervisedHooks {
+  /// Called on the attempt thread before each attempt (1-based); may throw
+  /// to inject failures (tests/fault_inject.hpp spirit).
+  std::function<void(const JobSpec&, int attempt)> fault_hook;
+  /// Backoff sleep override (tests capture delays instead of sleeping).
+  std::function<void(double seconds)> sleep_fn;
+  /// Polled between attempts: true stops retrying (drain, user
+  /// cancellation) — the best result so far is committed as-is.
+  std::function<bool()> stop_retrying;
+};
+
+/// Runs every attempt of one job under the retry policy and never throws
+/// (this IS the job boundary): exceptions are classified via the PR-2
+/// taxonomy, transient/internal failures retried with deterministic
+/// backoff, permanent ones failed fast, the job poisoned once attempts run
+/// out. `slot` carries the live heartbeat; a supervisor watching it may
+/// set slot.cancel to cut the running attempt short. Used by both
+/// BatchExecutor workers and svc::PartitionServer.
+JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
+                              const RetryPolicy& retry, AttemptSlot& slot,
+                              const SupervisedHooks& hooks = {});
+
 struct ExecutorConfig {
   int workers = 1;
   RetryPolicy retry;

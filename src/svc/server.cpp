@@ -1,0 +1,873 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "hg/io_common.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "util/atomic_file.hpp"
+#include "util/errors.hpp"
+
+namespace fixedpart::svc {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// The canonical form of an uploaded hypergraph: per line, surrounding
+/// whitespace trimmed and runs collapsed to one space; blank and comment
+/// ('%' hmetis, '#' fpb/bookshelf) lines dropped. Line structure is
+/// semantic in every supported format, so lines are preserved — two
+/// uploads differing only in spacing or comments hash identically, two
+/// different hypergraphs never do.
+std::string canonical_content(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::size_t lo = start;
+    std::size_t hi = end;
+    const auto is_ws = [&](std::size_t i) {
+      return text[i] == ' ' || text[i] == '\t' || text[i] == '\r';
+    };
+    while (lo < hi && is_ws(lo)) ++lo;
+    while (hi > lo && is_ws(hi - 1)) --hi;
+    if (lo < hi && text[lo] != '%' && text[lo] != '#') {
+      bool pending_space = false;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (is_ws(i)) {
+          pending_space = true;
+          continue;
+        }
+        if (pending_space && !out.empty() && out.back() != '\n') out += ' ';
+        pending_space = false;
+        out += text[i];
+      }
+      out += '\n';
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> params;
+  std::size_t start = 0;
+  while (start < query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+/// Parses one flat-JSON spec line through the hardened manifest parser;
+/// failures throw hg::ParseError labelled "request".
+JobSpec parse_spec_line(const std::string& line) {
+  std::istringstream in(line + "\n");
+  hg::LineReader reader(in, "request", '#');
+  std::string read;
+  if (!reader.next(read)) throw util::InputError("request: empty job spec");
+  return job_spec_from_json(read, reader);
+}
+
+/// Pulls a top-level string field out of a journal line we wrote
+/// ourselves ("" when absent). Only used for the small control lines
+/// (event tags, cancel ids) whose values never contain escapes.
+std::string scan_string_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+int scan_int_field(const std::string& line, const char* key, int def) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return def;
+  return std::atoi(line.c_str() + at + needle.size());
+}
+
+std::string json_error(const std::string& message) {
+  std::string out = "{\"error\": \"";
+  for (const char c : message) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += "\"}\n";
+  return out;
+}
+
+double parse_double_param(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw util::InputError("query: " + key + ": not a number: " + text);
+  }
+}
+
+std::int64_t parse_int_param(const std::string& key,
+                             const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw util::InputError("query: " + key + ": not an integer: " + text);
+  }
+}
+
+// Live metric ids, registered once (OFF build: all no-ops).
+struct ServerMetrics {
+  obs::MetricId submitted, shed, cache_hits, cancelled, recovered;
+  obs::MetricId watchdog_fires;
+  obs::MetricId queue_depth, inflight;
+  obs::MetricId job_seconds, queue_wait_seconds;
+  obs::MetricId jobs_by_state[4];  ///< indexed by JobStatus
+};
+
+const ServerMetrics& server_metrics() {
+  static const ServerMetrics metrics = [] {
+    auto& reg = obs::Registry::global();
+    return ServerMetrics{
+        reg.counter("svc.server.submitted"),
+        reg.counter("svc.server.shed"),
+        reg.counter("svc.server.cache_hits"),
+        reg.counter("svc.server.cancelled"),
+        reg.counter("svc.server.recovered"),
+        reg.counter("svc.server.watchdog_fires"),
+        reg.gauge("svc.server.queue_depth"),
+        reg.gauge("svc.server.inflight"),
+        reg.histogram("svc.server.job_seconds", 0.0, 30.0, 30),
+        reg.histogram("svc.server.queue_wait_seconds", 0.0, 30.0, 30),
+        {reg.counter(obs::labeled("svc.server.jobs", {{"state", "ok"}})),
+         reg.counter(
+             obs::labeled("svc.server.jobs", {{"state", "truncated"}})),
+         reg.counter(obs::labeled("svc.server.jobs", {{"state", "failed"}})),
+         reg.counter(
+             obs::labeled("svc.server.jobs", {{"state", "poisoned"}}))},
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// One submitted job and everything the server remembers about it. The
+/// shared_ptr outlives map eviction, so a worker holding one mid-run is
+/// always safe.
+struct PartitionServer::ServerJob {
+  JobSpec spec;
+  int priority = 0;
+  std::uint64_t seq = 0;          ///< admission order (FIFO within priority)
+  std::int64_t enqueue_ms = 0;    ///< for the queue-wait histogram
+  JobState state = JobState::kQueued;
+  JobOutcome outcome;             ///< valid when has_outcome
+  bool has_outcome = false;
+  std::atomic<bool> user_cancelled{false};
+  AttemptSlot* slot = nullptr;    ///< non-null while a worker runs it
+};
+
+PartitionServer::PartitionServer(ServerConfig config)
+    : config_(std::move(config)) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("PartitionServer: workers < 1");
+  }
+  if (config_.queue_capacity < 1) {
+    throw std::invalid_argument("PartitionServer: queue_capacity < 1");
+  }
+  if (config_.retry.max_attempts < 1) {
+    throw std::invalid_argument("PartitionServer: max_attempts < 1");
+  }
+  runner_ = config_.runner ? config_.runner : run_partition_job;
+}
+
+PartitionServer::~PartitionServer() { drain(); }
+
+void PartitionServer::journal_append(const std::string& line) {
+  if (journal_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  try {
+    journal_->append(line);
+  } catch (const std::exception& error) {
+    // Durability degraded, service continues: the in-memory record is
+    // still authoritative for this process; a restart may re-run work.
+    obs::log_error("svc", "server journal append failed",
+                   {{"what", error.what()}});
+  }
+}
+
+void PartitionServer::replay_journal() {
+  const std::vector<std::string> lines = journal_->open_for_append();
+  // Replay through a LineReader so corrupt complete lines report
+  // path:line like every other parser (torn tails were already dropped).
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  std::istringstream in(text);
+  hg::LineReader reader(in, journal_->path(), '#');
+  std::string line;
+  std::vector<std::string> finish_order;
+  while (reader.next(line)) {
+    const std::string event = scan_string_field(line, "event");
+    if (event == "accept") {
+      // The spec fields ride in the same flat object; the parser ignores
+      // the event/priority tags.
+      JobSpec spec = job_spec_from_json(line, reader);
+      std::shared_ptr<ServerJob>& job = jobs_[spec.id];
+      if (job == nullptr) job = std::make_shared<ServerJob>();
+      job->spec = std::move(spec);
+      job->priority = scan_int_field(line, "priority", 0);
+      job->seq = next_seq_++;
+      job->state = JobState::kQueued;
+      job->has_outcome = false;
+      job->user_cancelled.store(false, std::memory_order_release);
+    } else if (event == "done") {
+      JobOutcome outcome = job_outcome_from_json(line, reader);
+      std::shared_ptr<ServerJob>& job = jobs_[outcome.id];
+      if (job == nullptr) job = std::make_shared<ServerJob>();
+      if (job->spec.id.empty()) job->spec.id = outcome.id;
+      job->outcome = std::move(outcome);
+      job->has_outcome = true;
+      if (job->state != JobState::kCancelled) job->state = JobState::kDone;
+      finish_order.push_back(job->spec.id);
+    } else if (event == "cancel") {
+      const std::string id = scan_string_field(line, "id");
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        it->second->state = JobState::kCancelled;
+        it->second->user_cancelled.store(true, std::memory_order_release);
+        finish_order.push_back(id);
+      }
+    }
+    // Unknown events: skip (a newer writer's lines stay replayable).
+  }
+  for (const std::string& id : finish_order) {
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end() && it->second->state != JobState::kQueued) {
+      done_order_.push_back(id);
+    }
+  }
+  for (auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued) {
+      job->enqueue_ms = steady_ms();
+      queue_.push_back(job);
+      ++recovered_;
+    } else if (job->has_outcome &&
+               (job->outcome.status == JobStatus::kOk ||
+                job->outcome.status == JobStatus::kTruncated)) {
+      service_seconds_.add(job->outcome.seconds);
+      ++done_total_;
+    }
+  }
+  std::sort(queue_.begin(), queue_.end(),
+            [](const auto& a, const auto& b) { return a->seq < b->seq; });
+  obs::Registry::global().add(server_metrics().recovered, recovered_);
+  obs::log_info("svc", "server journal replayed",
+                {{"lines", static_cast<std::int64_t>(lines.size())},
+                 {"jobs", static_cast<std::int64_t>(jobs_.size())},
+                 {"requeued", recovered_}});
+}
+
+void PartitionServer::start() {
+  if (started_) throw std::logic_error("PartitionServer: already started");
+  if (!config_.spool_dir.empty()) {
+    std::filesystem::create_directories(config_.spool_dir);
+  }
+  if (!config_.journal_path.empty()) {
+    journal_ = std::make_unique<LineJournal>(config_.journal_path);
+    std::lock_guard<std::mutex> lock(mu_);
+    replay_journal();
+  }
+  slots_.clear();
+  for (int i = 0; i < config_.workers; ++i) {
+    slots_.push_back(std::make_unique<AttemptSlot>());
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(*slots_[i]); });
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+  started_ = true;
+  obs::log_info("svc", "partition server started",
+                {{"workers", config_.workers},
+                 {"queue_capacity",
+                  static_cast<std::int64_t>(config_.queue_capacity)},
+                 {"journal", config_.journal_path},
+                 {"recovered", recovered_}});
+}
+
+void PartitionServer::drain() {
+  draining_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (supervisor_.joinable()) supervisor_.join();
+  if (started_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    obs::log_info("svc", "partition server drained",
+                  {{"queued_left", static_cast<std::int64_t>(queue_.size())},
+                   {"done_total", done_total_}});
+  }
+}
+
+std::shared_ptr<PartitionServer::ServerJob>
+PartitionServer::pop_best_locked() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const ServerJob& a = *queue_[i];
+    const ServerJob& b = *queue_[best];
+    if (a.priority > b.priority ||
+        (a.priority == b.priority && a.seq < b.seq)) {
+      best = i;
+    }
+  }
+  std::shared_ptr<ServerJob> job = queue_[best];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+void PartitionServer::worker_loop(AttemptSlot& slot) {
+  for (;;) {
+    std::shared_ptr<ServerJob> job;
+    JobSpec spec;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return draining() || !queue_.empty(); });
+      // Drain leaves queued jobs behind on purpose: they are journaled
+      // as accepted, so the next start re-enqueues them.
+      if (draining()) return;
+      job = pop_best_locked();
+      job->state = JobState::kRunning;
+      job->slot = &slot;
+      running_.push_back(job);
+      spec = job->spec;
+      obs::Registry::global().observe(
+          server_metrics().queue_wait_seconds,
+          static_cast<double>(steady_ms() - job->enqueue_ms) / 1000.0);
+    }
+    SupervisedHooks hooks = config_.hooks;
+    const auto base_stop = config_.hooks.stop_retrying;
+    const std::shared_ptr<ServerJob> handle = job;
+    hooks.stop_retrying = [this, handle, base_stop] {
+      return draining() ||
+             handle->user_cancelled.load(std::memory_order_acquire) ||
+             (base_stop && base_stop());
+    };
+    finish_job(job,
+               run_supervised_job(runner_, spec, config_.retry, slot, hooks));
+  }
+}
+
+void PartitionServer::finish_job(const std::shared_ptr<ServerJob>& job,
+                                 JobOutcome outcome) {
+  std::string done_line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->slot = nullptr;
+    running_.erase(std::remove(running_.begin(), running_.end(), job),
+                   running_.end());
+    job->outcome = std::move(outcome);
+    job->has_outcome = true;
+    const bool cancelled =
+        job->user_cancelled.load(std::memory_order_acquire);
+    job->state = cancelled ? JobState::kCancelled : JobState::kDone;
+    service_seconds_.add(job->outcome.seconds);
+    if (!cancelled) ++done_total_;
+    done_order_.push_back(job->spec.id);
+    while (done_order_.size() > config_.done_capacity) {
+      const std::string victim = done_order_.front();
+      done_order_.pop_front();
+      const auto it = jobs_.find(victim);
+      // Stale entries (resubmitted-after-cancel ids back in the queue)
+      // are skipped, never evicted mid-flight.
+      if (it != jobs_.end() && it->second->slot == nullptr &&
+          (it->second->state == JobState::kDone ||
+           it->second->state == JobState::kCancelled)) {
+        jobs_.erase(it);
+      }
+    }
+    auto& reg = obs::Registry::global();
+    reg.observe(server_metrics().job_seconds, job->outcome.seconds);
+    reg.add(server_metrics()
+                .jobs_by_state[static_cast<std::size_t>(job->outcome.status)]);
+    obs::log_debug("svc", "server job finished",
+                   {{"id", job->spec.id},
+                    {"state", to_string(job->state)},
+                    {"status", to_string(job->outcome.status)},
+                    {"cut", static_cast<std::int64_t>(job->outcome.cut)},
+                    {"seconds", job->outcome.seconds}});
+    // The done event reuses the outcome serialization; the accept line
+    // already carries the spec, so (accept, done) replays to this state.
+    done_line =
+        "{\"event\": \"done\", " + to_json_line(job->outcome).substr(1);
+  }
+  journal_append(done_line);
+}
+
+void PartitionServer::supervisor_loop() {
+  const auto hang_limit_ms =
+      static_cast<std::int64_t>(config_.hang_seconds * 1000.0);
+  auto& reg = obs::Registry::global();
+  while (!draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t now = steady_ms();
+    for (const std::shared_ptr<ServerJob>& job : running_) {
+      AttemptSlot* slot = job->slot;
+      if (slot == nullptr) continue;
+      // A DELETE that raced an attempt's slot reset is re-applied here,
+      // so cooperative cancellation lands within one tick.
+      if (job->user_cancelled.load(std::memory_order_acquire)) {
+        slot->cancel.store(true, std::memory_order_release);
+        continue;
+      }
+      if (!slot->busy.load(std::memory_order_acquire)) continue;
+      const std::int64_t age =
+          now - slot->start_ms.load(std::memory_order_acquire);
+      if (config_.hang_seconds > 0.0 && age > hang_limit_ms &&
+          !slot->cancel.exchange(true, std::memory_order_acq_rel)) {
+        reg.add(server_metrics().watchdog_fires);
+        obs::log_warn("svc", "server watchdog cancelled a stuck attempt",
+                      {{"id", job->spec.id},
+                       {"age_seconds", static_cast<double>(age) / 1000.0}});
+      }
+    }
+    reg.set(server_metrics().queue_depth,
+            static_cast<double>(queue_.size()));
+    reg.set(server_metrics().inflight, static_cast<double>(running_.size()));
+  }
+}
+
+double PartitionServer::retry_after_locked() const {
+  const double fallback =
+      config_.default_budget_seconds > 0.0 ? config_.default_budget_seconds
+                                           : 1.0;
+  const double mean =
+      service_seconds_.empty() ? fallback : service_seconds_.mean();
+  const double backlog =
+      static_cast<double>(queue_.size() + running_.size() + 1);
+  const double seconds =
+      std::ceil(mean * backlog / static_cast<double>(config_.workers));
+  return std::clamp(seconds, 1.0, 600.0);
+}
+
+std::string PartitionServer::job_json_locked(const ServerJob& job) const {
+  std::string head = std::string("{\"state\": \"") + to_string(job.state) +
+                     "\", \"priority\": " + std::to_string(job.priority);
+  if (job.has_outcome) {
+    // The outcome line carries the id; splice past its '{'.
+    return head + ", " + to_json_line(job.outcome).substr(1) + "\n";
+  }
+  return head + ", \"id\": \"" + job.spec.id + "\"}\n";
+}
+
+SubmitResult PartitionServer::submit(const std::string& body,
+                                     const std::string& query) {
+  SubmitResult result;
+  obs::Registry::global().add(server_metrics().submitted);
+  try {
+    if (draining()) {
+      result.http_status = 503;
+      result.body = json_error("server is draining; resubmit elsewhere");
+      return result;
+    }
+    const auto params = parse_query(query);
+    int priority = 0;
+    if (const auto it = params.find("priority"); it != params.end()) {
+      priority = static_cast<int>(std::clamp<std::int64_t>(
+          parse_int_param("priority", it->second), -100, 100));
+    }
+
+    // Classify the body: flat JSON spec vs raw hypergraph upload.
+    std::size_t first = body.find_first_not_of(" \t\r\n");
+    JobSpec spec;
+    std::string upload;      // non-empty = spool this content
+    std::string upload_ext;  // ".fpb" or ".hgr"
+    if (first == std::string::npos) {
+      throw util::InputError("request: empty body");
+    }
+    if (body[first] == '{') {
+      std::string line = body.substr(first);
+      while (!line.empty() &&
+             (line.back() == '\n' || line.back() == '\r' ||
+              line.back() == ' ' || line.back() == '\t')) {
+        line.pop_back();
+      }
+      if (line.find('\n') != std::string::npos) {
+        throw util::InputError("request: job spec must be a single line");
+      }
+      // The canonical hash becomes the id, so a client-supplied one is
+      // not required (and is ignored if present for hashing purposes).
+      if (line.find("\"id\"") == std::string::npos) {
+        const std::size_t after = line.find_first_not_of(" \t", 1);
+        if (after != std::string::npos && line[after] == '}') {
+          line = "{\"id\": \"pending\"}";
+        } else {
+          line = "{\"id\": \"pending\", " + line.substr(1);
+        }
+      }
+      spec = parse_spec_line(line);
+    } else {
+      if (config_.spool_dir.empty()) {
+        throw util::InputError(
+            "request: raw uploads disabled (no --spool-dir); "
+            "submit a JSON job spec instead");
+      }
+      upload = body;
+      upload_ext = body.compare(first, 3, "FPB") == 0 ? ".fpb" : ".hgr";
+    }
+
+    // Engine knobs from the query string override the spec on both paths.
+    for (const auto& [key, value] : params) {
+      if (key == "priority") continue;
+      if (key == "starts") {
+        spec.starts = static_cast<int>(parse_int_param(key, value));
+      } else if (key == "seed") {
+        spec.seed =
+            static_cast<std::uint64_t>(parse_int_param(key, value));
+      } else if (key == "budget_seconds") {
+        spec.budget_seconds = parse_double_param(key, value);
+      } else if (key == "tolerance_pct") {
+        spec.tolerance_pct = parse_double_param(key, value);
+      } else if (key == "fixed_pct") {
+        spec.fixed_pct = parse_double_param(key, value);
+      } else if (key == "regime") {
+        spec.regime = value;
+      } else if (key == "scale") {
+        spec.scale = value;
+      } else if (key == "circuit") {
+        spec.circuit = static_cast<int>(parse_int_param(key, value));
+      } else if (key == "threads_per_job") {
+        spec.threads_per_job = static_cast<int>(parse_int_param(key, value));
+      } else if (key == "preflight") {
+        spec.preflight = value == "true" || value == "1";
+      } else {
+        throw util::InputError("query: unknown parameter \"" + key + "\"");
+      }
+    }
+
+    // Per-request budget policy: unlimited asks get the default, and
+    // nothing may exceed the ceiling — an expired budget degrades to the
+    // best-so-far partition ("truncated": true), never an error.
+    if (spec.budget_seconds <= 0.0) {
+      spec.budget_seconds = config_.default_budget_seconds;
+    }
+    if (config_.max_budget_seconds > 0.0) {
+      spec.budget_seconds =
+          std::min(spec.budget_seconds, config_.max_budget_seconds);
+    }
+
+    // Canonical content hash = job id = cache key. Knobs that change the
+    // result are part of it; the volatile id field is pinned first.
+    spec.id = "x";
+    std::string key_material;
+    if (!upload.empty()) {
+      spec.instance.clear();  // set to the spool path after hashing
+      key_material = "content:" + canonical_content(upload) + "|" +
+                     to_json_line(spec);
+    } else {
+      key_material = "spec:" + to_json_line(spec);
+    }
+    // Round-trip re-parse so range violations on the query-override path
+    // fail with the manifest parser's diagnostics.
+    spec = parse_spec_line(to_json_line(spec));
+    const std::uint64_t h1 = fnv1a(key_material);
+    const std::uint64_t h2 = splitmix64(h1 ^ key_material.size());
+    spec.id = hex64(h1) + hex64(h2);
+    result.id = spec.id;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = jobs_.find(spec.id);
+    if (it != jobs_.end()) {
+      ServerJob& job = *it->second;
+      if (job.state == JobState::kDone) {
+        ++cache_hits_;
+        obs::Registry::global().add(server_metrics().cache_hits);
+        result.http_status = 200;
+        result.body = job_json_locked(job);
+        return result;
+      }
+      if (job.state == JobState::kQueued || job.state == JobState::kRunning ||
+          job.slot != nullptr) {
+        // Idempotent resubmission: same bytes, same handle.
+        result.http_status = 202;
+        result.body = job_json_locked(job);
+        return result;
+      }
+      // Cancelled and fully unwound: fall through to re-admission below.
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++shed_total_;
+      obs::Registry::global().add(server_metrics().shed);
+      result.http_status = 429;
+      result.retry_after_seconds = retry_after_locked();
+      result.body = "{\"error\": \"queue full\", \"retry_after_seconds\": " +
+                    std::to_string(static_cast<int>(
+                        result.retry_after_seconds)) +
+                    "}\n";
+      return result;
+    }
+
+    if (!upload.empty()) {
+      // Spool before journaling the acceptance, so a replayed accept
+      // always finds its input bytes (crash between the two just forgets
+      // the request — the client retries idempotently).
+      const std::string spool_path =
+          config_.spool_dir + "/" + spec.id + upload_ext;
+      util::write_file_atomic(spool_path, upload);
+      util::sync_parent_dir(spool_path);
+      spec.instance = spool_path;
+    }
+
+    // The acceptance is journaled before the job becomes visible to any
+    // worker: a fast job finishing first would otherwise write its done
+    // line ahead of the accept line, and a replay would resurrect it.
+    // (Lock order mu_ -> journal_mu_ is the house rule.)
+    journal_append(
+        "{\"event\": \"accept\", \"priority\": " + std::to_string(priority) +
+        ", " + to_json_line(spec).substr(1));
+    std::shared_ptr<ServerJob>& job = jobs_[spec.id];
+    if (job == nullptr) job = std::make_shared<ServerJob>();
+    job->spec = spec;
+    job->priority = priority;
+    job->seq = next_seq_++;
+    job->enqueue_ms = steady_ms();
+    job->state = JobState::kQueued;
+    job->has_outcome = false;
+    job->user_cancelled.store(false, std::memory_order_release);
+    queue_.push_back(job);
+    result.http_status = 202;
+    result.body = job_json_locked(*job);
+    lock.unlock();
+    cv_.notify_one();
+    return result;
+  } catch (const hg::ParseError& error) {
+    result.http_status = 400;
+    result.body = json_error(error.what());
+  } catch (const util::InputError& error) {
+    result.http_status = 400;
+    result.body = json_error(error.what());
+  } catch (const std::exception& error) {
+    result.http_status = 500;
+    result.body = json_error(error.what());
+  }
+  return result;
+}
+
+std::string PartitionServer::status_json(const std::string& id,
+                                         int* http_status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    *http_status = 404;
+    return json_error("unknown job \"" + id + "\"");
+  }
+  *http_status = 200;
+  return job_json_locked(*it->second);
+}
+
+int PartitionServer::cancel(const std::string& id, std::string* body) {
+  std::string cancel_line;
+  int status = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      *body = json_error("unknown job \"" + id + "\"");
+      return 404;
+    }
+    ServerJob& job = *it->second;
+    switch (job.state) {
+      case JobState::kDone:
+        *body = job_json_locked(job);
+        return 409;  // finished work is immutable (and cached)
+      case JobState::kCancelled:
+        *body = job_json_locked(job);
+        return 200;  // idempotent
+      case JobState::kQueued: {
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
+                     queue_.end());
+        job.state = JobState::kCancelled;
+        job.user_cancelled.store(true, std::memory_order_release);
+        done_order_.push_back(id);
+        ++cancelled_total_;
+        status = 200;
+        break;
+      }
+      case JobState::kRunning: {
+        // Cooperative: the attempt unwinds at its next deadline check and
+        // finish_job records its best-so-far outcome under kCancelled.
+        job.user_cancelled.store(true, std::memory_order_release);
+        if (job.slot != nullptr) {
+          job.slot->cancel.store(true, std::memory_order_release);
+        }
+        ++cancelled_total_;
+        status = 202;
+        break;
+      }
+    }
+    obs::Registry::global().add(server_metrics().cancelled);
+    *body = job_json_locked(job);
+    cancel_line = "{\"event\": \"cancel\", \"id\": \"" + id + "\"}";
+  }
+  journal_append(cancel_line);
+  return status;
+}
+
+bool PartitionServer::handle(const obs::HttpRequest& request,
+                             obs::HttpResponse& response) {
+  if (request.path == "/partition") {
+    if (request.method != "POST") {
+      response.status = 405;
+      response.body = json_error("POST /partition");
+      return true;
+    }
+    const SubmitResult result = submit(request.body, request.query);
+    response.status = result.http_status;
+    response.body = result.body;
+    if (result.retry_after_seconds > 0.0) {
+      response.headers.emplace_back(
+          "Retry-After",
+          std::to_string(static_cast<int>(
+              std::ceil(result.retry_after_seconds))));
+    }
+    return true;
+  }
+  if (request.path == "/jobs") {
+    response.body = progress_json();
+    return true;
+  }
+  if (request.path.rfind("/jobs/", 0) == 0) {
+    const std::string id = request.path.substr(6);
+    if (request.method == "GET") {
+      response.body = status_json(id, &response.status);
+    } else if (request.method == "DELETE") {
+      response.status = cancel(id, &response.body);
+    } else {
+      response.status = 405;
+      response.body = json_error("GET or DELETE /jobs/<id>");
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string PartitionServer::progress_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"queued\": " << queue_.size()
+      << ", \"running\": " << running_.size()
+      << ", \"done\": " << done_total_
+      << ", \"cancelled\": " << cancelled_total_
+      << ", \"shed\": " << shed_total_ << ", \"cache_hits\": " << cache_hits_
+      << ", \"recovered\": " << recovered_ << ", \"mean_job_seconds\": "
+      << (service_seconds_.empty() ? 0.0 : service_seconds_.mean())
+      << ", \"retry_after_seconds\": " << retry_after_locked()
+      << ", \"draining\": " << (draining() ? "true" : "false") << "}\n";
+  return out.str();
+}
+
+std::size_t PartitionServer::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t PartitionServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+std::int64_t PartitionServer::done_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_total_;
+}
+
+std::int64_t PartitionServer::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+std::int64_t PartitionServer::cache_hit_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+std::int64_t PartitionServer::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+double PartitionServer::retry_after_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_after_locked();
+}
+
+}  // namespace fixedpart::svc

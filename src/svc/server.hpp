@@ -1,0 +1,189 @@
+#pragma once
+// Partition-as-a-service (docs/ROBUSTNESS.md "Server lifecycle"): a
+// long-running front end over the supervised job machinery, designed so a
+// fleet of remote callers can share one partitioning daemon without any
+// one of them wedging, starving, or losing work:
+//
+//  * POST /partition submits work — a raw hypergraph upload (hMETIS .hgr
+//    or .fpb text, spooled to disk) or a flat-JSON job spec referencing a
+//    server-side instance — and returns an async job handle;
+//  * GET /jobs/<id> polls the handle; DELETE /jobs/<id> cancels
+//    (cooperatively: a running attempt unwinds at its next deadline
+//    check and commits its best-so-far result);
+//  * admission is a bounded priority queue: when it is full the server
+//    sheds load with 429 + Retry-After derived from the observed service
+//    rate rather than accepting work it cannot start;
+//  * the job id IS the canonical content hash of (instance, engine
+//    knobs), so resubmitting the same work is idempotent and a finished
+//    job's record doubles as a result cache entry (a repeat instance is
+//    answered 200 from memory without touching the queue);
+//  * per-request budgets map onto util::Deadline: an expired budget
+//    degrades to the best partition found so far ("truncated": true)
+//    instead of an error;
+//  * accepted/done/cancelled transitions are journaled through the same
+//    fsync-durable LineJournal discipline as batch checkpoints, so
+//    kill -9 loses at most in-flight attempts — a restarted server
+//    re-serves every journaled result and re-enqueues accepted-but-
+//    unfinished jobs;
+//  * drain() (SIGTERM) finishes running jobs, refuses new submissions
+//    with 503, and leaves queued jobs journaled for the next start.
+//
+// The class is HTTP-agnostic at its core (submit/status_json/cancel are
+// plain functions — that is what the unit tests drive); handle() adapts
+// it to obs::HttpEndpoint's handler callback, and examples/partitiond.cpp
+// is the daemon around it.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "svc/checkpoint.hpp"
+#include "svc/executor.hpp"
+#include "svc/job.hpp"
+#include "util/stats.hpp"
+
+namespace fixedpart::svc {
+
+/// Where a submitted job is in its life (docs/ROBUSTNESS.md diagram).
+enum class JobState : std::uint8_t {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,    ///< an attempt is executing
+  kDone,       ///< outcome committed (ok/truncated/failed/poisoned)
+  kCancelled,  ///< cancelled by DELETE; may still carry a partial outcome
+};
+
+const char* to_string(JobState state);
+
+struct ServerConfig {
+  int workers = 1;
+  /// Queued (not running) jobs the admission queue holds; submissions
+  /// past this are shed with 429.
+  std::size_t queue_capacity = 16;
+  RetryPolicy retry;
+  /// Cancel attempts running longer than this (0 = no watchdog), as in
+  /// ExecutorConfig::hang_seconds.
+  double hang_seconds = 0.0;
+  /// Budget applied when a request does not name one (0 = unlimited).
+  double default_budget_seconds = 10.0;
+  /// Hard per-request ceiling; larger asks are clamped, and 0 (unlimited)
+  /// requests become this when it is set. Keeps one caller from renting
+  /// a worker forever.
+  double max_budget_seconds = 60.0;
+  /// Finished-job records kept in memory (the result cache). Oldest are
+  /// evicted first; journaled results survive eviction across restarts
+  /// but evicted ids answer 404 until resubmitted.
+  std::size_t done_capacity = 4096;
+  /// Event journal path; "" runs without durability (no recovery).
+  std::string journal_path;
+  /// Directory for uploaded hypergraphs; "" rejects uploads (manifest
+  /// references still work).
+  std::string spool_dir;
+  /// The job runner; null = run_partition_job. Tests inject fakes.
+  JobRunner runner;
+  /// Fault/sleep test hooks forwarded into run_supervised_job.
+  SupervisedHooks hooks;
+};
+
+/// What submit() decided, pre-shaped for HTTP but usable without it.
+struct SubmitResult {
+  int http_status = 0;  ///< 200 cache hit, 202 accepted, 400/413/429/503
+  std::string id;       ///< canonical content hash ("" on 400/413/503)
+  std::string body;     ///< one-line JSON response body
+  double retry_after_seconds = 0.0;  ///< > 0 only on 429
+};
+
+class PartitionServer {
+ public:
+  explicit PartitionServer(ServerConfig config);
+  ~PartitionServer();  ///< drains
+  PartitionServer(const PartitionServer&) = delete;
+  PartitionServer& operator=(const PartitionServer&) = delete;
+
+  /// Replays the journal (recovering accepted-but-unfinished jobs and the
+  /// result cache) and starts the worker + watchdog threads.
+  void start();
+  /// Graceful drain: refuse new work, finish running jobs, join every
+  /// thread. Queued jobs stay journaled for the next start. Idempotent.
+  void drain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// POST /partition: `body` is a raw .hgr/.fpb upload or a flat-JSON
+  /// spec; `query` tunes priority and engine knobs
+  /// ("priority=2&starts=4&budget_seconds=1.5&seed=7..."). Never throws.
+  SubmitResult submit(const std::string& body, const std::string& query);
+  /// GET /jobs/<id>: one-line JSON job record. Sets `http_status` to 200
+  /// or 404.
+  std::string status_json(const std::string& id, int* http_status);
+  /// DELETE /jobs/<id>: 200 cancelled (queued), 202 cancellation
+  /// requested (running, cooperative), 409 already done, 404 unknown.
+  int cancel(const std::string& id, std::string* body);
+
+  /// obs::HttpEndpoint handler adapter: POST /partition, GET|DELETE
+  /// /jobs/<id>, GET /jobs. Returns false for unclaimed routes.
+  bool handle(const obs::HttpRequest& request, obs::HttpResponse& response);
+  /// One-line JSON for /progress: queue/running/done counts, shed and
+  /// cache-hit totals, observed service rate, drain flag.
+  std::string progress_json() const;
+
+  // Introspection (tests, daemon logs).
+  std::size_t queued() const;
+  std::size_t running() const;
+  std::int64_t done_total() const;
+  std::int64_t shed_total() const;
+  std::int64_t cache_hit_total() const;
+  std::int64_t recovered() const;
+  /// The Retry-After a 429 would carry right now.
+  double retry_after_seconds() const;
+
+ private:
+  struct ServerJob;
+
+  std::shared_ptr<ServerJob> pop_best_locked();
+  void worker_loop(AttemptSlot& slot);
+  void supervisor_loop();
+  void finish_job(const std::shared_ptr<ServerJob>& job, JobOutcome outcome);
+  void journal_append(const std::string& line);
+  void replay_journal();
+  std::string job_json_locked(const ServerJob& job) const;
+  double retry_after_locked() const;
+
+  ServerConfig config_;
+  JobRunner runner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<ServerJob>> jobs_;
+  std::vector<std::shared_ptr<ServerJob>> queue_;
+  std::vector<std::shared_ptr<ServerJob>> running_;
+  std::deque<std::string> done_order_;  ///< eviction order for the cache
+  std::uint64_t next_seq_ = 0;
+  util::RunningStat service_seconds_;
+  std::int64_t done_total_ = 0;
+  std::int64_t shed_total_ = 0;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cancelled_total_ = 0;
+  std::int64_t recovered_ = 0;
+
+  std::mutex journal_mu_;  ///< always acquired after mu_ (or without it)
+  std::unique_ptr<LineJournal> journal_;
+
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  std::mutex drain_mu_;  ///< makes drain() idempotent across threads
+  bool joined_ = false;  ///< guarded by drain_mu_
+  std::vector<std::unique_ptr<AttemptSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::thread supervisor_;
+};
+
+}  // namespace fixedpart::svc

@@ -13,12 +13,25 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/errors.hpp"
 #include "util/rng.hpp"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace fixedpart::testing {
 
@@ -105,5 +118,126 @@ bool expect_graceful(const std::string& text, Parse&& parse,
   }
   return false;
 }
+
+#ifdef __unix__
+
+// --- socket-level faults (ISSUE 7) ---------------------------------------
+// Raw loopback clients for torturing the embedded HTTP endpoint: torn and
+// trickled writes, stalled connections, half-closed reads. Everything is
+// blocking and EINTR-safe, so the *server's* timeout discipline is what
+// each test measures.
+
+/// Connects to 127.0.0.1:`port`; returns the fd or -1.
+inline int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends every byte (EINTR retried). Returns false on a hard error — which
+/// is an acceptable outcome for fault tests where the server may have
+/// already hung up.
+inline bool send_all_fd(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The torn-write fault: sends `data` in `chunk`-byte slices separated by
+/// `gap_ms` pauses, so the server sees many short reads instead of one
+/// buffer. Stops early (returning false) if the server hangs up — e.g.
+/// because its per-connection I/O budget expired mid-trickle.
+inline bool send_in_chunks(int fd, const std::string& data, std::size_t chunk,
+                           int gap_ms) {
+  if (chunk == 0) chunk = 1;
+  for (std::size_t at = 0; at < data.size(); at += chunk) {
+    if (!send_all_fd(fd, data.substr(at, chunk))) return false;
+    if (gap_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
+    }
+  }
+  return true;
+}
+
+/// Reads until EOF (EINTR retried); returns everything received. An empty
+/// string means the server closed without answering — the documented
+/// response to a connection whose I/O budget expired before a request
+/// line arrived.
+inline std::string recv_all_fd(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// One well-formed HTTP/1.1 request with an optional body, as a string
+/// ready for send_all_fd / send_in_chunks.
+inline std::string http_request(const std::string& method,
+                                const std::string& target,
+                                const std::string& body = "") {
+  std::string out = method + " " + target + " HTTP/1.1\r\nHost: x\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n" + body;
+  return out;
+}
+
+/// Connect → send (optionally torn) → read to EOF. Returns the raw
+/// response ("" when the server dropped the connection unanswered).
+inline std::string http_exchange(std::uint16_t port,
+                                 const std::string& request,
+                                 std::size_t chunk = 0, int gap_ms = 0) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return "";
+  if (chunk == 0) {
+    send_all_fd(fd, request);
+  } else {
+    send_in_chunks(fd, request, chunk, gap_ms);
+  }
+  ::shutdown(fd, SHUT_WR);
+  const std::string response = recv_all_fd(fd);
+  ::close(fd);
+  return response;
+}
+
+/// The status code on a raw HTTP/1.1 response ("" or garbage -> -1).
+inline int http_status(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0 || response.size() < 12) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+/// The body after the blank line ("" when headers never completed).
+inline std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+#endif  // __unix__
 
 }  // namespace fixedpart::testing

@@ -184,6 +184,39 @@ TEST(ParallelMatching, NeverMatchesIncompatibleFixedVertices) {
   }
 }
 
+TEST(ParallelMatching, ExpiredDeadlineYieldsValidPartialMatching) {
+  // ISSUE 7 regression: the matching rounds must honour the deadline —
+  // an already-expired budget returns promptly with a matching that is
+  // still well-formed (symmetric, fixed-compatible), just sparser
+  // (possibly all-singleton). Before the fix the rounds ran to
+  // completion regardless, so a server budget could not bound them.
+  const auto circuit = small_circuit();
+  const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
+  ParallelConfig parallel;
+  parallel.threads = 4;
+  util::ThreadPool pool(3);
+  parallel.pool = &pool;
+  const auto expired = util::Deadline::after_seconds(-1.0);
+  ASSERT_TRUE(expired.expired());
+  const auto match = parallel_heavy_edge_matching(
+      circuit.graph, fixed, MatchingConfig{}, parallel, nullptr, &expired);
+  ASSERT_EQ(match.size(),
+            static_cast<std::size_t>(circuit.graph.num_vertices()));
+  for (hg::VertexId v = 0; v < circuit.graph.num_vertices(); ++v) {
+    EXPECT_EQ(match[static_cast<std::size_t>(
+                  match[static_cast<std::size_t>(v)])],
+              v);
+  }
+  // A live deadline with the same config must be a no-op: bit-identical
+  // to the deadline-free reference.
+  const auto generous = util::Deadline::after_seconds(3600.0);
+  const auto with = parallel_heavy_edge_matching(
+      circuit.graph, fixed, MatchingConfig{}, parallel, nullptr, &generous);
+  const auto without = parallel_heavy_edge_matching(
+      circuit.graph, fixed, MatchingConfig{}, parallel);
+  EXPECT_EQ(with, without);
+}
+
 // --- full pipeline -------------------------------------------------------
 
 MultilevelResult pipeline_run(const gen::GeneratedCircuit& circuit,
