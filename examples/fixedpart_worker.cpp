@@ -1,0 +1,261 @@
+// fixedpart-worker: the child half of the process-isolation protocol
+// (docs/ROBUSTNESS.md "Process supervision tree"). svc::ProcessPool
+// fork/execs one of these per attempt with the frame protocol on fds 3/4
+// and setrlimit caps already applied; this program:
+//
+//   1. reads the single 'J' frame (a JobSpec JSON line) from fd 3;
+//   2. runs ONE attempt of svc::run_partition_job under the spec's
+//      budget, with a listener thread turning an incoming 'C' frame into
+//      the deadline's cooperative cancel flag (best-so-far "truncated"
+//      degradation, exactly like the in-process path);
+//   3. writes 'H' heartbeat frames every ~50 ms so the supervisor's
+//      reaper can tell "slow" from "wedged";
+//   4. catches every engine exception per the PR-2 taxonomy and reports
+//      exactly one 'O' frame — a JobOutcome JSON line (ok/truncated with
+//      the result, or failed carrying the error class + message) — then
+//      exits 0. Anything else (nonzero exit, fatal signal, silence) is
+//      the supervisor's cue to classify a crash.
+//
+// Retry/poisoning policy lives entirely in the supervisor; the worker is
+// one attempt, stateless, disposable.
+//
+// Deterministic fault hooks for the crash-isolation tests ride on
+// environment variables (never on spec fields, so job ids and journal
+// bytes stay identical across isolation modes):
+//   FIXEDPART_WORKER_CRASH_SEED=<seed>   job with this seed calls abort()
+//   FIXEDPART_WORKER_CRASH_ONCE_SEED=<seed> + FIXEDPART_WORKER_CRASH_FLAG=
+//     <path>  crash only while <path> does not exist (created first), so
+//     the first attempt dies and the retry succeeds
+//   FIXEDPART_WORKER_STALL_SEED=<seed>   stop heartbeating and sleep
+//     (exercises the reaper's hang kill)
+//   FIXEDPART_WORKER_HOG_SEED=<seed>     allocate-and-touch until the
+//     rlimit bites (exercises OOM classification)
+//   FIXEDPART_WORKER_SLOW_MS=<ms>        busy-wait per job (process-mode
+//     twin of partitiond --test-slow-ms)
+//
+// `fixedpart-worker --selfcheck` allocates a realistic chunk and exits 0;
+// the E2E uses it to probe whether RLIMIT_AS is usable in this build
+// (ASan/TSan shadow reservations break under it — the probe fails and
+// the OOM phase is skipped).
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hg/io_common.hpp"
+#include "svc/executor.hpp"
+#include "svc/job.hpp"
+#include "util/deadline.hpp"
+#include "util/errors.hpp"
+#include "util/subprocess.hpp"
+#include "util/timer.hpp"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace fixedpart;
+
+/// Single writer-side mutex: heartbeats and the outcome frame interleave
+/// whole-frame, never byte-wise.
+std::mutex out_mu;
+
+bool send(char type, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(out_mu);
+  return util::write_frame(util::kWorkerOutFd, type, payload);
+}
+
+bool env_seed_matches(const char* name, std::uint64_t seed) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  return std::strtoull(value, nullptr, 10) == seed;
+}
+
+/// Deterministic test-crash hooks; no-ops unless the matching env var
+/// names this job's seed.
+void apply_fault_hooks(const svc::JobSpec& spec) {
+  if (env_seed_matches("FIXEDPART_WORKER_CRASH_SEED", spec.seed)) {
+    std::abort();
+  }
+  if (env_seed_matches("FIXEDPART_WORKER_CRASH_ONCE_SEED", spec.seed)) {
+    const char* flag = std::getenv("FIXEDPART_WORKER_CRASH_FLAG");
+    if (flag != nullptr && *flag != '\0') {
+#ifdef __unix__
+      const int fd = open(flag, O_WRONLY | O_CREAT | O_EXCL, 0644);
+      if (fd >= 0) {
+        // First visitor: plant the flag, then die. Retries find the flag
+        // and run normally — a deterministic crash-exactly-once job.
+        close(fd);
+        std::abort();
+      }
+#endif
+    }
+  }
+  if (env_seed_matches("FIXEDPART_WORKER_HOG_SEED", spec.seed)) {
+    // Allocate and touch until RLIMIT_AS bites: either bad_alloc (caught
+    // below, reported "out of memory") or a kernel kill.
+    std::vector<std::unique_ptr<char[]>> hog;
+    for (;;) {
+      constexpr std::size_t kChunk = 8u << 20;
+      hog.push_back(std::make_unique<char[]>(kChunk));
+      for (std::size_t i = 0; i < kChunk; i += 4096) hog.back()[i] = 1;
+    }
+  }
+}
+
+void apply_slow_hook(const util::Deadline& deadline) {
+  const char* value = std::getenv("FIXEDPART_WORKER_SLOW_MS");
+  if (value == nullptr || *value == '\0') return;
+  const long ms = std::strtol(value, nullptr, 10);
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < until) {
+    if (deadline.expired()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+int selfcheck() {
+  // A realistic allocation under whatever rlimit the caller arranged:
+  // exit 0 iff this build can actually allocate under it (sanitizer
+  // shadow reservations make RLIMIT_AS unusable — then this dies).
+  constexpr std::size_t kChunk = 64u << 20;
+  try {
+    const auto probe = std::make_unique<char[]>(kChunk);
+    for (std::size_t i = 0; i < kChunk; i += 4096) probe[i] = 1;
+    return probe[0] == 1 ? 0 : 1;
+  } catch (const std::bad_alloc&) {
+    return 9;
+  }
+}
+
+int serve() {
+  util::FrameReader reader(util::kWorkerInFd);
+
+  // The supervisor sends the spec immediately after spawn; anything else
+  // first (or EOF) is a protocol failure.
+  char type = 0;
+  std::string payload;
+  for (;;) {
+    const auto status = reader.poll_frame(1000, &type, &payload);
+    if (status == util::FrameReader::Status::kEof) return 1;
+    if (status == util::FrameReader::Status::kFrame) break;
+  }
+  if (type != util::kFrameJob) return 1;
+
+  svc::JobSpec spec;
+  try {
+    std::istringstream in(payload + "\n");
+    hg::LineReader line_reader(in, "spec-frame", '#');
+    std::string line;
+    if (!line_reader.next(line)) return 1;
+    spec = svc::job_spec_from_json(line, line_reader);
+  } catch (const std::exception&) {
+    return 1;
+  }
+
+  if (env_seed_matches("FIXEDPART_WORKER_STALL_SEED", spec.seed)) {
+    // Wedge silently BEFORE the heartbeat/listener threads exist: no
+    // heartbeats, no cancel handling. Only the reaper's SIGKILL ends
+    // this. (Stalling after the heartbeat thread started would keep
+    // beating and never look wedged.)
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  std::atomic<bool> cancel{false};
+  // Listener: a 'C' frame flips the cooperative cancel flag; EOF means
+  // the supervisor itself died — exit instead of orphaning the attempt.
+  std::thread listener([&cancel, reader = std::move(reader)]() mutable {
+    char t = 0;
+    std::string p;
+    for (;;) {
+      const auto status = reader.poll_frame(100, &t, &p);
+      if (status == util::FrameReader::Status::kEof) _exit(2);
+      if (status == util::FrameReader::Status::kFrame &&
+          t == util::kFrameCancel) {
+        cancel.store(true, std::memory_order_release);
+      }
+    }
+  });
+  listener.detach();
+
+  std::atomic<bool> done{false};
+  std::thread heartbeat([&done] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (!send(util::kFrameHeartbeat, "")) _exit(2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  util::Deadline deadline = spec.budget_seconds > 0.0
+                                ? util::Deadline::after_seconds(
+                                      spec.budget_seconds)
+                                : util::Deadline();
+  deadline.set_cancel_flag(&cancel);
+
+  svc::JobOutcome outcome;
+  outcome.id = spec.id;
+  util::Timer timer;
+  try {
+    apply_fault_hooks(spec);
+    apply_slow_hook(deadline);
+    const svc::JobResult result = svc::run_partition_job(spec, deadline);
+    outcome.status = result.truncated ? svc::JobStatus::kTruncated
+                                      : svc::JobStatus::kOk;
+    outcome.cut = result.cut;
+    outcome.truncated = result.truncated;
+    outcome.moves = result.moves;
+    outcome.passes = result.passes;
+  } catch (const util::InputError& e) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kInput;
+    outcome.message = e.what();
+  } catch (const util::InfeasibleError& e) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kInfeasible;
+    outcome.message = e.what();
+  } catch (const svc::TransientError& e) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kTransient;
+    outcome.message = e.what();
+  } catch (const std::bad_alloc&) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kTransient;
+    outcome.message = "out of memory";
+  } catch (const std::exception& e) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kInternal;
+    outcome.message = e.what();
+  } catch (...) {
+    outcome.status = svc::JobStatus::kFailed;
+    outcome.error = svc::ErrorClass::kInternal;
+    outcome.message = "unknown exception";
+  }
+  outcome.seconds = timer.seconds();
+
+  done.store(true, std::memory_order_release);
+  heartbeat.join();
+  if (!send(util::kFrameOutcome, svc::to_json_line(outcome))) return 2;
+  // The detached listener may still be polling fd 3; _exit skips any
+  // teardown it could race with. The outcome bytes are already written.
+  _exit(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selfcheck") == 0) return selfcheck();
+  }
+  return serve();
+}

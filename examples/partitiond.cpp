@@ -25,12 +25,15 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "obs/http.hpp"
 #include "obs/log.hpp"
+#include "svc/process_pool.hpp"
 #include "svc/server.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
@@ -64,7 +67,10 @@ int run(const util::Cli& cli) {
                      "journal", "spool-dir", "default-budget", "max-budget",
                      "max-attempts", "hang-seconds", "done-capacity",
                      "io-timeout", "max-request-bytes", "log-level",
-                     "test-slow-ms"});
+                     "test-slow-ms", "isolation", "worker", "rlimit-as-mb",
+                     "rlimit-cpu-seconds", "heartbeat-timeout",
+                     "cancel-grace", "max-job-crashes",
+                     "journal-compact-every", "retry-after-no-data"});
   apply_log_level(cli.get_or("log-level", "info"));
 #if !FIXEDPART_OBS_ENABLED
   std::cout << "partitiond: built with FIXEDPART_OBS=OFF; the HTTP "
@@ -84,14 +90,48 @@ int run(const util::Cli& cli) {
   config.done_capacity =
       static_cast<std::size_t>(cli.get_int("done-capacity", 4096));
   config.journal_path = cli.get_or("journal", "");
+  config.journal_compact_every = cli.get_int("journal-compact-every", 4096);
+  config.retry_after_no_data_seconds =
+      cli.get_double("retry-after-no-data", 2.0);
   config.spool_dir = cli.get_or("spool-dir", "");
+
+  const std::string isolation = cli.get_or("isolation", "thread");
+  if (isolation != "thread" && isolation != "process") {
+    throw util::UsageError("--isolation must be thread|process");
+  }
 
   // --test-slow-ms=N pads every job with a deadline-respecting busy wait
   // before the real engine runs. Only for tests: it makes "the queue
   // backs up" reproducible on any machine, so the E2E can demonstrate
-  // load-shedding and mid-flight kills deterministically.
+  // load-shedding and mid-flight kills deterministically. In process
+  // mode the pad travels as an env var the workers inherit.
   const std::int64_t slow_ms = cli.get_int("test-slow-ms", 0);
-  if (slow_ms > 0) {
+
+  // --isolation=process: each attempt runs in a fork/exec'd
+  // fixedpart-worker under rlimit caps, supervised by svc::ProcessPool —
+  // a crashing or OOMing job kills one worker, never the daemon.
+  // --isolation=thread (default) is the in-process serial oracle;
+  // journal bytes are identical across modes for crash-free fleets.
+  std::unique_ptr<svc::ProcessPool> pool;  // outlives the server
+  if (isolation == "process") {
+    svc::ProcessPoolConfig pool_config;
+    pool_config.worker_path =
+        svc::resolve_worker_path(cli.get_or("worker", ""));
+    pool_config.rlimit_as_bytes =
+        cli.get_int("rlimit-as-mb", 0) * (1ll << 20);
+    pool_config.rlimit_cpu_seconds = cli.get_int("rlimit-cpu-seconds", 0);
+    pool_config.heartbeat_timeout_seconds =
+        cli.get_double("heartbeat-timeout", 10.0);
+    pool_config.cancel_grace_seconds = cli.get_double("cancel-grace", 5.0);
+    pool_config.max_job_crashes =
+        static_cast<int>(cli.get_int("max-job-crashes", 2));
+    if (slow_ms > 0) {
+      ::setenv("FIXEDPART_WORKER_SLOW_MS", std::to_string(slow_ms).c_str(),
+               1);
+    }
+    pool = std::make_unique<svc::ProcessPool>(pool_config);
+    config.runner = pool->runner();
+  } else if (slow_ms > 0) {
     config.runner = [slow_ms](const svc::JobSpec& spec,
                               const util::Deadline& deadline) {
       const auto until = std::chrono::steady_clock::now() +
@@ -116,7 +156,17 @@ int run(const util::Cli& cli) {
   endpoint_config.io_timeout_seconds = cli.get_double("io-timeout", 5.0);
   endpoint_config.max_request_bytes = static_cast<std::size_t>(
       cli.get_int("max-request-bytes", 1 << 20));
-  endpoint_config.progress = [&server] { return server.progress_json(); };
+  endpoint_config.progress = [&server, &pool] {
+    std::string body = server.progress_json();
+    if (pool != nullptr) {
+      // Splice the worker-pool counters into the same /progress object.
+      const std::size_t brace = body.rfind('}');
+      if (brace != std::string::npos) {
+        body.insert(brace, ", \"workers\": " + pool->stats_json());
+      }
+    }
+    return body;
+  };
   endpoint_config.handler = [&server](const obs::HttpRequest& request,
                                       obs::HttpResponse& response) {
     return server.handle(request, response);
@@ -132,7 +182,8 @@ int run(const util::Cli& cli) {
   }
   std::cout << "partitiond: listening on 127.0.0.1:" << endpoint.port()
             << " (workers=" << config.workers
-            << " queue=" << config.queue_capacity << ")" << std::endl;
+            << " queue=" << config.queue_capacity
+            << " isolation=" << isolation << ")" << std::endl;
 
   std::signal(SIGINT, drain_handler);
   std::signal(SIGTERM, drain_handler);

@@ -3,6 +3,7 @@
 #if FIXEDPART_OBS_ENABLED
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -17,6 +18,14 @@
 
 #include "obs/exposition.hpp"
 #include "obs/log.hpp"
+#include "util/subprocess.hpp"
+
+// MSG_NOSIGNAL is POSIX.1-2008 but historically absent on some BSDs;
+// degrade to 0 there and rely on the process-wide SIGPIPE disposition
+// installed in start().
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace fixedpart::obs {
 
@@ -27,6 +36,14 @@ void close_fd(int& fd) {
     ::close(fd);
     fd = -1;
   }
+}
+
+// Every endpoint fd is CLOEXEC: other threads fork worker processes, and
+// an inherited socket would keep the peer's connection open until the
+// worker exits.
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -105,7 +122,11 @@ ssize_t recv_some(int fd, char* buffer, std::size_t size,
 }
 
 /// Sends all of `data`; gives up on budget expiry or a gone peer. EINTR
-/// retries like recv_some.
+/// retries like recv_some. A client that closes (or resets) mid-response
+/// is routine — scrapers time out, curls get ^C'd — so it must surface
+/// as a counted early return, never as SIGPIPE killing the process:
+/// MSG_NOSIGNAL suppresses the signal per-call and the EPIPE/ECONNRESET
+/// result is swallowed here after bumping obs.http_peer_gone.
 void send_all(int fd, const std::string& data, const ConnBudget& budget) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -113,7 +134,13 @@ void send_all(int fd, const std::string& data, const ConnBudget& budget) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // peer gone, timeout, or budget exhausted
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      static const MetricId peer_gone =
+          Registry::global().counter("obs.http_peer_gone");
+      Registry::global().add(peer_gone);
+      return;
+    }
+    if (n <= 0) return;  // timeout or budget exhausted
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -206,8 +233,15 @@ void HttpEndpoint::start() {
   if (thread_.joinable()) {
     throw std::logic_error("obs::HttpEndpoint: already started");
   }
+  // Belt and braces with send_all's MSG_NOSIGNAL: MSG_NOSIGNAL only
+  // covers ::send calls (and is 0 where the platform lacks it), while a
+  // default SIGPIPE disposition turns any stray write to a dead peer
+  // into process death. Idempotent, and an application-installed handler
+  // is left alone.
+  util::ignore_sigpipe();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
+  set_cloexec(listen_fd_);
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -243,6 +277,8 @@ void HttpEndpoint::start() {
     errno = saved;
     throw_errno("pipe");
   }
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
   stopping_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { serve(); });
 }
@@ -268,6 +304,11 @@ void HttpEndpoint::serve() {
     if ((fds[0].revents & POLLIN) != 0) {
       const int conn = ::accept(listen_fd_, nullptr, nullptr);
       if (conn >= 0) {
+        // CLOEXEC before handling: a worker forked while this connection
+        // is open would otherwise inherit the socket and hold it — the
+        // client then sees EOF only when the worker exits, not when the
+        // response is done.
+        set_cloexec(conn);
         handle_connection(conn);
         ::close(conn);
       }

@@ -88,6 +88,25 @@ std::vector<std::string> LineJournal::open_for_append() {
   return lines;
 }
 
+void LineJournal::rewrite(const std::vector<std::string>& lines) {
+  // Close first so buffered appends cannot land after the rename.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  util::write_file_atomic(path_, text);
+  util::sync_parent_dir(path_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal: cannot reopen " + path_);
+  }
+}
+
 void LineJournal::append(const std::string& line) {
   if (file_ == nullptr) open_for_append();
   const std::string out = line + "\n";

@@ -53,6 +53,13 @@ class LineJournal {
   /// open_for_append was not called.
   void append(const std::string& line);
 
+  /// Replaces the journal's entire content with `lines` atomically
+  /// (write-temp + rename + parent fsync) and reopens it for appending:
+  /// how a long-lived writer compacts away superseded lines without a
+  /// window where a crash loses the journal. Appends made by other
+  /// threads must be excluded by the caller's lock.
+  void rewrite(const std::vector<std::string>& lines);
+
   const std::string& path() const { return path_; }
 
  private:

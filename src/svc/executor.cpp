@@ -97,6 +97,7 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
             : util::Deadline();
     deadline.set_cancel_flag(&slot.cancel);
     ErrorClass error = ErrorClass::kNone;
+    bool crash_poisoned = false;
     std::string message;
     JobResult result;
     try {
@@ -109,6 +110,17 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
       message = e.what();
     } catch (const util::InfeasibleError& e) {
       error = ErrorClass::kInfeasible;
+      message = e.what();
+    } catch (const WorkerPoisonedError& e) {
+      // Circuit breaker: this job has crashed enough workers; fail it
+      // permanently as failed(crash) instead of retrying forever.
+      error = ErrorClass::kCrash;
+      crash_poisoned = true;
+      message = e.what();
+    } catch (const WorkerCrashError& e) {
+      // Ordered before TransientError (its base): keep the crash class on
+      // the outcome while retrying it through the transient path.
+      error = ErrorClass::kCrash;
       message = e.what();
     } catch (const TransientError& e) {
       error = ErrorClass::kTransient;
@@ -135,7 +147,7 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
                               !stop_retrying();
       if (!want_retry) break;
     } else if (error == ErrorClass::kInput ||
-               error == ErrorClass::kInfeasible) {
+               error == ErrorClass::kInfeasible || crash_poisoned) {
       out.status = JobStatus::kFailed;
       out.error = error;
       out.message = message;

@@ -278,6 +278,7 @@ const char* to_string(ErrorClass error) {
     case ErrorClass::kInput: return "input";
     case ErrorClass::kInfeasible: return "infeasible";
     case ErrorClass::kInternal: return "internal";
+    case ErrorClass::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -296,6 +297,7 @@ ErrorClass error_class_from_string(const std::string& text) {
   if (text == "input") return ErrorClass::kInput;
   if (text == "infeasible") return ErrorClass::kInfeasible;
   if (text == "internal") return ErrorClass::kInternal;
+  if (text == "crash") return ErrorClass::kCrash;
   throw util::InputError("unknown error class: " + text);
 }
 

@@ -69,6 +69,8 @@ enum class ErrorClass : std::uint8_t {
   kInput,       ///< util::InputError: permanent, failed fast
   kInfeasible,  ///< util::InfeasibleError: permanent, failed fast
   kInternal,    ///< unclassified exception: retried, then poisoned
+  kCrash,       ///< worker process died (signal/OOM/hang): retried in a
+                ///< fresh worker, poisoned after max_job_crashes
 };
 
 /// Retryable failure injected by infrastructure (IO hiccups, test fault
@@ -76,6 +78,23 @@ enum class ErrorClass : std::uint8_t {
 class TransientError : public std::runtime_error {
  public:
   explicit TransientError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// A worker process died mid-attempt (signal, OOM kill, protocol EOF,
+/// heartbeat-silent hang). Transient: the supervised loop retries the job
+/// in a fresh worker with the usual backoff.
+class WorkerCrashError : public TransientError {
+ public:
+  explicit WorkerCrashError(const std::string& msg) : TransientError(msg) {}
+};
+
+/// The same job has now crashed `max_job_crashes` workers — the circuit
+/// breaker trips and the job is failed permanently as failed(crash)
+/// instead of burning workers forever. NOT transient by design.
+class WorkerPoisonedError : public std::runtime_error {
+ public:
+  explicit WorkerPoisonedError(const std::string& msg)
+      : std::runtime_error(msg) {}
 };
 
 /// What happened to one job, as recorded in the checkpoint journal.

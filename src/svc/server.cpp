@@ -248,6 +248,7 @@ void PartitionServer::journal_append(const std::string& line) {
   std::lock_guard<std::mutex> lock(journal_mu_);
   try {
     journal_->append(line);
+    appended_since_compact_.fetch_add(1, std::memory_order_acq_rel);
   } catch (const std::exception& error) {
     // Durability degraded, service continues: the in-memory record is
     // still authoritative for this process; a restart may re-run work.
@@ -323,6 +324,11 @@ void PartitionServer::replay_journal() {
   }
   std::sort(queue_.begin(), queue_.end(),
             [](const auto& a, const auto& b) { return a->seq < b->seq; });
+  // Count the replayed backlog toward the compaction trigger: a journal
+  // that grew long across restarts is compacted shortly after start
+  // instead of only after another journal_compact_every fresh appends.
+  appended_since_compact_.store(static_cast<std::int64_t>(lines.size()),
+                                std::memory_order_release);
   obs::Registry::global().add(server_metrics().recovered, recovered_);
   obs::log_info("svc", "server journal replayed",
                 {{"lines", static_cast<std::int64_t>(lines.size())},
@@ -476,40 +482,108 @@ void PartitionServer::supervisor_loop() {
   auto& reg = obs::Registry::global();
   while (!draining()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::int64_t now = steady_ms();
-    for (const std::shared_ptr<ServerJob>& job : running_) {
-      AttemptSlot* slot = job->slot;
-      if (slot == nullptr) continue;
-      // A DELETE that raced an attempt's slot reset is re-applied here,
-      // so cooperative cancellation lands within one tick.
-      if (job->user_cancelled.load(std::memory_order_acquire)) {
-        slot->cancel.store(true, std::memory_order_release);
-        continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::int64_t now = steady_ms();
+      for (const std::shared_ptr<ServerJob>& job : running_) {
+        AttemptSlot* slot = job->slot;
+        if (slot == nullptr) continue;
+        // A DELETE that raced an attempt's slot reset is re-applied here,
+        // so cooperative cancellation lands within one tick.
+        if (job->user_cancelled.load(std::memory_order_acquire)) {
+          slot->cancel.store(true, std::memory_order_release);
+          continue;
+        }
+        if (!slot->busy.load(std::memory_order_acquire)) continue;
+        const std::int64_t age =
+            now - slot->start_ms.load(std::memory_order_acquire);
+        if (config_.hang_seconds > 0.0 && age > hang_limit_ms &&
+            !slot->cancel.exchange(true, std::memory_order_acq_rel)) {
+          reg.add(server_metrics().watchdog_fires);
+          obs::log_warn("svc", "server watchdog cancelled a stuck attempt",
+                        {{"id", job->spec.id},
+                         {"age_seconds", static_cast<double>(age) / 1000.0}});
+        }
       }
-      if (!slot->busy.load(std::memory_order_acquire)) continue;
-      const std::int64_t age =
-          now - slot->start_ms.load(std::memory_order_acquire);
-      if (config_.hang_seconds > 0.0 && age > hang_limit_ms &&
-          !slot->cancel.exchange(true, std::memory_order_acq_rel)) {
-        reg.add(server_metrics().watchdog_fires);
-        obs::log_warn("svc", "server watchdog cancelled a stuck attempt",
-                      {{"id", job->spec.id},
-                       {"age_seconds", static_cast<double>(age) / 1000.0}});
-      }
+      reg.set(server_metrics().queue_depth,
+              static_cast<double>(queue_.size()));
+      reg.set(server_metrics().inflight,
+              static_cast<double>(running_.size()));
     }
-    reg.set(server_metrics().queue_depth,
-            static_cast<double>(queue_.size()));
-    reg.set(server_metrics().inflight, static_cast<double>(running_.size()));
+    if (journal_ != nullptr && config_.journal_compact_every > 0 &&
+        appended_since_compact_.load(std::memory_order_acquire) >=
+            config_.journal_compact_every) {
+      compact_journal();
+    }
   }
 }
 
+void PartitionServer::compact_journal() {
+  // Rewrite the journal to exactly the lines that reconstruct the live
+  // job map: per job (in admission order) an accept line, its done line
+  // if finished, its cancel line if cancelled. Everything evicted from
+  // the done-map is dropped — those ids answer 404 either way, so the
+  // journal stays bounded by done_capacity + queued + running instead of
+  // lifetime traffic. Holding mu_ across the rewrite (lock order mu_ ->
+  // journal_mu_) means any done line already appended is also in the
+  // rebuilt state; a finish_job racing the gap between its commit and
+  // its append at worst duplicates a done line, which replay treats
+  // idempotently.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<ServerJob>> by_seq;
+  by_seq.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) by_seq.push_back(job);
+  std::sort(by_seq.begin(), by_seq.end(),
+            [](const auto& a, const auto& b) { return a->seq < b->seq; });
+  std::vector<std::string> lines;
+  lines.reserve(by_seq.size() * 2);
+  for (const std::shared_ptr<ServerJob>& job : by_seq) {
+    lines.push_back("{\"event\": \"accept\", \"priority\": " +
+                    std::to_string(job->priority) + ", " +
+                    to_json_line(job->spec).substr(1));
+    if (job->has_outcome) {
+      lines.push_back("{\"event\": \"done\", " +
+                      to_json_line(job->outcome).substr(1));
+    }
+    if (job->state == JobState::kCancelled) {
+      lines.push_back("{\"event\": \"cancel\", \"id\": \"" + job->spec.id +
+                      "\"}");
+    }
+  }
+  const std::int64_t before =
+      appended_since_compact_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    try {
+      journal_->rewrite(lines);
+    } catch (const std::exception& error) {
+      // Same degradation contract as journal_append: durability suffers,
+      // service continues; try again after the next batch of appends.
+      obs::log_error("svc", "server journal compaction failed",
+                     {{"what", error.what()}});
+      appended_since_compact_.store(0, std::memory_order_release);
+      return;
+    }
+    appended_since_compact_.store(0, std::memory_order_release);
+  }
+  compactions_.fetch_add(1, std::memory_order_acq_rel);
+  obs::log_info("svc", "server journal compacted",
+                {{"appended", before},
+                 {"kept", static_cast<std::int64_t>(lines.size())},
+                 {"jobs", static_cast<std::int64_t>(by_seq.size())}});
+}
+
 double PartitionServer::retry_after_locked() const {
-  const double fallback =
-      config_.default_budget_seconds > 0.0 ? config_.default_budget_seconds
-                                           : 1.0;
-  const double mean =
-      service_seconds_.empty() ? fallback : service_seconds_.mean();
+  if (service_seconds_.empty()) {
+    // No job has completed yet, so there is no observed service rate to
+    // extrapolate from. The old behaviour multiplied the default budget
+    // (a ceiling, not an estimate) by the backlog — telling the first
+    // wave of shed clients to go away for minutes on a server that had
+    // simply not finished its first job. Return the configured default:
+    // deterministic, and honest about knowing nothing.
+    return std::clamp(config_.retry_after_no_data_seconds, 1.0, 600.0);
+  }
+  const double mean = service_seconds_.mean();
   const double backlog =
       static_cast<double>(queue_.size() + running_.size() + 1);
   const double seconds =
@@ -863,6 +937,10 @@ std::int64_t PartitionServer::cache_hit_total() const {
 std::int64_t PartitionServer::recovered() const {
   std::lock_guard<std::mutex> lock(mu_);
   return recovered_;
+}
+
+std::int64_t PartitionServer::journal_compactions() const {
+  return compactions_.load(std::memory_order_acquire);
 }
 
 double PartitionServer::retry_after_seconds() const {

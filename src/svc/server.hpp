@@ -81,8 +81,20 @@ struct ServerConfig {
   /// evicted first; journaled results survive eviction across restarts
   /// but evicted ids answer 404 until resubmitted.
   std::size_t done_capacity = 4096;
+  /// Retry-After (seconds) returned on 429 while no job has completed
+  /// yet: with no observed service rate there is nothing to extrapolate
+  /// from, so the estimate is this deterministic configured default
+  /// instead of a backlog multiple of the budget ceiling.
+  double retry_after_no_data_seconds = 2.0;
   /// Event journal path; "" runs without durability (no recovery).
   std::string journal_path;
+  /// Compact the event journal once this many lines have been appended
+  /// since the last compaction (or replay): superseded accept/done/cancel
+  /// lines of evicted jobs are dropped in one atomic rewrite, bounding a
+  /// long-lived daemon's replay cost and disk footprint by the live job
+  /// set (~3 lines x done_capacity) instead of its lifetime traffic.
+  /// 0 disables compaction.
+  std::int64_t journal_compact_every = 4096;
   /// Directory for uploaded hypergraphs; "" rejects uploads (manifest
   /// references still work).
   std::string spool_dir;
@@ -142,6 +154,8 @@ class PartitionServer {
   std::int64_t shed_total() const;
   std::int64_t cache_hit_total() const;
   std::int64_t recovered() const;
+  /// Journal compactions performed since start (tests, daemon logs).
+  std::int64_t journal_compactions() const;
   /// The Retry-After a 429 would carry right now.
   double retry_after_seconds() const;
 
@@ -154,6 +168,7 @@ class PartitionServer {
   void finish_job(const std::shared_ptr<ServerJob>& job, JobOutcome outcome);
   void journal_append(const std::string& line);
   void replay_journal();
+  void compact_journal();
   std::string job_json_locked(const ServerJob& job) const;
   double retry_after_locked() const;
 
@@ -176,6 +191,10 @@ class PartitionServer {
 
   std::mutex journal_mu_;  ///< always acquired after mu_ (or without it)
   std::unique_ptr<LineJournal> journal_;
+  /// Lines appended since the last compaction/replay; the supervisor
+  /// compacts once it crosses journal_compact_every.
+  std::atomic<std::int64_t> appended_since_compact_{0};
+  std::atomic<std::int64_t> compactions_{0};
 
   std::atomic<bool> draining_{false};
   bool started_ = false;

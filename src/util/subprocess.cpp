@@ -1,0 +1,283 @@
+#include "util/subprocess.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#ifdef __unix__
+#include <errno.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace fixedpart::util {
+
+#ifdef __unix__
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) {
+  int flags = fcntl(fd, F_GETFD);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+// Child side, between fork and exec: only async-signal-safe calls.
+void apply_limits(const SpawnLimits& limits) {
+  struct rlimit rl;
+  if (limits.rlimit_as_bytes > 0) {
+    rl.rlim_cur = static_cast<rlim_t>(limits.rlimit_as_bytes);
+    rl.rlim_max = static_cast<rlim_t>(limits.rlimit_as_bytes);
+    setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.rlimit_cpu_seconds > 0) {
+    rl.rlim_cur = static_cast<rlim_t>(limits.rlimit_cpu_seconds);
+    rl.rlim_max = static_cast<rlim_t>(limits.rlimit_cpu_seconds);
+    setrlimit(RLIMIT_CPU, &rl);
+  }
+  if (!limits.allow_core) {
+    rl.rlim_cur = 0;
+    rl.rlim_max = 0;
+    setrlimit(RLIMIT_CORE, &rl);
+  }
+}
+
+}  // namespace
+
+ChildProcess spawn_worker(const std::vector<std::string>& argv,
+                          const SpawnLimits& limits) {
+  if (argv.empty()) throw std::runtime_error("spawn_worker: empty argv");
+
+  int to_child[2];    // [0]=child reads (fd 3), [1]=parent writes
+  int from_child[2];  // [0]=parent reads, [1]=child writes (fd 4)
+  if (pipe(to_child) != 0) throw_errno("pipe");
+  if (pipe(from_child) != 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    throw_errno("pipe");
+  }
+
+  // argv must be materialised before fork: building it after fork in the
+  // child would allocate, which is not async-signal-safe.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    int saved = errno;
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    errno = saved;
+    throw_errno("fork");
+  }
+
+  if (pid == 0) {
+    // Child: async-signal-safe calls only until execv.
+    close(to_child[1]);
+    close(from_child[0]);
+    // pipe() hands out the lowest free fds, which — depending on what the
+    // parent happens to have open (a test runner's inherited fds, for
+    // example) — can land a pipe end ON 3 or 4. Park both ends at >= 5
+    // first so the dup2s below can never clobber the other end.
+    const int in_hi = fcntl(to_child[0], F_DUPFD, 5);
+    const int out_hi = fcntl(from_child[1], F_DUPFD, 5);
+    if (in_hi < 0 || out_hi < 0) _exit(127);
+    close(to_child[0]);
+    close(from_child[1]);
+    if (dup2(in_hi, kWorkerInFd) < 0) _exit(127);
+    if (dup2(out_hi, kWorkerOutFd) < 0) _exit(127);
+    close(in_hi);
+    close(out_hi);
+    // Drop every other inherited descriptor (journal, spool files,
+    // sockets accepted mid-fork, ...). A leaked socket keeps the peer's
+    // connection open for the worker's whole lifetime; a leaked journal
+    // fd outlives a daemon restart. Raw syscall: async-signal-safe.
+#ifdef SYS_close_range
+    (void)syscall(SYS_close_range, kWorkerOutFd + 1,
+                  static_cast<unsigned int>(~0u), 0);
+#else
+    for (int fd = kWorkerOutFd + 1; fd < 1024; ++fd) close(fd);
+#endif
+    // The worker must die on EPIPE if the supervisor vanishes, so restore
+    // default SIGPIPE disposition in case the parent ignores it.
+    signal(SIGPIPE, SIG_DFL);
+    apply_limits(limits);
+    execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+
+  // Parent.
+  close(to_child[0]);
+  close(from_child[1]);
+  set_cloexec(to_child[1]);
+  set_cloexec(from_child[0]);
+
+  ChildProcess child;
+  child.pid = pid;
+  child.to_child = to_child[1];
+  child.from_child = from_child[0];
+  return child;
+}
+
+ExitStatus wait_child(long long pid) {
+  int status = 0;
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  for (;;) {
+    pid_t r = wait4(static_cast<pid_t>(pid), &status, 0, &usage);
+    if (r >= 0) break;
+    if (errno == EINTR) continue;
+    throw_errno("wait4");
+  }
+  ExitStatus es;
+  if (WIFEXITED(status)) {
+    es.exited = true;
+    es.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    es.signaled = true;
+    es.term_signal = WTERMSIG(status);
+  }
+  es.max_rss_kb = usage.ru_maxrss;
+  return es;
+}
+
+void kill_child(long long pid, int sig) {
+  if (pid > 0) (void)kill(static_cast<pid_t>(pid), sig);
+}
+
+bool write_frame(int fd, char type, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char header[5];
+  header[0] = static_cast<char>(n & 0xff);
+  header[1] = static_cast<char>((n >> 8) & 0xff);
+  header[2] = static_cast<char>((n >> 16) & 0xff);
+  header[3] = static_cast<char>((n >> 24) & 0xff);
+  header[4] = type;
+  std::string wire(header, sizeof(header));
+  wire += payload;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t w = write(fd, wire.data() + off, wire.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al.: peer gone, caller reaps.
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool FrameReader::extract(char* type, std::string* payload) {
+  if (buffer_.size() < 5) return false;
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  const std::uint64_t n = static_cast<std::uint64_t>(b[0]) |
+                          (static_cast<std::uint64_t>(b[1]) << 8) |
+                          (static_cast<std::uint64_t>(b[2]) << 16) |
+                          (static_cast<std::uint64_t>(b[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    broken_ = true;
+    return false;
+  }
+  if (buffer_.size() < 5 + n) return false;
+  *type = buffer_[4];
+  payload->assign(buffer_, 5, n);
+  buffer_.erase(0, 5 + n);
+  return true;
+}
+
+FrameReader::Status FrameReader::poll_frame(int timeout_ms, char* type,
+                                            std::string* payload) {
+  for (;;) {
+    if (broken_) return Status::kEof;
+    if (extract(type, payload)) return Status::kFrame;
+    if (broken_) return Status::kEof;
+
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int r = poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::kEof;
+    }
+    if (r == 0) return Status::kTimeout;
+
+    char chunk[4096];
+    ssize_t got = read(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::kEof;
+    }
+    if (got == 0) {
+      // Peer closed. A complete frame may still sit in the buffer.
+      if (extract(type, payload)) return Status::kFrame;
+      return Status::kEof;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::string self_exe_dir() {
+  char buf[PATH_MAX];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+void ignore_sigpipe() {
+  struct sigaction cur;
+  std::memset(&cur, 0, sizeof(cur));
+  if (sigaction(SIGPIPE, nullptr, &cur) != 0) return;
+  if (cur.sa_handler != SIG_DFL) return;  // app installed something: keep it
+  struct sigaction ign;
+  std::memset(&ign, 0, sizeof(ign));
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  (void)sigaction(SIGPIPE, &ign, nullptr);
+}
+
+#else  // !__unix__
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error(
+      "process isolation requires a POSIX platform (fork/exec unavailable)");
+}
+}  // namespace
+
+ChildProcess spawn_worker(const std::vector<std::string>&,
+                          const SpawnLimits&) {
+  unsupported();
+}
+ExitStatus wait_child(long long) { unsupported(); }
+void kill_child(long long, int) {}
+bool write_frame(int, char, const std::string&) { return false; }
+FrameReader::Status FrameReader::poll_frame(int, char*, std::string*) {
+  return Status::kEof;
+}
+bool FrameReader::extract(char*, std::string*) { return false; }
+std::string self_exe_dir() { return ""; }
+void ignore_sigpipe() {}
+
+#endif
+
+}  // namespace fixedpart::util

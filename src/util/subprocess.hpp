@@ -1,0 +1,126 @@
+#pragma once
+// POSIX subprocess plumbing for the crash-isolated worker pool
+// (docs/ROBUSTNESS.md "Process supervision tree"). A supervisor process
+// fork/execs `fixedpart-worker` children and talks to each one over a
+// pair of pipes using a tiny length-prefixed frame protocol; the child
+// runs under setrlimit caps applied between fork and exec, so a runaway
+// allocation, an infinite loop, or a hard crash is contained to the
+// worker's address space and shows up here as a classifiable exit status
+// instead of taking the daemon down.
+//
+// Layout inside the child: the job pipe is dup2'd to fd 3 (supervisor ->
+// worker) and fd 4 (worker -> supervisor), leaving stdin/stdout/stderr
+// untouched so engine logging cannot corrupt the protocol stream.
+//
+// Everything here is deliberately low-level and svc-agnostic: what the
+// frames *mean* (job specs, heartbeats, outcomes) is svc::ProcessPool's
+// business. Non-POSIX platforms get throwing stubs — the pool refuses to
+// construct rather than pretending to isolate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixedpart::util {
+
+/// The two protocol fds a spawned worker inherits (child side).
+constexpr int kWorkerInFd = 3;   ///< supervisor -> worker frames
+constexpr int kWorkerOutFd = 4;  ///< worker -> supervisor frames
+
+/// Frame wire format: a 4-byte little-endian payload length, one type
+/// byte, then the payload. Payloads above kMaxFrameBytes are a protocol
+/// violation (a corrupted stream reads as garbage lengths; the cap turns
+/// that into a clean error instead of an unbounded allocation).
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+// Frame types of the worker protocol (svc::ProcessPool <-> worker main).
+constexpr char kFrameJob = 'J';        ///< job spec JSON line (to worker)
+constexpr char kFrameCancel = 'C';     ///< cooperative cancel (to worker)
+constexpr char kFrameHeartbeat = 'H';  ///< liveness beat (from worker)
+constexpr char kFrameOutcome = 'O';    ///< JobOutcome JSON line (from worker)
+
+/// Resource caps applied to a spawned child between fork and exec.
+/// Zero/negative values leave the corresponding limit untouched.
+struct SpawnLimits {
+  /// RLIMIT_AS in bytes: a worker allocating past this sees failing
+  /// allocations (std::bad_alloc) instead of dragging the host into swap
+  /// or the kernel OOM killer into the supervisor.
+  long long rlimit_as_bytes = 0;
+  /// RLIMIT_CPU in seconds: a busy-looping worker is killed by SIGXCPU.
+  long long rlimit_cpu_seconds = 0;
+  /// When false, RLIMIT_CORE is set to 0 so a crashing fleet cannot fill
+  /// the disk with cores; true leaves the inherited limit alone.
+  bool allow_core = false;
+};
+
+/// A spawned worker as the supervisor sees it.
+struct ChildProcess {
+  long long pid = -1;
+  int to_child = -1;    ///< write end: frames to the worker's fd 3
+  int from_child = -1;  ///< read end: frames from the worker's fd 4
+};
+
+/// What became of a reaped child.
+struct ExitStatus {
+  bool exited = false;    ///< normal exit; `exit_code` is valid
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal; `term_signal` is valid
+  int term_signal = 0;
+  long max_rss_kb = 0;    ///< peak RSS of the child (ru_maxrss)
+};
+
+/// fork/execs `argv` (argv[0] is the executable path) with the protocol
+/// pipes on fds 3/4 and `limits` applied in the child. The parent-side
+/// fds are close-on-exec so concurrently spawned siblings do not inherit
+/// each other's pipes. Throws std::runtime_error on pipe/fork failure;
+/// an exec failure surfaces as the child exiting with code 127.
+ChildProcess spawn_worker(const std::vector<std::string>& argv,
+                          const SpawnLimits& limits);
+
+/// Blocking wait4 for `pid`, EINTR-retried. Throws std::runtime_error if
+/// the pid is not a waitable child.
+ExitStatus wait_child(long long pid);
+
+/// Best-effort kill (no throw; ESRCH is fine — the child already died).
+void kill_child(long long pid, int sig);
+
+/// Writes one frame, EINTR-retried. Returns false when the peer is gone
+/// (EPIPE/ECONNRESET) or any other write error occurs — the caller reaps
+/// and classifies; nothing here throws on a dead peer.
+bool write_frame(int fd, char type, const std::string& payload);
+
+/// Incremental frame parser over a nonblocking-ish fd: poll_frame waits
+/// up to `timeout_ms` for enough bytes to complete the next frame.
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,    ///< *type/*payload filled with one complete frame
+    kTimeout,  ///< no complete frame within timeout_ms
+    kEof,      ///< peer closed (or a read error / oversized frame)
+  };
+
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  /// Waits for and extracts the next frame. A malformed length (over
+  /// kMaxFrameBytes) is reported as kEof: the stream is unusable.
+  Status poll_frame(int timeout_ms, char* type, std::string* payload);
+
+ private:
+  bool extract(char* type, std::string* payload);
+
+  int fd_;
+  std::string buffer_;
+  bool broken_ = false;
+};
+
+/// Directory containing the running executable ("" when undeterminable);
+/// used to locate the fixedpart-worker binary next to the daemon.
+std::string self_exe_dir();
+
+/// Idempotently ignores SIGPIPE process-wide *if the handler is still
+/// SIG_DFL* (an application-installed handler is left alone). A peer —
+/// HTTP client or worker process — that dies mid-write must surface as
+/// EPIPE on the write call, never as a fatal signal to the daemon.
+void ignore_sigpipe();
+
+}  // namespace fixedpart::util

@@ -121,6 +121,38 @@ bool expect_graceful(const std::string& text, Parse&& parse,
 
 #ifdef __unix__
 
+/// RAII environment variable: sets `name=value` for the scope, restoring
+/// the previous value (or unsetting) on destruction. The lever for the
+/// fixedpart-worker fault hooks (PR 8), which deliberately ride on env
+/// vars — not spec fields — so job ids and journal bytes stay identical
+/// across isolation modes.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
 // --- socket-level faults (ISSUE 7) ---------------------------------------
 // Raw loopback clients for torturing the embedded HTTP endpoint: torn and
 // trickled writes, stalled connections, half-closed reads. Everything is

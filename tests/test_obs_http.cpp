@@ -349,6 +349,64 @@ TEST(HttpEndpoint, ProgressDefaultsToEmptyObject) {
   EXPECT_EQ(body_of(simple_get(endpoint.port(), "/progress")), "{}\n");
 }
 
+// SIGPIPE regression: a scraper that vanishes halfway through a large
+// response body is routine (timeouts, ^C'd curls), and historically a
+// write to the half-closed socket could raise SIGPIPE and kill the whole
+// daemon. The endpoint must instead absorb the abort (MSG_NOSIGNAL +
+// ignored disposition + EPIPE/ECONNRESET handling in send_all), count it
+// in obs.http_peer_gone, and keep serving.
+TEST(HttpEndpoint, SurvivesClientAbortMidLargeMetricsBody) {
+  obs::Registry registry;
+  obs::HttpEndpointConfig config;
+  config.registry = &registry;
+  config.io_timeout_seconds = 10.0;
+  // A body far larger than any plausible socket-buffer capacity (sndbuf
+  // autotuning can reach several MB on loopback), so the server is still
+  // mid-send when the client aborts. /progress shares send_all with
+  // /metrics, and its body size is not capped by registry capacity.
+  config.progress = [] { return std::string(16u << 20, 'x') + "\n"; };
+  obs::HttpEndpoint endpoint(config);
+  endpoint.start();
+
+  const std::int64_t gone_before =
+      obs::Registry::global().scrape().counter("obs.http_peer_gone");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // A tiny receive window keeps the in-flight byte count small, so most
+  // of the body is still unsent at abort time.
+  const int tiny = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /progress HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  char first = 0;
+  ASSERT_EQ(::recv(fd, &first, 1, 0), 1);  // the response is under way
+  // SO_LINGER{on, 0} turns close() into an immediate RST: the server's
+  // next send on this connection fails with ECONNRESET/EPIPE mid-body.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd);
+
+  // The serve loop handles connections synchronously, so by the time the
+  // next request is answered the aborted one has fully unwound. The
+  // process not having died of SIGPIPE is the actual regression check.
+  const std::string health = simple_get(endpoint.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_GE(obs::Registry::global().scrape().counter("obs.http_peer_gone"),
+            gone_before + 1);
+  endpoint.stop();
+}
+
 // The TSan certification of the gauge/label hot paths: 8 writer threads
 // hammer counters, labeled counters and gauges while the main thread
 // scrapes through real GET /metrics requests.

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -68,6 +69,12 @@ std::string read_file(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+std::size_t count_lines(const std::string& path) {
+  const std::string text = read_file(path);
+  return static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n'));
 }
 
 /// Polls `predicate` every 2 ms for up to `limit`; true iff it held.
@@ -315,6 +322,48 @@ TEST(Server, FullQueueShedsWith429AndRetryAfter) {
   ASSERT_TRUE(eventually([&] { return server.done_total() == 2; }));
   EXPECT_EQ(server.submit("{\"seed\": 3}", "").http_status, 202);
   ASSERT_TRUE(eventually([&] { return server.done_total() == 3; }));
+  server.drain();
+}
+
+TEST(Server, RetryAfterBeforeFirstCompletionIsConfiguredDefault) {
+  Gate gate;
+  ServerConfig config = base_config();
+  config.queue_capacity = 1;
+  config.retry_after_no_data_seconds = 7.0;
+  // Must NOT leak into the estimate: the old behaviour multiplied this
+  // ceiling by the backlog and told the first wave of shed clients to
+  // come back in minutes.
+  config.default_budget_seconds = 30.0;
+  config.runner = gated_runner(&gate);
+  PartitionServer server(config);
+  server.start();
+  ASSERT_EQ(server.submit("{\"seed\": 1}", "").http_status, 202);
+  ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+  ASSERT_EQ(server.submit("{\"seed\": 2}", "").http_status, 202);
+
+  const SubmitResult shed = server.submit("{\"seed\": 3}", "");
+  ASSERT_EQ(shed.http_status, 429);
+  // Zero jobs completed: no observed service rate exists, so the
+  // estimate is exactly the configured constant — deterministic across
+  // runs and independent of backlog depth.
+  EXPECT_EQ(shed.retry_after_seconds, 7.0);
+  EXPECT_EQ(server.retry_after_seconds(), 7.0);
+  gate.release();
+  server.drain();
+}
+
+TEST(Server, RetryAfterNoDataDefaultIsClampedToFloor) {
+  Gate gate;
+  ServerConfig config = base_config();
+  config.queue_capacity = 1;
+  config.retry_after_no_data_seconds = 0.01;  // nonsense-small
+  config.runner = gated_runner(&gate);
+  PartitionServer server(config);
+  server.start();
+  ASSERT_EQ(server.submit("{\"seed\": 1}", "").http_status, 202);
+  ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+  EXPECT_EQ(server.retry_after_seconds(), 1.0);  // clamp floor, HTTP-sane
+  gate.release();
   server.drain();
 }
 
@@ -673,6 +722,154 @@ TEST(Server, CancelEventsReplayAsCancelled) {
   EXPECT_EQ(status, 200);
   EXPECT_NE(record.find("\"state\": \"cancelled\""), std::string::npos);
   EXPECT_EQ(restarted.recovered(), 0);  // cancelled jobs stay cancelled
+  restarted.drain();
+}
+
+// --- journal compaction -----------------------------------------------------
+
+// The core equivalence: a journal that has been compacted (atomically
+// rewritten to the live job set) and the raw uncompacted journal it came
+// from must recover byte-identical job records on restart. Runs the
+// workload once without compaction, snapshots the records, then restarts
+// on a copy with aggressive compaction and compares — before and after
+// the compactor has rewritten the file.
+TEST(Server, CompactedJournalRecoversByteIdenticalRecords) {
+  TempDir dir;
+  ServerConfig config = base_config();
+  config.journal_path = dir.file("raw.journal");
+  config.queue_capacity = 16;  // hold all 10 at once, no shedding
+  config.journal_compact_every = 0;  // uncompacted reference run
+  std::vector<std::string> ids;
+  std::vector<std::string> records;
+  {
+    PartitionServer server(config);
+    server.start();
+    for (int seed = 1; seed <= 10; ++seed) {
+      const SubmitResult submitted = server.submit(
+          "{\"seed\": " + std::to_string(seed) + "}", "priority=2");
+      ASSERT_EQ(submitted.http_status, 202);
+      ids.push_back(submitted.id);
+    }
+    ASSERT_TRUE(eventually([&] { return server.done_total() == 10; }));
+    int status = 0;
+    for (const std::string& id : ids) {
+      records.push_back(server.status_json(id, &status));
+    }
+    server.drain();
+    EXPECT_EQ(server.journal_compactions(), 0);
+  }
+  const std::size_t raw_lines = count_lines(config.journal_path);
+  EXPECT_EQ(raw_lines, 20u);  // accept + done per job
+
+  // Restart on a copy with an aggressive compaction threshold. Replay
+  // counts the 20 replayed lines toward the trigger, so the supervisor
+  // compacts shortly after start without any fresh appends.
+  const std::string copy_path = dir.file("compacting.journal");
+  fs::copy_file(config.journal_path, copy_path);
+  ServerConfig compacting = base_config();
+  compacting.journal_path = copy_path;
+  compacting.journal_compact_every = 4;
+  {
+    PartitionServer server(compacting);
+    server.start();
+    EXPECT_EQ(server.done_total(), 10);
+    ASSERT_TRUE(eventually([&] { return server.journal_compactions() >= 1; }));
+    int status = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(server.status_json(ids[i], &status), records[i]);
+      EXPECT_EQ(status, 200);
+    }
+    server.drain();
+  }
+  // Every job is still live (nothing evicted), so compaction preserves
+  // all 20 lines — normalized to per-job accept/done order.
+  EXPECT_EQ(count_lines(copy_path), 20u);
+
+  // Restart on the compacted file: same records, byte for byte.
+  ServerConfig fresh = base_config();
+  fresh.journal_path = copy_path;
+  PartitionServer restarted(fresh);
+  restarted.start();
+  EXPECT_EQ(restarted.done_total(), 10);
+  EXPECT_EQ(restarted.recovered(), 0);
+  int status = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(restarted.status_json(ids[i], &status), records[i]);
+    EXPECT_EQ(status, 200);
+  }
+  restarted.drain();
+}
+
+// The boundedness claim: with a small result cache, a long-lived server's
+// journal stays proportional to the live job set, not lifetime traffic —
+// compaction drops the accept/done lines of evicted jobs.
+TEST(Server, CompactionBoundsJournalByLiveJobSet) {
+  TempDir dir;
+  ServerConfig config = base_config();
+  config.journal_path = dir.file("bounded.journal");
+  config.done_capacity = 2;
+  config.journal_compact_every = 4;
+  PartitionServer server(config);
+  server.start();
+  for (int seed = 1; seed <= 12; ++seed) {
+    const SubmitResult submitted =
+        server.submit("{\"seed\": " + std::to_string(seed) + "}", "");
+    ASSERT_EQ(submitted.http_status, 202);
+    ASSERT_TRUE(eventually([&] { return server.done_total() == seed; }));
+  }
+  // 12 jobs wrote 24 lines; after the final compaction only the 2 cached
+  // jobs' lines remain (plus at most one compaction window of appends).
+  ASSERT_TRUE(eventually([&] { return server.journal_compactions() >= 3; }));
+  ASSERT_TRUE(eventually([&] {
+    // <= live-set lines plus one compaction window of fresh appends;
+    // far below the 24 lines an unbounded journal would hold.
+    return count_lines(config.journal_path) <= 10;
+  }));
+  server.drain();
+
+  // The survivors replay; the evicted majority is genuinely gone (404),
+  // which is the documented price of a bounded journal.
+  ServerConfig fresh = base_config();
+  fresh.journal_path = config.journal_path;
+  PartitionServer restarted(fresh);
+  restarted.start();
+  EXPECT_LE(restarted.done_total(), 4);
+  EXPECT_GE(restarted.done_total(), 2);
+  restarted.drain();
+}
+
+// Cancelled jobs must survive compaction as cancelled: the rewritten
+// journal re-emits their cancel line, not just the accept.
+TEST(Server, CancelledStateSurvivesCompaction) {
+  TempDir dir;
+  ServerConfig config = base_config();
+  config.journal_path = dir.file("cancel.journal");
+  config.journal_compact_every = 1;  // compact at every opportunity
+  std::string cancelled_id;
+  {
+    Gate gate;
+    ServerConfig first = config;
+    first.runner = gated_runner(&gate);
+    PartitionServer server(first);
+    server.start();
+    ASSERT_EQ(server.submit("{\"seed\": 1}", "").http_status, 202);
+    ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+    const SubmitResult queued = server.submit("{\"seed\": 2}", "");
+    cancelled_id = queued.id;
+    std::string body;
+    ASSERT_EQ(server.cancel(queued.id, &body), 200);
+    gate.release();
+    ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+    ASSERT_TRUE(eventually([&] { return server.journal_compactions() >= 1; }));
+    server.drain();
+  }
+  PartitionServer restarted(config);
+  restarted.start();
+  int status = 0;
+  const std::string record = restarted.status_json(cancelled_id, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(record.find("\"state\": \"cancelled\""), std::string::npos);
+  EXPECT_EQ(restarted.recovered(), 0);
   restarted.drain();
 }
 
