@@ -41,6 +41,7 @@
 #include "util/cli.hpp"
 #include "util/deadline.hpp"
 #include "util/env.hpp"
+#include "util/mem.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -485,7 +486,8 @@ int main(int argc, char** argv) {
         << "  \"repeats\": " << repeats << ",\n"
         << "  \"threads\": " << threads << ",\n"
         << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
-        << "  \"budget_seconds\": " << format_double(budget) << ",\n";
+        << "  \"budget_seconds\": " << format_double(budget) << ",\n"
+        << "  \"peak_rss_kb\": " << util::peak_rss_kb() << ",\n";
     emit_results(out, "results", results);
     // Obs counters/histograms over the timed measurements (scraped before
     // any --trace-out extra run; empty sections under FIXEDPART_OBS=OFF).

@@ -1,0 +1,52 @@
+// Streaming large-instance generator CLI: emits an IBM-like instance
+// straight to .fpbin with O(vertices) heap, for the 1M-10M vertex scale
+// ladder (docs/PERF.md "BENCH_LARGE").
+//
+//   $ ./build/examples/gen_large --preset=1m --out=big.fpbin
+//   $ ./build/examples/gen_large --cells=200000 --seed=7 --out=mid.fpbin
+//   $ ./build/examples/partition_file big.fpbin
+
+#include <iostream>
+#include <string>
+
+#include "gen/stream_gen.hpp"
+#include "util/cli.hpp"
+#include "util/errors.hpp"
+#include "util/mem.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fixedpart;
+  const util::Cli cli(argc, argv);
+  return util::run_cli_main("gen_large", [&] {
+    cli.require_known({"out", "preset", "cells", "nets", "pads", "seed"});
+    const auto out = cli.get("out");
+    if (!out) {
+      throw util::UsageError(
+          "gen_large --out=<file.fpbin> [--preset=1m|5m|10m] [--cells=N] "
+          "[--nets=N] [--pads=N] [--seed=S]");
+    }
+    gen::StreamSpec spec;
+    if (const auto preset = cli.get("preset")) {
+      spec = gen::stream_preset(*preset);
+    } else {
+      spec = gen::stream_spec_for_cells(
+          static_cast<hg::VertexId>(cli.get_int("cells", 1'000'000)));
+    }
+    if (const auto nets = cli.get_int("nets", 0); nets > 0) {
+      spec.num_nets = static_cast<hg::NetId>(nets);
+    }
+    if (const auto pads = cli.get_int("pads", -1); pads >= 0) {
+      spec.num_pads = static_cast<hg::VertexId>(pads);
+    }
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+    util::Timer timer;
+    gen::stream_circuit_fpbin(spec, *out);
+    std::cout << "wrote " << *out << ": " << spec.num_cells << " cells, "
+              << spec.num_pads << " pads, " << spec.num_nets << " nets in "
+              << timer.seconds() << " s (peak RSS "
+              << util::peak_rss_kb() << " KiB)\n";
+    return 0;
+  });
+}

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "experiments/constraint_metrics.hpp"
+#include "hg/io_binary.hpp"
 #include "hg/io_bookshelf.hpp"
 #include "hg/io_hmetis.hpp"
 #include "hg/io_netare.hpp"
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     cli.require_known({"fix", "are", "k", "lenient"});
     if (cli.positional().size() != 1) {
       throw util::UsageError(
-          "instance_info <file.fpb|file.hgr|file.netD> "
+          "instance_info <file.fpb|file.fpbin|file.hgr|file.netD> "
           "[--fix=f] [--are=f] [--k=2] [--lenient]");
     }
     const std::string path = cli.positional()[0];
@@ -44,7 +45,12 @@ int main(int argc, char** argv) {
     hg::Hypergraph graph;
     hg::FixedAssignment fixed(0, 2);
     auto k = static_cast<hg::PartitionId>(cli.get_int("k", 2));
-    if (ends_with(path, ".fpb")) {
+    if (ends_with(path, ".fpbin")) {
+      hg::BinaryInstance instance = hg::read_fpbin_file(path);
+      graph = std::move(instance.graph);
+      fixed = std::move(instance.fixed);
+      k = instance.num_parts;
+    } else if (ends_with(path, ".fpb")) {
       hg::BenchmarkInstance instance = hg::read_fpb_file(path, io_options);
       graph = std::move(instance.graph);
       fixed = instance.fixed;

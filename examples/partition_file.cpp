@@ -24,6 +24,7 @@
 #include <limits>
 #include <string>
 
+#include "hg/io_binary.hpp"
 #include "hg/io_bookshelf.hpp"
 #include "hg/io_hmetis.hpp"
 #include "hg/io_solution.hpp"
@@ -58,7 +59,7 @@ int run(const util::Cli& cli) {
                      "repair", "lenient"});
   if (cli.positional().size() != 1) {
     throw util::UsageError(
-        "partition_file <instance.fpb|netlist.hgr> "
+        "partition_file <instance.fpb|instance.fpbin|netlist.hgr> "
         "[--fix=f] [--k=2] [--tolerance=2] [--starts=4]\n"
         "       [--policy=clip|lifo|fifo] [--cutoff=1.0] [--vcycles=0] "
         "[--seed=1] [--out=assignment.txt]\n"
@@ -71,7 +72,20 @@ int run(const util::Cli& cli) {
 
   // --- Load the instance.
   hg::BenchmarkInstance instance;
-  if (ends_with(path, ".fpb")) {
+  if (ends_with(path, ".fpbin")) {
+    hg::BinaryInstance bin = hg::read_fpbin_file(path);
+    instance.graph = std::move(bin.graph);
+    instance.fixed = std::move(bin.fixed);
+    instance.num_parts = bin.num_parts;
+    instance.balance.relative = true;
+    instance.balance.tolerance_pct = cli.get_double("tolerance", 2.0);
+    // Names are synthesized only if the assignment is written out: at
+    // the 1M-10M vertex scale .fpbin targets, that many std::strings
+    // would dwarf the CSR arrays themselves.
+    if (cli.get("out")) {
+      instance.names = hg::default_names(instance.graph.num_vertices());
+    }
+  } else if (ends_with(path, ".fpb")) {
     instance = hg::read_fpb_file(path, io_options);
   } else {
     instance.graph = hg::read_hmetis_file(path, io_options);

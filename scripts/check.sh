@@ -12,8 +12,14 @@
 #   obsoff   FIXEDPART_OBS=OFF; full suite (HTTP/daemon E2Es trivially
 #            pass, everything else must still build and run without the
 #            observability layer)
+#   large    plain build, `scale`-labeled tests only, with
+#            FIXEDPART_LARGE_CELLS bumped to 1M (opt-in: not part of the
+#            default matrix; sanitizer configs export
+#            FIXEDPART_LARGE_SKIP=1 so RSS budgets never run under
+#            shadow memory)
 #
-# Usage: scripts/check.sh [plain|asan|tsan|obsoff ...]   (default: all)
+# Usage: scripts/check.sh [plain|asan|tsan|obsoff|large ...] (default:
+# plain asan tsan obsoff)
 # Build trees land in build-check-<config>/ at the repo root.
 set -euo pipefail
 
@@ -46,21 +52,29 @@ for config in "${configs[@]}"; do
       # `obs` is a ctest -L regex: it also matches obs-http. isolate is
       # deliberately in: the fork/exec supervision tree runs under ASan.
       ctest_args=(-L "fault|svc|obs|parallel|serve|isolate")
-      run_config asan -DFIXEDPART_SANITIZE=address,undefined
+      FIXEDPART_LARGE_SKIP=1 run_config asan \
+        -DFIXEDPART_SANITIZE=address,undefined
       ;;
     tsan)
       # -LE isolate: the serve-labeled worker-crash E2E and the process
       # pool unit battery fork from threaded processes — unsupported
       # under TSan, certified under ASan instead.
       ctest_args=(-L "svc|obs|parallel|serve" -LE isolate)
-      run_config tsan -DFIXEDPART_SANITIZE=thread
+      FIXEDPART_LARGE_SKIP=1 run_config tsan -DFIXEDPART_SANITIZE=thread
+      ;;
+    large)
+      # Million-vertex scale gate: the `scale` smoke at the committed
+      # BENCH_LARGE size. Opt-in (scripts/check.sh large) — minutes of
+      # wall clock and ~2.5 GB RSS budget.
+      ctest_args=(-L scale)
+      FIXEDPART_LARGE_CELLS=1000000 run_config large
       ;;
     obsoff)
       ctest_args=()
       run_config obsoff -DFIXEDPART_OBS=OFF
       ;;
     *)
-      echo "unknown config: $config (want plain|asan|tsan|obsoff)" >&2
+      echo "unknown config: $config (want plain|asan|tsan|obsoff|large)" >&2
       exit 2
       ;;
   esac

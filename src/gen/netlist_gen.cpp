@@ -6,45 +6,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gen/dist.hpp"
 #include "hg/builder.hpp"
 
 namespace fixedpart::gen {
 
-namespace {
-
-/// Skewed standard-cell area distribution (in abstract area units).
-Weight sample_cell_area(util::Rng& rng) {
-  const double u = rng.next_double();
-  if (u < 0.55) return 1;
-  if (u < 0.75) return 2;
-  if (u < 0.87) return 3;
-  if (u < 0.94) return 4;
-  if (u < 0.98) return 6;
-  return 8 + static_cast<Weight>(rng.next_below(9));  // 8..16
-}
-
-/// Net degree distribution: dominated by 2-3 pin nets, geometric tail.
-/// Mean ~= 3.6, matching ISPD-98 pins-per-net.
-int sample_net_degree(util::Rng& rng) {
-  const double u = rng.next_double();
-  if (u < 0.46) return 2;
-  if (u < 0.68) return 3;
-  if (u < 0.80) return 4;
-  if (u < 0.87) return 5;
-  if (u < 0.92) return 6;
-  int d = 7;
-  while (d < 40 && rng.next_bool(0.72)) ++d;
-  return d;
-}
-
-/// Laplace-distributed offset with the given scale.
-double sample_laplace(util::Rng& rng, double scale) {
-  const double u = rng.next_double() - 0.5;
-  const double mag = -scale * std::log(1.0 - 2.0 * std::abs(u) + 1e-12);
-  return u >= 0 ? mag : -mag;
-}
-
-}  // namespace
+// Sampling distributions live in gen/dist.hpp, shared with the streaming
+// generator so both emit the same instance family.
+using dist::sample_cell_area;
+using dist::sample_laplace;
+using dist::sample_net_degree;
 
 GeneratedCircuit add_pin_resource(const GeneratedCircuit& circuit) {
   const hg::Hypergraph& g = circuit.graph;

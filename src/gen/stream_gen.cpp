@@ -1,0 +1,199 @@
+#include "gen/stream_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/dist.hpp"
+#include "hg/io_binary.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::gen {
+
+namespace {
+
+using hg::VertexId;
+using hg::Weight;
+
+// Domain tags keep the per-cell and per-net stream families decorrelated
+// from each other (and from every other Rng::stream user of the seed).
+constexpr std::uint64_t kCellTag = 0x9e11'ce11'0000'0001ULL;
+constexpr std::uint64_t kAreaTag = 0x9e11'a4ea'0000'0002ULL;
+constexpr std::uint64_t kNetTag = 0x9e11'0e70'0000'0003ULL;
+
+/// Grid shape and derived counts; everything needed to compute any
+/// vertex's position in O(1) without a placement array.
+struct Geometry {
+  std::int64_t side = 0;
+  std::int64_t rows = 0;
+  double width = 0.0;
+  double height = 0.0;
+};
+
+Geometry geometry_of(const StreamSpec& spec) {
+  Geometry g;
+  g.side = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(spec.num_cells))));
+  g.rows = (spec.num_cells + g.side - 1) / g.side;
+  g.width = static_cast<double>(g.side);
+  g.height = std::ceil(static_cast<double>(spec.num_cells) /
+                       static_cast<double>(g.side));
+  return g;
+}
+
+/// Jittered-grid position of cell c — pure in (seed, c), mirroring
+/// netlist_gen's placement model without storing a placement.
+void cell_position(const StreamSpec& spec, const Geometry& geo, VertexId c,
+                   double& x, double& y) {
+  util::Rng rng = util::Rng::stream(spec.seed ^ kCellTag,
+                                    static_cast<std::uint64_t>(c));
+  x = static_cast<double>(c % geo.side) + 0.3 * (rng.next_double() - 0.5);
+  y = static_cast<double>(c / geo.side) + 0.3 * (rng.next_double() - 0.5);
+}
+
+Weight cell_area(const StreamSpec& spec, VertexId c) {
+  util::Rng rng = util::Rng::stream(spec.seed ^ kAreaTag,
+                                    static_cast<std::uint64_t>(c));
+  return dist::sample_cell_area(rng);
+}
+
+VertexId cell_at(const StreamSpec& spec, const Geometry& geo, double x,
+                 double y) {
+  auto col = static_cast<std::int64_t>(std::llround(x));
+  auto row = static_cast<std::int64_t>(std::llround(y));
+  col = std::clamp<std::int64_t>(col, 0, geo.side - 1);
+  row = std::clamp<std::int64_t>(row, 0, geo.rows - 1);
+  std::int64_t c = row * geo.side + col;
+  if (c >= spec.num_cells) c = spec.num_cells - 1;
+  return static_cast<VertexId>(c);
+}
+
+/// Samples net e's sorted, duplicate-free pin list into `pins`. Pure in
+/// (spec, e): both writer passes call this and get the identical net.
+void sample_net(const StreamSpec& spec, const Geometry& geo,
+                double external_fraction, hg::NetId e,
+                std::vector<VertexId>& pins) {
+  util::Rng rng =
+      util::Rng::stream(spec.seed ^ kNetTag, static_cast<std::uint64_t>(e));
+  const int degree = dist::sample_net_degree(rng);
+  const bool global = rng.next_bool(spec.global_net_fraction);
+  const bool external =
+      spec.num_pads > 0 && rng.next_bool(external_fraction);
+
+  const auto source = static_cast<VertexId>(
+      rng.next_below(static_cast<std::uint64_t>(spec.num_cells)));
+  pins.clear();
+  pins.push_back(source);
+  double sx = 0.0;
+  double sy = 0.0;
+  cell_position(spec, geo, source, sx, sy);
+  int sinks = degree - 1;
+  if (external) --sinks;  // one pin is a pad
+  for (int s = 0; s < sinks; ++s) {
+    VertexId sink;
+    if (global) {
+      sink = static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(spec.num_cells)));
+    } else {
+      const double dx = dist::sample_laplace(rng, spec.local_scale);
+      const double dy = dist::sample_laplace(rng, spec.local_scale);
+      sink = cell_at(spec, geo, sx + dx, sy + dy);
+    }
+    pins.push_back(sink);
+  }
+  if (external) {
+    // Pads are perimeter-ordered; wire the one matching the source's
+    // angular position around the die centre (netlist_gen's model).
+    const double angle =
+        std::atan2(sy - geo.height / 2.0, sx - geo.width / 2.0);
+    const double unit = angle / (2.0 * std::numbers::pi) + 0.5;  // [0,1)
+    auto pad_index = static_cast<VertexId>(
+        static_cast<std::int64_t>(unit * static_cast<double>(spec.num_pads)));
+    pad_index = std::min(pad_index, spec.num_pads - 1);
+    pins.push_back(spec.num_cells + pad_index);
+  }
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  if (pins.size() < 2) {
+    // Degenerate (all-same) local net: retry once with a random extra
+    // sink, as in netlist_gen.
+    const auto extra = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(spec.num_cells)));
+    pins.push_back(extra);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  }
+}
+
+}  // namespace
+
+StreamSpec stream_spec_for_cells(hg::VertexId cells, std::uint64_t seed) {
+  if (cells < 4) {
+    throw std::invalid_argument("stream_spec_for_cells: too few cells");
+  }
+  StreamSpec spec;
+  spec.num_cells = cells;
+  spec.num_nets = static_cast<hg::NetId>(
+      static_cast<std::int64_t>(1.15 * static_cast<double>(cells)));
+  const auto side = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(cells))));
+  spec.num_pads = static_cast<VertexId>(4 * side);
+  spec.seed = seed;
+  return spec;
+}
+
+StreamSpec stream_preset(const std::string& name) {
+  StreamSpec spec;
+  if (name == "1m") {
+    spec = stream_spec_for_cells(1'000'000);
+  } else if (name == "5m") {
+    spec = stream_spec_for_cells(5'000'000);
+  } else if (name == "10m") {
+    spec = stream_spec_for_cells(10'000'000);
+  } else {
+    throw util::UsageError("unknown stream preset '" + name +
+                           "' (want 1m, 5m or 10m)");
+  }
+  spec.name = "stream-" + name;
+  return spec;
+}
+
+void stream_circuit_fpbin(const StreamSpec& spec, const std::string& path) {
+  if (spec.num_cells < 4) {
+    throw std::invalid_argument("stream_circuit_fpbin: too few cells");
+  }
+  if (spec.num_pads < 0 || spec.num_nets < 1) {
+    throw std::invalid_argument("stream_circuit_fpbin: bad counts");
+  }
+  const Geometry geo = geometry_of(spec);
+  const double external_fraction =
+      spec.external_net_fraction > 0.0
+          ? spec.external_net_fraction
+          : std::min(0.25, 1.3 * static_cast<double>(spec.num_pads) /
+                               static_cast<double>(spec.num_nets));
+
+  hg::FpbinWriter writer(path, /*num_resources=*/1, /*num_parts=*/2);
+  for (VertexId c = 0; c < spec.num_cells; ++c) {
+    writer.add_vertex(cell_area(spec, c), /*is_pad=*/false);
+  }
+  for (VertexId p = 0; p < spec.num_pads; ++p) {
+    writer.add_vertex(Weight{0}, /*is_pad=*/true);
+  }
+
+  std::vector<VertexId> pins;
+  for (hg::NetId e = 0; e < spec.num_nets; ++e) {
+    sample_net(spec, geo, external_fraction, e, pins);
+    writer.count_net(pins);
+  }
+  writer.begin_nets();
+  for (hg::NetId e = 0; e < spec.num_nets; ++e) {
+    sample_net(spec, geo, external_fraction, e, pins);
+    writer.add_net(pins, /*weight=*/1);
+  }
+  writer.finish();
+}
+
+}  // namespace fixedpart::gen

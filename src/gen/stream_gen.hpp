@@ -1,0 +1,51 @@
+#pragma once
+// Streaming Rent-rule generator: the scale-frontier twin of netlist_gen.
+// Where generate_circuit materializes builder staging arrays plus a
+// placement (O(pins) heap, ~3 copies of the instance at peak), this
+// generator samples every net as a *pure function* of (seed, net id) via
+// util::Rng::stream and feeds the two-phase FpbinWriter — pass 1 counts
+// pin totals, pass 2 replays the identical sample and scatters pins
+// straight into the memory-mapped .fpbin. No pin list is ever stored
+// twice; heap stays O(vertices), which is what makes the 10M-vertex
+// preset generate in a container-sized RSS budget.
+//
+// The sampled family matches netlist_gen (same gen/dist.hpp
+// distributions, same jittered-grid placement model, same
+// distance-decaying sink selection and perimeter-pad wiring), so
+// downstream partitioning behaviour is comparable across scales. Macros
+// are not sampled (they exist to exercise balance edge cases, which the
+// small suites cover).
+
+#include <cstdint>
+#include <string>
+
+#include "hg/types.hpp"
+
+namespace fixedpart::gen {
+
+struct StreamSpec {
+  std::string name = "large";
+  hg::VertexId num_cells = 1'000'000;
+  hg::NetId num_nets = 0;     ///< 0 -> ~1.15x cells (ISPD-98-like ratio)
+  hg::VertexId num_pads = 0;  ///< 0 -> 4 * grid side (perimeter density)
+  /// Fraction of nets wired without locality (long/global nets).
+  double global_net_fraction = 0.03;
+  /// Laplace scale (in cell pitches) of local sink offsets.
+  double local_scale = 2.5;
+  /// Fraction of nets that include a pad terminal; 0 -> derived.
+  double external_net_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Spec for a given cell count with the derived defaults filled in.
+StreamSpec stream_spec_for_cells(hg::VertexId cells, std::uint64_t seed = 1);
+
+/// Named presets for the scale ladder: "1m", "5m", "10m" (1/5/10 million
+/// cells). Throws util::UsageError on unknown names.
+StreamSpec stream_preset(const std::string& name);
+
+/// Generates `spec` and writes it to `path` as .fpbin. Deterministic:
+/// the same spec always produces a byte-identical file.
+void stream_circuit_fpbin(const StreamSpec& spec, const std::string& path);
+
+}  // namespace fixedpart::gen

@@ -1,6 +1,7 @@
 #include "hg/builder.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace fixedpart::hg {
@@ -12,10 +13,35 @@ HypergraphBuilder::HypergraphBuilder(int num_resources)
   }
 }
 
+void HypergraphBuilder::reserve(std::int64_t num_vertices,
+                                std::int64_t num_nets,
+                                std::int64_t num_pins) {
+  constexpr std::int64_t kMaxId = std::numeric_limits<VertexId>::max();
+  if (num_vertices < 0 || num_vertices > kMaxId) {
+    throw std::invalid_argument("reserve: vertex count exceeds id range");
+  }
+  if (num_nets < 0 || num_nets > kMaxId) {
+    throw std::invalid_argument("reserve: net count exceeds id range");
+  }
+  if (num_pins < 0) {
+    throw std::invalid_argument("reserve: negative pin count");
+  }
+  weights_.reserve(static_cast<std::size_t>(num_vertices) *
+                   static_cast<std::size_t>(num_resources_));
+  pad_flags_.reserve(static_cast<std::size_t>(num_vertices));
+  net_offsets_.reserve(static_cast<std::size_t>(num_nets) + 1);
+  net_weights_.reserve(static_cast<std::size_t>(num_nets));
+  net_pins_.reserve(static_cast<std::size_t>(num_pins));
+}
+
 VertexId HypergraphBuilder::add_vertex(std::span<const Weight> weights,
                                        bool is_pad) {
   if (static_cast<int>(weights.size()) != num_resources_) {
     throw std::invalid_argument("add_vertex: wrong resource count");
+  }
+  if (pad_flags_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<VertexId>::max())) {
+    throw std::length_error("add_vertex: vertex count exceeds id range");
   }
   for (Weight w : weights) {
     if (w < 0) throw std::invalid_argument("add_vertex: negative weight");
@@ -36,16 +62,20 @@ VertexId HypergraphBuilder::add_vertex(Weight area, bool is_pad) {
 NetId HypergraphBuilder::add_net(std::span<const VertexId> pins,
                                  Weight weight) {
   if (weight < 0) throw std::invalid_argument("add_net: negative weight");
+  if (net_weights_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<NetId>::max())) {
+    throw std::length_error("add_net: net count exceeds id range");
+  }
   const auto vertex_count = num_vertices();
-  std::vector<VertexId> unique(pins.begin(), pins.end());
-  for (VertexId v : unique) {
+  dedup_.assign(pins.begin(), pins.end());
+  for (VertexId v : dedup_) {
     if (v < 0 || v >= vertex_count) {
       throw std::out_of_range("add_net: pin out of range");
     }
   }
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  net_pins_.insert(net_pins_.end(), unique.begin(), unique.end());
+  std::sort(dedup_.begin(), dedup_.end());
+  dedup_.erase(std::unique(dedup_.begin(), dedup_.end()), dedup_.end());
+  net_pins_.insert(net_pins_.end(), dedup_.begin(), dedup_.end());
   net_offsets_.push_back(static_cast<std::int64_t>(net_pins_.size()));
   net_weights_.push_back(weight);
   return static_cast<NetId>(net_weights_.size()) - 1;

@@ -16,6 +16,16 @@ class HypergraphBuilder {
   /// num_resources >= 1; resource 0 is cell area.
   explicit HypergraphBuilder(int num_resources = 1);
 
+  /// Pre-sizes the staging arrays from declared instance counts so large
+  /// builds fill without repeated push_back growth (which both fragments
+  /// and double-peaks RSS). Also the single point where the declared
+  /// counts are validated against the id ranges: vertex/net counts must
+  /// fit VertexId/NetId, and num_pins must be non-negative. Parsers call
+  /// this with the header counts before their fill loops; num_pins may be
+  /// 0 when the format does not declare a pin total.
+  void reserve(std::int64_t num_vertices, std::int64_t num_nets,
+               std::int64_t num_pins);
+
   /// Adds a vertex with the given per-resource weights (size must equal
   /// num_resources). Returns its id.
   VertexId add_vertex(std::span<const Weight> weights, bool is_pad = false);
@@ -41,6 +51,7 @@ class HypergraphBuilder {
   std::vector<std::int64_t> net_offsets_{0};
   std::vector<VertexId> net_pins_;
   std::vector<Weight> net_weights_;
+  std::vector<VertexId> dedup_;  // per-net sort/unique scratch, reused
 };
 
 }  // namespace fixedpart::hg

@@ -6,6 +6,50 @@
 
 namespace fixedpart::hg {
 
+Hypergraph Hypergraph::from_csr(CsrArrays&& a) {
+  Hypergraph g;
+  g.num_vertices_ = a.num_vertices;
+  g.num_nets_ = a.num_nets;
+  g.num_resources_ = a.num_resources;
+  g.net_offsets_ = std::move(a.net_offsets);
+  g.net_pins_ = std::move(a.net_pins);
+  g.vtx_offsets_ = std::move(a.vtx_offsets);
+  g.vtx_nets_ = std::move(a.vtx_nets);
+  g.net_weights_ = std::move(a.net_weights);
+  g.weights_ = std::move(a.vertex_weights);
+  g.pad_flags_ = std::move(a.pad_flags);
+
+  if (a.num_pads >= 0) {
+    g.num_pads_ = a.num_pads;
+  } else {
+    g.num_pads_ = 0;
+    for (auto flag : g.pad_flags_) g.num_pads_ += flag;
+  }
+
+  if (!a.total_weights.empty()) {
+    g.total_weights_ = std::move(a.total_weights);
+  } else {
+    g.total_weights_.assign(g.num_resources_, 0);
+    for (VertexId v = 0; v < g.num_vertices_; ++v) {
+      for (int r = 0; r < g.num_resources_; ++r) {
+        g.total_weights_[r] += g.vertex_weight(v, r);
+      }
+    }
+  }
+
+  if (a.max_weighted_degree >= 0) {
+    g.max_weighted_degree_ = a.max_weighted_degree;
+  } else {
+    g.max_weighted_degree_ = 0;
+    for (VertexId v = 0; v < g.num_vertices_; ++v) {
+      Weight wdeg = 0;
+      for (NetId e : g.nets_of(v)) wdeg += g.net_weight(e);
+      g.max_weighted_degree_ = std::max(g.max_weighted_degree_, wdeg);
+    }
+  }
+  return g;
+}
+
 void Hypergraph::validate() const {
   auto fail = [](const std::string& msg) {
     throw std::logic_error("Hypergraph::validate: " + msg);

@@ -18,10 +18,40 @@ namespace fixedpart::hg {
 
 class HypergraphBuilder;
 
+/// Raw CSR arrays for Hypergraph::from_csr. Derived quantities
+/// (total_weights, num_pads, max_weighted_degree) may be left at their
+/// "compute me" defaults; suppliers that already know them (the binary
+/// reader stores them in the file header) pass them through and skip the
+/// O(pins) recomputation.
+struct CsrArrays {
+  VertexId num_vertices = 0;
+  NetId num_nets = 0;
+  int num_resources = 1;
+  std::vector<std::int64_t> net_offsets;  // size num_nets + 1
+  std::vector<VertexId> net_pins;
+  std::vector<std::int64_t> vtx_offsets;  // size num_vertices + 1
+  std::vector<NetId> vtx_nets;            // transpose of net_pins
+  std::vector<Weight> net_weights;
+  std::vector<Weight> vertex_weights;     // num_vertices * num_resources
+  std::vector<std::uint8_t> pad_flags;    // size num_vertices
+  std::vector<Weight> total_weights;      // empty -> computed
+  VertexId num_pads = -1;                 // < 0 -> computed
+  Weight max_weighted_degree = -1;        // < 0 -> computed
+};
+
 class Hypergraph {
  public:
   /// An empty hypergraph; populated instances come from HypergraphBuilder.
   Hypergraph() = default;
+
+  /// Adopts pre-built CSR arrays verbatim — no transpose, no sorting, no
+  /// dedup. TRUSTING: the caller vouches that both incidence directions
+  /// are consistent, pins are sorted and unique per net, and offsets are
+  /// monotone; call validate() when the provenance is untrusted. This is
+  /// the fast path for the binary reader (arrays come straight out of a
+  /// checksummed file) and the vehicle for 2^31-boundary unit tests with
+  /// synthetic offset tables.
+  static Hypergraph from_csr(CsrArrays&& a);
 
   VertexId num_vertices() const { return num_vertices_; }
   NetId num_nets() const { return num_nets_; }
@@ -36,8 +66,11 @@ class Hypergraph {
     return {net_pins_.data() + net_offsets_[e],
             net_pins_.data() + net_offsets_[e + 1]};
   }
-  int net_size(NetId e) const {
-    return static_cast<int>(net_offsets_[e + 1] - net_offsets_[e]);
+  /// Pin count of net e. Returned in 64 bits: offsets are 64-bit, and
+  /// narrowing their difference to int silently truncated once a single
+  /// net (or a synthetic offset table) crossed 2^31 pins.
+  std::int64_t net_size(NetId e) const {
+    return net_offsets_[e + 1] - net_offsets_[e];
   }
   Weight net_weight(NetId e) const { return net_weights_[e]; }
 
@@ -46,8 +79,10 @@ class Hypergraph {
     return {vtx_nets_.data() + vtx_offsets_[v],
             vtx_nets_.data() + vtx_offsets_[v + 1]};
   }
-  int degree(VertexId v) const {
-    return static_cast<int>(vtx_offsets_[v + 1] - vtx_offsets_[v]);
+  /// Incident-net count of vertex v; 64-bit for the same reason as
+  /// net_size().
+  std::int64_t degree(VertexId v) const {
+    return vtx_offsets_[v + 1] - vtx_offsets_[v];
   }
 
   /// Resource-0 weight (cell area).

@@ -1,0 +1,272 @@
+#pragma once
+// .fpbin — the versioned, checksummed binary hypergraph container for the
+// scale frontier (ROADMAP item 3). A file holds both CSR incidence
+// directions (pins-of-net and nets-of-vertex) plus net/vertex weights,
+// pad flags and fixed-vertex masks, laid out so a reader can mmap the
+// file and serve the Hypergraph accessor surface with zero copies:
+//
+//   [ 96-byte header | total_weights | net_offsets | net_pins
+//     | vtx_offsets | vtx_nets | net_weights | vertex_weights
+//     | pad_flags | fixed entries ]
+//
+// Every section starts 8-byte aligned. Offsets are stored as 32-bit
+// unsigned when num_pins < 2^31 and 64-bit signed otherwise (the id-width
+// rule); ids and weights are always VertexId/NetId/Weight-sized. The
+// header carries the derived quantities (totals, pad count, max weighted
+// degree) so opening a file is O(validation), not O(rebuild), and an
+// FNV-1a 64-bit checksum over the payload so truncation and bit rot fail
+// loudly with the PR-2 error taxonomy instead of undefined behaviour.
+// Full layout documentation: docs/FORMATS.md.
+//
+// Byte order is little-endian, the only byte order this repository
+// builds on; the non-text byte in the magic doubles as a corruption
+// tripwire for ASCII-mode transfers (CRLF translation breaks it).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hg/fixed.hpp"
+#include "hg/hypergraph.hpp"
+#include "hg/io_common.hpp"
+#include "hg/types.hpp"
+
+namespace fixedpart::hg {
+
+inline constexpr std::uint32_t kFpbinVersion = 1;
+inline constexpr std::size_t kFpbinHeaderBytes = 96;
+inline constexpr std::size_t kFpbinMagicBytes = 8;
+
+/// True when `bytes` starts with the .fpbin magic — the dispatch test for
+/// upload sniffing and file readers. Must be checked *before* any text
+/// prefix test: the magic spells "FPBIN", which a text sniffer looking
+/// for the "FPB" bookshelf header would misclassify.
+bool is_fpbin(std::string_view bytes);
+
+/// Section byte offsets within the payload (i.e. relative to the end of
+/// the header), plus the id-width decision. Pure function of the header
+/// counts — exposed so the 2^31 boundary of the 32/64-bit offset rule is
+/// unit-testable without a 16 GiB fixture.
+struct FpbinLayout {
+  bool wide_offsets = false;  ///< 64-bit offsets iff num_pins >= 2^31
+  std::uint64_t total_weights = 0;
+  std::uint64_t net_offsets = 0;
+  std::uint64_t net_pins = 0;
+  std::uint64_t vtx_offsets = 0;
+  std::uint64_t vtx_nets = 0;
+  std::uint64_t net_weights = 0;
+  std::uint64_t vertex_weights = 0;
+  std::uint64_t pad_flags = 0;
+  std::uint64_t fixed = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+FpbinLayout fpbin_layout(std::uint64_t num_vertices, std::uint64_t num_nets,
+                         std::uint64_t num_pins, std::uint32_t num_resources,
+                         std::uint64_t num_fixed);
+
+/// A parsed .fpbin: the graph plus the partitioning context it carries.
+struct BinaryInstance {
+  Hypergraph graph;
+  FixedAssignment fixed{0, 2};
+  PartitionId num_parts = 2;
+};
+
+/// Streaming two-phase writer. Usage:
+///
+///   FpbinWriter w(path, resources, k);
+///   for (...) w.add_vertex(weights, is_pad);     // all vertices first
+///   for (...) w.add_fixed(v, mask);              // optional
+///   for (...) w.count_net(pins);                 // phase 1: sizes only
+///   w.begin_nets();                              // sizes frozen -> mmap
+///   for (...) w.add_net(pins, weight);           // phase 2: same order
+///   w.finish();                                  // checksum + header
+///
+/// Phase 2 writes each net's pins and scatters the transposed incidence
+/// directly into the memory-mapped output, so a net's pin list is never
+/// materialized twice and heap usage stays O(vertices), independent of
+/// pin count — the property the streaming generator relies on at 10M
+/// vertices. Pins must be sorted and duplicate-free (the file stores them
+/// that way); phase-2 calls must replay phase 1 exactly.
+class FpbinWriter {
+ public:
+  FpbinWriter(std::string path, int num_resources = 1,
+              PartitionId num_parts = 2);
+  ~FpbinWriter();
+
+  FpbinWriter(const FpbinWriter&) = delete;
+  FpbinWriter& operator=(const FpbinWriter&) = delete;
+
+  VertexId add_vertex(std::span<const Weight> weights, bool is_pad = false);
+  VertexId add_vertex(Weight area, bool is_pad = false);
+  /// Restrict vertex v to the partitions in `mask` (OR semantics, as in
+  /// FixedAssignment). Must precede begin_nets().
+  void add_fixed(VertexId v, std::uint64_t mask);
+
+  void count_net(std::span<const VertexId> pins);
+  void begin_nets();
+  void add_net(std::span<const VertexId> pins, Weight weight = 1);
+  void finish();
+
+  std::int64_t num_pins() const { return static_cast<std::int64_t>(pins_); }
+
+ private:
+  void fail_usage(const std::string& msg) const;
+  void check_pins(std::span<const VertexId> pins) const;
+
+  std::string path_;
+  int fd_ = -1;
+  int num_resources_;
+  PartitionId num_parts_;
+  int phase_ = 0;  // 0 = counting, 1 = filling, 2 = finished
+
+  // Phase-1 accumulators: O(vertices + nets), never O(pins).
+  std::vector<Weight> vertex_weights_;
+  std::vector<std::uint8_t> pad_flags_;
+  std::vector<Weight> total_weights_;
+  std::vector<std::uint32_t> net_degrees_;
+  std::vector<std::uint32_t> vtx_degrees_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> fixed_entries_;
+  std::uint64_t pins_ = 0;
+  std::uint64_t num_pads_ = 0;
+  std::uint64_t num_nets_ = 0;  // frozen at begin_nets()
+
+  // Mapping + phase-2 cursors.
+  FpbinLayout layout_;
+  std::byte* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::uint64_t net_cursor_ = 0;
+  std::uint64_t pin_cursor_ = 0;
+  std::vector<std::uint32_t> vtx_fill_;
+  std::vector<Weight> weighted_degree_;
+};
+
+/// Writes a fully built graph (convenience over FpbinWriter; exercises
+/// the same streaming path). `fixed` may be null (all vertices free).
+void write_fpbin_file(const std::string& path, const Hypergraph& g,
+                      const FixedAssignment* fixed = nullptr,
+                      PartitionId num_parts = 2);
+
+/// Owning reader: buffered reads into heap vectors, full validation,
+/// Hypergraph via from_csr. The differential twin of MappedHypergraph.
+BinaryInstance read_fpbin_file(const std::string& path);
+
+/// Parses a .fpbin image already in memory (server uploads). `source`
+/// names the buffer in diagnostics.
+BinaryInstance read_fpbin_bytes(std::string_view bytes,
+                                const std::string& source);
+
+/// Zero-copy mmap reader: the file's CSR arrays are served straight from
+/// the mapping behind the same span-based accessor surface as Hypergraph.
+/// Opening validates the header, checksum and structural invariants
+/// (monotone offsets, in-range sorted pins) in one pass without
+/// allocating; cross-direction symmetry is vouched for by the checksummed
+/// writer (to_hypergraph().validate() re-proves it when provenance is
+/// untrusted). Move-only; the mapping lives until destruction.
+class MappedHypergraph {
+ public:
+  explicit MappedHypergraph(const std::string& path);
+  ~MappedHypergraph();
+
+  MappedHypergraph(MappedHypergraph&& other) noexcept;
+  MappedHypergraph& operator=(MappedHypergraph&& other) noexcept;
+  MappedHypergraph(const MappedHypergraph&) = delete;
+  MappedHypergraph& operator=(const MappedHypergraph&) = delete;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  NetId num_nets() const { return num_nets_; }
+  std::int64_t num_pins() const { return num_pins_; }
+  int num_resources() const { return num_resources_; }
+
+  std::span<const VertexId> pins(NetId e) const {
+    return {net_pins_ + net_offset(e), net_pins_ + net_offset(e + 1)};
+  }
+  std::int64_t net_size(NetId e) const {
+    return net_offset(e + 1) - net_offset(e);
+  }
+  Weight net_weight(NetId e) const { return net_weights_[e]; }
+
+  std::span<const NetId> nets_of(VertexId v) const {
+    return {vtx_nets_ + vtx_offset(v), vtx_nets_ + vtx_offset(v + 1)};
+  }
+  std::int64_t degree(VertexId v) const {
+    return vtx_offset(v + 1) - vtx_offset(v);
+  }
+
+  Weight vertex_weight(VertexId v) const {
+    return weights_[static_cast<std::size_t>(v) *
+                    static_cast<std::size_t>(num_resources_)];
+  }
+  Weight vertex_weight(VertexId v, int r) const {
+    return weights_[static_cast<std::size_t>(v) *
+                        static_cast<std::size_t>(num_resources_) +
+                    static_cast<std::size_t>(r)];
+  }
+  std::span<const Weight> vertex_weights(VertexId v) const {
+    return {weights_ + static_cast<std::size_t>(v) *
+                           static_cast<std::size_t>(num_resources_),
+            static_cast<std::size_t>(num_resources_)};
+  }
+  Weight total_weight(int r = 0) const { return total_weights_[r]; }
+
+  bool is_pad(VertexId v) const { return pad_flags_[v] != 0; }
+  VertexId num_pads() const { return num_pads_; }
+  Weight max_weighted_vertex_degree() const { return max_weighted_degree_; }
+
+  PartitionId num_parts() const { return num_parts_; }
+  /// True when the file carries any fixed/restricted vertices.
+  bool has_fixed() const { return num_fixed_ > 0; }
+  /// Materializes the fixed-vertex masks (O(vertices)).
+  FixedAssignment fixed_assignment() const;
+
+  /// Owning copy through Hypergraph::from_csr — O(pins) memcpy-speed,
+  /// no re-transpose or re-sort.
+  Hypergraph to_hypergraph() const;
+
+ private:
+  std::int64_t net_offset(std::int64_t i) const {
+    return net_off32_ ? static_cast<std::int64_t>(net_off32_[i])
+                      : net_off64_[i];
+  }
+  std::int64_t vtx_offset(std::int64_t i) const {
+    return vtx_off32_ ? static_cast<std::int64_t>(vtx_off32_[i])
+                      : vtx_off64_[i];
+  }
+  void reset() noexcept;
+
+  const std::byte* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+
+  VertexId num_vertices_ = 0;
+  NetId num_nets_ = 0;
+  std::int64_t num_pins_ = 0;
+  int num_resources_ = 1;
+  PartitionId num_parts_ = 2;
+  VertexId num_pads_ = 0;
+  std::int64_t num_fixed_ = 0;
+  Weight max_weighted_degree_ = 0;
+
+  const std::uint32_t* net_off32_ = nullptr;
+  const std::int64_t* net_off64_ = nullptr;
+  const VertexId* net_pins_ = nullptr;
+  const std::uint32_t* vtx_off32_ = nullptr;
+  const std::int64_t* vtx_off64_ = nullptr;
+  const NetId* vtx_nets_ = nullptr;
+  const Weight* net_weights_ = nullptr;
+  const Weight* weights_ = nullptr;
+  const Weight* total_weights_ = nullptr;
+  const std::uint8_t* pad_flags_ = nullptr;
+  const std::byte* fixed_entries_ = nullptr;
+};
+
+/// Canonical text form used for content-hash identity: the canonical
+/// hMETIS serialization of the graph, plus `fpbin-*` suffix sections for
+/// anything .hgr cannot express (k != 2, pads, fixed masks, extra
+/// resources). A plain .fpbin (k=2, no pads, no fixed, one resource)
+/// therefore hashes identically to the canonical .hgr serialization of
+/// the same graph — the partitiond idempotency contract.
+std::string fpbin_canonical_text(const BinaryInstance& instance);
+
+}  // namespace fixedpart::hg

@@ -1,10 +1,11 @@
 #include "hg/io_bookshelf.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "hg/builder.hpp"
 #include "hg/io_common.hpp"
@@ -15,6 +16,22 @@ namespace {
 
 constexpr std::int64_t kMaxCount = std::numeric_limits<VertexId>::max();
 constexpr std::int64_t kMaxWeight = std::numeric_limits<Weight>::max();
+
+// Transparent hashing so name lookups take string_view tokens without a
+// per-pin std::string allocation.
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct NameEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+using NameMap = std::unordered_map<std::string, VertexId, NameHash, NameEq>;
 
 std::istringstream expect_keyword(LineReader& reader, const std::string& kw) {
   std::string line;
@@ -88,37 +105,41 @@ BenchmarkInstance read_fpb(std::istream& in, const IoOptions& options,
 
   BenchmarkInstance inst;
   HypergraphBuilder builder(static_cast<int>(resources));
-  std::unordered_map<std::string, VertexId> by_name;
+  builder.reserve(num_vertices, 0, 0);
+  NameMap by_name;
+  by_name.reserve(static_cast<std::size_t>(num_vertices));
   inst.names.reserve(static_cast<std::size_t>(num_vertices));
+  std::vector<Weight> weights(static_cast<std::size_t>(resources));
   for (std::int64_t i = 0; i < num_vertices; ++i) {
     if (!reader.next(line)) {
       reader.fail("missing vertex line " + std::to_string(i + 1) + " of " +
                   std::to_string(num_vertices));
     }
-    std::istringstream ls(line);
-    std::string name;
-    ls >> name;
-    if (name.empty()) reader.fail("missing vertex name");
-    std::vector<Weight> weights(static_cast<std::size_t>(resources));
+    Tokens toks(line);
+    std::string_view name;
+    if (!toks.next(name)) reader.fail("missing vertex name");
     for (auto& w : weights) {
-      std::string token;
-      if (!(ls >> token)) reader.fail("missing weight for vertex " + name);
+      std::string_view token;
+      if (!toks.next(token)) {
+        reader.fail("missing weight for vertex " + std::string(name));
+      }
       w = parse_int_text(token, reader, "vertex weight", 0, kMaxWeight);
     }
-    std::string tag;
+    std::string_view tag;
     bool pad = false;
-    if (ls >> tag) {
+    if (toks.next(tag)) {
       if (tag == "pad") {
         pad = true;
       } else if (options.strict) {
-        reader.fail("unexpected trailing token on vertex line: " + tag);
+        reader.fail("unexpected trailing token on vertex line: " +
+                    std::string(tag));
       }
     }
-    if (!by_name.emplace(name, builder.num_vertices()).second) {
-      reader.fail("duplicate vertex name " + name);
+    if (!by_name.emplace(std::string(name), builder.num_vertices()).second) {
+      reader.fail("duplicate vertex name " + std::string(name));
     }
     builder.add_vertex(weights, pad);
-    inst.names.push_back(name);
+    inst.names.emplace_back(name);
   }
 
   std::int64_t num_nets = 0;
@@ -126,42 +147,47 @@ BenchmarkInstance read_fpb(std::istream& in, const IoOptions& options,
     auto ls = expect_keyword(reader, "nets");
     num_nets = parse_int(ls, reader, "net count", 0, kMaxCount);
   }
-  std::unordered_set<VertexId> seen;
+  std::vector<VertexId> pins;
   for (std::int64_t e = 0; e < num_nets; ++e) {
     if (!reader.next(line)) {
       reader.fail("missing net line " + std::to_string(e + 1) + " of " +
                   std::to_string(num_nets));
     }
-    std::istringstream ls(line);
-    const Weight weight = parse_int(ls, reader, "net weight", 0, kMaxWeight);
+    Tokens toks(line);
+    const Weight weight =
+        parse_int_token(toks, reader, "net weight", 0, kMaxWeight);
     const std::int64_t degree =
-        parse_int(ls, reader, "net degree", 0, num_vertices);
-    std::vector<VertexId> pins;
+        parse_int_token(toks, reader, "net degree", 0, num_vertices);
+    pins.clear();
     pins.reserve(static_cast<std::size_t>(degree));
-    seen.clear();
     for (std::int64_t d = 0; d < degree; ++d) {
-      std::string name;
-      if (!(ls >> name)) {
+      std::string_view name;
+      if (!toks.next(name)) {
         reader.fail("net declares " + std::to_string(degree) +
                     " pins but lists " + std::to_string(d));
       }
       const auto it = by_name.find(name);
-      if (it == by_name.end()) reader.fail("unknown vertex in net: " + name);
-      if (!seen.insert(it->second).second) {
-        // The builder would merge the duplicate silently; diagnose it in
-        // strict mode, drop it in lenient mode.
-        if (options.strict) {
-          reader.fail("duplicate pin " + name + " in net " +
-                      std::to_string(e + 1));
-        }
-        continue;
+      if (it == by_name.end()) {
+        reader.fail("unknown vertex in net: " + std::string(name));
       }
       pins.push_back(it->second);
     }
-    std::string extra;
-    if ((ls >> extra) && options.strict) {
+    std::string_view extra;
+    if (toks.next(extra) && options.strict) {
       reader.fail("net lists more pins than its declared degree " +
                   std::to_string(degree));
+    }
+    // Duplicate detection by sorting (the builder re-sorts anyway, so
+    // pin order is not observable). The builder would merge a duplicate
+    // silently; diagnose it in strict mode, drop it in lenient mode.
+    std::sort(pins.begin(), pins.end());
+    const auto dup = std::adjacent_find(pins.begin(), pins.end());
+    if (dup != pins.end()) {
+      if (options.strict) {
+        reader.fail("duplicate pin " + inst.names[*dup] + " in net " +
+                    std::to_string(e + 1));
+      }
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
     }
     builder.add_net(pins, weight);
   }

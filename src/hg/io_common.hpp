@@ -4,28 +4,27 @@
 // integer parsing, and the strict/lenient policy switch. The error
 // taxonomy and the strict/lenient contract are documented in
 // docs/ROBUSTNESS.md.
+//
+// The line scanner, tokenizer and ParseError now live in
+// util/line_reader.hpp so non-hypergraph parsers (svc manifests,
+// journals) can share them; this header re-exports the names every
+// existing hg:: call site uses.
 
 #include <cstdint>
 #include <istream>
 #include <string>
 
 #include "util/errors.hpp"
+#include "util/line_reader.hpp"
 
 namespace fixedpart::hg {
 
-/// Parse failure carrying source name and 1-based line number. Derives
-/// from util::InputError so run_cli_main maps it to the input exit code
-/// (and from std::runtime_error, preserving every existing catch site).
-class ParseError : public util::InputError {
- public:
-  ParseError(const std::string& source, std::int64_t line,
-             const std::string& msg);
-
-  std::int64_t line() const { return line_; }
-
- private:
-  std::int64_t line_;
-};
+using ParseError = util::ParseError;
+using LineReader = util::LineReader;
+using Tokens = util::Tokens;
+using util::parse_int;
+using util::parse_int_text;
+using util::parse_int_token;
 
 /// Parser policy. Structural damage (bad counts, unknown names, truncated
 /// sections, overflow) is always an error; `strict` decides whether
@@ -37,45 +36,5 @@ struct IoOptions {
 
   static IoOptions lenient() { return IoOptions{/*strict=*/false}; }
 };
-
-/// Line-oriented scanner that skips blank and comment lines while
-/// tracking the 1-based line number of the line most recently returned,
-/// so every diagnostic can say where it happened.
-class LineReader {
- public:
-  /// `source` names the stream in diagnostics (a path, or "<fpb>" style
-  /// tags for in-memory streams). `comment` starts a comment line.
-  LineReader(std::istream& in, std::string source, char comment);
-
-  /// Advances to the next non-blank, non-comment line; false at EOF.
-  bool next(std::string& line);
-
-  /// Line number of the last line handed out (0 before the first next()).
-  std::int64_t line_number() const { return line_no_; }
-  const std::string& source() const { return source_; }
-
-  /// Throws ParseError anchored at the current line.
-  [[noreturn]] void fail(const std::string& msg) const;
-
- private:
-  std::istream* in_;
-  std::string source_;
-  char comment_;
-  std::int64_t line_no_ = 0;
-};
-
-/// Extracts the next whitespace-delimited integer from `in`, failing via
-/// `at` with line context when the token is missing, malformed, overflows
-/// std::int64_t, or falls outside [min, max]. `what` names the field in
-/// the diagnostic.
-std::int64_t parse_int(std::istream& in, const LineReader& at,
-                       const char* what, std::int64_t min, std::int64_t max);
-
-/// Parses all of `text` as an integer in [min, max] without exceptions
-/// leaking (std::from_chars underneath); fails via `at` with context.
-/// Used for the numeric suffixes of module/partition tokens ("a17", "p3").
-std::int64_t parse_int_text(const std::string& text, const LineReader& at,
-                            const char* what, std::int64_t min,
-                            std::int64_t max);
 
 }  // namespace fixedpart::hg

@@ -1,9 +1,9 @@
 #include "hg/io_hmetis.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <sstream>
-#include <unordered_set>
 #include <vector>
 
 #include "hg/builder.hpp"
@@ -35,14 +35,14 @@ Hypergraph read_hmetis(std::istream& in, const IoOptions& options,
   LineReader reader(in, source, '%');
   std::string line;
   if (!reader.next(line)) reader.fail("empty input");
-  std::istringstream header(line);
+  Tokens header(line);
   const std::int64_t num_nets =
-      parse_int(header, reader, "net count", 0, kMaxCount);
+      parse_int_token(header, reader, "net count", 0, kMaxCount);
   const std::int64_t num_vertices =
-      parse_int(header, reader, "vertex count", 0, kMaxCount);
+      parse_int_token(header, reader, "vertex count", 0, kMaxCount);
   std::int64_t fmt = 0;
-  std::string fmt_token;
-  if (header >> fmt_token) {
+  std::string_view fmt_token;
+  if (header.next(fmt_token)) {
     fmt = parse_int_text(fmt_token, reader, "fmt code", 0, 11);
   }
   const bool has_net_weights = (fmt == 1 || fmt == 11);
@@ -51,50 +51,66 @@ Hypergraph read_hmetis(std::istream& in, const IoOptions& options,
     reader.fail("unsupported fmt code " + std::to_string(fmt) +
                 " (use 0, 1, 10 or 11)");
   }
-  std::string trailing;
-  if (header >> trailing) {
-    if (options.strict) reader.fail("trailing token in header: " + trailing);
+  std::string_view trailing;
+  if (header.next(trailing)) {
+    if (options.strict) {
+      reader.fail("trailing token in header: " + std::string(trailing));
+    }
   }
 
-  // Nets are read before vertex weights exist, so stage them.
-  std::vector<std::vector<VertexId>> nets;
+  // Nets are read before vertex weights exist, so stage them — one flat
+  // pin array with offsets alongside, not a vector per net. Tokens +
+  // from_chars replace the per-line istringstream of the original parser:
+  // this loop is the wall-clock bottleneck for 100MB-class .hgr files
+  // (the large bench asserts its throughput).
+  std::vector<VertexId> staged_pins;
+  std::vector<std::int64_t> staged_offsets{0};
   std::vector<Weight> net_weights;
-  nets.reserve(static_cast<std::size_t>(num_nets));
-  std::unordered_set<VertexId> seen;
+  staged_offsets.reserve(static_cast<std::size_t>(num_nets) + 1);
+  net_weights.reserve(static_cast<std::size_t>(num_nets));
   for (std::int64_t e = 0; e < num_nets; ++e) {
     if (!reader.next(line)) {
       reader.fail("missing net line " + std::to_string(e + 1) + " of " +
                   std::to_string(num_nets));
     }
-    std::istringstream ls(line);
+    Tokens toks(line);
     Weight w = 1;
     if (has_net_weights) {
-      w = parse_int(ls, reader, "net weight", 0, kMaxWeight);
+      w = parse_int_token(toks, reader, "net weight", 0, kMaxWeight);
     }
-    std::vector<VertexId> pins;
-    std::string token;
-    seen.clear();
-    while (ls >> token) {
+    const std::size_t net_start = staged_pins.size();
+    std::string_view token;
+    while (toks.next(token)) {
       const std::int64_t pin =
           parse_int_text(token, reader, "pin", 1, num_vertices);
-      const auto v = static_cast<VertexId>(pin - 1);
-      if (!seen.insert(v).second) {
-        // The builder would merge the duplicate silently; diagnose it in
-        // strict mode, drop it in lenient mode.
-        if (options.strict) {
-          reader.fail("duplicate pin " + token + " in net " +
-                      std::to_string(e + 1));
-        }
-        continue;
-      }
-      pins.push_back(v);
+      staged_pins.push_back(static_cast<VertexId>(pin - 1));
     }
-    if (pins.empty()) reader.fail("empty net " + std::to_string(e + 1));
-    nets.push_back(std::move(pins));
+    // Duplicate detection by sorting the net's slice (the builder
+    // re-sorts anyway, so order is not observable). Strict mode
+    // diagnoses the duplicate; lenient mode drops it, as the legacy
+    // parsers silently did.
+    const auto net_begin = staged_pins.begin() +
+                           static_cast<std::ptrdiff_t>(net_start);
+    std::sort(net_begin, staged_pins.end());
+    const auto dup = std::adjacent_find(net_begin, staged_pins.end());
+    if (dup != staged_pins.end()) {
+      if (options.strict) {
+        reader.fail("duplicate pin " + std::to_string(*dup + 1) +
+                    " in net " + std::to_string(e + 1));
+      }
+      staged_pins.erase(std::unique(net_begin, staged_pins.end()),
+                        staged_pins.end());
+    }
+    if (staged_pins.size() == net_start) {
+      reader.fail("empty net " + std::to_string(e + 1));
+    }
+    staged_offsets.push_back(static_cast<std::int64_t>(staged_pins.size()));
     net_weights.push_back(w);
   }
 
   HypergraphBuilder builder;
+  builder.reserve(num_vertices, num_nets,
+                  static_cast<std::int64_t>(staged_pins.size()));
   for (std::int64_t v = 0; v < num_vertices; ++v) {
     Weight w = 1;
     if (has_vertex_weights) {
@@ -102,16 +118,20 @@ Hypergraph read_hmetis(std::istream& in, const IoOptions& options,
         reader.fail("missing weight for vertex " + std::to_string(v + 1) +
                     " of " + std::to_string(num_vertices));
       }
-      std::istringstream ls(line);
-      w = parse_int(ls, reader, "vertex weight", 0, kMaxWeight);
+      Tokens toks(line);
+      w = parse_int_token(toks, reader, "vertex weight", 0, kMaxWeight);
     }
     builder.add_vertex(w);
   }
   if (options.strict && reader.next(line)) {
     reader.fail("trailing content after instance");
   }
-  for (std::size_t e = 0; e < nets.size(); ++e) {
-    builder.add_net(nets[e], net_weights[e]);
+  for (std::size_t e = 0; e < net_weights.size(); ++e) {
+    builder.add_net(
+        std::span<const VertexId>(
+            staged_pins.data() + staged_offsets[e],
+            staged_pins.data() + staged_offsets[e + 1]),
+        net_weights[e]);
   }
   return builder.build();
 }
@@ -150,9 +170,9 @@ FixedAssignment read_fix(std::istream& in, VertexId num_vertices,
       reader.fail("fewer lines (" + std::to_string(v) + ") than vertices (" +
                   std::to_string(num_vertices) + ")");
     }
-    std::istringstream ls(line);
+    Tokens toks(line);
     const std::int64_t p =
-        parse_int(ls, reader, "partition id", -1, num_parts - 1);
+        parse_int_token(toks, reader, "partition id", -1, num_parts - 1);
     if (p != -1) fixed.fix(v, static_cast<PartitionId>(p));
   }
   if (options.strict && reader.next(line)) {

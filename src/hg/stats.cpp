@@ -44,10 +44,13 @@ InstanceStats compute_stats(const Hypergraph& g) {
   return s;
 }
 
-std::vector<NetId> net_size_histogram(const Hypergraph& g, int cap) {
-  std::vector<NetId> hist(static_cast<std::size_t>(cap) + 1, 0);
+std::vector<std::int64_t> net_size_histogram(const Hypergraph& g, int cap) {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(cap) + 1, 0);
   for (NetId e = 0; e < g.num_nets(); ++e) {
-    const int d = std::min(g.net_size(e), cap);
+    // Clamp in 64 bits *before* using the size as a bucket index; the old
+    // int-typed min() truncated first and clamped second.
+    const std::int64_t d =
+        std::min(g.net_size(e), static_cast<std::int64_t>(cap));
     ++hist[static_cast<std::size_t>(d)];
   }
   return hist;

@@ -26,7 +26,10 @@ struct InstanceStats {
 InstanceStats compute_stats(const Hypergraph& g);
 
 /// Net-size histogram: result[d] = number of nets with exactly d pins
-/// (sizes above `cap` are accumulated into result[cap]).
-std::vector<NetId> net_size_histogram(const Hypergraph& g, int cap = 16);
+/// (sizes above `cap` are accumulated into result[cap]). Counts are
+/// 64-bit: a NetId-typed count was an accident waiting for a 2^31-net
+/// instance, and the bucket index itself is clamped before narrowing.
+std::vector<std::int64_t> net_size_histogram(const Hypergraph& g,
+                                             int cap = 16);
 
 }  // namespace fixedpart::hg

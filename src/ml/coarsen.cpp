@@ -1,6 +1,7 @@
 #include "ml/coarsen.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -23,16 +24,21 @@ std::uint64_t hash_pins(const std::vector<VertexId>& pins) {
 }  // namespace
 
 CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
-                     const std::vector<VertexId>& match) {
+                     const std::vector<VertexId>& match,
+                     CoarsenScratch* scratch) {
   if (static_cast<VertexId>(match.size()) != g.num_vertices()) {
     throw std::invalid_argument("contract: match size mismatch");
   }
+  CoarsenScratch local;
+  CoarsenScratch& s = scratch != nullptr ? *scratch : local;
   CoarseLevel level;
   level.map.assign(static_cast<std::size_t>(g.num_vertices()), hg::kNoVertex);
 
   hg::HypergraphBuilder builder(g.num_resources());
-  std::vector<std::uint64_t> coarse_masks;
-  std::vector<Weight> weights(static_cast<std::size_t>(g.num_resources()));
+  std::vector<std::uint64_t>& coarse_masks = s.coarse_masks;
+  coarse_masks.clear();
+  std::vector<Weight>& weights = s.weights;
+  weights.assign(static_cast<std::size_t>(g.num_resources()), 0);
 
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const VertexId partner = match[v];
@@ -63,15 +69,22 @@ CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
   }
 
   // Re-pin nets; drop those collapsing below two pins; merge duplicates.
-  struct StagedNet {
-    std::vector<VertexId> pins;
-    Weight weight;
+  // Staged nets live in the scratch's flat pin arena (offsets alongside).
+  std::vector<VertexId>& staged_pins = s.staged_pins;
+  std::vector<std::int64_t>& staged_offsets = s.staged_offsets;
+  std::vector<Weight>& staged_weights = s.staged_weights;
+  staged_pins.clear();
+  staged_offsets.assign(1, 0);
+  staged_weights.clear();
+  auto& by_hash = s.by_hash;
+  by_hash.clear();
+  const auto staged_slice = [&](std::size_t idx) {
+    return std::span<const VertexId>(
+        staged_pins.data() + staged_offsets[idx],
+        staged_pins.data() + staged_offsets[idx + 1]);
   };
-  std::vector<StagedNet> staged;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
-  staged.reserve(static_cast<std::size_t>(g.num_nets()));
 
-  std::vector<VertexId> pins;
+  std::vector<VertexId>& pins = s.pins;
   for (hg::NetId e = 0; e < g.num_nets(); ++e) {
     pins.clear();
     for (VertexId v : g.pins(e)) pins.push_back(level.map[v]);
@@ -81,18 +94,23 @@ CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
     const std::uint64_t h = hash_pins(pins);
     bool merged = false;
     for (std::size_t idx : by_hash[h]) {
-      if (staged[idx].pins == pins) {
-        staged[idx].weight += g.net_weight(e);
+      const auto slice = staged_slice(idx);
+      if (std::equal(slice.begin(), slice.end(), pins.begin(), pins.end())) {
+        staged_weights[idx] += g.net_weight(e);
         merged = true;
         break;
       }
     }
     if (!merged) {
-      by_hash[h].push_back(staged.size());
-      staged.push_back({pins, g.net_weight(e)});
+      by_hash[h].push_back(staged_weights.size());
+      staged_pins.insert(staged_pins.end(), pins.begin(), pins.end());
+      staged_offsets.push_back(static_cast<std::int64_t>(staged_pins.size()));
+      staged_weights.push_back(g.net_weight(e));
     }
   }
-  for (const StagedNet& net : staged) builder.add_net(net.pins, net.weight);
+  for (std::size_t i = 0; i < staged_weights.size(); ++i) {
+    builder.add_net(staged_slice(i), staged_weights[i]);
+  }
 
   level.graph = builder.build();
   level.fixed = hg::FixedAssignment(level.graph.num_vertices(),

@@ -5,6 +5,8 @@
 // combined with summed weights (standard multilevel hygiene — it is what
 // makes FM gains on coarse levels reflect many fine nets at once).
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "hg/fixed.hpp"
@@ -20,10 +22,31 @@ struct CoarseLevel {
   std::vector<VertexId> map;
 };
 
+/// Grow-only scratch reused across contract() calls, mirroring FmScratch:
+/// a multilevel run contracts once per level, and without reuse every
+/// level re-allocates the staged-net arena from scratch. Buffers are
+/// cleared (never shrunk) on entry, so capacity ratchets up to the
+/// largest level seen. Purely an allocation diet — results are
+/// bit-identical with or without it.
+struct CoarsenScratch {
+  std::vector<std::uint64_t> coarse_masks;
+  std::vector<Weight> weights;
+  // Staged coarse nets as one flat pin arena + offsets, not a
+  // vector-of-vectors: one allocation instead of one per net.
+  std::vector<VertexId> staged_pins;
+  std::vector<std::int64_t> staged_offsets;
+  std::vector<Weight> staged_weights;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  std::vector<VertexId> pins;
+};
+
 /// Contracts `match` (as produced by heavy_edge_matching). The coarse
 /// fixed assignment of a cluster is the intersection of its members'
 /// allowed masks (guaranteed non-empty by the matching constraints).
+/// Pass a CoarsenScratch to reuse staging buffers across levels; with
+/// nullptr a private one is used.
 CoarseLevel contract(const hg::Hypergraph& g, const hg::FixedAssignment& fixed,
-                     const std::vector<VertexId>& match);
+                     const std::vector<VertexId>& match,
+                     CoarsenScratch* scratch = nullptr);
 
 }  // namespace fixedpart::ml

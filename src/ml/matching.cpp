@@ -57,7 +57,7 @@ std::vector<VertexId> heavy_edge_matching(
     if (match[v] != v) continue;
     touched.clear();
     for (hg::NetId e : g.nets_of(v)) {
-      const int size = g.net_size(e);
+      const std::int64_t size = g.net_size(e);
       if (size < 2 || size > config.large_net_threshold) continue;
       const double contribution =
           static_cast<double>(g.net_weight(e)) / static_cast<double>(size - 1);

@@ -69,8 +69,11 @@ MultilevelResult MultilevelPartitioner::run(
   if (deadline != nullptr) refine_config.deadline = deadline;
   // One refinement workspace for the whole descent: every level's
   // FmBipartitioner shares it, so bucket storage is sized once for the
-  // largest graph and reused across levels, starts and V-cycles.
+  // largest graph and reused across levels, starts and V-cycles. The
+  // coarsening scratch plays the same role for contract()'s staged-net
+  // arena.
   part::FmScratch scratch;
+  CoarsenScratch coarsen_scratch;
 
   // Builds the coarsening hierarchy; when `incumbent` is non-null the
   // matching is solution-preserving (V-cycle restriction).
@@ -92,7 +95,7 @@ MultilevelResult MultilevelPartitioner::run(
       const auto match = heavy_edge_matching(
           *g, *f, config.matching, rng,
           incumbent != nullptr ? &projected : nullptr);
-      CoarseLevel level = contract(*g, *f, match);
+      CoarseLevel level = contract(*g, *f, match, &coarsen_scratch);
       span.arg("level", static_cast<std::int64_t>(levels.size()))
           .arg("fine_vertices", static_cast<std::int64_t>(g->num_vertices()))
           .arg("coarse_vertices",

@@ -300,7 +300,7 @@ std::vector<VertexId> parallel_heavy_edge_matching(
         if (match[static_cast<std::size_t>(v)] != v) continue;
         touched.clear();
         for (const NetId e : g.nets_of(v)) {
-          const int size = g.net_size(e);
+          const std::int64_t size = g.net_size(e);
           if (size < 2 || size > config.large_net_threshold) continue;
           const double contribution = static_cast<double>(g.net_weight(e)) /
                                       static_cast<double>(size - 1);
@@ -399,7 +399,10 @@ MultilevelResult run_parallel_multilevel(const hg::Hypergraph& graph,
   }
   // One FM workspace for every serial polish in this run. Polishes only
   // ever run on the orchestrating thread (the arbiter), so one is enough.
+  // Likewise one coarsening scratch: contract() always runs on the
+  // orchestrating thread (only the matching inside a level is parallel).
   part::FmScratch scratch;
+  CoarsenScratch coarsen_scratch;
   // RNG streams are handed out by this serially-advanced counter; every
   // consumer derives util::Rng::stream(seed, id) — a pure function — so
   // the streams are identical whatever the thread schedule was. Parallel
@@ -424,7 +427,7 @@ MultilevelResult run_parallel_multilevel(const hg::Hypergraph& graph,
       const auto match = parallel_heavy_edge_matching(
           *g, *f, config.matching, config.parallel,
           incumbent != nullptr ? &projected : nullptr, deadline);
-      CoarseLevel level = contract(*g, *f, match);
+      CoarseLevel level = contract(*g, *f, match, &coarsen_scratch);
       span.arg("level", static_cast<std::int64_t>(levels.size()))
           .arg("fine_vertices", static_cast<std::int64_t>(g->num_vertices()))
           .arg("coarse_vertices",

@@ -15,6 +15,7 @@
 #include "gen/netlist_gen.hpp"
 #include "gen/regimes.hpp"
 #include "gen/suite.hpp"
+#include "hg/io_binary.hpp"
 #include "hg/io_bookshelf.hpp"
 #include "hg/io_hmetis.hpp"
 #include "ml/multilevel.hpp"
@@ -575,6 +576,18 @@ void build_instance(InstanceEntry& entry, const JobSpec& spec,
         gen::ibm_like_spec(spec.circuit, scale_from_string(spec.scale)));
     entry.graph = std::move(circuit.graph);
     entry.base_fixed = hg::FixedAssignment(entry.graph.num_vertices(), 2);
+    entry.balance = part::BalanceConstraint::relative(entry.graph, 2,
+                                                      spec.tolerance_pct);
+  } else if (spec.instance.ends_with(".fpbin")) {
+    // Checked before .fpb: ".fpbin" would otherwise satisfy neither
+    // suffix test cleanly (.rfind(".fpb") also matches inside ".fpbin").
+    hg::BinaryInstance instance = hg::read_fpbin_file(spec.instance);
+    if (instance.num_parts != 2) {
+      throw util::InputError("batch job " + spec.id +
+                             ": only bipartitioning instances supported");
+    }
+    entry.graph = std::move(instance.graph);
+    entry.base_fixed = std::move(instance.fixed);
     entry.balance = part::BalanceConstraint::relative(entry.graph, 2,
                                                       spec.tolerance_pct);
   } else if (spec.instance.size() > 4 &&

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hg/io_binary.hpp"
 #include "hg/io_common.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
@@ -622,11 +623,22 @@ SubmitResult PartitionServer::submit(const std::string& body,
     std::size_t first = body.find_first_not_of(" \t\r\n");
     JobSpec spec;
     std::string upload;      // non-empty = spool this content
-    std::string upload_ext;  // ".fpb" or ".hgr"
-    if (first == std::string::npos) {
+    std::string upload_ext;  // ".fpbin", ".fpb" or ".hgr"
+    if (hg::is_fpbin(body)) {
+      // Binary upload. Sniffed before anything else: the magic sits at
+      // byte 0 (no whitespace trimming applies to binary bodies), and
+      // the textual "FPB" check below would otherwise claim the
+      // "FPBIN..." prefix.
+      if (config_.spool_dir.empty()) {
+        throw util::InputError(
+            "request: raw uploads disabled (no --spool-dir); "
+            "submit a JSON job spec instead");
+      }
+      upload = body;
+      upload_ext = ".fpbin";
+    } else if (first == std::string::npos) {
       throw util::InputError("request: empty body");
-    }
-    if (body[first] == '{') {
+    } else if (body[first] == '{') {
       std::string line = body.substr(first);
       while (!line.empty() &&
              (line.back() == '\n' || line.back() == '\r' ||
@@ -703,8 +715,17 @@ SubmitResult PartitionServer::submit(const std::string& body,
     std::string key_material;
     if (!upload.empty()) {
       spec.instance.clear();  // set to the spool path after hashing
-      key_material = "content:" + canonical_content(upload) + "|" +
-                     to_json_line(spec);
+      // .fpbin hashes via its canonical text rendering, which for a
+      // plain bipartitioning instance is byte-for-byte the hmetis
+      // serialization: the same hypergraph uploaded as .hgr or .fpbin
+      // lands on the same job id (and cache entry). This also validates
+      // the binary payload (checksum included) before accepting it.
+      const std::string canonical =
+          upload_ext == ".fpbin"
+              ? canonical_content(hg::fpbin_canonical_text(
+                    hg::read_fpbin_bytes(upload, "upload")))
+              : canonical_content(upload);
+      key_material = "content:" + canonical + "|" + to_json_line(spec);
     } else {
       key_material = "spec:" + to_json_line(spec);
     }

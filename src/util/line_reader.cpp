@@ -1,9 +1,9 @@
-#include "hg/io_common.hpp"
+#include "util/line_reader.hpp"
 
 #include <charconv>
 #include <system_error>
 
-namespace fixedpart::hg {
+namespace fixedpart::util {
 
 namespace {
 
@@ -23,7 +23,7 @@ std::string format_context(const std::string& source, std::int64_t line,
 
 ParseError::ParseError(const std::string& source, std::int64_t line,
                        const std::string& msg)
-    : util::InputError(format_context(source, line, msg)), line_(line) {}
+    : InputError(format_context(source, line, msg)), line_(line) {}
 
 LineReader::LineReader(std::istream& in, std::string source, char comment)
     : in_(&in), source_(std::move(source)), comment_(comment) {}
@@ -53,7 +53,7 @@ std::int64_t parse_int(std::istream& in, const LineReader& at,
   return parse_int_text(token, at, what, min, max);
 }
 
-std::int64_t parse_int_text(const std::string& text, const LineReader& at,
+std::int64_t parse_int_text(std::string_view text, const LineReader& at,
                             const char* what, std::int64_t min,
                             std::int64_t max) {
   std::int64_t value = 0;
@@ -61,10 +61,11 @@ std::int64_t parse_int_text(const std::string& text, const LineReader& at,
   const char* last = text.data() + text.size();
   const auto [ptr, ec] = std::from_chars(first, last, value);
   if (ec == std::errc::result_out_of_range) {
-    at.fail(std::string(what) + " overflows 64-bit integer: '" + text + "'");
+    at.fail(std::string(what) + " overflows 64-bit integer: '" +
+            std::string(text) + "'");
   }
   if (ec != std::errc() || ptr != last) {
-    at.fail(std::string("bad ") + what + ": '" + text + "'");
+    at.fail(std::string("bad ") + what + ": '" + std::string(text) + "'");
   }
   if (value < min || value > max) {
     at.fail(std::string(what) + " out of range [" + std::to_string(min) +
@@ -73,4 +74,12 @@ std::int64_t parse_int_text(const std::string& text, const LineReader& at,
   return value;
 }
 
-}  // namespace fixedpart::hg
+std::int64_t parse_int_token(Tokens& toks, const LineReader& at,
+                             const char* what, std::int64_t min,
+                             std::int64_t max) {
+  std::string_view token;
+  if (!toks.next(token)) at.fail(std::string("missing ") + what);
+  return parse_int_text(token, at, what, min, max);
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,118 @@
+#pragma once
+// Shared line/token machinery for every hardened text parser in the tree
+// (hg/io_*, svc manifests, checkpoint journals): source/line error
+// context, a buffered line scanner, and a zero-copy whitespace tokenizer
+// with overflow-checked integer parsing. Hoisted out of hg/io_common so
+// non-hypergraph parsers (svc, util) can use it without a layering
+// inversion; hg/io_common re-exports the names for its historical users.
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace fixedpart::util {
+
+/// Parse failure carrying source name and 1-based line number. Derives
+/// from util::InputError so run_cli_main maps it to the input exit code
+/// (and from std::runtime_error, preserving every existing catch site).
+class ParseError : public InputError {
+ public:
+  ParseError(const std::string& source, std::int64_t line,
+             const std::string& msg);
+
+  std::int64_t line() const { return line_; }
+
+ private:
+  std::int64_t line_;
+};
+
+/// Line-oriented scanner that skips blank and comment lines while
+/// tracking the 1-based line number of the line most recently returned,
+/// so every diagnostic can say where it happened.
+class LineReader {
+ public:
+  /// `source` names the stream in diagnostics (a path, or "<fpb>" style
+  /// tags for in-memory streams). `comment` starts a comment line.
+  LineReader(std::istream& in, std::string source, char comment);
+
+  /// Advances to the next non-blank, non-comment line; false at EOF.
+  bool next(std::string& line);
+
+  /// Line number of the last line handed out (0 before the first next()).
+  std::int64_t line_number() const { return line_no_; }
+  const std::string& source() const { return source_; }
+
+  /// Throws ParseError anchored at the current line.
+  [[noreturn]] void fail(const std::string& msg) const;
+
+ private:
+  std::istream* in_;
+  std::string source_;
+  char comment_;
+  std::int64_t line_no_ = 0;
+};
+
+/// Zero-copy whitespace tokenizer over a single line. The hot-loop
+/// replacement for per-line std::istringstream extraction: no stream
+/// construction, no locale machinery, no string copies — each token is a
+/// view into the caller's line buffer, which must outlive the token.
+class Tokens {
+ public:
+  explicit Tokens(std::string_view line) : rest_(line) {}
+
+  /// Extracts the next space/tab/CR-delimited token; false when the line
+  /// is exhausted.
+  bool next(std::string_view& token) {
+    std::size_t i = 0;
+    while (i < rest_.size() && is_space(rest_[i])) ++i;
+    if (i == rest_.size()) {
+      rest_ = {};
+      return false;
+    }
+    std::size_t j = i;
+    while (j < rest_.size() && !is_space(rest_[j])) ++j;
+    token = rest_.substr(i, j - i);
+    rest_.remove_prefix(j);
+    return true;
+  }
+
+  /// True when only whitespace remains.
+  bool done() {
+    std::size_t i = 0;
+    while (i < rest_.size() && is_space(rest_[i])) ++i;
+    rest_.remove_prefix(i);
+    return rest_.empty();
+  }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  }
+
+  std::string_view rest_;
+};
+
+/// Extracts the next whitespace-delimited integer from `in`, failing via
+/// `at` with line context when the token is missing, malformed, overflows
+/// std::int64_t, or falls outside [min, max]. `what` names the field in
+/// the diagnostic.
+std::int64_t parse_int(std::istream& in, const LineReader& at,
+                       const char* what, std::int64_t min, std::int64_t max);
+
+/// Parses all of `text` as an integer in [min, max] without exceptions
+/// leaking (std::from_chars underneath); fails via `at` with context.
+/// Used for the numeric suffixes of module/partition tokens ("a17", "p3").
+std::int64_t parse_int_text(std::string_view text, const LineReader& at,
+                            const char* what, std::int64_t min,
+                            std::int64_t max);
+
+/// Extracts the next token from `toks` and parses it as an integer in
+/// [min, max]; fails via `at` when the token is missing or malformed.
+std::int64_t parse_int_token(Tokens& toks, const LineReader& at,
+                             const char* what, std::int64_t min,
+                             std::int64_t max);
+
+}  // namespace fixedpart::util

@@ -1,0 +1,17 @@
+#include "util/mem.hpp"
+
+#include <sys/resource.h>
+
+namespace fixedpart::util {
+
+std::int64_t peak_rss_kb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::int64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+}
+
+}  // namespace fixedpart::util

@@ -1,0 +1,18 @@
+#pragma once
+// Process memory accounting. peak_rss_kb() is the number the scale
+// benchmarks regress (BENCH_LARGE, docs/PERF.md): the high-water resident
+// set of *this* process, as the kernel accounts it. Subprocess peak RSS
+// (isolated workers) is reported separately by util::Subprocess via
+// wait4's rusage.
+
+#include <cstdint>
+
+namespace fixedpart::util {
+
+/// Peak resident set size of the calling process in KiB (ru_maxrss).
+/// Monotone over the process lifetime — it never decreases when memory is
+/// freed, so per-stage deltas only attribute growth. Returns 0 when the
+/// platform cannot report it.
+std::int64_t peak_rss_kb();
+
+}  // namespace fixedpart::util

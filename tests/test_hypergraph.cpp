@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "hg/builder.hpp"
@@ -115,6 +117,22 @@ TEST(Builder, WrongResourceCountThrows) {
 
 TEST(Builder, ZeroResourcesThrows) {
   EXPECT_THROW(HypergraphBuilder(0), std::invalid_argument);
+}
+
+TEST(Builder, ReserveValidatesDeclaredCounts) {
+  HypergraphBuilder b;
+  // Within range: a no-op other than capacity.
+  b.reserve(100, 50, 400);
+  b.add_vertex(1);
+  EXPECT_EQ(b.build().num_vertices(), 1);
+  // Declared counts beyond the 32-bit id space are rejected up front —
+  // the one place the 32-bit decision is validated, instead of
+  // overflowing VertexId deep inside add_vertex loops.
+  const std::int64_t too_many =
+      std::int64_t{std::numeric_limits<VertexId>::max()} + 1;
+  EXPECT_THROW(b.reserve(too_many, 0, 0), std::invalid_argument);
+  EXPECT_THROW(b.reserve(0, too_many, 0), std::invalid_argument);
+  EXPECT_THROW(b.reserve(-1, 0, 0), std::invalid_argument);
 }
 
 TEST(Builder, PadFlags) {

@@ -1,0 +1,359 @@
+#include "hg/io_binary.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/netlist_gen.hpp"
+#include "gen/stream_gen.hpp"
+#include "gen/suite.hpp"
+#include "hg/builder.hpp"
+#include "hg/io_hmetis.hpp"
+#include "ml/multilevel.hpp"
+#include "part/balance.hpp"
+#include "util/env.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace fixedpart::hg {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "fpbin_" + tag + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".fpbin";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small instance exercising every section: multi-resource weights, a
+/// pad, fixed masks, k=4.
+BinaryInstance sample_instance() {
+  HypergraphBuilder b(2);
+  const Weight w0[] = {10, 1};
+  const Weight w1[] = {20, 2};
+  const Weight w2[] = {0, 0};
+  const Weight w3[] = {7, 3};
+  b.add_vertex(std::span<const Weight>(w0, 2));
+  b.add_vertex(std::span<const Weight>(w1, 2));
+  b.add_vertex(std::span<const Weight>(w2, 2), /*is_pad=*/true);
+  b.add_vertex(std::span<const Weight>(w3, 2));
+  b.add_net(std::vector<VertexId>{0, 1}, 1);
+  b.add_net(std::vector<VertexId>{1, 2, 3}, 3);
+  b.add_net(std::vector<VertexId>{0, 3}, 2);
+  BinaryInstance inst;
+  inst.graph = b.build();
+  inst.num_parts = 4;
+  inst.fixed = FixedAssignment(4, 4);
+  inst.fixed.fix(2, 1);
+  inst.fixed.restrict_to(1, 0b0101);
+  return inst;
+}
+
+void expect_graphs_equal(const Hypergraph& a, const Hypergraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  ASSERT_EQ(a.num_resources(), b.num_resources());
+  EXPECT_EQ(a.num_pads(), b.num_pads());
+  EXPECT_EQ(a.max_weighted_vertex_degree(), b.max_weighted_vertex_degree());
+  for (int r = 0; r < a.num_resources(); ++r) {
+    EXPECT_EQ(a.total_weight(r), b.total_weight(r));
+  }
+  for (NetId e = 0; e < a.num_nets(); ++e) {
+    ASSERT_EQ(a.net_size(e), b.net_size(e)) << "net " << e;
+    EXPECT_EQ(a.net_weight(e), b.net_weight(e));
+    const auto pa = a.pins(e);
+    const auto pb = b.pins(e);
+    EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "vertex " << v;
+    EXPECT_EQ(a.is_pad(v), b.is_pad(v));
+    for (int r = 0; r < a.num_resources(); ++r) {
+      EXPECT_EQ(a.vertex_weight(v, r), b.vertex_weight(v, r));
+    }
+    const auto na = a.nets_of(v);
+    const auto nb = b.nets_of(v);
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(IoBinary, RoundTrip) {
+  const BinaryInstance inst = sample_instance();
+  const std::string path = temp_path("roundtrip");
+  write_fpbin_file(path, inst.graph, &inst.fixed, inst.num_parts);
+
+  const BinaryInstance got = read_fpbin_file(path);
+  got.graph.validate();
+  expect_graphs_equal(inst.graph, got.graph);
+  EXPECT_EQ(got.num_parts, 4);
+  EXPECT_EQ(got.fixed.fixed_part(2), 1);
+  EXPECT_EQ(got.fixed.allowed_mask(1), 0b0101u);
+  EXPECT_FALSE(got.fixed.is_restricted(0));
+  std::remove(path.c_str());
+}
+
+TEST(IoBinary, MappedMatchesOwning) {
+  const BinaryInstance inst = sample_instance();
+  const std::string path = temp_path("mapped");
+  write_fpbin_file(path, inst.graph, &inst.fixed, inst.num_parts);
+
+  const BinaryInstance owning = read_fpbin_file(path);
+  MappedHypergraph mapped(path);
+  ASSERT_EQ(mapped.num_vertices(), owning.graph.num_vertices());
+  ASSERT_EQ(mapped.num_nets(), owning.graph.num_nets());
+  ASSERT_EQ(mapped.num_pins(), owning.graph.num_pins());
+  EXPECT_EQ(mapped.num_pads(), owning.graph.num_pads());
+  EXPECT_EQ(mapped.num_parts(), owning.num_parts);
+  EXPECT_TRUE(mapped.has_fixed());
+  for (NetId e = 0; e < mapped.num_nets(); ++e) {
+    const auto pm = mapped.pins(e);
+    const auto po = owning.graph.pins(e);
+    ASSERT_TRUE(std::equal(pm.begin(), pm.end(), po.begin(), po.end()));
+    EXPECT_EQ(mapped.net_weight(e), owning.graph.net_weight(e));
+  }
+  for (VertexId v = 0; v < mapped.num_vertices(); ++v) {
+    EXPECT_EQ(mapped.degree(v), owning.graph.degree(v));
+    EXPECT_EQ(mapped.vertex_weight(v, 1), owning.graph.vertex_weight(v, 1));
+    EXPECT_EQ(mapped.is_pad(v), owning.graph.is_pad(v));
+  }
+  const FixedAssignment fixed = mapped.fixed_assignment();
+  EXPECT_EQ(fixed.allowed_mask(1), owning.fixed.allowed_mask(1));
+  EXPECT_EQ(fixed.fixed_part(2), owning.fixed.fixed_part(2));
+
+  // to_hypergraph is the memcpy fast path; it must survive validate()
+  // and match the owning reader exactly.
+  const Hypergraph copied = mapped.to_hypergraph();
+  copied.validate();
+  expect_graphs_equal(owning.graph, copied);
+  std::remove(path.c_str());
+}
+
+/// The acceptance differential: partitioning the mmap-served graph and
+/// the owning graph of an ibm01-profile circuit from the same seed must
+/// produce bit-identical assignments.
+TEST(IoBinary, MappedVsOwningPartitionIdentical) {
+  gen::GeneratedCircuit circuit =
+      gen::generate_circuit(gen::ibm_like_spec(1, util::Scale::kSmoke));
+  const std::string path = temp_path("ibm01");
+  write_fpbin_file(path, circuit.graph);
+
+  const BinaryInstance owning = read_fpbin_file(path);
+  MappedHypergraph mapped(path);
+  const Hypergraph mapped_graph = mapped.to_hypergraph();
+
+  const auto partition = [](const Hypergraph& g) {
+    const FixedAssignment free(g.num_vertices(), 2);
+    const auto balance = part::BalanceConstraint::relative(g, 2, 10.0);
+    const ml::MultilevelPartitioner partitioner(g, free, balance);
+    util::Rng rng(42);
+    return partitioner.best_of(2, rng, ml::MultilevelConfig{});
+  };
+  const auto a = partition(owning.graph);
+  const auto b = partition(mapped_graph);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.assignment, b.assignment);
+  std::remove(path.c_str());
+}
+
+TEST(IoBinary, CorruptionTaxonomy) {
+  const BinaryInstance inst = sample_instance();
+  const std::string path = temp_path("corrupt");
+  write_fpbin_file(path, inst.graph, &inst.fixed, inst.num_parts);
+  const std::string good = read_file(path);
+  ASSERT_TRUE(is_fpbin(good));
+
+  const auto expect_rejected = [&](std::string bytes, const std::string& why) {
+    EXPECT_THROW(read_fpbin_bytes(bytes, "test"), util::InputError) << why;
+    write_file(path, bytes);
+    EXPECT_THROW(read_fpbin_file(path), util::InputError) << why << " (file)";
+    EXPECT_THROW(MappedHypergraph m(path), util::InputError)
+        << why << " (mmap)";
+  };
+
+  // Truncations at every interesting boundary.
+  expect_rejected(good.substr(0, 4), "shorter than the magic");
+  expect_rejected(good.substr(0, kFpbinHeaderBytes - 1), "partial header");
+  expect_rejected(good.substr(0, kFpbinHeaderBytes), "header only");
+  expect_rejected(good.substr(0, good.size() - 1), "one byte short");
+  expect_rejected(good.substr(0, good.size() / 2), "half the payload");
+
+  // Wrong magic / text masquerading as binary.
+  expect_rejected("FPB 1.0\nresources 1\n", "bookshelf text");
+  {
+    std::string bad = good;
+    bad[5] = 'X';  // the non-ASCII tripwire byte
+    expect_rejected(bad, "clobbered magic");
+  }
+  // Unsupported version.
+  {
+    std::string bad = good;
+    bad[kFpbinMagicBytes] = 99;
+    expect_rejected(bad, "future version");
+  }
+  // Checksum mismatch: flip one payload bit (net_weights section — it
+  // cannot trip a structural check first).
+  {
+    std::string bad = good;
+    bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x40);
+    expect_rejected(bad, "payload bit flip");
+  }
+  // Trailing garbage changes the byte count the header declares.
+  expect_rejected(good + std::string(8, '\0'), "trailing garbage");
+
+  // The pristine bytes still parse after all that.
+  write_file(path, good);
+  EXPECT_NO_THROW(read_fpbin_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(IoBinary, IsFpbinSniffing) {
+  EXPECT_FALSE(is_fpbin(""));
+  EXPECT_FALSE(is_fpbin("FPB 1.0\n"));    // bookshelf text
+  EXPECT_FALSE(is_fpbin("FPBIN"));        // shorter than the magic
+  EXPECT_FALSE(is_fpbin("3 2 11\n1 2\n"));  // hmetis text
+}
+
+TEST(IoBinary, StreamingGeneratorDeterministic) {
+  gen::StreamSpec spec = gen::stream_spec_for_cells(2000, /*seed=*/7);
+  const std::string p1 = temp_path("gen1");
+  const std::string p2 = temp_path("gen2");
+  gen::stream_circuit_fpbin(spec, p1);
+  gen::stream_circuit_fpbin(spec, p2);
+  const std::string b1 = read_file(p1);
+  EXPECT_FALSE(b1.empty());
+  EXPECT_EQ(b1, read_file(p2)) << "two runs of the same spec must be "
+                                  "byte-identical";
+  const BinaryInstance inst = read_fpbin_file(p1);
+  inst.graph.validate();
+  EXPECT_EQ(inst.graph.num_vertices() - inst.graph.num_pads(), 2000);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+/// The 32/64-bit offset decision and section alignment at the 2^31
+/// boundary, without a 16 GiB fixture.
+TEST(IoBinary, LayoutOffsetWidthBoundary) {
+  const std::uint64_t below = (std::uint64_t{1} << 31) - 1;
+  const std::uint64_t at = std::uint64_t{1} << 31;
+  const FpbinLayout narrow = fpbin_layout(1000, 500, below, 1, 0);
+  const FpbinLayout wide = fpbin_layout(1000, 500, at, 1, 0);
+  EXPECT_FALSE(narrow.wide_offsets);
+  EXPECT_TRUE(wide.wide_offsets);
+  // Wide offsets double the offset-table footprint; every section stays
+  // 8-aligned in both regimes.
+  EXPECT_GT(wide.payload_bytes, narrow.payload_bytes);
+  for (const FpbinLayout& l : {narrow, wide}) {
+    EXPECT_EQ(l.total_weights % 8, 0u);
+    EXPECT_EQ(l.net_offsets % 8, 0u);
+    EXPECT_EQ(l.net_pins % 8, 0u);
+    EXPECT_EQ(l.vtx_offsets % 8, 0u);
+    EXPECT_EQ(l.vtx_nets % 8, 0u);
+    EXPECT_EQ(l.net_weights % 8, 0u);
+    EXPECT_EQ(l.vertex_weights % 8, 0u);
+    EXPECT_EQ(l.pad_flags % 8, 0u);
+    EXPECT_EQ(l.fixed % 8, 0u);
+    EXPECT_EQ(l.payload_bytes % 8, 0u);
+  }
+}
+
+/// net_size()/degree() stay exact past 2^31 — synthetic offset tables
+/// via the trusting from_csr, no giant pin arrays needed.
+TEST(IoBinary, Int64DegreesViaSyntheticOffsets) {
+  const std::int64_t huge = std::int64_t{3} << 30;  // > INT32_MAX
+  CsrArrays a;
+  a.num_vertices = 1;
+  a.num_nets = 1;
+  a.net_offsets = {0, huge};
+  a.vtx_offsets = {0, huge};
+  a.net_weights = {1};
+  a.vertex_weights = {1};
+  a.pad_flags = {0};
+  a.total_weights = {1};
+  a.num_pads = 0;
+  a.max_weighted_degree = huge;  // pre-supplied: skip the O(pins) scan
+  const Hypergraph g = Hypergraph::from_csr(std::move(a));
+  EXPECT_EQ(g.net_size(0), huge);
+  EXPECT_EQ(g.degree(0), huge);
+  EXPECT_GT(g.net_size(0), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(IoBinary, CanonicalTextMatchesHmetisForPlainInstance) {
+  // k=2, no pads, no fixed, one resource: the canonical text must be
+  // byte-for-byte the hmetis serialization, so a .fpbin upload and the
+  // equivalent .hgr upload hash to the same partitiond job id.
+  HypergraphBuilder b;
+  b.add_vertex(3);
+  b.add_vertex(1);
+  b.add_vertex(2);
+  b.add_net(std::vector<VertexId>{0, 1});
+  b.add_net(std::vector<VertexId>{1, 2}, 5);
+  BinaryInstance inst;
+  inst.graph = b.build();
+  inst.fixed = FixedAssignment(3, 2);
+
+  std::ostringstream hmetis;
+  write_hmetis(hmetis, inst.graph);
+  EXPECT_EQ(fpbin_canonical_text(inst), hmetis.str());
+
+  // Anything .hgr cannot express shows up as fpbin-* suffix lines.
+  BinaryInstance constrained = sample_instance();
+  const std::string text = fpbin_canonical_text(constrained);
+  EXPECT_NE(text.find("fpbin-parts 4"), std::string::npos);
+  EXPECT_NE(text.find("fpbin-fix"), std::string::npos);
+  EXPECT_NE(text.find("fpbin-pads"), std::string::npos);
+}
+
+TEST(IoBinary, WriterRejectsMisuse) {
+  const std::string path = temp_path("misuse");
+  {
+    FpbinWriter w(path, 1, 2);
+    w.add_vertex(Weight{1});
+    w.add_vertex(Weight{1});
+    const VertexId pins[] = {0, 1};
+    w.count_net(std::span<const VertexId>(pins, 2));
+    // add_net before begin_nets is a phase error.
+    EXPECT_THROW(w.add_net(std::span<const VertexId>(pins, 2)),
+                 std::logic_error);
+    w.begin_nets();
+    // Phase-2 replay must match phase 1: wrong pin count is an error.
+    EXPECT_THROW(w.add_net(std::span<const VertexId>(pins, 1)),
+                 std::logic_error);
+    w.add_net(std::span<const VertexId>(pins, 2));
+    w.finish();
+  }
+  EXPECT_NO_THROW(read_fpbin_file(path));
+  // Unsorted or duplicate pins are rejected up front (the format stores
+  // sorted unique pins).
+  {
+    const std::string path2 = temp_path("misuse2");
+    FpbinWriter w(path2, 1, 2);
+    w.add_vertex(Weight{1});
+    w.add_vertex(Weight{1});
+    const VertexId unsorted[] = {1, 0};
+    EXPECT_THROW(w.count_net(std::span<const VertexId>(unsorted, 2)),
+                 std::invalid_argument);
+    std::remove(path2.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fixedpart::hg

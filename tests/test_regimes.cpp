@@ -113,8 +113,8 @@ TEST(FixedVertexSeries, HighDegreeFirstOrdering) {
   // At 5%, the fixed set is exactly the top-degree slice: every fixed
   // vertex has degree >= every free vertex.
   const auto fixed = series.rand_regime(5.0);
-  int min_fixed_degree = 1 << 30;
-  int max_free_degree = 0;
+  std::int64_t min_fixed_degree = 1 << 30;
+  std::int64_t max_free_degree = 0;
   for (hg::VertexId v = 0; v < c.graph.num_vertices(); ++v) {
     if (fixed.is_fixed(v)) {
       min_fixed_degree = std::min(min_fixed_degree, c.graph.degree(v));

@@ -31,6 +31,9 @@
 #include <vector>
 
 #include "fault_inject.hpp"
+#include "hg/builder.hpp"
+#include "hg/io_binary.hpp"
+#include "hg/io_hmetis.hpp"
 #include "obs/http.hpp"
 #include "svc/executor.hpp"
 #include "svc/job.hpp"
@@ -237,6 +240,94 @@ TEST(Server, UploadHashIsWhitespaceAndCommentInvariant) {
   EXPECT_NE(reseeded.id, original.id);
 
   gate.release();
+  server.drain();
+}
+
+TEST(Server, FpbinUploadHashMatchesEquivalentHgr) {
+  TempDir dir;
+  Gate gate;
+  ServerConfig config = base_config();
+  config.spool_dir = dir.file("spool");
+  config.runner = gated_runner(&gate);
+  PartitionServer server(config);
+  server.start();
+
+  // One hypergraph, two encodings: the canonical .hgr serialization and
+  // the .fpbin container. Uploading either must land on the same job id
+  // (content-hash idempotency is format-independent).
+  hg::HypergraphBuilder b;
+  b.add_vertex(3);
+  b.add_vertex(1);
+  b.add_vertex(2);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  b.add_net(std::vector<hg::VertexId>{1, 2}, 5);
+  const hg::Hypergraph graph = b.build();
+
+  std::ostringstream hgr;
+  hg::write_hmetis(hgr, graph);
+  const std::string fpbin_path = dir.file("instance.fpbin");
+  hg::write_fpbin_file(fpbin_path, graph);
+  const std::string fpbin_bytes = read_file(fpbin_path);
+  ASSERT_TRUE(hg::is_fpbin(fpbin_bytes));
+
+  const SubmitResult as_text = server.submit(hgr.str(), "seed=5");
+  ASSERT_EQ(as_text.http_status, 202);
+  const SubmitResult as_binary = server.submit(fpbin_bytes, "seed=5");
+  EXPECT_EQ(as_binary.http_status, 202);
+  EXPECT_EQ(as_binary.id, as_text.id);
+
+  // A different graph in .fpbin form is a different job.
+  hg::HypergraphBuilder b2;
+  b2.add_vertex(3);
+  b2.add_vertex(1);
+  b2.add_vertex(2);
+  b2.add_net(std::vector<hg::VertexId>{0, 2});
+  b2.add_net(std::vector<hg::VertexId>{1, 2}, 5);
+  const std::string other_path = dir.file("other.fpbin");
+  hg::write_fpbin_file(other_path, b2.build());
+  const SubmitResult other = server.submit(read_file(other_path), "seed=5");
+  EXPECT_EQ(other.http_status, 202);
+  EXPECT_NE(other.id, as_text.id);
+
+  // A corrupted binary body is a 400, not an accepted garbage job.
+  std::string corrupt = fpbin_bytes;
+  corrupt[corrupt.size() - 1] =
+      static_cast<char>(corrupt[corrupt.size() - 1] ^ 0x01);
+  EXPECT_EQ(server.submit(corrupt, "seed=5").http_status, 400);
+
+  gate.release();
+  server.drain();
+}
+
+TEST(Server, FpbinUploadIsSpooledWithBinaryExtension) {
+  TempDir dir;
+  std::mutex mu;
+  std::string seen_instance;
+  ServerConfig config = base_config();
+  config.spool_dir = dir.file("spool");
+  config.runner = [&](const JobSpec& spec, const util::Deadline&) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen_instance = spec.instance;
+    return JobResult{};
+  };
+  PartitionServer server(config);
+  server.start();
+
+  hg::HypergraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_net(std::vector<hg::VertexId>{0, 1});
+  const std::string path = dir.file("up.fpbin");
+  hg::write_fpbin_file(path, b.build());
+  const std::string bytes = read_file(path);
+
+  const SubmitResult submitted = server.submit(bytes, "");
+  ASSERT_EQ(submitted.http_status, 202);
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(seen_instance.empty());
+  EXPECT_TRUE(seen_instance.ends_with(".fpbin"));
+  EXPECT_EQ(read_file(seen_instance), bytes);  // spooled verbatim
   server.drain();
 }
 
