@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -75,8 +76,15 @@ const Metric* find(const Results& results, const std::string& name) {
 /// best cut kept. Timed over all starts; repeated `repeats` times with the
 /// minimum wall-clock reported (the runs are deterministic for the seed, so
 /// cut/moves/passes are identical across repeats).
+///
+/// With `traced` the same measurement runs under an armed trace context
+/// (per-rep SpanBuffer, as the server arms one per job), so the
+/// ml_multistart_* / ml_multistart_*_traced pair quantifies the per-job
+/// tracing overhead: cuts/moves/passes must be identical, seconds within
+/// noise ("trace_overhead" in the output).
 Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
-                      int repeats, double budget_seconds) {
+                      int repeats, double budget_seconds,
+                      bool traced = false) {
   const hg::FixedAssignment fixed(circuit.graph.num_vertices(), 2);
   const auto balance =
       part::BalanceConstraint::relative(circuit.graph, 2, 2.0);
@@ -85,6 +93,11 @@ Metric run_multilevel(const gen::GeneratedCircuit& circuit, int starts,
   Metric m;
   m.seconds = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < repeats; ++rep) {
+    obs::SpanBuffer spans;
+    std::optional<obs::ScopedTraceContext> trace_scope;
+    if (traced) {
+      trace_scope.emplace(obs::trace_id_for("bench.multistart"), &spans);
+    }
     util::Rng rng(0xBE9C);
     util::Timer timer;
     util::Deadline deadline;
@@ -419,6 +432,18 @@ int main(int argc, char** argv) {
   fixedpart::obs::log_info("bench", "multilevel multistart (ibm03-profile)");
   results.emplace_back("ml_multistart_ibm03",
                        run_multilevel(ibm03, starts, repeats, budget));
+  // Trace-on twins of the two multistart scenarios: identical workload under
+  // an armed per-job trace context (the server's steady-state shape). Cuts,
+  // moves and passes must match the untraced rows exactly; the seconds ratio
+  // is emitted as "trace_overhead" below.
+  fixedpart::obs::log_info("bench",
+                           "multilevel multistart, traced (overhead pair)");
+  results.emplace_back(
+      "ml_multistart_ibm01_traced",
+      run_multilevel(ibm01, starts, repeats, budget, /*traced=*/true));
+  results.emplace_back(
+      "ml_multistart_ibm03_traced",
+      run_multilevel(ibm03, starts, repeats, budget, /*traced=*/true));
   fixedpart::obs::log_info("bench", "flat FM (lifo / clip)");
   results.emplace_back(
       "flat_fm_lifo_ibm01",
@@ -489,6 +514,25 @@ int main(int argc, char** argv) {
         << "  \"budget_seconds\": " << format_double(budget) << ",\n"
         << "  \"peak_rss_kb\": " << util::peak_rss_kb() << ",\n";
     emit_results(out, "results", results);
+    // Per-job tracing overhead: traced seconds over untraced seconds for
+    // each multistart pair (1.0 = free; the regression budget is < 1.02,
+    // docs/OBSERVABILITY.md "Overhead").
+    out << ",\n  \"trace_overhead\": {";
+    {
+      bool first = true;
+      for (const char* name : {"ml_multistart_ibm01", "ml_multistart_ibm03"}) {
+        const Metric* plain = find(results, name);
+        const Metric* traced =
+            find(results, std::string(name) + "_traced");
+        if (plain == nullptr || traced == nullptr || plain->seconds <= 0.0) {
+          continue;
+        }
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": " << format_double(traced->seconds / plain->seconds);
+        first = false;
+      }
+      out << "\n  }";
+    }
     // Obs counters/histograms over the timed measurements (scraped before
     // any --trace-out extra run; empty sections under FIXEDPART_OBS=OFF).
     out << ",\n  \"metrics\": " << indent_block(metrics_snap.to_json());

@@ -32,6 +32,9 @@
 //     rlimit bites (exercises OOM classification)
 //   FIXEDPART_WORKER_SLOW_MS=<ms>        busy-wait per job (process-mode
 //     twin of partitiond --test-slow-ms)
+//   FIXEDPART_WORKER_BAD_SPANS_SEED=<seed>  send deliberately corrupt 'T'
+//     span frames before running (exercises the supervisor's untrusted-
+//     input boundary: only this job's trace may be affected)
 //
 // `fixedpart-worker --selfcheck` allocates a realistic chunk and exits 0;
 // the E2E uses it to probe whether RLIMIT_AS is usable in this build
@@ -50,6 +53,9 @@
 #include <vector>
 
 #include "hg/io_common.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_wire.hpp"
 #include "svc/executor.hpp"
 #include "svc/job.hpp"
 #include "util/deadline.hpp"
@@ -113,6 +119,30 @@ void apply_fault_hooks(const svc::JobSpec& spec) {
   }
 }
 
+/// FIXEDPART_WORKER_BAD_SPANS_SEED=<seed>: this job impersonates a
+/// malicious worker and floods the supervisor with deliberately corrupt
+/// 'T' frames — garbage headers, torn lines, oversized names, absurd
+/// epochs/counters — before running the job normally. The isolation tests
+/// assert the parent survives, the job still completes, and only this
+/// job's own trace is garbled.
+void apply_bad_spans_hook(const svc::JobSpec& spec) {
+  if (!env_seed_matches("FIXEDPART_WORKER_BAD_SPANS_SEED", spec.seed)) {
+    return;
+  }
+  send(util::kFrameSpans, "not a spans header at all");
+  send(util::kFrameSpans, "");
+  send(util::kFrameSpans,
+       "spans v1 now=123 dropped=7\n"
+       "torn-line-no-tabs\n"
+       "\t\t\t\n"
+       "bad-start\tzzz\t1\t1\n");
+  send(util::kFrameSpans, "spans v1 now=0 dropped=0\n" +
+                              std::string(100000, 'x') + "\t1\t1\t1\n");
+  send(util::kFrameSpans,
+       "spans v1 now=999999999999999999 dropped=9\n"
+       "future\t999999999999999999\t5\t1\n");
+}
+
 void apply_slow_hook(const util::Deadline& deadline) {
   const char* value = std::getenv("FIXEDPART_WORKER_SLOW_MS");
   if (value == nullptr || *value == '\0') return;
@@ -172,6 +202,22 @@ int serve() {
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
   }
 
+  // Per-job trace collection: engine spans recorded on this thread land
+  // in this buffer via the thread-local context and are streamed to the
+  // supervisor as 'T' frames by the heartbeat thread (interleaved with
+  // plain 'H' beats — any frame refreshes the supervisor's liveness
+  // clock). The trace id is the same one the server derives, so the
+  // merged trace is attributed to the job with no extra handshake.
+  obs::SpanBuffer spans;
+  obs::ScopedTraceContext trace_ctx(obs::trace_id_for(spec.id), &spans);
+  {
+    // Completed marker span: the supervisor learns this worker's epoch
+    // and current phase even before the engine finishes its first span
+    // (a worker killed mid-job then has a "last recorded phase").
+    obs::ScopedSpan marker("worker.start");
+  }
+  apply_bad_spans_hook(spec);
+
   std::atomic<bool> cancel{false};
   // Listener: a 'C' frame flips the cooperative cancel flag; EOF means
   // the supervisor itself died — exit instead of orphaning the attempt.
@@ -190,9 +236,16 @@ int serve() {
   listener.detach();
 
   std::atomic<bool> done{false};
-  std::thread heartbeat([&done] {
+  std::thread heartbeat([&done, &spans] {
     while (!done.load(std::memory_order_acquire)) {
-      if (!send(util::kFrameHeartbeat, "")) _exit(2);
+      const std::vector<obs::TraceEvent> batch = spans.drain();
+      const bool ok =
+          batch.empty()
+              ? send(util::kFrameHeartbeat, "")
+              : send(util::kFrameSpans,
+                     obs::encode_span_batch(
+                         {obs::trace_now_ns(), spans.dropped()}, batch));
+      if (!ok) _exit(2);
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   });
@@ -245,6 +298,14 @@ int serve() {
 
   done.store(true, std::memory_order_release);
   heartbeat.join();
+  // Final drain: whatever the last heartbeat tick missed must reach the
+  // supervisor before the outcome frame closes the attempt.
+  const std::vector<obs::TraceEvent> tail = spans.drain();
+  if (!tail.empty()) {
+    send(util::kFrameSpans,
+         obs::encode_span_batch({obs::trace_now_ns(), spans.dropped()},
+                                tail));
+  }
   if (!send(util::kFrameOutcome, svc::to_json_line(outcome))) return 2;
   // The detached listener may still be polling fd 3; _exit skips any
   // teardown it could race with. The outcome bytes are already written.
@@ -256,6 +317,12 @@ int serve() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selfcheck") == 0) return selfcheck();
+  }
+  // Set by partitiond --flight-dir: a fatal signal (including the abort()
+  // fault hooks) leaves a flight-recorder dump next to the parent's.
+  const char* flight_dir = std::getenv("FIXEDPART_FLIGHT_DIR");
+  if (flight_dir != nullptr && *flight_dir != '\0') {
+    obs::FlightRecorder::global().arm_signal_dump(flight_dir);
   }
   return serve();
 }

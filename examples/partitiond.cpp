@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/http.hpp"
 #include "obs/log.hpp"
 #include "svc/process_pool.hpp"
@@ -70,7 +71,8 @@ int run(const util::Cli& cli) {
                      "test-slow-ms", "isolation", "worker", "rlimit-as-mb",
                      "rlimit-cpu-seconds", "heartbeat-timeout",
                      "cancel-grace", "max-job-crashes",
-                     "journal-compact-every", "retry-after-no-data"});
+                     "journal-compact-every", "retry-after-no-data",
+                     "flight-dir"});
   apply_log_level(cli.get_or("log-level", "info"));
 #if !FIXEDPART_OBS_ENABLED
   std::cout << "partitiond: built with FIXEDPART_OBS=OFF; the HTTP "
@@ -94,6 +96,16 @@ int run(const util::Cli& cli) {
   config.retry_after_no_data_seconds =
       cli.get_double("retry-after-no-data", 2.0);
   config.spool_dir = cli.get_or("spool-dir", "");
+
+  // --flight-dir=DIR arms the always-on flight recorder's dump paths:
+  // watchdog fires and worker crash/hang classifications write
+  // <dir>/<reason>-<job>.json, fatal signals (in the daemon AND, via the
+  // inherited env var, in every worker) write <dir>/fatal-sig<N>-<pid>.json.
+  config.flight_dir = cli.get_or("flight-dir", "");
+  if (!config.flight_dir.empty()) {
+    obs::FlightRecorder::global().arm_signal_dump(config.flight_dir);
+    ::setenv("FIXEDPART_FLIGHT_DIR", config.flight_dir.c_str(), 1);
+  }
 
   const std::string isolation = cli.get_or("isolation", "thread");
   if (isolation != "thread" && isolation != "process") {
@@ -125,6 +137,7 @@ int run(const util::Cli& cli) {
     pool_config.cancel_grace_seconds = cli.get_double("cancel-grace", 5.0);
     pool_config.max_job_crashes =
         static_cast<int>(cli.get_int("max-job-crashes", 2));
+    pool_config.flight_dir = config.flight_dir;
     if (slow_ms > 0) {
       ::setenv("FIXEDPART_WORKER_SLOW_MS", std::to_string(slow_ms).c_str(),
                1);

@@ -51,7 +51,7 @@ for config in "${configs[@]}"; do
     asan)
       # `obs` is a ctest -L regex: it also matches obs-http. isolate is
       # deliberately in: the fork/exec supervision tree runs under ASan.
-      ctest_args=(-L "fault|svc|obs|parallel|serve|isolate")
+      ctest_args=(-L "fault|svc|obs|parallel|serve|isolate|trace")
       FIXEDPART_LARGE_SKIP=1 run_config asan \
         -DFIXEDPART_SANITIZE=address,undefined
       ;;
@@ -59,7 +59,7 @@ for config in "${configs[@]}"; do
       # -LE isolate: the serve-labeled worker-crash E2E and the process
       # pool unit battery fork from threaded processes — unsupported
       # under TSan, certified under ASan instead.
-      ctest_args=(-L "svc|obs|parallel|serve" -LE isolate)
+      ctest_args=(-L "svc|obs|parallel|serve|trace" -LE isolate)
       FIXEDPART_LARGE_SKIP=1 run_config tsan -DFIXEDPART_SANITIZE=thread
       ;;
     large)

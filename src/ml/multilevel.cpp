@@ -129,13 +129,15 @@ MultilevelResult MultilevelPartitioner::run(
           (i == 0) ? *graph_ : levels[i - 1].graph;
       const hg::FixedAssignment& fine_fixed =
           (i == 0) ? *fixed_ : levels[i - 1].fixed;
-      obs::ScopedSpan span("ml.project");
-      span.arg("level", static_cast<std::int64_t>(i))
-          .arg("fine_vertices",
-               static_cast<std::int64_t>(fine_graph.num_vertices()));
       part::PartitionState fine_state(fine_graph, 2);
-      for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
-        fine_state.assign(v, assignment[levels[i].map[v]]);
+      {
+        obs::ScopedSpan span("ml.project");
+        span.arg("level", static_cast<std::int64_t>(i))
+            .arg("fine_vertices",
+                 static_cast<std::int64_t>(fine_graph.num_vertices()));
+        for (VertexId v = 0; v < fine_graph.num_vertices(); ++v) {
+          fine_state.assign(v, assignment[levels[i].map[v]]);
+        }
       }
       // Projection always happens (coarse weights are sums of fine
       // weights, so it preserves balance feasibility); refinement is what
@@ -143,6 +145,13 @@ MultilevelResult MultilevelPartitioner::run(
       if (expired()) {
         result.truncated = true;
       } else {
+        // "ml.refine_level" (distinct from the projection above) is one
+        // of the three spans obs::phase_breakdown attributes; keep the
+        // name in sync with phase_breakdown and docs/OBSERVABILITY.md.
+        obs::ScopedSpan span("ml.refine_level");
+        span.arg("level", static_cast<std::int64_t>(i))
+            .arg("fine_vertices",
+                 static_cast<std::int64_t>(fine_graph.num_vertices()));
         part::FmBipartitioner fm(fine_graph, fine_fixed, *balance_, &scratch);
         const auto fm_result = fm.refine(fine_state, rng, refine_config);
         result.total_moves += fm_result.total_moves;
@@ -167,25 +176,32 @@ MultilevelResult MultilevelPartitioner::run(
   std::vector<PartitionId> best_assignment;
   Weight best_cut = 0;
   const int starts = std::max(1, config.coarse_starts);
-  for (int s = 0; s < starts; ++s) {
-    // The first start always runs so there is always a complete
-    // assignment to return; an expired budget only skips restarts.
-    if (s > 0 && expired()) {
-      result.truncated = true;
-      break;
-    }
-    // Best-effort: rand-regime instances can be inherently over capacity
-    // (see random_feasible_assignment); refinement drains what it can.
-    part::random_feasible_assignment(state, *coarsest_fixed, *balance_, rng,
-                                     /*require_feasible=*/false);
-    const auto fm = coarse_fm.refine(state, rng, refine_config);
-    result.total_moves += fm.total_moves;
-    result.total_passes += fm.passes;
-    result.truncated |= fm.truncated;
-    if (best_assignment.empty() || state.cut() < best_cut) {
-      best_cut = state.cut();
-      best_assignment.assign(state.assignment().begin(),
-                             state.assignment().end());
+  {
+    // Initial-partition phase span (obs::phase_breakdown "initial"): the
+    // whole coarse multistart, nested coarse FM passes included.
+    obs::ScopedSpan initial_span("ml.initial");
+    initial_span.arg("starts", static_cast<std::int64_t>(starts));
+    for (int s = 0; s < starts; ++s) {
+      // The first start always runs so there is always a complete
+      // assignment to return; an expired budget only skips restarts.
+      if (s > 0 && expired()) {
+        result.truncated = true;
+        break;
+      }
+      // Best-effort: rand-regime instances can be inherently over
+      // capacity (see random_feasible_assignment); refinement drains what
+      // it can.
+      part::random_feasible_assignment(state, *coarsest_fixed, *balance_,
+                                       rng, /*require_feasible=*/false);
+      const auto fm = coarse_fm.refine(state, rng, refine_config);
+      result.total_moves += fm.total_moves;
+      result.total_passes += fm.passes;
+      result.truncated |= fm.truncated;
+      if (best_assignment.empty() || state.cut() < best_cut) {
+        best_cut = state.cut();
+        best_assignment.assign(state.assignment().begin(),
+                               state.assignment().end());
+      }
     }
   }
 

@@ -1,6 +1,8 @@
 #include "obs/log.hpp"
 
 #include <chrono>
+
+#include "obs/flight.hpp"
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -168,6 +170,10 @@ void Log::write(LogLevel level, const char* subsystem, const std::string& msg,
     }
   }
   line += '}';
+
+  // Mirror into the always-on flight recorder so a crash dump carries the
+  // recent log timeline next to the spans (docs/ROBUSTNESS.md).
+  FlightRecorder::global().record_event(to_string(level), subsystem, msg);
 
   std::lock_guard<std::mutex> lock(mu_);
   const bool on_sink = level >= min_level_;

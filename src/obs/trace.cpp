@@ -1,13 +1,14 @@
 #include "obs/trace.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <unordered_set>
 
+#include "obs/flight.hpp"
 #include "util/atomic_file.hpp"
 
 namespace fixedpart::obs {
-
-#if FIXEDPART_OBS_ENABLED
 
 namespace {
 
@@ -45,6 +46,65 @@ std::string format_arg(const TraceArg& arg) {
   return out.str();
 }
 
+}  // namespace
+
+std::string trace_events_to_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"name\": \"" << json_escape(e.name)
+        << "\", \"cat\": \"fixedpart\", \"ph\": \"X\", \"ts\": "
+        << format_us(e.start_ns) << ", \"dur\": " << format_us(e.dur_ns)
+        << ", \"pid\": " << (e.pid != 0 ? e.pid : 1u)
+        << ", \"tid\": " << e.tid;
+    if (e.num_args > 0) {
+      out << ", \"args\": {";
+      for (std::uint32_t a = 0; a < e.num_args && a < e.args.size(); ++a) {
+        out << (a == 0 ? "" : ", ") << "\"" << json_escape(e.args[a].key)
+            << "\": " << format_arg(e.args[a]);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::uint64_t trace_id_for(const std::string& job_id) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : job_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+PhaseBreakdown phase_breakdown(const std::vector<TraceEvent>& events) {
+  PhaseBreakdown out;
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    // Worker-decoded names are interned copies: compare by content.
+    if (std::strcmp(e.name, "ml.coarsen_level") == 0) {
+      out.coarsen_seconds += static_cast<double>(e.dur_ns) / 1e9;
+    } else if (std::strcmp(e.name, "ml.initial") == 0) {
+      out.initial_seconds += static_cast<double>(e.dur_ns) / 1e9;
+    } else if (std::strcmp(e.name, "ml.refine_level") == 0) {
+      out.refine_seconds += static_cast<double>(e.dur_ns) / 1e9;
+    }
+  }
+  return out;
+}
+
+#if FIXEDPART_OBS_ENABLED
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+static_assert(Clock::is_steady, "trace timestamps must be jump-immune");
+
 std::uint32_t local_thread_id() {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t id =
@@ -52,7 +112,79 @@ std::uint32_t local_thread_id() {
   return id;
 }
 
+MetricId dropped_metric() {
+  static const MetricId id = Registry::global().counter("obs.trace.dropped");
+  return id;
+}
+
+thread_local TraceContext t_context;
+
 }  // namespace
+
+std::int64_t trace_now_ns() {
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+std::uint32_t trace_local_tid() { return local_thread_id(); }
+
+const char* intern_name(const std::string& name) {
+  static std::mutex mu;
+  // node-based: element addresses (and so c_str()) are stable forever.
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = pool->find(name);
+  if (it != pool->end()) return it->c_str();
+  if (pool->size() >= kMaxInternedNames) return "trace.name_overflow";
+  return pool->insert(name).first->c_str();
+}
+
+void SpanBuffer::record(TraceEvent event) {
+  if (event.tid == 0) event.tid = local_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    Registry::global().add(dropped_metric());
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> SpanBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> SpanBuffer::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.swap(events_);
+  return out;
+}
+
+std::size_t SpanBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void SpanBuffer::add_remote_dropped(std::uint64_t count) {
+  if (count == 0) return;
+  dropped_.fetch_add(count, std::memory_order_relaxed);
+  Registry::global().add(dropped_metric(), static_cast<std::int64_t>(count));
+}
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id,
+                                       SpanBuffer* buffer)
+    : prev_(t_context) {
+  t_context = TraceContext{trace_id, buffer};
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = prev_; }
+
+TraceContext ScopedTraceContext::current() { return t_context; }
 
 Tracer& Tracer::global() {
   static Tracer tracer;
@@ -63,7 +195,7 @@ void Tracer::start() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
-  epoch_ = Clock::now();
+  epoch_offset_ns_.store(trace_now_ns(), std::memory_order_relaxed);
   active_.store(true, std::memory_order_release);
 }
 
@@ -74,10 +206,13 @@ void Tracer::record(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= kMaxEvents) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    Registry::global().add(dropped_metric());
     return;
   }
   events_.push_back(event);
-  events_.back().tid = event.tid != 0 ? event.tid : local_thread_id();
+  TraceEvent& back = events_.back();
+  back.start_ns -= epoch_offset_ns_.load(std::memory_order_relaxed);
+  back.tid = event.tid != 0 ? event.tid : local_thread_id();
 }
 
 std::size_t Tracer::event_count() const {
@@ -90,33 +225,36 @@ std::vector<TraceEvent> Tracer::events() const {
   return events_;
 }
 
-std::string Tracer::to_json() const {
-  const std::vector<TraceEvent> events = this->events();
-  std::ostringstream out;
-  out << "{\"traceEvents\": [";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    out << (i == 0 ? "\n" : ",\n");
-    out << "{\"name\": \"" << json_escape(e.name)
-        << "\", \"cat\": \"fixedpart\", \"ph\": \"X\", \"ts\": "
-        << format_us(e.start_ns) << ", \"dur\": " << format_us(e.dur_ns)
-        << ", \"pid\": 1, \"tid\": " << e.tid;
-    if (e.num_args > 0) {
-      out << ", \"args\": {";
-      for (std::uint32_t a = 0; a < e.num_args; ++a) {
-        out << (a == 0 ? "" : ", ") << "\"" << json_escape(e.args[a].key)
-            << "\": " << format_arg(e.args[a]);
-      }
-      out << "}";
-    }
-    out << "}";
-  }
-  out << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
-  return out.str();
-}
+std::string Tracer::to_json() const { return trace_events_to_json(events()); }
 
 void Tracer::write_json(const std::string& path) const {
   util::write_file_atomic(path, to_json());
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name != nullptr ? name : ""), start_ns_(trace_now_ns()) {
+  trace_id_ = t_context.trace_id;
+  FlightRecorder::global().push_open(name_, trace_id_, start_ns_);
+}
+
+ScopedSpan::ScopedSpan(const std::string& name)
+    : ScopedSpan(intern_name(name)) {}
+
+ScopedSpan::~ScopedSpan() {
+  FlightRecorder::global().pop_open();
+  TraceEvent event;
+  event.name = name_;
+  event.tid = local_thread_id();
+  event.trace_id = trace_id_;
+  event.start_ns = start_ns_;
+  event.dur_ns = trace_now_ns() - start_ns_;
+  event.args = args_;
+  event.num_args = num_args_;
+  const TraceContext& ctx = t_context;
+  if (ctx.buffer != nullptr) ctx.buffer->record(event);
+  Tracer::global().record(event);
+  FlightRecorder::global().record_span(name_, trace_id_, start_ns_,
+                                       event.dur_ns);
 }
 
 #else

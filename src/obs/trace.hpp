@@ -1,20 +1,32 @@
 #pragma once
-// Scoped-span tracing with Chrome-trace-format JSON output: load the file
-// written by Tracer::write_json into chrome://tracing (or https://ui.
-// perfetto.dev) to see coarsen levels, FM passes, projections, V-cycles
-// and svc job attempts on a per-thread timeline (docs/OBSERVABILITY.md).
+// Per-job distributed tracing (docs/OBSERVABILITY.md "Traces").
 //
-// Collection is off by default; an inactive tracer costs one relaxed
-// atomic load per span. start() arms the global tracer, spans record
-// complete events ("ph":"X") with microsecond timestamps from
-// steady_clock (wall-clock jumps cannot reorder spans), stop() disarms.
-// The buffer is bounded (kMaxEvents); overflow drops events and counts
-// them instead of growing without bound.
+// Spans are recorded by RAII `ScopedSpan` objects at fm/kway/ml/svc call
+// sites. Every span routes, at destruction, to up to three sinks:
 //
-// Span names and arg keys must be string literals (or otherwise outlive
-// the tracer): events store the pointers, not copies.
+//   1. The *current trace context* — a thread-local stack pushed by
+//      `ScopedTraceContext`, carrying a deterministic per-job trace id
+//      (`trace_id_for(job id)`) and a bounded per-job `SpanBuffer` owned
+//      by the job record. This is how `PartitionServer` and
+//      `run_supervised_job` attribute engine spans to a request with no
+//      call-site churn, and how `fixedpart-worker` collects spans for
+//      streaming over the `'T'` frame (src/obs/trace_wire.hpp).
+//   2. The legacy process-global `Tracer`, when armed via start() — kept
+//      for `--trace-out` style whole-process dumps (bench_to_json).
+//   3. The always-on `FlightRecorder` ring (src/obs/flight.hpp).
 //
-// Under FIXEDPART_OBS=OFF every member compiles to an empty inline stub.
+// Timestamps come from one process-wide steady epoch (`trace_now_ns`);
+// wall-clock jumps cannot reorder spans, and the worker/parent epoch
+// offset is estimated once per job attempt when merging worker spans.
+//
+// Span names and arg keys are either string literals or pointers from
+// `intern_name()` (a bounded process-lifetime pool), so events can store
+// raw pointers safely; the `ScopedSpan(const std::string&)` overload
+// interns dynamically-built names.
+//
+// Under FIXEDPART_OBS=OFF every member compiles to an empty inline stub;
+// the pure helpers (trace_events_to_json, phase_breakdown, trace_id_for)
+// stay available so svc/ code needs no #if guards.
 
 #include <array>
 #include <atomic>
@@ -38,19 +50,113 @@ struct TraceArg {
 struct TraceEvent {
   const char* name = "";
   std::uint32_t tid = 0;
-  std::int64_t start_ns = 0;  ///< steady time since the tracer epoch
+  /// Originating process: 0 = this process (rendered as pid 1); worker
+  /// spans merged over the 'T' frame carry the worker's real pid.
+  std::uint32_t pid = 0;
+  std::uint64_t trace_id = 0;
+  std::int64_t start_ns = 0;  ///< steady time (see class comments)
   std::int64_t dur_ns = 0;
   std::array<TraceArg, 4> args{};
   std::uint32_t num_args = 0;
 };
 
+/// Chrome trace JSON ({"traceEvents": [...], "displayTimeUnit": "ms"}) for
+/// an event list; shared by Tracer::to_json and the per-job trace cache.
+std::string trace_events_to_json(const std::vector<TraceEvent>& events);
+
+/// Deterministic trace id for a job: FNV-1a of the job id (itself derived
+/// from the canonical content hash in PartitionServer::submit), so the
+/// same job gets the same trace id on every attempt, restart and host.
+std::uint64_t trace_id_for(const std::string& job_id);
+
+/// Seconds attributed to the multilevel phases of a job's trace, summed
+/// from the "ml.coarsen_level" / "ml.initial" / "ml.refine_level" spans.
+struct PhaseBreakdown {
+  double coarsen_seconds = 0.0;
+  double initial_seconds = 0.0;
+  double refine_seconds = 0.0;
+};
+PhaseBreakdown phase_breakdown(const std::vector<TraceEvent>& events);
+
 #if FIXEDPART_OBS_ENABLED
 
+/// Nanoseconds since the process-wide steady trace epoch (latched on
+/// first use). The common timebase of every TraceEvent in this process.
+std::int64_t trace_now_ns();
+
+/// Small sequential id of the calling thread (1, 2, ...): the "tid" of
+/// every span/flight entry this thread records.
+std::uint32_t trace_local_tid();
+
+/// Copies `name` into a bounded process-lifetime intern pool and returns
+/// a stable pointer. Past kMaxInternedNames distinct names (a cap that
+/// also bounds what a malicious worker can allocate via 'T' frames) the
+/// overflow marker "trace.name_overflow" is returned instead.
+const char* intern_name(const std::string& name);
+constexpr std::size_t kMaxInternedNames = 4096;
+
+/// Bounded, thread-safe per-job span store. Owned by the job record
+/// (ServerJob / worker serve()); full buffers drop and count (surfaced as
+/// the obs.trace.dropped counter).
+class SpanBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit SpanBuffer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+  SpanBuffer(const SpanBuffer&) = delete;
+  SpanBuffer& operator=(const SpanBuffer&) = delete;
+
+  /// Appends one event (fills tid from the calling thread when 0).
+  void record(TraceEvent event);
+  /// Snapshot of the buffered events.
+  std::vector<TraceEvent> events() const;
+  /// Moves the buffered events out (the worker's streaming path).
+  std::vector<TraceEvent> drain();
+  std::size_t size() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Folds drops observed remotely (a worker's 'T' header, malformed
+  /// wire lines) into dropped() and the obs.trace.dropped counter.
+  void add_remote_dropped(std::uint64_t count);
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The ambient trace attribution for the calling thread.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanBuffer* buffer = nullptr;
+  bool active() const { return buffer != nullptr; }
+};
+
+/// RAII push/pop of the thread-local trace-context stack. The pushed
+/// buffer must outlive the scope; spans recorded on this thread inside
+/// the scope land in it, tagged with `trace_id`.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t trace_id, SpanBuffer* buffer);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  /// The top of the calling thread's context stack ({} when empty).
+  static TraceContext current();
+
+ private:
+  TraceContext prev_;
+};
+
+/// Process-global whole-run tracer (armed via start(); bench --trace-out).
+/// Events recorded while armed are rebased to the start() epoch.
 class Tracer {
  public:
   static constexpr std::size_t kMaxEvents = 1u << 20;
-  using Clock = std::chrono::steady_clock;
-  static_assert(Clock::is_steady, "trace timestamps must be jump-immune");
 
   Tracer() = default;
   Tracer(const Tracer&) = delete;
@@ -65,14 +171,13 @@ class Tracer {
   void stop();
   bool active() const { return active_.load(std::memory_order_relaxed); }
 
-  /// Nanoseconds since the last start(); the timebase of TraceEvent.
+  /// Nanoseconds since the last start(); the timebase of this buffer.
   std::int64_t now_ns() const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                                epoch_)
-        .count();
+    return trace_now_ns() - epoch_offset_ns_.load(std::memory_order_relaxed);
   }
 
-  /// Appends one event (dropped when inactive or past kMaxEvents).
+  /// Appends one event (dropped when inactive or past kMaxEvents). The
+  /// event's start_ns is interpreted on the process epoch and rebased.
   void record(const TraceEvent& event);
 
   std::size_t event_count() const;
@@ -88,61 +193,83 @@ class Tracer {
 
  private:
   std::atomic<bool> active_{false};
-  Clock::time_point epoch_{};
+  std::atomic<std::int64_t> epoch_offset_ns_{0};
   std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 
-/// RAII span over the global tracer. Construction samples the clock only
-/// when the tracer is active; destruction records a complete event.
+/// RAII span. Always live (the flight recorder never disarms): records
+/// into the current TraceContext buffer, the armed global Tracer, and
+/// the flight-recorder ring at destruction.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) {
-    if (Tracer::global().active()) {
-      name_ = name;
-      start_ns_ = Tracer::global().now_ns();
-      live_ = true;
-    }
-  }
+  /// `name` must be a string literal (or otherwise immortal).
+  explicit ScopedSpan(const char* name);
+  /// Dynamically-built names are interned (safe after `name` dies).
+  explicit ScopedSpan(const std::string& name);
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  /// Attaches a numeric argument (first 4 kept). `key` must outlive the
-  /// tracer buffer — use string literals.
+  /// Attaches a numeric argument (first 4 kept). `key` must be a string
+  /// literal or interned.
   ScopedSpan& arg(const char* key, std::int64_t value) {
-    if (live_ && num_args_ < args_.size()) {
+    if (num_args_ < args_.size()) {
       args_[num_args_++] = TraceArg{key, true, value, 0.0};
     }
     return *this;
   }
   ScopedSpan& arg(const char* key, double value) {
-    if (live_ && num_args_ < args_.size()) {
+    if (num_args_ < args_.size()) {
       args_[num_args_++] = TraceArg{key, false, 0, value};
     }
     return *this;
   }
 
-  ~ScopedSpan() {
-    if (!live_) return;
-    TraceEvent event;
-    event.name = name_;
-    event.start_ns = start_ns_;
-    event.dur_ns = Tracer::global().now_ns() - start_ns_;
-    event.args = args_;
-    event.num_args = num_args_;
-    Tracer::global().record(event);
-  }
+  ~ScopedSpan();
 
  private:
   const char* name_ = "";
   std::int64_t start_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
   std::array<TraceArg, 4> args_{};
   std::uint32_t num_args_ = 0;
-  bool live_ = false;
 };
 
 #else  // FIXEDPART_OBS_ENABLED == 0: tracing compiles away entirely.
+
+inline std::int64_t trace_now_ns() { return 0; }
+inline std::uint32_t trace_local_tid() { return 0; }
+inline const char* intern_name(const std::string&) { return ""; }
+constexpr std::size_t kMaxInternedNames = 0;
+
+class SpanBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 0;
+  explicit SpanBuffer(std::size_t = 0) {}
+  SpanBuffer(const SpanBuffer&) = delete;
+  SpanBuffer& operator=(const SpanBuffer&) = delete;
+  void record(TraceEvent) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  std::vector<TraceEvent> drain() { return {}; }
+  std::size_t size() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  void add_remote_dropped(std::uint64_t) {}
+};
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanBuffer* buffer = nullptr;
+  bool active() const { return false; }
+};
+
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t, SpanBuffer*) {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  static TraceContext current() { return {}; }
+};
 
 class Tracer {
  public:
@@ -174,6 +301,7 @@ class Tracer {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char*) {}
+  explicit ScopedSpan(const std::string&) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ScopedSpan& arg(const char*, std::int64_t) { return *this; }

@@ -1,0 +1,190 @@
+#include "obs/trace_wire.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fixedpart::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; p != nullptr && *p != '\0'; ++p) {
+    switch (*p) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += *p;
+    }
+  }
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: out += text[i];
+    }
+  }
+  return out;
+}
+
+/// strtoll with a full-consumption check; returns false on any junk.
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_f64(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Decodes one span line into `event`; false = malformed, skip it.
+bool decode_span_line(const std::string& line, TraceEvent* event) {
+  const std::vector<std::string> fields = split(line, '\t');
+  if (fields.size() < 4) return false;
+  if (fields[0].empty() || fields[0].size() > kMaxWireNameBytes) return false;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t tid = 0;
+  if (!parse_i64(fields[1], &start_ns)) return false;
+  if (!parse_i64(fields[2], &dur_ns)) return false;
+  if (!parse_i64(fields[3], &tid) || tid < 0) return false;
+  TraceEvent out;
+  out.name = intern_name(unescape(fields[0]));
+  out.start_ns = start_ns;
+  out.dur_ns = dur_ns;
+  out.tid = static_cast<std::uint32_t>(tid);
+  for (std::size_t i = 4; i < fields.size() && out.num_args < out.args.size();
+       ++i) {
+    const std::size_t eq = fields[i].find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq > kMaxWireNameBytes || eq + 1 >= fields[i].size()) {
+      continue;  // a bad arg degrades the span, not the batch
+    }
+    const std::string key = unescape(fields[i].substr(0, eq));
+    const char kind = fields[i][eq + 1];
+    const std::string value = fields[i].substr(eq + 2);
+    TraceArg arg;
+    arg.key = intern_name(key);
+    if (kind == 'i') {
+      if (!parse_i64(value, &arg.int_value)) continue;
+      arg.is_int = true;
+    } else if (kind == 'd') {
+      if (!parse_f64(value, &arg.double_value)) continue;
+      arg.is_int = false;
+    } else {
+      continue;
+    }
+    out.args[out.num_args++] = arg;
+  }
+  *event = out;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_span_batch(const SpanBatchHeader& header,
+                              const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(64 + events.size() * 48);
+  char head[96];
+  std::snprintf(head, sizeof head, "spans v1 now=%lld dropped=%llu",
+                static_cast<long long>(header.worker_now_ns),
+                static_cast<unsigned long long>(header.dropped));
+  out += head;
+  std::size_t count = 0;
+  for (const TraceEvent& e : events) {
+    if (count++ >= kMaxSpansPerBatch) break;
+    out += '\n';
+    append_escaped(out, e.name);
+    char nums[96];
+    std::snprintf(nums, sizeof nums, "\t%lld\t%lld\t%u",
+                  static_cast<long long>(e.start_ns),
+                  static_cast<long long>(e.dur_ns), e.tid);
+    out += nums;
+    for (std::uint32_t a = 0; a < e.num_args && a < e.args.size(); ++a) {
+      const TraceArg& arg = e.args[a];
+      if (arg.key == nullptr) continue;
+      out += '\t';
+      append_escaped(out, arg.key);
+      if (arg.is_int) {
+        std::snprintf(nums, sizeof nums, "=i%lld",
+                      static_cast<long long>(arg.int_value));
+      } else {
+        std::snprintf(nums, sizeof nums, "=d%.9g", arg.double_value);
+      }
+      out += nums;
+    }
+  }
+  return out;
+}
+
+bool decode_span_batch(const std::string& payload, SpanBatchHeader* header,
+                       std::vector<TraceEvent>* events,
+                       std::size_t* malformed) {
+  std::size_t bad = 0;
+  const std::vector<std::string> lines = split(payload, '\n');
+  long long now = 0;
+  unsigned long long dropped = 0;
+  if (lines.empty() ||
+      std::sscanf(lines[0].c_str(), "spans v1 now=%lld dropped=%llu", &now,
+                  &dropped) != 2) {
+    if (malformed != nullptr) *malformed = lines.size();
+    return false;
+  }
+  header->worker_now_ns = now;
+  header->dropped = dropped;
+  std::size_t decoded = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    if (decoded >= kMaxSpansPerBatch) {
+      bad += lines.size() - i;
+      break;
+    }
+    TraceEvent event;
+    if (!decode_span_line(lines[i], &event)) {
+      ++bad;
+      continue;
+    }
+    events->push_back(event);
+    ++decoded;
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return true;
+}
+
+}  // namespace fixedpart::obs

@@ -1,0 +1,50 @@
+#pragma once
+// Wire codec for the 'T' (span-batch) frame of the worker protocol
+// (util::subprocess kFrameSpans; docs/OBSERVABILITY.md "Traces").
+//
+// A 'T' payload is line-oriented text:
+//
+//   spans v1 now=<worker steady ns> dropped=<count>
+//   <name>\t<start_ns>\t<dur_ns>\t<tid>[\t<key>=<i|d><value>]...
+//   ...
+//
+// Names and arg keys are backslash-escaped (\\, \t, \n) so they can
+// never break the framing. `now` is the worker's trace_now_ns() at
+// encode time; the parent estimates the steady-epoch offset as
+// min over frames of (parent now at receipt - worker now) and rebases
+// every span onto its own timebase.
+//
+// decode_span_batch is the untrusted-input boundary: a malicious or
+// crashing worker owns the payload bytes. It never throws, skips (and
+// counts) malformed lines, caps batch size and name length, and interns
+// decoded names through the bounded obs::intern_name pool — so the worst
+// a bad payload can do is produce a garbled trace for its own job.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fixedpart::obs {
+
+struct SpanBatchHeader {
+  std::int64_t worker_now_ns = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Hard caps enforced by decode (and respected by encode).
+constexpr std::size_t kMaxSpansPerBatch = 1u << 16;
+constexpr std::size_t kMaxWireNameBytes = 256;
+
+std::string encode_span_batch(const SpanBatchHeader& header,
+                              const std::vector<TraceEvent>& events);
+
+/// Returns false only when the header line is unusable; otherwise fills
+/// `header`, appends the well-formed spans to `events`, and counts the
+/// skipped lines in `*malformed` (may be non-null-checked by callers).
+bool decode_span_batch(const std::string& payload, SpanBatchHeader* header,
+                       std::vector<TraceEvent>* events,
+                       std::size_t* malformed);
+
+}  // namespace fixedpart::obs

@@ -85,6 +85,23 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
 
   JobOutcome out;
   out.id = spec.id;
+  // Per-job trace attribution around the whole attempt loop: every span
+  // recorded on this thread (engine spans in thread mode, svc.job_attempt
+  // always, worker spans merged by ProcessPool::attempt in process mode)
+  // lands in `spans`, tagged with the job's deterministic trace id.
+  std::shared_ptr<obs::SpanBuffer> spans = hooks.spans;
+  if (obs::kEnabled && spans == nullptr) {
+    spans = std::make_shared<obs::SpanBuffer>();
+  }
+  obs::ScopedTraceContext trace_ctx(obs::trace_id_for(spec.id), spans.get());
+  const auto finalize = [&spans](JobOutcome& outcome) {
+    if (spans != nullptr) {
+      const obs::PhaseBreakdown phases = obs::phase_breakdown(spans->events());
+      outcome.coarsen_seconds = phases.coarsen_seconds;
+      outcome.initial_seconds = phases.initial_seconds;
+      outcome.refine_seconds = phases.refine_seconds;
+    }
+  };
   util::Timer total;
   std::optional<JobResult> best;  // best successful attempt so far
   for (int attempt = 1;; ++attempt) {
@@ -153,6 +170,7 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
       out.error = error;
       out.message = message;
       out.seconds = total.seconds();
+      finalize(out);
       return out;
     } else {
       // Transient / internal: poisoned once attempts run out (unless an
@@ -163,6 +181,7 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
           out.error = error;
           out.message = message;
           out.seconds = total.seconds();
+          finalize(out);
           return out;
         }
         break;
@@ -183,6 +202,7 @@ JobOutcome run_supervised_job(const JobRunner& runner, const JobSpec& spec,
   out.moves = best->moves;
   out.passes = best->passes;
   out.seconds = total.seconds();
+  finalize(out);
   return out;
 }
 

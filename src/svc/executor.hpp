@@ -23,10 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "svc/checkpoint.hpp"
 #include "svc/job.hpp"
 #include "util/deadline.hpp"
@@ -124,6 +126,12 @@ struct SupervisedHooks {
   /// Polled between attempts: true stops retrying (drain, user
   /// cancellation) — the best result so far is committed as-is.
   std::function<bool()> stop_retrying;
+  /// Per-job span buffer: run_supervised_job pushes a trace context
+  /// (trace id = obs::trace_id_for(spec.id)) around the attempt loop so
+  /// every engine span — and, in process isolation, every span streamed
+  /// back over 'T' frames — lands here. When null a private buffer is
+  /// used, so the phase breakdown on JobOutcome is filled either way.
+  std::shared_ptr<obs::SpanBuffer> spans;
 };
 
 /// Runs every attempt of one job under the retry policy and never throws

@@ -334,7 +334,18 @@ std::string outcome_json(const JobOutcome& outcome, bool with_timing) {
   out.field("truncated", outcome.truncated);
   out.field("moves", outcome.moves);
   out.field("passes", outcome.passes);
-  if (with_timing) out.field("seconds", outcome.seconds);
+  if (with_timing) {
+    out.field("seconds", outcome.seconds);
+    // Phase attribution rides with the other timing field; omitted when
+    // all-zero (OBS=OFF builds, failed jobs, pre-tracing journals) so
+    // old golden lines stay byte-identical.
+    if (outcome.coarsen_seconds > 0.0 || outcome.initial_seconds > 0.0 ||
+        outcome.refine_seconds > 0.0) {
+      out.field("coarsen_seconds", outcome.coarsen_seconds);
+      out.field("initial_seconds", outcome.initial_seconds);
+      out.field("refine_seconds", outcome.refine_seconds);
+    }
+  }
   return out.finish();
 }
 
@@ -394,6 +405,9 @@ JobOutcome job_outcome_from_json(const std::string& line,
   outcome.passes = obj.get_int("passes", 0, 0,
                                std::numeric_limits<std::int64_t>::max());
   outcome.seconds = obj.get_double("seconds", 0.0);
+  outcome.coarsen_seconds = obj.get_double("coarsen_seconds", 0.0);
+  outcome.initial_seconds = obj.get_double("initial_seconds", 0.0);
+  outcome.refine_seconds = obj.get_double("refine_seconds", 0.0);
   if (outcome.id.empty()) at.fail("outcome id must be non-empty");
   return outcome;
 }

@@ -114,6 +114,14 @@ struct JobOutcome {
   std::int64_t passes = 0;
   double seconds = 0.0;  ///< total wall time across attempts (a timestamp:
                          ///< excluded from the canonical form)
+  /// Per-phase wall seconds of the winning job's trace, summed from the
+  /// ml.coarsen_level / ml.initial / ml.refine_level spans
+  /// (obs::phase_breakdown). Timing like `seconds`: excluded from the
+  /// canonical form, serialized only when non-zero, and all-zero under
+  /// FIXEDPART_OBS=OFF.
+  double coarsen_seconds = 0.0;
+  double initial_seconds = 0.0;
+  double refine_seconds = 0.0;
 };
 
 const char* to_string(JobStatus status);

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "hg/io_common.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_wire.hpp"
 #include "util/errors.hpp"
 
 namespace fixedpart::svc {
@@ -199,6 +202,7 @@ JobResult ProcessPool::attempt(const JobSpec& spec,
 
   auto live = std::make_shared<LiveWorker>();
   live->pid = child.pid;
+  live->job = spec.id;
   live->last_beat_ms.store(steady_ms(), std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -206,8 +210,18 @@ JobResult ProcessPool::attempt(const JobSpec& spec,
     live_.insert(live);
   }
 
-  // The attendant: feed the spec, consume heartbeats, wait for the one
-  // outcome frame, policing the deadline with a cancel-then-kill ladder.
+  // The attendant: feed the spec, consume heartbeats and span batches,
+  // wait for the one outcome frame, policing the deadline with a
+  // cancel-then-kill ladder. It runs on run_supervised_job's thread, so
+  // the current trace context *is* the job's span buffer: worker spans
+  // decoded here land next to the parent's own svc.* spans.
+  const obs::TraceContext trace_ctx = obs::ScopedTraceContext::current();
+  // Worker-to-parent steady-epoch offset, estimated as the minimum over
+  // received 'T' frames of (parent now at receipt − worker now at
+  // encode); the minimum tracks the true offset as transit jitter varies.
+  std::int64_t epoch_offset_ns = 0;
+  bool have_offset = false;
+  std::uint64_t worker_dropped_seen = 0;
   std::string outcome_line;
   bool have_outcome = false;
   {
@@ -226,6 +240,42 @@ JobResult ProcessPool::attempt(const JobSpec& spec,
           outcome_line = payload;
           have_outcome = true;
           break;
+        }
+        if (type == util::kFrameSpans) {
+          // Untrusted payload: decode is defensive (caps, skip-and-count)
+          // and a malformed batch degrades only this job's trace.
+          obs::SpanBatchHeader header;
+          std::vector<obs::TraceEvent> batch;
+          std::size_t malformed = 0;
+          if (obs::decode_span_batch(payload, &header, &batch, &malformed)) {
+            const std::int64_t offset =
+                obs::trace_now_ns() - header.worker_now_ns;
+            if (!have_offset || offset < epoch_offset_ns) {
+              epoch_offset_ns = offset;
+              have_offset = true;
+            }
+            for (obs::TraceEvent& event : batch) {
+              event.start_ns += epoch_offset_ns;
+              event.pid = static_cast<std::uint32_t>(child.pid);
+              event.trace_id = trace_ctx.trace_id;
+              if (trace_ctx.buffer != nullptr) {
+                trace_ctx.buffer->record(event);
+              }
+            }
+            if (!batch.empty()) {
+              live->last_span.store(batch.back().name,
+                                    std::memory_order_release);
+            }
+            if (trace_ctx.buffer != nullptr) {
+              if (header.dropped > worker_dropped_seen) {
+                trace_ctx.buffer->add_remote_dropped(header.dropped -
+                                                     worker_dropped_seen);
+                worker_dropped_seen = header.dropped;
+              }
+              trace_ctx.buffer->add_remote_dropped(malformed);
+            }
+          }
+          continue;
         }
         continue;  // heartbeat (or an unknown type from a newer worker)
       }
@@ -359,6 +409,14 @@ JobResult ProcessPool::attempt(const JobSpec& spec,
                  {"pid", static_cast<std::int64_t>(child.pid)},
                  {"what", how},
                  {"job_crashes", crashes}});
+  if (!config_.flight_dir.empty()) {
+    // Leave the timeline that explains the crash/hang counter increment:
+    // parent-side flight ring + the worker's last streamed phase.
+    const char* last = live->last_span.load(std::memory_order_acquire);
+    obs::FlightRecorder::global().dump(config_.flight_dir,
+                                       hang ? "hang" : "crash", spec.id,
+                                       last != nullptr ? last : "");
+  }
 
   if (crashes >= config_.max_job_crashes) {
     throw WorkerPoisonedError("job crashed " + std::to_string(crashes) +
@@ -373,13 +431,43 @@ ProcessPoolStats ProcessPool::stats() const {
 }
 
 std::string ProcessPool::stats_json() const {
-  const ProcessPoolStats s = stats();
+  const auto escape = [](const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
-  out << "{\"spawned\": " << s.spawned << ", \"crashed\": " << s.crashed
-      << ", \"oom_kills\": " << s.oom_kills
-      << ", \"respawns\": " << s.respawns
-      << ", \"hang_kills\": " << s.hang_kills
-      << ", \"rss_peak_kb\": " << s.rss_peak_kb << "}";
+  out << "{\"spawned\": " << stats_.spawned
+      << ", \"crashed\": " << stats_.crashed
+      << ", \"oom_kills\": " << stats_.oom_kills
+      << ", \"respawns\": " << stats_.respawns
+      << ", \"hang_kills\": " << stats_.hang_kills
+      << ", \"rss_peak_kb\": " << stats_.rss_peak_kb << ", \"live\": [";
+  const std::int64_t now = steady_ms();
+  bool first = true;
+  for (const auto& worker : live_) {
+    const char* span = worker->last_span.load(std::memory_order_acquire);
+    const double beat_age =
+        static_cast<double>(
+            now - worker->last_beat_ms.load(std::memory_order_acquire)) /
+        1000.0;
+    out << (first ? "" : ", ") << "{\"pid\": " << worker->pid
+        << ", \"job\": \"" << escape(worker->job) << "\", \"phase\": \""
+        << escape(span != nullptr ? span : "") << "\", \"beat_age_seconds\": "
+        << beat_age << "}";
+    first = false;
+  }
+  out << "]}";
   return out.str();
 }
 

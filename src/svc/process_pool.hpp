@@ -80,6 +80,11 @@ struct ProcessPoolConfig {
   double respawn_jitter_fraction = 0.25;
   /// Backoff sleep override (tests capture delays instead of sleeping).
   std::function<void(double seconds)> sleep_fn;
+  /// When non-empty, every crash/hang classification dumps the flight
+  /// recorder to <flight_dir>/<crash|hang>-<jobid>.json naming the job
+  /// and the worker's last streamed span (docs/ROBUSTNESS.md "Flight
+  /// recorder").
+  std::string flight_dir;
 };
 
 /// Counters the tests and /progress read back; mirrors the svc.worker.*
@@ -123,8 +128,12 @@ class ProcessPool {
  private:
   struct LiveWorker {
     long long pid = -1;
+    std::string job;  ///< set before publication into live_, then const
     std::atomic<std::int64_t> last_beat_ms{0};
     std::atomic<bool> hang_killed{false};
+    /// Name of the last span streamed over a 'T' frame (an interned
+    /// pointer — immortal), i.e. the worker's last recorded phase.
+    std::atomic<const char*> last_span{nullptr};
   };
 
   void reaper_loop();

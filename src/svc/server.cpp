@@ -13,8 +13,10 @@
 
 #include "hg/io_binary.hpp"
 #include "hg/io_common.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
 
@@ -171,7 +173,7 @@ std::int64_t parse_int_param(const std::string& key,
 struct ServerMetrics {
   obs::MetricId submitted, shed, cache_hits, cancelled, recovered;
   obs::MetricId watchdog_fires;
-  obs::MetricId queue_depth, inflight;
+  obs::MetricId queue_depth, inflight, trace_bytes;
   obs::MetricId job_seconds, queue_wait_seconds;
   obs::MetricId jobs_by_state[4];  ///< indexed by JobStatus
 };
@@ -188,6 +190,7 @@ const ServerMetrics& server_metrics() {
         reg.counter("svc.server.watchdog_fires"),
         reg.gauge("svc.server.queue_depth"),
         reg.gauge("svc.server.inflight"),
+        reg.gauge("svc.server.trace_bytes"),
         reg.histogram("svc.server.job_seconds", 0.0, 30.0, 30),
         reg.histogram("svc.server.queue_wait_seconds", 0.0, 30.0, 30),
         {reg.counter(obs::labeled("svc.server.jobs", {{"state", "ok"}})),
@@ -226,6 +229,13 @@ struct PartitionServer::ServerJob {
   bool has_outcome = false;
   std::atomic<bool> user_cancelled{false};
   AttemptSlot* slot = nullptr;    ///< non-null while a worker runs it
+  /// Per-job span buffer, alive while the job runs (local spans plus
+  /// worker spans merged by the process pool); dropped at commit once
+  /// `trace` is rendered from it.
+  std::shared_ptr<obs::SpanBuffer> spans;
+  /// Chrome trace JSON, rendered once at commit and cached with the
+  /// result. "" = no trace (unfinished, replayed, or OBS=OFF).
+  std::string trace;
 };
 
 PartitionServer::PartitionServer(ServerConfig config)
@@ -426,6 +436,12 @@ void PartitionServer::worker_loop(AttemptSlot& slot) {
              handle->user_cancelled.load(std::memory_order_acquire) ||
              (base_stop && base_stop());
     };
+    if constexpr (obs::kEnabled) {
+      // Fresh buffer per run, never shared across jobs: the trace served
+      // at /jobs/<id>/trace must hold exactly this job's spans.
+      job->spans = std::make_shared<obs::SpanBuffer>();
+      hooks.spans = job->spans;
+    }
     finish_job(job,
                run_supervised_job(runner_, spec, config_.retry, slot, hooks));
   }
@@ -441,6 +457,16 @@ void PartitionServer::finish_job(const std::shared_ptr<ServerJob>& job,
                    running_.end());
     job->outcome = std::move(outcome);
     job->has_outcome = true;
+    if constexpr (obs::kEnabled) {
+      // Render the Chrome trace once, cache it with the result, drop the
+      // span buffer. Rendering under mu_ keeps /jobs/<id>/trace trivially
+      // consistent (whole trace or 404, never a partial one).
+      if (job->spans != nullptr) {
+        job->trace = obs::trace_events_to_json(job->spans->events());
+        job->spans.reset();
+        trace_bytes_ += static_cast<std::int64_t>(job->trace.size());
+      }
+    }
     const bool cancelled =
         job->user_cancelled.load(std::memory_order_acquire);
     job->state = cancelled ? JobState::kCancelled : JobState::kDone;
@@ -456,10 +482,12 @@ void PartitionServer::finish_job(const std::shared_ptr<ServerJob>& job,
       if (it != jobs_.end() && it->second->slot == nullptr &&
           (it->second->state == JobState::kDone ||
            it->second->state == JobState::kCancelled)) {
+        trace_bytes_ -= static_cast<std::int64_t>(it->second->trace.size());
         jobs_.erase(it);
       }
     }
     auto& reg = obs::Registry::global();
+    reg.set(server_metrics().trace_bytes, static_cast<double>(trace_bytes_));
     reg.observe(server_metrics().job_seconds, job->outcome.seconds);
     reg.add(server_metrics()
                 .jobs_by_state[static_cast<std::size_t>(job->outcome.status)]);
@@ -483,6 +511,7 @@ void PartitionServer::supervisor_loop() {
   auto& reg = obs::Registry::global();
   while (!draining()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::vector<std::string> watchdog_dumps;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const std::int64_t now = steady_ms();
@@ -504,12 +533,24 @@ void PartitionServer::supervisor_loop() {
           obs::log_warn("svc", "server watchdog cancelled a stuck attempt",
                         {{"id", job->spec.id},
                          {"age_seconds", static_cast<double>(age) / 1000.0}});
+          if (!config_.flight_dir.empty()) {
+            watchdog_dumps.push_back(job->spec.id);
+          }
         }
       }
       reg.set(server_metrics().queue_depth,
               static_cast<double>(queue_.size()));
       reg.set(server_metrics().inflight,
               static_cast<double>(running_.size()));
+    }
+    // Flight dumps happen outside mu_ — they do file IO and walk every
+    // recorder shard, neither of which belongs under the server lock.
+    for (const std::string& id : watchdog_dumps) {
+      auto& recorder = obs::FlightRecorder::global();
+      const obs::FlightPhase phase =
+          recorder.current_phase(obs::trace_id_for(id));
+      recorder.dump(config_.flight_dir, "watchdog", id,
+                    phase.found ? phase.name : "");
     }
     if (journal_ != nullptr && config_.journal_compact_every > 0 &&
         appended_since_compact_.load(std::memory_order_acquire) >=
@@ -898,8 +939,31 @@ bool PartitionServer::handle(const obs::HttpRequest& request,
     response.body = progress_json();
     return true;
   }
+  if (request.path == "/debug/flight") {
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = json_error("GET /debug/flight");
+      return true;
+    }
+    response.body = obs::FlightRecorder::global().to_json() + "\n";
+    return true;
+  }
   if (request.path.rfind("/jobs/", 0) == 0) {
     const std::string id = request.path.substr(6);
+    constexpr const char* kTraceSuffix = "/trace";
+    constexpr std::size_t kTraceSuffixLen = 6;
+    if (id.size() > kTraceSuffixLen &&
+        id.compare(id.size() - kTraceSuffixLen, kTraceSuffixLen,
+                   kTraceSuffix) == 0) {
+      if (request.method != "GET") {
+        response.status = 405;
+        response.body = json_error("GET /jobs/<id>/trace");
+        return true;
+      }
+      response.body = trace_json(id.substr(0, id.size() - kTraceSuffixLen),
+                                 &response.status);
+      return true;
+    }
     if (request.method == "GET") {
       response.body = status_json(id, &response.status);
     } else if (request.method == "DELETE") {
@@ -911,6 +975,21 @@ bool PartitionServer::handle(const obs::HttpRequest& request,
     return true;
   }
   return false;
+}
+
+std::string PartitionServer::trace_json(const std::string& id,
+                                        int* http_status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->trace.empty()) {
+    // Unknown, unfinished, evicted, journal-replayed (a restart recovers
+    // outcomes, never in-flight spans), or OBS=OFF: a clean 404 — the
+    // trace contract is all-or-nothing.
+    *http_status = 404;
+    return json_error("no trace for job: " + id);
+  }
+  *http_status = 200;
+  return it->second->trace;
 }
 
 std::string PartitionServer::progress_json() const {
@@ -926,7 +1005,23 @@ std::string PartitionServer::progress_json() const {
       << ", \"recovered\": " << recovered_ << ", \"mean_job_seconds\": "
       << (service_seconds_.empty() ? 0.0 : service_seconds_.mean())
       << ", \"retry_after_seconds\": " << retry_after_locked()
-      << ", \"draining\": " << (draining() ? "true" : "false") << "}\n";
+      << ", \"trace_bytes\": " << trace_bytes_
+      << ", \"running_jobs\": [";
+  // Where each running job is right now, from the flight recorder's
+  // open-span stacks (keyed by the job's deterministic trace id). For
+  // process-isolated jobs the parent-side phase is the supervision span;
+  // the worker-side live phase is in the pool's stats_json instead.
+  bool first = true;
+  for (const std::shared_ptr<ServerJob>& job : running_) {
+    const obs::FlightPhase phase = obs::FlightRecorder::global().current_phase(
+        obs::trace_id_for(job->spec.id));
+    out << (first ? "" : ", ") << "{\"id\": \"" << job->spec.id
+        << "\", \"phase\": \"" << (phase.found ? phase.name : "")
+        << "\", \"phase_seconds\": " << (phase.found ? phase.seconds : 0.0)
+        << "}";
+    first = false;
+  }
+  out << "], \"draining\": " << (draining() ? "true" : "false") << "}\n";
   return out.str();
 }
 

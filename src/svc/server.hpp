@@ -98,6 +98,10 @@ struct ServerConfig {
   /// Directory for uploaded hypergraphs; "" rejects uploads (manifest
   /// references still work).
   std::string spool_dir;
+  /// Directory for flight-recorder dumps (watchdog fires, worker
+  /// crash/hang classification, fatal signals). "" disables dumping;
+  /// the in-memory recorder and /debug/flight work either way.
+  std::string flight_dir;
   /// The job runner; null = run_partition_job. Tests inject fakes.
   JobRunner runner;
   /// Fault/sleep test hooks forwarded into run_supervised_job.
@@ -136,6 +140,12 @@ class PartitionServer {
   /// GET /jobs/<id>: one-line JSON job record. Sets `http_status` to 200
   /// or 404.
   std::string status_json(const std::string& id, int* http_status);
+  /// GET /jobs/<id>/trace: the job's Chrome trace JSON, rendered once at
+  /// commit time and cached with the result (FIFO-evicted alongside it).
+  /// 404 for unknown/unfinished jobs, journal-replayed results (only the
+  /// outcome survives kill -9, never a partial trace), and OBS=OFF
+  /// builds — a trace is always whole or absent, never truncated.
+  std::string trace_json(const std::string& id, int* http_status);
   /// DELETE /jobs/<id>: 200 cancelled (queued), 202 cancellation
   /// requested (running, cooperative), 409 already done, 404 unknown.
   int cancel(const std::string& id, std::string* body);
@@ -188,6 +198,9 @@ class PartitionServer {
   std::int64_t cache_hits_ = 0;
   std::int64_t cancelled_total_ = 0;
   std::int64_t recovered_ = 0;
+  /// Bytes of cached per-job trace JSON currently held (the
+  /// svc.server.trace_bytes gauge); grows at commit, shrinks at eviction.
+  std::int64_t trace_bytes_ = 0;
 
   std::mutex journal_mu_;  ///< always acquired after mu_ (or without it)
   std::unique_ptr<LineJournal> journal_;

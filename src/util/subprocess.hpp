@@ -38,6 +38,10 @@ constexpr char kFrameJob = 'J';        ///< job spec JSON line (to worker)
 constexpr char kFrameCancel = 'C';     ///< cooperative cancel (to worker)
 constexpr char kFrameHeartbeat = 'H';  ///< liveness beat (from worker)
 constexpr char kFrameOutcome = 'O';    ///< JobOutcome JSON line (from worker)
+constexpr char kFrameSpans = 'T';      ///< span batch (from worker; doubles
+                                       ///< as a heartbeat — see
+                                       ///< obs/trace_wire.hpp for the
+                                       ///< payload format)
 
 /// Resource caps applied to a spawned child between fork and exec.
 /// Zero/negative values leave the corresponding limit untouched.

@@ -97,6 +97,38 @@ inline std::string mangle_line(const std::string& text, util::Rng& rng) {
   return out;
 }
 
+/// Corruption battery for the 'T' (span-batch) frame payload: everything a
+/// malicious or dying worker could put on the wire. Line truncations and
+/// seeded token mutations of a well-formed payload, plus structural
+/// attacks — wrong version, oversized names, megabyte blobs, raw binary
+/// garbage, absurd counts. The decode contract under every variant:
+/// decode_span_batch never throws, never yields more than its caps, and
+/// at worst garbles the one trace the payload belongs to.
+inline std::vector<std::string> span_batch_faults(const std::string& payload,
+                                                  util::Rng& rng) {
+  std::vector<std::string> out = truncations(payload);
+  for (int i = 0; i < 48; ++i) out.push_back(mutate_token(payload, rng));
+  for (int i = 0; i < 16; ++i) out.push_back(mangle_line(payload, rng));
+  out.push_back("");
+  out.push_back("\n");
+  out.push_back("spans v2 now=0 dropped=0\n");
+  out.push_back("spans v1 now=zzz dropped=0\nname\t1\t2\t3\n");
+  out.push_back("spans v1 now=0 dropped=99999999999999999999999\n");
+  out.push_back("spans v1 now=0 dropped=0\n" + std::string(4096, 'n') +
+                "\t1\t2\t3\n");
+  out.push_back("spans v1 now=0 dropped=0\n\t\t\t\n\t1\t2\t3\n");
+  out.push_back("spans v1 now=0 dropped=0\nname\t98765432109876543210\t2\t3\n");
+  out.push_back("spans v1 now=0 dropped=0\nname\t1\t2\t3\tk=i1\tq=dx\tz\n");
+  out.push_back(std::string(1u << 20, 'A'));
+  std::string garbage;
+  for (int i = 0; i < 4096; ++i) {
+    garbage.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  out.push_back(garbage);
+  out.push_back("spans v1 now=0 dropped=0\n" + garbage);
+  return out;
+}
+
 /// The guardrail contract: parsing `text` either succeeds or fails with a
 /// util::InputError carrying a non-empty diagnostic. `parse` receives a
 /// std::istream&. Returns true when the variant parsed cleanly (so tests

@@ -16,7 +16,12 @@
 #      killing the daemon;
 #   5. the same crash-free fleet run under --isolation=thread and
 #      --isolation=process leaves byte-identical journals once the
-#      timing field is normalized out.
+#      timing fields are normalized out;
+#   6. (woven through 1) per-job distributed tracing: killing a live
+#      worker mid-job leaves a flight-recorder dump under --flight-dir
+#      naming the job and its last recorded phase, and the finished job's
+#      GET /jobs/<id>/trace merges time-aligned worker spans (real worker
+#      pid) with the daemon's own supervision spans (pid 1).
 #
 # Usage: partitiond_worker_crash.sh /path/to/partitiond /path/to/fixedpart-worker
 set -euo pipefail
@@ -111,7 +116,8 @@ export FIXEDPART_WORKER_CRASH_ONCE_SEED=41
 export FIXEDPART_WORKER_CRASH_FLAG="$workdir/crash_once.flag"
 export FIXEDPART_WORKER_CRASH_SEED=43
 start_daemon --isolation=process --worker="$worker" --workers=1 \
-  --queue-capacity=8 --max-attempts=3 --default-budget=30 --test-slow-ms=2000
+  --queue-capacity=8 --max-attempts=3 --default-budget=30 --test-slow-ms=2000 \
+  --flight-dir=flight
 
 # 1. Clean-but-slow job; kill -9 its worker process mid-run.
 id_clean=$(submit 7)
@@ -122,6 +128,10 @@ for _ in $(seq 1 250); do
   sleep 0.02
 done
 [ -n "$worker_pid" ] || { echo "FAIL: no worker process appeared"; cat daemon.log daemon.err; exit 1; }
+# Let the worker's first 'T' span frame (the worker.start marker) reach
+# the daemon, so the kill happens on a worker with a recorded phase; the
+# --test-slow-ms pad keeps the job mid-run far longer than this.
+sleep 0.5
 kill -9 "$worker_pid"
 echo "phase 1: killed worker pid=$worker_pid mid-job"
 
@@ -132,6 +142,31 @@ echo "$reply" | grep -q "HTTP/1.1 200" || { echo "FAIL: daemon unhealthy after w
 await_state "$id_clean" '"status": "ok"'
 expect_worker_stat crashed 1
 echo "phase 1: job survived its worker (retried in a fresh process)"
+
+# 6a. The kill left a well-formed flight-recorder dump naming the job and
+# its last recorded phase (the worker.start marker streamed before death).
+flight_dump="flight/crash-$id_clean.json"
+[ -f "$flight_dump" ] || { echo "FAIL: no flight dump at $flight_dump"; ls -la flight 2>/dev/null; exit 1; }
+grep -q '"reason": "crash"' "$flight_dump" || { echo "FAIL: dump lacks crash reason"; cat "$flight_dump"; exit 1; }
+grep -q "\"job\": \"$id_clean\"" "$flight_dump" || { echo "FAIL: dump does not name the job"; cat "$flight_dump"; exit 1; }
+grep -q '"phase": "worker.start"' "$flight_dump" || { echo "FAIL: dump lacks the last recorded phase"; cat "$flight_dump"; exit 1; }
+grep -q '"entries"' "$flight_dump" || { echo "FAIL: dump lacks the flight ring"; cat "$flight_dump"; exit 1; }
+echo "phase 6a: flight dump names job + last phase ($flight_dump)"
+
+# 6b. The finished job's trace merges time-aligned worker spans (tagged
+# with the real worker pid) with the daemon's own supervision spans
+# (pid 1) under one job-derived trace id.
+req GET "/jobs/$id_clean/trace"
+echo "$reply" | grep -q "HTTP/1.1 200" || { echo "FAIL: /jobs/<id>/trace not served:"; echo "$reply"; exit 1; }
+echo "$reply" | grep -q '"traceEvents"' || { echo "FAIL: trace is not Chrome trace JSON"; echo "$reply"; exit 1; }
+echo "$reply" | grep -q '"worker.start"' || { echo "FAIL: trace lacks worker-side spans"; echo "$reply"; exit 1; }
+echo "$reply" | grep -q '"svc.job_attempt"' || { echo "FAIL: trace lacks server-side spans"; echo "$reply"; exit 1; }
+echo "$reply" | grep -q '"pid": 1[,}]' || { echo "FAIL: trace lacks daemon-side pid 1 spans"; echo "$reply"; exit 1; }
+# At least one span from a real worker process (pid > 1).
+echo "$reply" | grep -Eq '"pid": [0-9]{2,}' || { echo "FAIL: trace lacks worker-pid spans"; echo "$reply"; exit 1; }
+req GET "/jobs/00000000000000000000000000000000/trace"
+echo "$reply" | grep -q "HTTP/1.1 404" || { echo "FAIL: unknown trace not 404:"; echo "$reply"; exit 1; }
+echo "phase 6b: merged worker+server trace served at /jobs/<id>/trace"
 
 # 2. Crash-exactly-once: first worker plants the flag and aborts; the
 # retry finds the flag and completes.
@@ -180,7 +215,14 @@ else
 fi
 
 # --- 5. thread/process journal parity on a crash-free fleet --------------
-normalize() { sed 's/"seconds": [^,}]*/"seconds": 0/g' "$1"; }
+# Strip every timing field (seconds plus the per-phase breakdown, which
+# exists only when tracing observed non-zero phase time) before the diff.
+normalize() {
+  sed -e 's/"\([a-z_]*seconds\)": [^,}]*/"\1": 0/g' \
+      -e 's/, "coarsen_seconds": 0//g' \
+      -e 's/, "initial_seconds": 0//g' \
+      -e 's/, "refine_seconds": 0//g' "$1"
+}
 for mode in thread process; do
   mkdir -p "$mode"
   rm -f port.txt jobs.journal

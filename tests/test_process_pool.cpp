@@ -20,10 +20,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fault_inject.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_wire.hpp"
 #include "svc/executor.hpp"
 #include "svc/job.hpp"
 #include "util/deadline.hpp"
@@ -282,6 +287,112 @@ TEST(ProcessPool, ConstructorRejectsBadConfig) {
   zero.max_job_crashes = 0;
   EXPECT_THROW(ProcessPool pool(zero), std::invalid_argument);
 }
+
+// --- span streaming over the 'T' frame (PR 10) -----------------------------
+
+#if FIXEDPART_OBS_ENABLED
+
+TEST(ProcessPool, WorkerSpansMergeTimeAlignedAndPidTagged) {
+  ProcessPool pool(base_config());
+  const JobSpec spec = make_spec("traced-1", 11);
+  obs::SpanBuffer spans;
+  // The same arrangement run_supervised_job makes: the attendant inherits
+  // this thread's context, so worker spans land in the job's buffer.
+  obs::ScopedTraceContext context(obs::trace_id_for(spec.id), &spans);
+  const std::int64_t before_ns = obs::trace_now_ns();
+  const JobResult result = pool.attempt(spec, util::Deadline());
+  const std::int64_t after_ns = obs::trace_now_ns();
+  EXPECT_GT(result.moves, 0);
+
+  const std::vector<obs::TraceEvent> events = spans.events();
+  ASSERT_FALSE(events.empty());
+  bool saw_marker = false;
+  bool saw_engine_span = false;
+  for (const obs::TraceEvent& event : events) {
+    // Every merged span is tagged with the worker's real pid (never 0 =
+    // local) and the job's trace id.
+    EXPECT_NE(event.pid, 0u);
+    EXPECT_EQ(event.trace_id, obs::trace_id_for(spec.id));
+    // Time alignment: the estimated epoch offset never undershoots the
+    // true one (it is a min over one-way transit times), so every
+    // rebased span lands inside the parent-side attempt window.
+    EXPECT_GE(event.start_ns, before_ns);
+    EXPECT_LE(event.start_ns, after_ns);
+    if (std::string(event.name) == "worker.start") saw_marker = true;
+    if (std::string(event.name).rfind("ml.", 0) == 0) saw_engine_span = true;
+  }
+  EXPECT_TRUE(saw_marker);
+  EXPECT_TRUE(saw_engine_span);
+}
+
+TEST(ProcessPool, MaliciousSpanFramesCorruptOnlyTheirOwnTrace) {
+  ScopedEnv bad("FIXEDPART_WORKER_BAD_SPANS_SEED", "555");
+  ProcessPool pool(base_config());
+
+  // The hostile job: floods the parent with corrupt 'T' frames, then
+  // runs normally. The attempt must still succeed, and the garbage is
+  // confined to this job's buffer (bounded names, counted drops).
+  const JobSpec hostile = make_spec("hostile-1", 555);
+  obs::SpanBuffer hostile_spans;
+  {
+    obs::ScopedTraceContext context(obs::trace_id_for(hostile.id),
+                                    &hostile_spans);
+    const JobResult result = pool.attempt(hostile, util::Deadline());
+    EXPECT_GT(result.moves, 0);
+  }
+  EXPECT_GT(hostile_spans.dropped(), 0u);  // remote drops + malformed lines
+  for (const obs::TraceEvent& event : hostile_spans.events()) {
+    EXPECT_LE(std::string(event.name).size(), obs::kMaxWireNameBytes);
+  }
+
+  // A clean job through the same pool afterwards: its trace contains
+  // exactly its own worker's spans, none of the hostile leftovers.
+  const JobSpec clean = make_spec("clean-after-hostile", 11);
+  obs::SpanBuffer clean_spans;
+  {
+    obs::ScopedTraceContext context(obs::trace_id_for(clean.id),
+                                    &clean_spans);
+    const JobResult result = pool.attempt(clean, util::Deadline());
+    EXPECT_GT(result.moves, 0);
+  }
+  EXPECT_EQ(clean_spans.dropped(), 0u);
+  bool saw_marker = false;
+  for (const obs::TraceEvent& event : clean_spans.events()) {
+    EXPECT_EQ(event.trace_id, obs::trace_id_for(clean.id));
+    const std::string name = event.name;
+    EXPECT_EQ(name.find("future"), std::string::npos);
+    EXPECT_EQ(name.find("torn"), std::string::npos);
+    if (name == "worker.start") saw_marker = true;
+  }
+  EXPECT_TRUE(saw_marker);
+  EXPECT_EQ(pool.stats().crashed, 0);
+}
+
+TEST(ProcessPool, CrashedWorkerLeavesFlightDumpNamingTheJob) {
+  const fs::path dir =
+      fs::temp_directory_path() / "fp_pool_flight_crash_dump";
+  fs::remove_all(dir);
+  ScopedEnv crash("FIXEDPART_WORKER_CRASH_SEED", "777");
+  ProcessPoolConfig config = base_config();
+  config.flight_dir = dir.string();
+  config.max_job_crashes = 2;
+  ProcessPool pool(config);
+  const JobSpec spec = make_spec("crash-dump-1", 777);
+  EXPECT_THROW(pool.attempt(spec, util::Deadline()), WorkerCrashError);
+  const fs::path expected = dir / ("crash-" + spec.id + ".json");
+  ASSERT_TRUE(fs::exists(expected)) << expected;
+  std::ifstream in(expected);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string dump = content.str();
+  EXPECT_NE(dump.find("\"reason\": \"crash\""), std::string::npos);
+  EXPECT_NE(dump.find("\"job\": \"" + spec.id + "\""), std::string::npos);
+  EXPECT_NE(dump.find("\"phase\""), std::string::npos);
+  EXPECT_NE(dump.find("\"entries\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+#endif  // FIXEDPART_OBS_ENABLED
 
 }  // namespace
 }  // namespace fixedpart::svc

@@ -34,7 +34,10 @@
 #include "hg/builder.hpp"
 #include "hg/io_binary.hpp"
 #include "hg/io_hmetis.hpp"
+#include "obs/flight.hpp"
 #include "obs/http.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "svc/executor.hpp"
 #include "svc/job.hpp"
 #include "util/deadline.hpp"
@@ -979,6 +982,168 @@ TEST(Server, ProgressJsonTracksCounts) {
   server.drain();
 }
 
+// --- per-job traces + flight recorder (PR 10) ------------------------------
+
+/// Runner that opens a recognizable span so the job's trace has a known
+/// marker (lands in the per-job buffer via the thread-local context that
+/// run_supervised_job pushes around the attempt).
+JobResult traced_runner(const JobSpec& spec, const util::Deadline& deadline) {
+  obs::ScopedSpan span("test.phase");
+  return fast_runner(spec, deadline);
+}
+
+TEST(ServerTrace, TraceIsServedAfterCompletionAnd404Before) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "FIXEDPART_OBS=OFF";
+  ServerConfig config = base_config();
+  config.runner = traced_runner;
+  PartitionServer server(config);
+  server.start();
+  int status = 0;
+  server.trace_json("0123456789abcdef0123456789abcdef", &status);
+  EXPECT_EQ(status, 404);  // unknown job: clean 404, not an empty trace
+  const SubmitResult submitted = server.submit(kSpecBody, "");
+  ASSERT_EQ(submitted.http_status, 202);
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+  const std::string trace = server.trace_json(submitted.id, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.phase\""), std::string::npos);
+  // Rendered once and cached: byte-identical on re-read.
+  EXPECT_EQ(trace, server.trace_json(submitted.id, &status));
+  server.drain();
+}
+
+TEST(ServerTrace, TraceBytesGaugeGrowsAndShrinksWithEviction) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "FIXEDPART_OBS=OFF";
+  ServerConfig config = base_config();
+  config.runner = traced_runner;
+  config.done_capacity = 1;
+  PartitionServer server(config);
+  server.start();
+  const SubmitResult first = server.submit(kSpecBody, "");
+  ASSERT_EQ(first.http_status, 202);
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+  const obs::Snapshot after_first = obs::Registry::global().scrape();
+  const obs::GaugeValue* gauge =
+      after_first.gauge("svc.server.trace_bytes");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_GT(gauge->value, 0.0);
+
+  // A second distinct job evicts the first (done_capacity = 1): its
+  // cached trace goes with it and the gauge tracks only the survivor.
+  const SubmitResult second = server.submit(
+      "{\"circuit\": 1, \"scale\": \"smoke\", \"starts\": 1, \"seed\": 8}",
+      "");
+  ASSERT_EQ(second.http_status, 202);
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 2; }));
+  int status = 0;
+  server.trace_json(first.id, &status);
+  EXPECT_EQ(status, 404);  // evicted with the result record
+  const std::string survivor = server.trace_json(second.id, &status);
+  EXPECT_EQ(status, 200);
+  const obs::Snapshot after_evict = obs::Registry::global().scrape();
+  gauge = after_evict.gauge("svc.server.trace_bytes");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, static_cast<double>(survivor.size()));
+  server.drain();
+}
+
+TEST(ServerTrace, RestartAnswers404NotAPartialTrace) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "FIXEDPART_OBS=OFF";
+  TempDir dir;
+  ServerConfig config = base_config();
+  config.runner = traced_runner;
+  config.journal_path = dir.file("jobs.journal");
+  std::string id;
+  {
+    PartitionServer server(config);
+    server.start();
+    const SubmitResult submitted = server.submit(kSpecBody, "");
+    ASSERT_EQ(submitted.http_status, 202);
+    id = submitted.id;
+    ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+    int status = 0;
+    server.trace_json(id, &status);
+    ASSERT_EQ(status, 200);
+    server.drain();
+  }
+  // The journal replays the outcome, never in-flight spans: the restarted
+  // server re-serves the result but answers the trace route with a clean
+  // 404 — whole trace or nothing, never a truncated one.
+  PartitionServer restarted(config);
+  restarted.start();
+  int status = 0;
+  const std::string record = restarted.status_json(id, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(record.find("\"state\": \"done\""), std::string::npos);
+  restarted.trace_json(id, &status);
+  EXPECT_EQ(status, 404);
+  restarted.drain();
+}
+
+TEST(ServerTrace, ProgressListsRunningJobsWithLivePhase) {
+  Gate gate;
+  ServerConfig config = base_config();
+  config.runner = [&gate](const JobSpec& spec,
+                          const util::Deadline& deadline) {
+    // The span stays open while the job is parked on the gate — exactly
+    // what /progress should report as the current phase.
+    obs::ScopedSpan span("test.gated_phase");
+    gate.await(deadline);
+    return fast_runner(spec, deadline);
+  };
+  PartitionServer server(config);
+  server.start();
+  const SubmitResult submitted = server.submit(kSpecBody, "");
+  ASSERT_EQ(submitted.http_status, 202);
+  ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+  const std::string progress = server.progress_json();
+  EXPECT_NE(progress.find("\"running_jobs\": [{\"id\": \"" + submitted.id),
+            std::string::npos);
+  if constexpr (obs::kEnabled) {
+    EXPECT_NE(progress.find("\"phase\": \"test.gated_phase\""),
+              std::string::npos);
+    EXPECT_NE(progress.find("\"phase_seconds\""), std::string::npos);
+  }
+  gate.release();
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+  EXPECT_NE(server.progress_json().find("\"running_jobs\": []"),
+            std::string::npos);
+  server.drain();
+}
+
+TEST(ServerTrace, WatchdogFireDumpsFlightRecord) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "FIXEDPART_OBS=OFF";
+  TempDir dir;
+  Gate gate;  // never released: only the watchdog ends the attempt
+  ServerConfig config = base_config();
+  config.runner = [&gate](const JobSpec& spec,
+                          const util::Deadline& deadline) {
+    obs::ScopedSpan span("test.stuck_phase");
+    gate.await(deadline);
+    JobResult result;
+    result.cut = static_cast<Weight>(spec.seed % 1000);
+    result.truncated = deadline.expired();
+    return result;
+  };
+  config.hang_seconds = 0.2;
+  config.flight_dir = dir.file("flight");
+  PartitionServer server(config);
+  server.start();
+  const SubmitResult submitted = server.submit(kSpecBody, "");
+  ASSERT_EQ(submitted.http_status, 202);
+  const std::string expected =
+      config.flight_dir + "/watchdog-" + submitted.id + ".json";
+  ASSERT_TRUE(eventually([&] { return fs::exists(expected); }));
+  const std::string dump = read_file(expected);
+  EXPECT_NE(dump.find("\"reason\": \"watchdog\""), std::string::npos);
+  EXPECT_NE(dump.find("\"job\": \"" + submitted.id + "\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"phase\": \"test.stuck_phase\""), std::string::npos);
+  ASSERT_TRUE(eventually([&] { return server.done_total() == 1; }));
+  server.drain();
+}
+
 #if FIXEDPART_OBS_ENABLED && defined(__unix__)
 
 // --- the HTTP surface (live endpoint + socket faults) -----------------------
@@ -1053,6 +1218,46 @@ TEST(ServerHttp, SubmitPollCancelOverRealSockets) {
             405);
   EXPECT_EQ(http_status(http_exchange(daemon.port(),
                                       http_request("GET", "/partition"))),
+            405);
+}
+
+TEST(ServerHttp, TraceAndFlightRoutesOverRealSockets) {
+  ServerConfig config = base_config();
+  config.runner = traced_runner;
+  LiveDaemon daemon(config);
+
+  const std::string accepted =
+      http_exchange(daemon.port(), http_request("POST", "/partition",
+                                                kSpecBody));
+  ASSERT_EQ(http_status(accepted), 202);
+  const std::string body = http_body(accepted);
+  const std::size_t at = body.find("\"id\": \"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string id = body.substr(at + 7, 32);
+  ASSERT_TRUE(
+      eventually([&] { return daemon.server.done_total() == 1; }));
+
+  const std::string trace = http_exchange(
+      daemon.port(), http_request("GET", "/jobs/" + id + "/trace"));
+  EXPECT_EQ(http_status(trace), 200);
+  EXPECT_NE(http_body(trace).find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(http_body(trace).find("\"test.phase\""), std::string::npos);
+
+  EXPECT_EQ(http_status(http_exchange(
+                daemon.port(),
+                http_request("GET", "/jobs/nonexistent/trace"))),
+            404);
+  EXPECT_EQ(http_status(http_exchange(
+                daemon.port(),
+                http_request("DELETE", "/jobs/" + id + "/trace"))),
+            405);
+
+  const std::string flight = http_exchange(
+      daemon.port(), http_request("GET", "/debug/flight"));
+  EXPECT_EQ(http_status(flight), 200);
+  EXPECT_NE(http_body(flight).find("\"entries\""), std::string::npos);
+  EXPECT_EQ(http_status(http_exchange(
+                daemon.port(), http_request("POST", "/debug/flight"))),
             405);
 }
 
