@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_clip_vs_lifo"
+  "../bench/ablation_clip_vs_lifo.pdb"
+  "CMakeFiles/ablation_clip_vs_lifo.dir/ablation_clip_vs_lifo.cpp.o"
+  "CMakeFiles/ablation_clip_vs_lifo.dir/ablation_clip_vs_lifo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clip_vs_lifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

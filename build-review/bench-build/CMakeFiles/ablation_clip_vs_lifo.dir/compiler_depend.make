@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_clip_vs_lifo.
+# This may be replaced when dependencies are built.

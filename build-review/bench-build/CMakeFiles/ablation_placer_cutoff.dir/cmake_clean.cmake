@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_placer_cutoff"
+  "../bench/ablation_placer_cutoff.pdb"
+  "CMakeFiles/ablation_placer_cutoff.dir/ablation_placer_cutoff.cpp.o"
+  "CMakeFiles/ablation_placer_cutoff.dir/ablation_placer_cutoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_placer_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

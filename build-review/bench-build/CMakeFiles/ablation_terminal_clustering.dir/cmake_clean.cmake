@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_terminal_clustering"
+  "../bench/ablation_terminal_clustering.pdb"
+  "CMakeFiles/ablation_terminal_clustering.dir/ablation_terminal_clustering.cpp.o"
+  "CMakeFiles/ablation_terminal_clustering.dir/ablation_terminal_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_terminal_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

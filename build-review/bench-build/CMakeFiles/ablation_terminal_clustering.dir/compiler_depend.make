@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_terminal_clustering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_terminal_clustering.
+# This may be replaced when dependencies are built.

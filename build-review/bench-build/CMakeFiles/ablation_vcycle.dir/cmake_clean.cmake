@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vcycle"
+  "../bench/ablation_vcycle.pdb"
+  "CMakeFiles/ablation_vcycle.dir/ablation_vcycle.cpp.o"
+  "CMakeFiles/ablation_vcycle.dir/ablation_vcycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_large"
+  "../bench/bench_large.pdb"
+  "CMakeFiles/bench_large.dir/bench_large.cpp.o"
+  "CMakeFiles/bench_large.dir/bench_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

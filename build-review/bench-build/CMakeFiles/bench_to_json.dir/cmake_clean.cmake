@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_to_json"
+  "../bench/bench_to_json.pdb"
+  "CMakeFiles/bench_to_json.dir/bench_to_json.cpp.o"
+  "CMakeFiles/bench_to_json.dir/bench_to_json.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_to_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

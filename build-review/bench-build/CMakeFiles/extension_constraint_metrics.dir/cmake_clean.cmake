@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_constraint_metrics"
+  "../bench/extension_constraint_metrics.pdb"
+  "CMakeFiles/extension_constraint_metrics.dir/extension_constraint_metrics.cpp.o"
+  "CMakeFiles/extension_constraint_metrics.dir/extension_constraint_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_constraint_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

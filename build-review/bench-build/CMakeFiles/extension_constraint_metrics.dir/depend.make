@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_constraint_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_high_degree"
+  "../bench/extension_high_degree.pdb"
+  "CMakeFiles/extension_high_degree.dir/extension_high_degree.cpp.o"
+  "CMakeFiles/extension_high_degree.dir/extension_high_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_high_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

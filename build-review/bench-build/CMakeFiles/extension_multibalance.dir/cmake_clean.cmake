@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_multibalance"
+  "../bench/extension_multibalance.pdb"
+  "CMakeFiles/extension_multibalance.dir/extension_multibalance.cpp.o"
+  "CMakeFiles/extension_multibalance.dir/extension_multibalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multibalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

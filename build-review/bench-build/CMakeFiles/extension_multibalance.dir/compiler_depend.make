@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extension_multibalance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_multiway"
+  "../bench/extension_multiway.pdb"
+  "CMakeFiles/extension_multiway.dir/extension_multiway.cpp.o"
+  "CMakeFiles/extension_multiway.dir/extension_multiway.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_overconstrained.cpp" "bench-build/CMakeFiles/extension_overconstrained.dir/extension_overconstrained.cpp.o" "gcc" "bench-build/CMakeFiles/extension_overconstrained.dir/extension_overconstrained.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/experiments/CMakeFiles/fp_experiments.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/place/CMakeFiles/fp_place.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/fp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/fp_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/part/CMakeFiles/fp_part.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/svc/CMakeFiles/fp_svc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

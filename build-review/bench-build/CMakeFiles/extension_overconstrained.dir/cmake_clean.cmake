@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_overconstrained"
+  "../bench/extension_overconstrained.pdb"
+  "CMakeFiles/extension_overconstrained.dir/extension_overconstrained.cpp.o"
+  "CMakeFiles/extension_overconstrained.dir/extension_overconstrained.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_overconstrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

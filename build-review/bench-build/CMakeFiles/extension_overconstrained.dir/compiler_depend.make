@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extension_overconstrained.
+# This may be replaced when dependencies are built.

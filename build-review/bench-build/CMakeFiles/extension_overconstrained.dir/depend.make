@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_overconstrained.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_fixed_sweep_ibm01"
+  "../bench/fig1_fixed_sweep_ibm01.pdb"
+  "CMakeFiles/fig1_fixed_sweep_ibm01.dir/fig1_fixed_sweep_ibm01.cpp.o"
+  "CMakeFiles/fig1_fixed_sweep_ibm01.dir/fig1_fixed_sweep_ibm01.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fixed_sweep_ibm01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

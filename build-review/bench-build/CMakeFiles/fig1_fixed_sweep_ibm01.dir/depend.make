@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_fixed_sweep_ibm01.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_fixed_sweep_ibm03"
+  "../bench/fig2_fixed_sweep_ibm03.pdb"
+  "CMakeFiles/fig2_fixed_sweep_ibm03.dir/fig2_fixed_sweep_ibm03.cpp.o"
+  "CMakeFiles/fig2_fixed_sweep_ibm03.dir/fig2_fixed_sweep_ibm03.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fixed_sweep_ibm03.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

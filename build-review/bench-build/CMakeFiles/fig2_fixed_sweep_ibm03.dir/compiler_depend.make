@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_fixed_sweep_ibm03.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_partition"
+  "../bench/micro_partition.pdb"
+  "CMakeFiles/micro_partition.dir/micro_partition.cpp.o"
+  "CMakeFiles/micro_partition.dir/micro_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

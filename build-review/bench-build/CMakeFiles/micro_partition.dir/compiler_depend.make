@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_partition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_partition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_rent"
+  "../bench/table1_rent.pdb"
+  "CMakeFiles/table1_rent.dir/table1_rent.cpp.o"
+  "CMakeFiles/table1_rent.dir/table1_rent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_pass_stats"
+  "../bench/table2_pass_stats.pdb"
+  "CMakeFiles/table2_pass_stats.dir/table2_pass_stats.cpp.o"
+  "CMakeFiles/table2_pass_stats.dir/table2_pass_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pass_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

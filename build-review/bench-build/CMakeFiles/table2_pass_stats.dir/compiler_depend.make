@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_pass_stats.
+# This may be replaced when dependencies are built.

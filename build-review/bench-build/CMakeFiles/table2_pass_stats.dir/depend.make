@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_pass_stats.
+# This may be replaced when dependencies are built.

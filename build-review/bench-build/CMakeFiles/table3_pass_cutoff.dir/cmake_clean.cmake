@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_pass_cutoff"
+  "../bench/table3_pass_cutoff.pdb"
+  "CMakeFiles/table3_pass_cutoff.dir/table3_pass_cutoff.cpp.o"
+  "CMakeFiles/table3_pass_cutoff.dir/table3_pass_cutoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pass_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

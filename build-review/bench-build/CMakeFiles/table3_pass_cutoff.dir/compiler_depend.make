@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_pass_cutoff.
+# This may be replaced when dependencies are built.

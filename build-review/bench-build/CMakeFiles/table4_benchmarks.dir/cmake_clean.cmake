@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_benchmarks"
+  "../bench/table4_benchmarks.pdb"
+  "CMakeFiles/table4_benchmarks.dir/table4_benchmarks.cpp.o"
+  "CMakeFiles/table4_benchmarks.dir/table4_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_benchmarks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(large_scale_smoke "bash" "/root/repo/tests/large_scale.sh" "/root/repo/build-review/bench/bench_large")
+set_tests_properties(large_scale_smoke PROPERTIES  LABELS "scale" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke "/root/repo/build-review/bench/bench_to_json" "--smoke" "--out=/root/repo/build-review/bench-build/bench_smoke.json")
+set_tests_properties(bench_smoke PROPERTIES  LABELS "bench-smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_metrics_scrape "bash" "/root/repo/tests/bench_metrics_scrape.sh" "/root/repo/build-review/bench/bench_to_json")
+set_tests_properties(bench_metrics_scrape PROPERTIES  LABELS "bench-smoke;obs" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_runner.dir/batch_runner.cpp.o"
+  "CMakeFiles/batch_runner.dir/batch_runner.cpp.o.d"
+  "batch_runner"
+  "batch_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

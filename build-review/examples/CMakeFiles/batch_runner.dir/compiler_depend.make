@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for batch_runner.
+# This may be replaced when dependencies are built.

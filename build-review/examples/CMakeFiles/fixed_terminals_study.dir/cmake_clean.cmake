@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_terminals_study.dir/fixed_terminals_study.cpp.o"
+  "CMakeFiles/fixed_terminals_study.dir/fixed_terminals_study.cpp.o.d"
+  "fixed_terminals_study"
+  "fixed_terminals_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_terminals_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fixed_terminals_study.
+# This may be replaced when dependencies are built.

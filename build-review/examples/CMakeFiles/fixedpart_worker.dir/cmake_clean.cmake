@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpart_worker.dir/fixedpart_worker.cpp.o"
+  "CMakeFiles/fixedpart_worker.dir/fixedpart_worker.cpp.o.d"
+  "fixedpart-worker"
+  "fixedpart-worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpart_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fixedpart_worker.
+# This may be replaced when dependencies are built.

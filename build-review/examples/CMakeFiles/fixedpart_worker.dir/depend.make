@@ -1,0 +1,2 @@
+# Empty dependencies file for fixedpart_worker.
+# This may be replaced when dependencies are built.

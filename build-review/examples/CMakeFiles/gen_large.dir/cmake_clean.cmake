@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_large.dir/gen_large.cpp.o"
+  "CMakeFiles/gen_large.dir/gen_large.cpp.o.d"
+  "gen_large"
+  "gen_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

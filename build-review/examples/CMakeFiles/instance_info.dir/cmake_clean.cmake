@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_info.dir/instance_info.cpp.o"
+  "CMakeFiles/instance_info.dir/instance_info.cpp.o.d"
+  "instance_info"
+  "instance_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for instance_info.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_file.dir/partition_file.cpp.o"
+  "CMakeFiles/partition_file.dir/partition_file.cpp.o.d"
+  "partition_file"
+  "partition_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

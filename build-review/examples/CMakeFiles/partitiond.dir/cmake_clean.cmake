@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitiond.dir/partitiond.cpp.o"
+  "CMakeFiles/partitiond.dir/partitiond.cpp.o.d"
+  "partitiond"
+  "partitiond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitiond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

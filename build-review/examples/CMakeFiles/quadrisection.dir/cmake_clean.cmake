@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrisection.dir/quadrisection.cpp.o"
+  "CMakeFiles/quadrisection.dir/quadrisection.cpp.o.d"
+  "quadrisection"
+  "quadrisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  "quickstart"
+  "quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

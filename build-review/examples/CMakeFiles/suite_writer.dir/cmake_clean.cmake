@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_writer.dir/suite_writer.cpp.o"
+  "CMakeFiles/suite_writer.dir/suite_writer.cpp.o.d"
+  "suite_writer"
+  "suite_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

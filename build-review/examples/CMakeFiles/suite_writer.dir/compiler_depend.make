@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for suite_writer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for suite_writer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_placer.dir/topdown_placer.cpp.o"
+  "CMakeFiles/topdown_placer.dir/topdown_placer.cpp.o.d"
+  "topdown_placer"
+  "topdown_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

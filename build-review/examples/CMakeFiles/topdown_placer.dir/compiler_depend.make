@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for topdown_placer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for topdown_placer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("hg")
+subdirs("part")
+subdirs("ml")
+subdirs("svc")
+subdirs("place")
+subdirs("gen")
+subdirs("experiments")

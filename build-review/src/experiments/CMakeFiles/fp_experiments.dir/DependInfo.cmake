@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/constraint_metrics.cpp" "src/experiments/CMakeFiles/fp_experiments.dir/constraint_metrics.cpp.o" "gcc" "src/experiments/CMakeFiles/fp_experiments.dir/constraint_metrics.cpp.o.d"
+  "/root/repo/src/experiments/context.cpp" "src/experiments/CMakeFiles/fp_experiments.dir/context.cpp.o" "gcc" "src/experiments/CMakeFiles/fp_experiments.dir/context.cpp.o.d"
+  "/root/repo/src/experiments/derive_report.cpp" "src/experiments/CMakeFiles/fp_experiments.dir/derive_report.cpp.o" "gcc" "src/experiments/CMakeFiles/fp_experiments.dir/derive_report.cpp.o.d"
+  "/root/repo/src/experiments/fixed_sweep.cpp" "src/experiments/CMakeFiles/fp_experiments.dir/fixed_sweep.cpp.o" "gcc" "src/experiments/CMakeFiles/fp_experiments.dir/fixed_sweep.cpp.o.d"
+  "/root/repo/src/experiments/pass_experiments.cpp" "src/experiments/CMakeFiles/fp_experiments.dir/pass_experiments.cpp.o" "gcc" "src/experiments/CMakeFiles/fp_experiments.dir/pass_experiments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/svc/CMakeFiles/fp_svc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/fp_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/fp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/part/CMakeFiles/fp_part.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_experiments.dir/constraint_metrics.cpp.o"
+  "CMakeFiles/fp_experiments.dir/constraint_metrics.cpp.o.d"
+  "CMakeFiles/fp_experiments.dir/context.cpp.o"
+  "CMakeFiles/fp_experiments.dir/context.cpp.o.d"
+  "CMakeFiles/fp_experiments.dir/derive_report.cpp.o"
+  "CMakeFiles/fp_experiments.dir/derive_report.cpp.o.d"
+  "CMakeFiles/fp_experiments.dir/fixed_sweep.cpp.o"
+  "CMakeFiles/fp_experiments.dir/fixed_sweep.cpp.o.d"
+  "CMakeFiles/fp_experiments.dir/pass_experiments.cpp.o"
+  "CMakeFiles/fp_experiments.dir/pass_experiments.cpp.o.d"
+  "libfp_experiments.a"
+  "libfp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

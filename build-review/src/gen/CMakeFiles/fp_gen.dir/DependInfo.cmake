@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/derive.cpp" "src/gen/CMakeFiles/fp_gen.dir/derive.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/derive.cpp.o.d"
+  "/root/repo/src/gen/netlist_gen.cpp" "src/gen/CMakeFiles/fp_gen.dir/netlist_gen.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/netlist_gen.cpp.o.d"
+  "/root/repo/src/gen/regimes.cpp" "src/gen/CMakeFiles/fp_gen.dir/regimes.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/regimes.cpp.o.d"
+  "/root/repo/src/gen/rent.cpp" "src/gen/CMakeFiles/fp_gen.dir/rent.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/rent.cpp.o.d"
+  "/root/repo/src/gen/rent_fit.cpp" "src/gen/CMakeFiles/fp_gen.dir/rent_fit.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/rent_fit.cpp.o.d"
+  "/root/repo/src/gen/stream_gen.cpp" "src/gen/CMakeFiles/fp_gen.dir/stream_gen.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/stream_gen.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/gen/CMakeFiles/fp_gen.dir/suite.cpp.o" "gcc" "src/gen/CMakeFiles/fp_gen.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_gen.dir/derive.cpp.o"
+  "CMakeFiles/fp_gen.dir/derive.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/netlist_gen.cpp.o"
+  "CMakeFiles/fp_gen.dir/netlist_gen.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/regimes.cpp.o"
+  "CMakeFiles/fp_gen.dir/regimes.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/rent.cpp.o"
+  "CMakeFiles/fp_gen.dir/rent.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/rent_fit.cpp.o"
+  "CMakeFiles/fp_gen.dir/rent_fit.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/stream_gen.cpp.o"
+  "CMakeFiles/fp_gen.dir/stream_gen.cpp.o.d"
+  "CMakeFiles/fp_gen.dir/suite.cpp.o"
+  "CMakeFiles/fp_gen.dir/suite.cpp.o.d"
+  "libfp_gen.a"
+  "libfp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hg/builder.cpp" "src/hg/CMakeFiles/fp_hg.dir/builder.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/builder.cpp.o.d"
+  "/root/repo/src/hg/fixed.cpp" "src/hg/CMakeFiles/fp_hg.dir/fixed.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/fixed.cpp.o.d"
+  "/root/repo/src/hg/hypergraph.cpp" "src/hg/CMakeFiles/fp_hg.dir/hypergraph.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/hypergraph.cpp.o.d"
+  "/root/repo/src/hg/io_binary.cpp" "src/hg/CMakeFiles/fp_hg.dir/io_binary.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/io_binary.cpp.o.d"
+  "/root/repo/src/hg/io_bookshelf.cpp" "src/hg/CMakeFiles/fp_hg.dir/io_bookshelf.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/io_bookshelf.cpp.o.d"
+  "/root/repo/src/hg/io_hmetis.cpp" "src/hg/CMakeFiles/fp_hg.dir/io_hmetis.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/io_hmetis.cpp.o.d"
+  "/root/repo/src/hg/io_netare.cpp" "src/hg/CMakeFiles/fp_hg.dir/io_netare.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/io_netare.cpp.o.d"
+  "/root/repo/src/hg/io_solution.cpp" "src/hg/CMakeFiles/fp_hg.dir/io_solution.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/io_solution.cpp.o.d"
+  "/root/repo/src/hg/stats.cpp" "src/hg/CMakeFiles/fp_hg.dir/stats.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/stats.cpp.o.d"
+  "/root/repo/src/hg/subgraph.cpp" "src/hg/CMakeFiles/fp_hg.dir/subgraph.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/subgraph.cpp.o.d"
+  "/root/repo/src/hg/transform.cpp" "src/hg/CMakeFiles/fp_hg.dir/transform.cpp.o" "gcc" "src/hg/CMakeFiles/fp_hg.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_hg.dir/builder.cpp.o"
+  "CMakeFiles/fp_hg.dir/builder.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/fixed.cpp.o"
+  "CMakeFiles/fp_hg.dir/fixed.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/hypergraph.cpp.o"
+  "CMakeFiles/fp_hg.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/io_binary.cpp.o"
+  "CMakeFiles/fp_hg.dir/io_binary.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/io_bookshelf.cpp.o"
+  "CMakeFiles/fp_hg.dir/io_bookshelf.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/io_hmetis.cpp.o"
+  "CMakeFiles/fp_hg.dir/io_hmetis.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/io_netare.cpp.o"
+  "CMakeFiles/fp_hg.dir/io_netare.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/io_solution.cpp.o"
+  "CMakeFiles/fp_hg.dir/io_solution.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/stats.cpp.o"
+  "CMakeFiles/fp_hg.dir/stats.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/subgraph.cpp.o"
+  "CMakeFiles/fp_hg.dir/subgraph.cpp.o.d"
+  "CMakeFiles/fp_hg.dir/transform.cpp.o"
+  "CMakeFiles/fp_hg.dir/transform.cpp.o.d"
+  "libfp_hg.a"
+  "libfp_hg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_hg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fp_hg.
+# This may be replaced when dependencies are built.

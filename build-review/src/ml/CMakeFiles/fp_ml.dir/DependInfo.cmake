@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/coarsen.cpp" "src/ml/CMakeFiles/fp_ml.dir/coarsen.cpp.o" "gcc" "src/ml/CMakeFiles/fp_ml.dir/coarsen.cpp.o.d"
+  "/root/repo/src/ml/matching.cpp" "src/ml/CMakeFiles/fp_ml.dir/matching.cpp.o" "gcc" "src/ml/CMakeFiles/fp_ml.dir/matching.cpp.o.d"
+  "/root/repo/src/ml/multilevel.cpp" "src/ml/CMakeFiles/fp_ml.dir/multilevel.cpp.o" "gcc" "src/ml/CMakeFiles/fp_ml.dir/multilevel.cpp.o.d"
+  "/root/repo/src/ml/parallel.cpp" "src/ml/CMakeFiles/fp_ml.dir/parallel.cpp.o" "gcc" "src/ml/CMakeFiles/fp_ml.dir/parallel.cpp.o.d"
+  "/root/repo/src/ml/recursive_bisection.cpp" "src/ml/CMakeFiles/fp_ml.dir/recursive_bisection.cpp.o" "gcc" "src/ml/CMakeFiles/fp_ml.dir/recursive_bisection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/part/CMakeFiles/fp_part.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

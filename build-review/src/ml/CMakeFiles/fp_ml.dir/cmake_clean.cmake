@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_ml.dir/coarsen.cpp.o"
+  "CMakeFiles/fp_ml.dir/coarsen.cpp.o.d"
+  "CMakeFiles/fp_ml.dir/matching.cpp.o"
+  "CMakeFiles/fp_ml.dir/matching.cpp.o.d"
+  "CMakeFiles/fp_ml.dir/multilevel.cpp.o"
+  "CMakeFiles/fp_ml.dir/multilevel.cpp.o.d"
+  "CMakeFiles/fp_ml.dir/parallel.cpp.o"
+  "CMakeFiles/fp_ml.dir/parallel.cpp.o.d"
+  "CMakeFiles/fp_ml.dir/recursive_bisection.cpp.o"
+  "CMakeFiles/fp_ml.dir/recursive_bisection.cpp.o.d"
+  "libfp_ml.a"
+  "libfp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/exporter.cpp" "src/obs/CMakeFiles/fp_obs.dir/exporter.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/exporter.cpp.o.d"
+  "/root/repo/src/obs/exposition.cpp" "src/obs/CMakeFiles/fp_obs.dir/exposition.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/exposition.cpp.o.d"
+  "/root/repo/src/obs/flight.cpp" "src/obs/CMakeFiles/fp_obs.dir/flight.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/flight.cpp.o.d"
+  "/root/repo/src/obs/http.cpp" "src/obs/CMakeFiles/fp_obs.dir/http.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/http.cpp.o.d"
+  "/root/repo/src/obs/log.cpp" "src/obs/CMakeFiles/fp_obs.dir/log.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/log.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/obs/CMakeFiles/fp_obs.dir/registry.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/registry.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/fp_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/trace.cpp.o.d"
+  "/root/repo/src/obs/trace_wire.cpp" "src/obs/CMakeFiles/fp_obs.dir/trace_wire.cpp.o" "gcc" "src/obs/CMakeFiles/fp_obs.dir/trace_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

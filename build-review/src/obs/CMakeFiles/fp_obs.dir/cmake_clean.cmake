@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_obs.dir/exporter.cpp.o"
+  "CMakeFiles/fp_obs.dir/exporter.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/exposition.cpp.o"
+  "CMakeFiles/fp_obs.dir/exposition.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/flight.cpp.o"
+  "CMakeFiles/fp_obs.dir/flight.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/http.cpp.o"
+  "CMakeFiles/fp_obs.dir/http.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/log.cpp.o"
+  "CMakeFiles/fp_obs.dir/log.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/registry.cpp.o"
+  "CMakeFiles/fp_obs.dir/registry.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/trace.cpp.o"
+  "CMakeFiles/fp_obs.dir/trace.cpp.o.d"
+  "CMakeFiles/fp_obs.dir/trace_wire.cpp.o"
+  "CMakeFiles/fp_obs.dir/trace_wire.cpp.o.d"
+  "libfp_obs.a"
+  "libfp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fp_obs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/balance.cpp" "src/part/CMakeFiles/fp_part.dir/balance.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/balance.cpp.o.d"
+  "/root/repo/src/part/exact.cpp" "src/part/CMakeFiles/fp_part.dir/exact.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/exact.cpp.o.d"
+  "/root/repo/src/part/feasibility.cpp" "src/part/CMakeFiles/fp_part.dir/feasibility.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/feasibility.cpp.o.d"
+  "/root/repo/src/part/fm.cpp" "src/part/CMakeFiles/fp_part.dir/fm.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/fm.cpp.o.d"
+  "/root/repo/src/part/gain_buckets.cpp" "src/part/CMakeFiles/fp_part.dir/gain_buckets.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/gain_buckets.cpp.o.d"
+  "/root/repo/src/part/initial.cpp" "src/part/CMakeFiles/fp_part.dir/initial.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/initial.cpp.o.d"
+  "/root/repo/src/part/kway_fm.cpp" "src/part/CMakeFiles/fp_part.dir/kway_fm.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/kway_fm.cpp.o.d"
+  "/root/repo/src/part/pairwise.cpp" "src/part/CMakeFiles/fp_part.dir/pairwise.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/pairwise.cpp.o.d"
+  "/root/repo/src/part/partition.cpp" "src/part/CMakeFiles/fp_part.dir/partition.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/partition.cpp.o.d"
+  "/root/repo/src/part/report.cpp" "src/part/CMakeFiles/fp_part.dir/report.cpp.o" "gcc" "src/part/CMakeFiles/fp_part.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_part.dir/balance.cpp.o"
+  "CMakeFiles/fp_part.dir/balance.cpp.o.d"
+  "CMakeFiles/fp_part.dir/exact.cpp.o"
+  "CMakeFiles/fp_part.dir/exact.cpp.o.d"
+  "CMakeFiles/fp_part.dir/feasibility.cpp.o"
+  "CMakeFiles/fp_part.dir/feasibility.cpp.o.d"
+  "CMakeFiles/fp_part.dir/fm.cpp.o"
+  "CMakeFiles/fp_part.dir/fm.cpp.o.d"
+  "CMakeFiles/fp_part.dir/gain_buckets.cpp.o"
+  "CMakeFiles/fp_part.dir/gain_buckets.cpp.o.d"
+  "CMakeFiles/fp_part.dir/initial.cpp.o"
+  "CMakeFiles/fp_part.dir/initial.cpp.o.d"
+  "CMakeFiles/fp_part.dir/kway_fm.cpp.o"
+  "CMakeFiles/fp_part.dir/kway_fm.cpp.o.d"
+  "CMakeFiles/fp_part.dir/pairwise.cpp.o"
+  "CMakeFiles/fp_part.dir/pairwise.cpp.o.d"
+  "CMakeFiles/fp_part.dir/partition.cpp.o"
+  "CMakeFiles/fp_part.dir/partition.cpp.o.d"
+  "CMakeFiles/fp_part.dir/report.cpp.o"
+  "CMakeFiles/fp_part.dir/report.cpp.o.d"
+  "libfp_part.a"
+  "libfp_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

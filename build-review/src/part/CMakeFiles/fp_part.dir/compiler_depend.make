@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fp_part.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_place.dir/hpwl.cpp.o"
+  "CMakeFiles/fp_place.dir/hpwl.cpp.o.d"
+  "CMakeFiles/fp_place.dir/placer.cpp.o"
+  "CMakeFiles/fp_place.dir/placer.cpp.o.d"
+  "libfp_place.a"
+  "libfp_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

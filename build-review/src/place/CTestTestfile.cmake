@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/place
+# Build directory: /root/repo/build-review/src/place
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

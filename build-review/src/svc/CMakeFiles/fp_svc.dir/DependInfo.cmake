@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/checkpoint.cpp" "src/svc/CMakeFiles/fp_svc.dir/checkpoint.cpp.o" "gcc" "src/svc/CMakeFiles/fp_svc.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/svc/executor.cpp" "src/svc/CMakeFiles/fp_svc.dir/executor.cpp.o" "gcc" "src/svc/CMakeFiles/fp_svc.dir/executor.cpp.o.d"
+  "/root/repo/src/svc/job.cpp" "src/svc/CMakeFiles/fp_svc.dir/job.cpp.o" "gcc" "src/svc/CMakeFiles/fp_svc.dir/job.cpp.o.d"
+  "/root/repo/src/svc/process_pool.cpp" "src/svc/CMakeFiles/fp_svc.dir/process_pool.cpp.o" "gcc" "src/svc/CMakeFiles/fp_svc.dir/process_pool.cpp.o.d"
+  "/root/repo/src/svc/server.cpp" "src/svc/CMakeFiles/fp_svc.dir/server.cpp.o" "gcc" "src/svc/CMakeFiles/fp_svc.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ml/CMakeFiles/fp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/fp_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/part/CMakeFiles/fp_part.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_svc.dir/checkpoint.cpp.o"
+  "CMakeFiles/fp_svc.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fp_svc.dir/executor.cpp.o"
+  "CMakeFiles/fp_svc.dir/executor.cpp.o.d"
+  "CMakeFiles/fp_svc.dir/job.cpp.o"
+  "CMakeFiles/fp_svc.dir/job.cpp.o.d"
+  "CMakeFiles/fp_svc.dir/process_pool.cpp.o"
+  "CMakeFiles/fp_svc.dir/process_pool.cpp.o.d"
+  "CMakeFiles/fp_svc.dir/server.cpp.o"
+  "CMakeFiles/fp_svc.dir/server.cpp.o.d"
+  "libfp_svc.a"
+  "libfp_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/atomic_file.cpp" "src/util/CMakeFiles/fp_util.dir/atomic_file.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/atomic_file.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/fp_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/util/CMakeFiles/fp_util.dir/env.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/env.cpp.o.d"
+  "/root/repo/src/util/errors.cpp" "src/util/CMakeFiles/fp_util.dir/errors.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/errors.cpp.o.d"
+  "/root/repo/src/util/line_reader.cpp" "src/util/CMakeFiles/fp_util.dir/line_reader.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/line_reader.cpp.o.d"
+  "/root/repo/src/util/mem.cpp" "src/util/CMakeFiles/fp_util.dir/mem.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/mem.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/fp_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/fp_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/subprocess.cpp" "src/util/CMakeFiles/fp_util.dir/subprocess.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/subprocess.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/fp_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/fp_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/fp_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

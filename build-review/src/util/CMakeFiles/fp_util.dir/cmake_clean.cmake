@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_util.dir/atomic_file.cpp.o"
+  "CMakeFiles/fp_util.dir/atomic_file.cpp.o.d"
+  "CMakeFiles/fp_util.dir/cli.cpp.o"
+  "CMakeFiles/fp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fp_util.dir/env.cpp.o"
+  "CMakeFiles/fp_util.dir/env.cpp.o.d"
+  "CMakeFiles/fp_util.dir/errors.cpp.o"
+  "CMakeFiles/fp_util.dir/errors.cpp.o.d"
+  "CMakeFiles/fp_util.dir/line_reader.cpp.o"
+  "CMakeFiles/fp_util.dir/line_reader.cpp.o.d"
+  "CMakeFiles/fp_util.dir/mem.cpp.o"
+  "CMakeFiles/fp_util.dir/mem.cpp.o.d"
+  "CMakeFiles/fp_util.dir/rng.cpp.o"
+  "CMakeFiles/fp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fp_util.dir/stats.cpp.o"
+  "CMakeFiles/fp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fp_util.dir/subprocess.cpp.o"
+  "CMakeFiles/fp_util.dir/subprocess.cpp.o.d"
+  "CMakeFiles/fp_util.dir/table.cpp.o"
+  "CMakeFiles/fp_util.dir/table.cpp.o.d"
+  "CMakeFiles/fp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fp_util.dir/thread_pool.cpp.o.d"
+  "libfp_util.a"
+  "libfp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_fault_tests.dir/test_fault_inject.cpp.o"
+  "CMakeFiles/fp_fault_tests.dir/test_fault_inject.cpp.o.d"
+  "CMakeFiles/fp_fault_tests.dir/test_fault_svc.cpp.o"
+  "CMakeFiles/fp_fault_tests.dir/test_fault_svc.cpp.o.d"
+  "fp_fault_tests"
+  "fp_fault_tests.pdb"
+  "fp_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_isolate_tests.dir/test_process_pool.cpp.o"
+  "CMakeFiles/fp_isolate_tests.dir/test_process_pool.cpp.o.d"
+  "fp_isolate_tests"
+  "fp_isolate_tests.pdb"
+  "fp_isolate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_isolate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fp_isolate_tests.
+# This may be replaced when dependencies are built.

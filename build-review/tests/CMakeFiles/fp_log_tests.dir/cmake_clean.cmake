@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_log_tests.dir/test_log.cpp.o"
+  "CMakeFiles/fp_log_tests.dir/test_log.cpp.o.d"
+  "fp_log_tests"
+  "fp_log_tests.pdb"
+  "fp_log_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_log_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_obs_http_tests.dir/test_obs_http.cpp.o"
+  "CMakeFiles/fp_obs_http_tests.dir/test_obs_http.cpp.o.d"
+  "fp_obs_http_tests"
+  "fp_obs_http_tests.pdb"
+  "fp_obs_http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_obs_http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

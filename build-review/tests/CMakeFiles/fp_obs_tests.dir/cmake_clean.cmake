@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_obs_tests.dir/test_obs.cpp.o"
+  "CMakeFiles/fp_obs_tests.dir/test_obs.cpp.o.d"
+  "fp_obs_tests"
+  "fp_obs_tests.pdb"
+  "fp_obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_parallel_tests.dir/test_parallel_ml.cpp.o"
+  "CMakeFiles/fp_parallel_tests.dir/test_parallel_ml.cpp.o.d"
+  "fp_parallel_tests"
+  "fp_parallel_tests.pdb"
+  "fp_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_server_tests.dir/test_server.cpp.o"
+  "CMakeFiles/fp_server_tests.dir/test_server.cpp.o.d"
+  "fp_server_tests"
+  "fp_server_tests.pdb"
+  "fp_server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

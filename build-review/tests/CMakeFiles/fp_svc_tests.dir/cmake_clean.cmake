@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_svc_tests.dir/test_svc.cpp.o"
+  "CMakeFiles/fp_svc_tests.dir/test_svc.cpp.o.d"
+  "fp_svc_tests"
+  "fp_svc_tests.pdb"
+  "fp_svc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_svc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_balance.cpp" "tests/CMakeFiles/fp_tests.dir/test_balance.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_balance.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/fp_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_coarsen.cpp" "tests/CMakeFiles/fp_tests.dir/test_coarsen.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_coarsen.cpp.o.d"
+  "/root/repo/tests/test_constraint_metrics.cpp" "tests/CMakeFiles/fp_tests.dir/test_constraint_metrics.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_constraint_metrics.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/fp_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_derive.cpp" "tests/CMakeFiles/fp_tests.dir/test_derive.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_derive.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/fp_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_env.cpp" "tests/CMakeFiles/fp_tests.dir/test_env.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_env.cpp.o.d"
+  "/root/repo/tests/test_exact.cpp" "tests/CMakeFiles/fp_tests.dir/test_exact.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_exact.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/fp_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_fixed.cpp" "tests/CMakeFiles/fp_tests.dir/test_fixed.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_fixed.cpp.o.d"
+  "/root/repo/tests/test_fm.cpp" "tests/CMakeFiles/fp_tests.dir/test_fm.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_fm.cpp.o.d"
+  "/root/repo/tests/test_fm_boundary.cpp" "tests/CMakeFiles/fp_tests.dir/test_fm_boundary.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_fm_boundary.cpp.o.d"
+  "/root/repo/tests/test_gain_buckets.cpp" "tests/CMakeFiles/fp_tests.dir/test_gain_buckets.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_gain_buckets.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/fp_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_guardrails.cpp" "tests/CMakeFiles/fp_tests.dir/test_guardrails.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_guardrails.cpp.o.d"
+  "/root/repo/tests/test_hypergraph.cpp" "tests/CMakeFiles/fp_tests.dir/test_hypergraph.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_hypergraph.cpp.o.d"
+  "/root/repo/tests/test_initial.cpp" "tests/CMakeFiles/fp_tests.dir/test_initial.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_initial.cpp.o.d"
+  "/root/repo/tests/test_io_binary.cpp" "tests/CMakeFiles/fp_tests.dir/test_io_binary.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_io_binary.cpp.o.d"
+  "/root/repo/tests/test_io_fpb.cpp" "tests/CMakeFiles/fp_tests.dir/test_io_fpb.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_io_fpb.cpp.o.d"
+  "/root/repo/tests/test_io_hmetis.cpp" "tests/CMakeFiles/fp_tests.dir/test_io_hmetis.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_io_hmetis.cpp.o.d"
+  "/root/repo/tests/test_io_netare.cpp" "tests/CMakeFiles/fp_tests.dir/test_io_netare.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_io_netare.cpp.o.d"
+  "/root/repo/tests/test_io_solution.cpp" "tests/CMakeFiles/fp_tests.dir/test_io_solution.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_io_solution.cpp.o.d"
+  "/root/repo/tests/test_kway.cpp" "tests/CMakeFiles/fp_tests.dir/test_kway.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_kway.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/fp_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_pairwise.cpp" "tests/CMakeFiles/fp_tests.dir/test_pairwise.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_pairwise.cpp.o.d"
+  "/root/repo/tests/test_partition_state.cpp" "tests/CMakeFiles/fp_tests.dir/test_partition_state.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_partition_state.cpp.o.d"
+  "/root/repo/tests/test_place.cpp" "tests/CMakeFiles/fp_tests.dir/test_place.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_place.cpp.o.d"
+  "/root/repo/tests/test_recursive_bisection.cpp" "tests/CMakeFiles/fp_tests.dir/test_recursive_bisection.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_recursive_bisection.cpp.o.d"
+  "/root/repo/tests/test_regimes.cpp" "tests/CMakeFiles/fp_tests.dir/test_regimes.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_regimes.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/fp_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/fp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/fp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_subgraph.cpp" "tests/CMakeFiles/fp_tests.dir/test_subgraph.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_subgraph.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/fp_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/fp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/fp_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/experiments/CMakeFiles/fp_experiments.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/place/CMakeFiles/fp_place.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/fp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/fp_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/part/CMakeFiles/fp_part.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hg/CMakeFiles/fp_hg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/svc/CMakeFiles/fp_svc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/fp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_trace_tests.dir/test_trace.cpp.o"
+  "CMakeFiles/fp_trace_tests.dir/test_trace.cpp.o.d"
+  "fp_trace_tests"
+  "fp_trace_tests.pdb"
+  "fp_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/fp_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_fault_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_svc_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_obs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_obs_http_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_parallel_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_server_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_isolate_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_trace_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fp_log_tests[1]_include.cmake")
+add_test(partitiond_worker_crash "bash" "/root/repo/tests/partitiond_worker_crash.sh" "/root/repo/build-review/examples/partitiond" "/root/repo/build-review/examples/fixedpart-worker")
+set_tests_properties(partitiond_worker_crash PROPERTIES  LABELS "isolate;serve" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;129;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(batch_runner_resume "bash" "/root/repo/tests/batch_runner_resume.sh" "/root/repo/build-review/examples/batch_runner")
+set_tests_properties(batch_runner_resume PROPERTIES  LABELS "svc" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;155;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(batch_runner_http "bash" "/root/repo/tests/batch_runner_http.sh" "/root/repo/build-review/examples/batch_runner")
+set_tests_properties(batch_runner_http PROPERTIES  LABELS "obs-http;svc" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;162;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(partitiond_restart "bash" "/root/repo/tests/partitiond_restart.sh" "/root/repo/build-review/examples/partitiond")
+set_tests_properties(partitiond_restart PROPERTIES  LABELS "serve" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;170;add_test;/root/repo/tests/CMakeLists.txt;0;")
